@@ -1,0 +1,301 @@
+//! A PIM-balanced batch-parallel unordered map.
+//!
+//! The §4.1 recipe, lifted out of the skip list into a standalone
+//! structure: keys are placed by a secret hash, every module keeps a
+//! de-amortized cuckoo table, and batches are semisort-deduplicated on the
+//! CPU side before routing — which is the entire defence against the
+//! duplicate-flood adversary. With `B = P log P` distinct keys, Lemma 2.1
+//! gives `O(log P)` IO and PIM time whp.
+//!
+//! No ordered operations: that is precisely the gap the paper's skip list
+//! fills. This map exists (a) as the simplest complete PIM-balanced
+//! structure, and (b) to measure how much the skip list's ordered
+//! machinery costs on point-only workloads.
+
+use pim_hashtable::DeamortizedMap;
+use pim_primitives::semisort::dedup_by_key;
+use pim_runtime::hashfn;
+use pim_runtime::{Metrics, ModuleCtx, ModuleId, PimModule, PimSystem};
+
+/// Tasks of the unordered map.
+#[derive(Debug, Clone)]
+pub enum MapTask {
+    /// Lookup.
+    Get {
+        /// Batch-local id.
+        op: u32,
+        /// Key.
+        key: i64,
+    },
+    /// Insert-or-update.
+    Upsert {
+        /// Batch-local id.
+        op: u32,
+        /// Key.
+        key: i64,
+        /// Value.
+        value: u64,
+    },
+    /// Remove.
+    Remove {
+        /// Batch-local id.
+        op: u32,
+        /// Key.
+        key: i64,
+    },
+}
+
+/// Replies of the unordered map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapReply {
+    /// Get result.
+    Got {
+        /// Batch-local id.
+        op: u32,
+        /// Value if present.
+        value: Option<u64>,
+    },
+    /// Upsert result.
+    Upserted {
+        /// Batch-local id.
+        op: u32,
+        /// Whether the key was new.
+        inserted: bool,
+    },
+    /// Remove result.
+    Removed {
+        /// Batch-local id.
+        op: u32,
+        /// Whether the key was present.
+        found: bool,
+    },
+}
+
+/// One module: a de-amortized cuckoo table over its hash share.
+pub struct MapModule {
+    table: DeamortizedMap,
+}
+
+impl PimModule for MapModule {
+    type Task = MapTask;
+    type Reply = MapReply;
+
+    fn execute(&mut self, task: MapTask, ctx: &mut ModuleCtx<'_, MapTask, MapReply>) {
+        match task {
+            MapTask::Get { op, key } => {
+                let value = self.table.get(key);
+                ctx.work(1 + self.table.last_op_work);
+                ctx.reply(MapReply::Got { op, value });
+            }
+            MapTask::Upsert { op, key, value } => {
+                let inserted = self.table.insert(key, value).is_none();
+                ctx.work(1 + self.table.last_op_work);
+                ctx.reply(MapReply::Upserted { op, inserted });
+            }
+            MapTask::Remove { op, key } => {
+                let found = self.table.remove(key).is_some();
+                ctx.work(1 + self.table.last_op_work);
+                ctx.reply(MapReply::Removed { op, found });
+            }
+        }
+    }
+
+    fn local_words(&self) -> u64 {
+        self.table.words()
+    }
+}
+
+/// The CPU-side driver of the PIM-balanced unordered map.
+///
+/// ```
+/// use pim_algorithms::PimHashMap;
+///
+/// let mut m = PimHashMap::new(4, 42);
+/// m.batch_upsert(&[(1, 10), (2, 20)]);
+/// assert_eq!(m.batch_get(&[2, 3]), vec![Some(20), None]);
+/// assert_eq!(m.batch_remove(&[1]), vec![true]);
+/// ```
+pub struct PimHashMap {
+    sys: PimSystem<MapModule>,
+    seed: u64,
+    len: u64,
+}
+
+impl PimHashMap {
+    /// An empty map on `p` modules with a secret placement seed.
+    pub fn new(p: u32, seed: u64) -> Self {
+        PimHashMap {
+            sys: PimSystem::new(p, |id| MapModule {
+                table: DeamortizedMap::new(64, hashfn::hash2(seed, 0x4D, u64::from(id))),
+            }),
+            seed,
+            len: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Machine metrics snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.sys.metrics()
+    }
+
+    /// Per-module space.
+    pub fn space_per_module(&self) -> Vec<u64> {
+        self.sys.local_words_per_module()
+    }
+
+    fn module_of(&self, key: i64) -> ModuleId {
+        hashfn::module_of(self.seed, key, 0, self.sys.p())
+    }
+
+    /// Batched Get with duplicate removal (§4.1 pattern).
+    pub fn batch_get(&mut self, keys: &[i64]) -> Vec<Option<u64>> {
+        let (uniq, cost) = dedup_by_key(keys.to_vec(), self.seed ^ 0x61, |&k| k as u64);
+        cost.charge(self.sys.metrics_mut());
+        for (op, &key) in uniq.iter().enumerate() {
+            let m = self.module_of(key);
+            self.sys.send(m, MapTask::Get { op: op as u32, key });
+        }
+        let mut by_key = std::collections::HashMap::with_capacity(uniq.len());
+        for r in self.sys.run_to_quiescence() {
+            if let MapReply::Got { op, value } = r {
+                by_key.insert(uniq[op as usize], value);
+            }
+        }
+        keys.iter().map(|k| by_key[k]).collect()
+    }
+
+    /// Batched Upsert (first-wins dedup); returns whether each pair's key
+    /// was newly inserted.
+    pub fn batch_upsert(&mut self, pairs: &[(i64, u64)]) -> Vec<bool> {
+        let (uniq, cost) = dedup_by_key(pairs.to_vec(), self.seed ^ 0x62, |&(k, _)| k as u64);
+        cost.charge(self.sys.metrics_mut());
+        for (op, &(key, value)) in uniq.iter().enumerate() {
+            let m = self.module_of(key);
+            self.sys.send(
+                m,
+                MapTask::Upsert {
+                    op: op as u32,
+                    key,
+                    value,
+                },
+            );
+        }
+        let mut by_key = std::collections::HashMap::with_capacity(uniq.len());
+        for r in self.sys.run_to_quiescence() {
+            if let MapReply::Upserted { op, inserted } = r {
+                if inserted {
+                    self.len += 1;
+                }
+                by_key.insert(uniq[op as usize].0, inserted);
+            }
+        }
+        pairs.iter().map(|(k, _)| by_key[k]).collect()
+    }
+
+    /// Batched Remove (deduplicated); returns whether each key was present.
+    pub fn batch_remove(&mut self, keys: &[i64]) -> Vec<bool> {
+        let (uniq, cost) = dedup_by_key(keys.to_vec(), self.seed ^ 0x63, |&k| k as u64);
+        cost.charge(self.sys.metrics_mut());
+        for (op, &key) in uniq.iter().enumerate() {
+            let m = self.module_of(key);
+            self.sys.send(m, MapTask::Remove { op: op as u32, key });
+        }
+        let mut by_key = std::collections::HashMap::with_capacity(uniq.len());
+        for r in self.sys.run_to_quiescence() {
+            if let MapReply::Removed { op, found } = r {
+                if found {
+                    self.len -= 1;
+                }
+                by_key.insert(uniq[op as usize], found);
+            }
+        }
+        keys.iter().map(|k| by_key[k]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_against_hashmap() {
+        let mut m = PimHashMap::new(8, 7);
+        let mut oracle = std::collections::HashMap::new();
+        let pairs: Vec<(i64, u64)> = (0..500).map(|i| ((i * 13) % 300, i as u64)).collect();
+        m.batch_upsert(&pairs);
+        let mut seen = std::collections::HashSet::new();
+        for &(k, v) in &pairs {
+            if seen.insert(k) {
+                oracle.insert(k, v);
+            }
+        }
+        assert_eq!(m.len(), oracle.len() as u64);
+        let keys: Vec<i64> = (0..320).collect();
+        let got = m.batch_get(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(got[i], oracle.get(k).copied(), "get({k})");
+        }
+        let removed = m.batch_remove(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(removed[i], oracle.contains_key(k));
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_flood_stays_balanced() {
+        let p = 16u32;
+        let mut m = PimHashMap::new(p, 9);
+        m.batch_upsert(&[(42, 1)]);
+        let flood = vec![42i64; 2000];
+        let m0 = m.metrics();
+        let got = m.batch_get(&flood);
+        let d = m.metrics() - m0;
+        assert!(got.iter().all(|&v| v == Some(1)));
+        // Dedup collapses the flood to one message each way.
+        assert!(d.io_time <= 4, "flood IO {}", d.io_time);
+    }
+
+    #[test]
+    fn uniform_batch_is_pim_balanced() {
+        let p = 32u32;
+        let mut m = PimHashMap::new(p, 11);
+        let pairs: Vec<(i64, u64)> = (0..3200).map(|i| (i, i as u64)).collect();
+        let m0 = m.metrics();
+        m.batch_upsert(&pairs);
+        let d = m.metrics() - m0;
+        let ratio = d.io_time as f64 / (d.total_messages as f64 / f64::from(p));
+        assert!(ratio < 2.0, "imbalance {ratio}");
+    }
+
+    #[test]
+    fn upsert_existing_reports_not_inserted() {
+        let mut m = PimHashMap::new(4, 13);
+        assert_eq!(m.batch_upsert(&[(1, 10)]), vec![true]);
+        assert_eq!(m.batch_upsert(&[(1, 20)]), vec![false]);
+        assert_eq!(m.batch_get(&[1]), vec![Some(20)]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn space_spreads_across_modules() {
+        let p = 16u32;
+        let mut m = PimHashMap::new(p, 15);
+        let pairs: Vec<(i64, u64)> = (0..16_000).map(|i| (i, 0)).collect();
+        m.batch_upsert(&pairs);
+        let words = m.space_per_module();
+        let max = *words.iter().max().unwrap() as f64;
+        let mean = words.iter().sum::<u64>() as f64 / f64::from(p);
+        assert!(max / mean < 2.0, "space imbalance: {words:?}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # pim-algorithms — further algorithms on the PIM model
+//!
+//! The paper closes with "Future work includes designing other algorithms
+//! for the PIM model". This crate carries two such designs, both built on
+//! the same simulated machine and metered in the same five cost metrics:
+//!
+//! * [`queue::PimQueue`] — a batch-parallel FIFO queue, striping elements
+//!   round-robin by sequence number: both batch operations are perfectly
+//!   PIM-balanced by construction (contrast with the per-module queues of
+//!   Choe et al. [11], which serialise on a hot queue);
+//! * [`hashmap::PimHashMap`] — a batch-parallel unordered map: the §4.1
+//!   hash-shortcut recipe (secret placement hash + per-module de-amortized
+//!   cuckoo tables + semisort dedup) as a standalone structure.
+#![warn(missing_docs)]
+
+pub mod hashmap;
+pub mod queue;
+
+pub use hashmap::PimHashMap;
+pub use queue::PimQueue;

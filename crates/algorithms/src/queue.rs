@@ -1,0 +1,263 @@
+//! A PIM-balanced batch-parallel FIFO queue.
+//!
+//! Choe et al. [11] (discussed in §2.2) studied FIFO queues on PIM systems
+//! with one queue per module; like their range-partitioned skip list, a
+//! single hot queue serialises. Rebuilt on the PIM model's terms: elements
+//! get global sequence numbers and element `s` lives on module `s mod P` —
+//! round-robin striping. Both batch operations are then *perfectly*
+//! PIM-balanced by construction:
+//!
+//! * `batch_enqueue` of `B` values touches every module `⌈B/P⌉` times —
+//!   an `h = Θ(B/P)` relation, one round;
+//! * `batch_dequeue` of `B` values likewise — FIFO order is free because
+//!   the CPU side holds the head/tail counters and reassembles replies by
+//!   sequence number.
+//!
+//! There is no adversary here at all: the structure's layout depends only
+//! on arrival order, which the adversary controls *anyway*; striping makes
+//! every possible batch balanced. This is the simplest non-trivial
+//! demonstration that the model rewards thinking about placement.
+
+use pim_runtime::{Metrics, ModuleCtx, ModuleId, PimModule, PimSystem};
+
+/// Tasks of the striped FIFO queue.
+#[derive(Debug, Clone)]
+pub enum QueueTask {
+    /// Store `value` under global sequence number `seq`.
+    Push {
+        /// Global sequence number.
+        seq: u64,
+        /// The element.
+        value: u64,
+    },
+    /// Remove and return the element with sequence number `seq`.
+    Pop {
+        /// Batch-local id.
+        op: u32,
+        /// Global sequence number.
+        seq: u64,
+    },
+}
+
+/// Replies of the striped FIFO queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueReply {
+    /// A popped element.
+    Popped {
+        /// Batch-local id.
+        op: u32,
+        /// The element.
+        value: u64,
+    },
+}
+
+/// One module's stripe: a contiguous run of sequence numbers, stored as a
+/// ring over a `VecDeque` (sequence numbers arrive and leave in order
+/// within a module).
+pub struct QueueModule {
+    id: ModuleId,
+    p: u32,
+    /// Sequence number of `stripe[0]` (the oldest element held here).
+    base_seq: u64,
+    stripe: std::collections::VecDeque<u64>,
+}
+
+impl PimModule for QueueModule {
+    type Task = QueueTask;
+    type Reply = QueueReply;
+
+    fn execute(&mut self, task: QueueTask, ctx: &mut ModuleCtx<'_, QueueTask, QueueReply>) {
+        ctx.work(1);
+        match task {
+            QueueTask::Push { seq, value } => {
+                debug_assert_eq!(seq % u64::from(self.p), u64::from(self.id));
+                if self.stripe.is_empty() {
+                    self.base_seq = seq;
+                }
+                debug_assert_eq!(
+                    seq,
+                    self.base_seq + self.stripe.len() as u64 * u64::from(self.p),
+                    "out-of-order push within a stripe"
+                );
+                self.stripe.push_back(value);
+            }
+            QueueTask::Pop { op, seq } => {
+                debug_assert_eq!(seq, self.base_seq, "pops must drain the stripe in order");
+                let value = self.stripe.pop_front().expect("pop from empty stripe");
+                self.base_seq += u64::from(self.p);
+                ctx.reply(QueueReply::Popped { op, value });
+            }
+        }
+    }
+
+    fn local_words(&self) -> u64 {
+        self.stripe.len() as u64 + 2
+    }
+}
+
+/// The CPU-side driver of the striped FIFO queue.
+///
+/// ```
+/// use pim_algorithms::PimQueue;
+///
+/// let mut q = PimQueue::new(4);
+/// q.batch_enqueue(&[10, 20, 30]);
+/// assert_eq!(q.batch_dequeue(2), vec![10, 20]);
+/// assert_eq!(q.len(), 1);
+/// ```
+pub struct PimQueue {
+    sys: PimSystem<QueueModule>,
+    head: u64,
+    tail: u64,
+}
+
+impl PimQueue {
+    /// An empty queue on `p` modules.
+    pub fn new(p: u32) -> Self {
+        PimQueue {
+            sys: PimSystem::new(p, |id| QueueModule {
+                id,
+                p,
+                base_seq: 0,
+                stripe: Default::default(),
+            }),
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Machine metrics snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.sys.metrics()
+    }
+
+    /// Per-module space (for balance checks).
+    pub fn space_per_module(&self) -> Vec<u64> {
+        self.sys.local_words_per_module()
+    }
+
+    /// Enqueue a batch (one bulk-synchronous round, `h = ⌈B/P⌉`).
+    pub fn batch_enqueue(&mut self, values: &[u64]) {
+        let p = u64::from(self.sys.p());
+        for &v in values {
+            let seq = self.tail;
+            self.tail += 1;
+            self.sys
+                .send((seq % p) as ModuleId, QueueTask::Push { seq, value: v });
+        }
+        self.sys.run_to_quiescence();
+    }
+
+    /// Dequeue up to `count` elements, in FIFO order (one round).
+    pub fn batch_dequeue(&mut self, count: usize) -> Vec<u64> {
+        let take = (count as u64).min(self.len());
+        let p = u64::from(self.sys.p());
+        for op in 0..take {
+            let seq = self.head;
+            self.head += 1;
+            self.sys
+                .send((seq % p) as ModuleId, QueueTask::Pop { op: op as u32, seq });
+        }
+        let replies = self.sys.run_to_quiescence();
+        let mut out = vec![0u64; take as usize];
+        for r in replies {
+            let QueueReply::Popped { op, value } = r;
+            out[op as usize] = value;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_across_batches() {
+        let mut q = PimQueue::new(4);
+        q.batch_enqueue(&[1, 2, 3, 4, 5]);
+        q.batch_enqueue(&[6, 7]);
+        assert_eq!(q.len(), 7);
+        assert_eq!(q.batch_dequeue(3), vec![1, 2, 3]);
+        q.batch_enqueue(&[8]);
+        assert_eq!(q.batch_dequeue(10), vec![4, 5, 6, 7, 8]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn dequeue_from_empty_is_empty() {
+        let mut q = PimQueue::new(2);
+        assert!(q.batch_dequeue(5).is_empty());
+        q.batch_enqueue(&[1]);
+        assert_eq!(q.batch_dequeue(5), vec![1]);
+        assert!(q.batch_dequeue(5).is_empty());
+    }
+
+    #[test]
+    fn batches_are_pim_balanced_by_construction() {
+        let p = 16u32;
+        let mut q = PimQueue::new(p);
+        let batch: Vec<u64> = (0..1600).collect();
+        let m0 = q.metrics();
+        q.batch_enqueue(&batch);
+        let d = q.metrics() - m0;
+        assert_eq!(d.rounds, 1);
+        // h = B/P exactly.
+        assert_eq!(d.io_time, 1600 / u64::from(p));
+        let m0 = q.metrics();
+        let out = q.batch_dequeue(1600);
+        let d = q.metrics() - m0;
+        assert_eq!(out, batch);
+        // Pops: B/P in + B/P replies per module.
+        assert_eq!(d.io_time, 2 * 1600 / u64::from(p));
+    }
+
+    #[test]
+    fn space_is_striped_evenly() {
+        let mut q = PimQueue::new(8);
+        q.batch_enqueue(&(0..800).collect::<Vec<u64>>());
+        let words = q.space_per_module();
+        let max = *words.iter().max().unwrap();
+        let min = *words.iter().min().unwrap();
+        assert!(max - min <= 1 + 2, "stripe imbalance: {words:?}");
+    }
+
+    #[test]
+    fn single_module_queue() {
+        let mut q = PimQueue::new(1);
+        q.batch_enqueue(&[9, 8, 7]);
+        assert_eq!(q.batch_dequeue(2), vec![9, 8]);
+        assert_eq!(q.batch_dequeue(2), vec![7]);
+    }
+
+    #[test]
+    fn interleaved_partial_drains() {
+        let mut q = PimQueue::new(3);
+        let mut expect = std::collections::VecDeque::new();
+        let mut next = 0u64;
+        for round in 0..20 {
+            let n = (round * 7) % 11 + 1;
+            let vals: Vec<u64> = (0..n).map(|i| next + i).collect();
+            next += n;
+            q.batch_enqueue(&vals);
+            expect.extend(vals);
+            let k = ((round * 5) % 13) as usize;
+            let got = q.batch_dequeue(k);
+            let want: Vec<u64> = (0..got.len())
+                .map(|_| expect.pop_front().unwrap())
+                .collect();
+            assert_eq!(got, want);
+        }
+        assert_eq!(q.len(), expect.len() as u64);
+    }
+}

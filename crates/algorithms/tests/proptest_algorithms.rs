@@ -1,0 +1,114 @@
+//! Property-based differential testing of the further PIM-model
+//! algorithms: the striped FIFO queue vs `VecDeque`, the unordered map vs
+//! `HashMap`.
+
+use std::collections::{HashMap, VecDeque};
+
+use proptest::prelude::*;
+
+use pim_algorithms::{PimHashMap, PimQueue};
+
+#[derive(Debug, Clone)]
+enum QOp {
+    Enqueue(Vec<u64>),
+    Dequeue(usize),
+}
+
+fn qop() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        2 => prop::collection::vec(any::<u64>(), 0..50).prop_map(QOp::Enqueue),
+        1 => (0usize..80).prop_map(QOp::Dequeue),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum MOp {
+    Upsert(Vec<(i64, u64)>),
+    Remove(Vec<i64>),
+    Get(Vec<i64>),
+}
+
+fn mop() -> impl Strategy<Value = MOp> {
+    let key = -30i64..60;
+    prop_oneof![
+        3 => prop::collection::vec((key.clone(), any::<u64>()), 0..40).prop_map(MOp::Upsert),
+        1 => prop::collection::vec(key.clone(), 0..20).prop_map(MOp::Remove),
+        2 => prop::collection::vec(key, 0..30).prop_map(MOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn queue_matches_vecdeque(
+        p in 1u32..9,
+        ops in prop::collection::vec(qop(), 1..30),
+    ) {
+        let mut q = PimQueue::new(p);
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+        for op in &ops {
+            match op {
+                QOp::Enqueue(vals) => {
+                    q.batch_enqueue(vals);
+                    oracle.extend(vals.iter().copied());
+                }
+                QOp::Dequeue(k) => {
+                    let got = q.batch_dequeue(*k);
+                    let want: Vec<u64> = (0..got.len())
+                        .map(|_| oracle.pop_front().expect("oracle shorter than queue"))
+                        .collect();
+                    prop_assert_eq!(&got, &want);
+                    prop_assert!(got.len() == *k || oracle.is_empty());
+                }
+            }
+            prop_assert_eq!(q.len(), oracle.len() as u64);
+        }
+    }
+
+    #[test]
+    fn map_matches_hashmap(
+        p in 1u32..9,
+        seed in any::<u64>(),
+        ops in prop::collection::vec(mop(), 1..25),
+    ) {
+        let mut m = PimHashMap::new(p, seed);
+        let mut oracle: HashMap<i64, u64> = HashMap::new();
+        for op in &ops {
+            match op {
+                MOp::Upsert(pairs) => {
+                    let res = m.batch_upsert(pairs);
+                    let mut seen = std::collections::HashSet::new();
+                    // first-wins within the batch
+                    let mut inserted_of = HashMap::new();
+                    for &(k, v) in pairs {
+                        if seen.insert(k) {
+                            inserted_of.insert(k, oracle.insert(k, v).is_none());
+                        }
+                    }
+                    for (i, &(k, _)) in pairs.iter().enumerate() {
+                        prop_assert_eq!(res[i], inserted_of[&k], "upsert({})", k);
+                    }
+                }
+                MOp::Remove(keys) => {
+                    let res = m.batch_remove(keys);
+                    let mut removed = std::collections::HashSet::new();
+                    for (i, k) in keys.iter().enumerate() {
+                        let expect = oracle.remove(k).is_some() || removed.contains(k);
+                        prop_assert_eq!(res[i], expect, "remove({})", k);
+                        if expect {
+                            removed.insert(*k);
+                        }
+                    }
+                }
+                MOp::Get(keys) => {
+                    let res = m.batch_get(keys);
+                    for (i, k) in keys.iter().enumerate() {
+                        prop_assert_eq!(res[i], oracle.get(k).copied(), "get({})", k);
+                    }
+                }
+            }
+            prop_assert_eq!(m.len(), oracle.len() as u64);
+        }
+    }
+}

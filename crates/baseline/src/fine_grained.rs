@@ -1,0 +1,123 @@
+//! The fine-grained distribution baseline (Ziegler et al. [34]).
+//!
+//! Fine-grained partitioning hashes *every* node — top levels included —
+//! to a random module, with no replication. Skew vanishes, but "every key
+//! search would access nodes in many different PIM modules" (§3.1): each
+//! search pays `O(log n)` messages instead of the PIM-balanced structure's
+//! `O(log P)`.
+//!
+//! We realise it by instantiating the core structure with the lower part
+//! raised to cover (almost) the whole height: only the root level remains
+//! replicated, which corresponds to the fine-grained scheme's globally
+//! known entry point. This reuses the exact task machinery, so the
+//! comparison isolates the *distribution policy*, not implementation
+//! differences.
+
+use pim_core::{Config, Key, PimSkipList, Value};
+use pim_runtime::{Handle, Metrics};
+
+/// A skip list whose nodes are all individually hashed to modules.
+pub struct FineGrainedSkipList {
+    inner: PimSkipList,
+}
+
+impl FineGrainedSkipList {
+    /// Build with everything below the root distributed.
+    pub fn new(p: u32, expected_n: u64, seed: u64) -> Self {
+        let base = Config::new(p, expected_n, seed);
+        let h_low = base.max_level - 1;
+        let cfg = base.with_h_low(h_low);
+        FineGrainedSkipList {
+            inner: PimSkipList::new(cfg),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    /// Is the structure empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Machine metrics snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.metrics()
+    }
+
+    /// Batched Get (hash shortcut still applies — fine-grained schemes
+    /// also index leaves by hash).
+    pub fn batch_get(&mut self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.inner.batch_get(keys)
+    }
+
+    /// Batched Upsert.
+    pub fn batch_upsert(&mut self, pairs: &[(Key, Value)]) {
+        self.inner.batch_upsert(pairs);
+    }
+
+    /// Batched Delete.
+    pub fn batch_delete(&mut self, keys: &[Key]) -> Vec<bool> {
+        self.inner.batch_delete(keys)
+    }
+
+    /// Batched Successor — the operation where fine-grained distribution
+    /// pays `O(log n)` messages per search.
+    pub fn batch_successor(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
+        self.inner.batch_successor(keys)
+    }
+
+    /// Structural validation (delegates to the core checker).
+    pub fn validate(&self) -> Result<(), String> {
+        self.inner.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_under_point_ops() {
+        let mut l = FineGrainedSkipList::new(8, 1 << 10, 7);
+        let pairs: Vec<(i64, u64)> = (0..200).map(|i| (i * 3, i as u64)).collect();
+        l.batch_upsert(&pairs);
+        l.validate().unwrap();
+        assert_eq!(l.len(), 200);
+        let got = l.batch_get(&[0, 3, 597, 1]);
+        assert_eq!(got, vec![Some(0), Some(1), Some(199), None]);
+        let s = l.batch_successor(&[4]);
+        assert_eq!(s[0].map(|(k, _)| k), Some(6));
+        let res = l.batch_delete(&[3, 4]);
+        assert_eq!(res, vec![true, false]);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn searches_cost_more_io_than_balanced_structure() {
+        let p = 16;
+        let n_keys = 4096i64;
+        let pairs: Vec<(i64, u64)> = (0..n_keys).map(|i| (i * 7, i as u64)).collect();
+
+        let mut fine = FineGrainedSkipList::new(p, n_keys as u64, 3);
+        fine.batch_upsert(&pairs);
+        let mut balanced = pim_core::PimSkipList::new(Config::new(p, n_keys as u64, 3));
+        balanced.batch_upsert(&pairs);
+
+        let queries: Vec<i64> = (0..512).map(|i| i * 50 + 1).collect();
+        let f0 = fine.metrics();
+        fine.batch_successor(&queries);
+        let fine_io = (fine.metrics() - f0).total_messages;
+
+        let b0 = balanced.metrics();
+        balanced.batch_successor(&queries);
+        let bal_io = (balanced.metrics() - b0).total_messages;
+
+        assert!(
+            fine_io as f64 > bal_io as f64 * 1.5,
+            "fine-grained should move more messages: {fine_io} vs {bal_io}"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! A sequential skip list with per-operation work counting.
+//!
+//! Used as the *local* ordered structure inside each module of the
+//! range-partitioned baseline (Choe et al. [11] / Liu et al. [19] keep a
+//! conventional skip list per partition). Work is counted in node visits
+//! so the baseline's PIM-time is measured in the same currency as the
+//! PIM-balanced structure's.
+
+use pim_runtime::Rng;
+
+const MAX_LEVEL: usize = 28;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: i64,
+    value: u64,
+    forward: Vec<u32>, // forward[l] = next node index at level l; u32::MAX = none
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A classic sequential skip list (`p = 1/2`) with counted node visits.
+#[derive(Debug, Clone)]
+pub struct LocalSkipList {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    level: usize,
+    len: usize,
+    rng: Rng,
+}
+
+impl LocalSkipList {
+    /// An empty list seeded for height coins.
+    pub fn new(seed: u64) -> Self {
+        let head = Node {
+            key: i64::MIN,
+            value: 0,
+            forward: vec![NIL; MAX_LEVEL],
+        };
+        LocalSkipList {
+            nodes: vec![head],
+            free: Vec::new(),
+            head: 0,
+            level: 1,
+            len: 0,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Words of memory held (space accounting).
+    pub fn words(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| 3 + n.forward.len() as u64)
+            .sum::<u64>()
+    }
+
+    #[inline]
+    fn node(&self, i: u32) -> &Node {
+        &self.nodes[i as usize]
+    }
+
+    /// Find per-level predecessors of `key`; returns (update vector, work).
+    fn find_preds(&self, key: i64) -> ([u32; MAX_LEVEL], u64) {
+        let mut update = [self.head; MAX_LEVEL];
+        let mut x = self.head;
+        let mut work = 0u64;
+        for l in (0..self.level).rev() {
+            loop {
+                work += 1;
+                let nxt = self.node(x).forward[l];
+                if nxt != NIL && self.node(nxt).key < key {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+            update[l] = x;
+        }
+        (update, work)
+    }
+
+    /// Look up `key`; returns (value, work).
+    pub fn get(&self, key: i64) -> (Option<u64>, u64) {
+        let (update, work) = self.find_preds(key);
+        let cand = self.node(update[0]).forward[0];
+        if cand != NIL && self.node(cand).key == key {
+            (Some(self.node(cand).value), work + 1)
+        } else {
+            (None, work + 1)
+        }
+    }
+
+    /// Insert or update; returns (inserted?, work).
+    pub fn upsert(&mut self, key: i64, value: u64) -> (bool, u64) {
+        let (update, work) = self.find_preds(key);
+        let cand = self.node(update[0]).forward[0];
+        if cand != NIL && self.node(cand).key == key {
+            self.nodes[cand as usize].value = value;
+            return (false, work + 1);
+        }
+        let height = (self.rng.skiplist_height((MAX_LEVEL - 1) as u8) as usize) + 1;
+        let new_level = height.max(self.level);
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node {
+                key,
+                value,
+                forward: vec![NIL; height],
+            };
+            i
+        } else {
+            self.nodes.push(Node {
+                key,
+                value,
+                forward: vec![NIL; height],
+            });
+            (self.nodes.len() - 1) as u32
+        };
+        for (l, &u) in update.iter().enumerate().take(height) {
+            let pred = if l < self.level { u } else { self.head };
+            let nxt = self.node(pred).forward[l];
+            self.nodes[idx as usize].forward[l] = nxt;
+            self.nodes[pred as usize].forward[l] = idx;
+        }
+        self.level = new_level;
+        self.len += 1;
+        (true, work + height as u64)
+    }
+
+    /// Delete `key`; returns (found?, work).
+    pub fn delete(&mut self, key: i64) -> (bool, u64) {
+        let (update, work) = self.find_preds(key);
+        let cand = self.node(update[0]).forward[0];
+        if cand == NIL || self.node(cand).key != key {
+            return (false, work + 1);
+        }
+        let height = self.node(cand).forward.len();
+        for (l, &pred) in update.iter().enumerate().take(height) {
+            if self.node(pred).forward[l] == cand {
+                self.nodes[pred as usize].forward[l] = self.node(cand).forward[l];
+            }
+        }
+        self.free.push(cand);
+        self.len -= 1;
+        (true, work + height as u64)
+    }
+
+    /// Smallest key `≥ key`; returns (entry, work).
+    pub fn successor(&self, key: i64) -> (Option<(i64, u64)>, u64) {
+        let (update, work) = self.find_preds(key);
+        let cand = self.node(update[0]).forward[0];
+        if cand != NIL {
+            let n = self.node(cand);
+            (Some((n.key, n.value)), work + 1)
+        } else {
+            (None, work + 1)
+        }
+    }
+
+    /// Collect all pairs in `[lo, hi]` into `out`; returns work.
+    pub fn range_collect(&self, lo: i64, hi: i64, out: &mut Vec<(i64, u64)>) -> u64 {
+        let (update, mut work) = self.find_preds(lo);
+        let mut cur = self.node(update[0]).forward[0];
+        while cur != NIL {
+            work += 1;
+            let n = self.node(cur);
+            if n.key > hi {
+                break;
+            }
+            out.push((n.key, n.value));
+            cur = n.forward[0];
+        }
+        work
+    }
+
+    /// All pairs in order (test oracle).
+    pub fn items(&self) -> Vec<(i64, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.node(self.head).forward[0];
+        while cur != NIL {
+            let n = self.node(cur);
+            out.push((n.key, n.value));
+            cur = n.forward[0];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        let mut l = LocalSkipList::new(1);
+        let mut oracle = BTreeMap::new();
+        let mut s = 99u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s
+        };
+        for _ in 0..5000 {
+            let k = (next() % 500) as i64;
+            match next() % 3 {
+                0 => {
+                    l.upsert(k, k as u64);
+                    oracle.insert(k, k as u64);
+                }
+                1 => {
+                    let (f, _) = l.delete(k);
+                    assert_eq!(f, oracle.remove(&k).is_some());
+                }
+                _ => {
+                    let (v, _) = l.get(k);
+                    assert_eq!(v, oracle.get(&k).copied());
+                }
+            }
+        }
+        let expect: Vec<(i64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(l.items(), expect);
+        assert_eq!(l.len(), oracle.len());
+    }
+
+    #[test]
+    fn successor_semantics() {
+        let mut l = LocalSkipList::new(2);
+        l.upsert(10, 1);
+        l.upsert(20, 2);
+        assert_eq!(l.successor(5).0, Some((10, 1)));
+        assert_eq!(l.successor(10).0, Some((10, 1)));
+        assert_eq!(l.successor(11).0, Some((20, 2)));
+        assert_eq!(l.successor(21).0, None);
+    }
+
+    #[test]
+    fn range_collect_bounds() {
+        let mut l = LocalSkipList::new(3);
+        for k in 0..100 {
+            l.upsert(k * 2, k as u64);
+        }
+        let mut out = Vec::new();
+        l.range_collect(10, 20, &mut out);
+        assert_eq!(
+            out.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![10, 12, 14, 16, 18, 20]
+        );
+    }
+
+    #[test]
+    fn work_grows_logarithmically() {
+        let mut l = LocalSkipList::new(4);
+        for k in 0..10_000 {
+            l.upsert(k, 0);
+        }
+        let (_, w) = l.get(5000);
+        assert!(w < 200, "search work {w} too large for n=10000");
+    }
+
+    #[test]
+    fn upsert_existing_updates_value() {
+        let mut l = LocalSkipList::new(5);
+        assert!(l.upsert(7, 1).0);
+        assert!(!l.upsert(7, 2).0);
+        assert_eq!(l.get(7).0, Some(2));
+        assert_eq!(l.len(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! The range-partitioned baseline (Choe et al. [11], Liu et al. [19]).
+//!
+//! Keys are partitioned by `P` disjoint key ranges, one per PIM module;
+//! each module keeps a conventional sequential skip list of its partition.
+//! Point operations route to the owning module and execute locally —
+//! exactly one message each, `O(log(n/P))` local work.
+//!
+//! Under uniform keys this is excellent (the paper concedes as much), but
+//! the whole point of §2.2/§3.1 is its failure mode: a batch confined to
+//! one partition serialises on one module — per-round `h` and PIM time
+//! grow linearly in the batch size while the PIM-balanced structure stays
+//! polylogarithmic. The `baseline_showdown` experiment measures exactly
+//! this.
+
+use pim_runtime::{Metrics, ModuleCtx, ModuleId, PimModule, PimSystem};
+
+/// Tasks of the range-partitioned structure.
+#[derive(Debug, Clone)]
+pub enum RpTask {
+    /// Point lookup.
+    Get {
+        /// Operation id.
+        op: u32,
+        /// Key.
+        key: i64,
+    },
+    /// Insert-or-update.
+    Upsert {
+        /// Operation id.
+        op: u32,
+        /// Key.
+        key: i64,
+        /// Value.
+        value: u64,
+    },
+    /// Remove.
+    Delete {
+        /// Operation id.
+        op: u32,
+        /// Key.
+        key: i64,
+    },
+    /// Smallest resident key `≥ key`; forwards to the next partition when
+    /// the local partition has nothing at or after `key`.
+    Successor {
+        /// Operation id.
+        op: u32,
+        /// Key.
+        key: i64,
+    },
+    /// Collect pairs in `[lo, hi]` from this partition.
+    Range {
+        /// Operation id.
+        op: u32,
+        /// Inclusive bounds.
+        lo: i64,
+        /// Inclusive bounds.
+        hi: i64,
+    },
+}
+
+/// Replies of the range-partitioned structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpReply {
+    /// Get result.
+    Got {
+        /// Operation id.
+        op: u32,
+        /// Value if present.
+        value: Option<u64>,
+    },
+    /// Upsert result.
+    Upserted {
+        /// Operation id.
+        op: u32,
+        /// Whether a new key was created.
+        inserted: bool,
+    },
+    /// Delete result.
+    Deleted {
+        /// Operation id.
+        op: u32,
+        /// Whether the key was present.
+        found: bool,
+    },
+    /// Successor result.
+    Succ {
+        /// Operation id.
+        op: u32,
+        /// The successor entry, if any.
+        entry: Option<(i64, u64)>,
+    },
+    /// One pair of a range result.
+    RangeItem {
+        /// Operation id.
+        op: u32,
+        /// Key.
+        key: i64,
+        /// Value.
+        value: u64,
+    },
+}
+
+/// One partition: a sequential skip list plus the partition topology.
+pub struct RpModule {
+    id: ModuleId,
+    p: u32,
+    list: crate::local_skiplist::LocalSkipList,
+}
+
+impl PimModule for RpModule {
+    type Task = RpTask;
+    type Reply = RpReply;
+
+    fn execute(&mut self, task: RpTask, ctx: &mut ModuleCtx<'_, RpTask, RpReply>) {
+        match task {
+            RpTask::Get { op, key } => {
+                let (value, w) = self.list.get(key);
+                ctx.work(w);
+                ctx.reply(RpReply::Got { op, value });
+            }
+            RpTask::Upsert { op, key, value } => {
+                let (inserted, w) = self.list.upsert(key, value);
+                ctx.work(w);
+                ctx.reply(RpReply::Upserted { op, inserted });
+            }
+            RpTask::Delete { op, key } => {
+                let (found, w) = self.list.delete(key);
+                ctx.work(w);
+                ctx.reply(RpReply::Deleted { op, found });
+            }
+            RpTask::Successor { op, key } => {
+                let (entry, w) = self.list.successor(key);
+                ctx.work(w);
+                match entry {
+                    Some(e) => ctx.reply(RpReply::Succ { op, entry: Some(e) }),
+                    None => {
+                        // Nothing at/after `key` here: forward to the next
+                        // partition (or report None at the last one).
+                        if self.id + 1 < self.p {
+                            ctx.send(self.id + 1, RpTask::Successor { op, key });
+                        } else {
+                            ctx.reply(RpReply::Succ { op, entry: None });
+                        }
+                    }
+                }
+            }
+            RpTask::Range { op, lo, hi } => {
+                let mut out = Vec::new();
+                let w = self.list.range_collect(lo, hi, &mut out);
+                ctx.work(w);
+                for (key, value) in out {
+                    ctx.reply(RpReply::RangeItem { op, key, value });
+                }
+            }
+        }
+    }
+
+    fn local_words(&self) -> u64 {
+        self.list.words()
+    }
+}
+
+/// The CPU-side driver of the range-partitioned baseline.
+pub struct RangePartitionedList {
+    sys: PimSystem<RpModule>,
+    /// Partition boundaries: partition `i` owns `[boundaries[i],
+    /// boundaries[i+1])`.
+    boundaries: Vec<i64>,
+    len: u64,
+}
+
+impl RangePartitionedList {
+    /// Build over `p` modules, statically partitioning the key domain
+    /// `[lo, hi]` into `p` equal ranges (the static variant of [11, 19];
+    /// the paper's critique applies to dynamic migration as well, since
+    /// an adversary confines every batch to one *current* partition).
+    pub fn new(p: u32, lo: i64, hi: i64, seed: u64) -> Self {
+        assert!(p >= 1 && lo < hi);
+        let width = ((hi - lo) / p as i64).max(1);
+        let boundaries: Vec<i64> = (0..=p as i64)
+            .map(|i| {
+                if i == p as i64 {
+                    i64::MAX
+                } else {
+                    lo + i * width
+                }
+            })
+            .collect();
+        let sys = PimSystem::new(p, |id| RpModule {
+            id,
+            p,
+            list: crate::local_skiplist::LocalSkipList::new(pim_runtime::hashfn::hash2(
+                seed,
+                0xB45E,
+                u64::from(id),
+            )),
+        });
+        RangePartitionedList {
+            sys,
+            boundaries,
+            len: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Is the structure empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Machine metrics snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.sys.metrics()
+    }
+
+    /// Local-memory words per module.
+    pub fn space_per_module(&self) -> Vec<u64> {
+        self.sys.local_words_per_module()
+    }
+
+    fn partition_of(&self, key: i64) -> ModuleId {
+        let i = self.boundaries.partition_point(|&b| b <= key);
+        (i.saturating_sub(1)) as ModuleId
+    }
+
+    /// Batched Get (routed by partition; no dedup — the published
+    /// baselines have none, which is part of what the comparison shows).
+    pub fn batch_get(&mut self, keys: &[i64]) -> Vec<Option<u64>> {
+        for (op, &key) in keys.iter().enumerate() {
+            let m = self.partition_of(key);
+            self.sys.send(m, RpTask::Get { op: op as u32, key });
+        }
+        let mut out = vec![None; keys.len()];
+        for r in self.sys.run_to_quiescence() {
+            if let RpReply::Got { op, value } = r {
+                out[op as usize] = value;
+            }
+        }
+        out
+    }
+
+    /// Batched Upsert.
+    pub fn batch_upsert(&mut self, pairs: &[(i64, u64)]) -> Vec<bool> {
+        for (op, &(key, value)) in pairs.iter().enumerate() {
+            let m = self.partition_of(key);
+            self.sys.send(
+                m,
+                RpTask::Upsert {
+                    op: op as u32,
+                    key,
+                    value,
+                },
+            );
+        }
+        let mut out = vec![false; pairs.len()];
+        for r in self.sys.run_to_quiescence() {
+            if let RpReply::Upserted { op, inserted } = r {
+                out[op as usize] = inserted;
+                if inserted {
+                    self.len += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched Delete.
+    pub fn batch_delete(&mut self, keys: &[i64]) -> Vec<bool> {
+        for (op, &key) in keys.iter().enumerate() {
+            let m = self.partition_of(key);
+            self.sys.send(m, RpTask::Delete { op: op as u32, key });
+        }
+        let mut out = vec![false; keys.len()];
+        for r in self.sys.run_to_quiescence() {
+            if let RpReply::Deleted { op, found } = r {
+                out[op as usize] = found;
+                if found {
+                    self.len -= 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched Successor.
+    pub fn batch_successor(&mut self, keys: &[i64]) -> Vec<Option<(i64, u64)>> {
+        for (op, &key) in keys.iter().enumerate() {
+            let m = self.partition_of(key);
+            self.sys.send(m, RpTask::Successor { op: op as u32, key });
+        }
+        let mut out = vec![None; keys.len()];
+        for r in self.sys.run_to_quiescence() {
+            if let RpReply::Succ { op, entry } = r {
+                out[op as usize] = entry;
+            }
+        }
+        out
+    }
+
+    /// One range query, fanned to the partitions intersecting `[lo, hi]`
+    /// (the strength of range partitioning: contiguity).
+    pub fn range(&mut self, lo: i64, hi: i64) -> Vec<(i64, u64)> {
+        let first = self.partition_of(lo);
+        let last = self.partition_of(hi);
+        for m in first..=last {
+            self.sys.send(m, RpTask::Range { op: 0, lo, hi });
+        }
+        let mut items = Vec::new();
+        for r in self.sys.run_to_quiescence() {
+            if let RpReply::RangeItem { key, value, .. } = r {
+                items.push((key, value));
+            }
+        }
+        items.sort_unstable();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn matches_oracle() {
+        let mut l = RangePartitionedList::new(8, 0, 1000, 1);
+        let mut oracle = BTreeMap::new();
+        let pairs: Vec<(i64, u64)> = (0..500).map(|i| ((i * 37) % 1000, i as u64)).collect();
+        l.batch_upsert(&pairs);
+        for &(k, v) in &pairs {
+            oracle.insert(k, v);
+        }
+        let keys: Vec<i64> = (0..1000).collect();
+        let got = l.batch_get(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(got[i], oracle.get(k).copied(), "get({k})");
+        }
+        assert_eq!(l.len(), oracle.len() as u64);
+    }
+
+    #[test]
+    fn successor_crosses_partitions() {
+        let mut l = RangePartitionedList::new(4, 0, 400, 2);
+        l.batch_upsert(&[(10, 1), (350, 2)]);
+        // Key 200 lives in partition 2, but its successor is in partition 3.
+        let s = l.batch_successor(&[200]);
+        assert_eq!(s[0], Some((350, 2)));
+        // Past the end.
+        assert_eq!(l.batch_successor(&[351])[0], None);
+        // Before the beginning.
+        assert_eq!(l.batch_successor(&[0])[0], Some((10, 1)));
+    }
+
+    #[test]
+    fn range_spans_partitions() {
+        let mut l = RangePartitionedList::new(4, 0, 400, 3);
+        let pairs: Vec<(i64, u64)> = (0..40).map(|i| (i * 10, i as u64)).collect();
+        l.batch_upsert(&pairs);
+        let items = l.range(95, 305);
+        assert_eq!(
+            items.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            (10..=30).map(|i| i * 10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn delete_and_len() {
+        let mut l = RangePartitionedList::new(4, 0, 100, 4);
+        l.batch_upsert(&[(1, 1), (50, 2), (99, 3)]);
+        assert_eq!(l.batch_delete(&[50, 60]), vec![true, false]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn skewed_batch_serialises_on_one_module() {
+        let p = 16;
+        let mut l = RangePartitionedList::new(p, 0, 16_000, 5);
+        let pairs: Vec<(i64, u64)> = (0..1600).map(|i| (i * 10, i as u64)).collect();
+        l.batch_upsert(&pairs);
+
+        let m0 = l.metrics();
+        // All gets confined to partition 0's range.
+        let keys: Vec<i64> = (0..512).map(|i| i % 1000).collect();
+        l.batch_get(&keys);
+        let d = l.metrics() - m0;
+        // h == batch size: one module received everything.
+        assert!(
+            d.io_time >= keys.len() as u64,
+            "expected serialised IO, got {}",
+            d.io_time
+        );
+        let io_ratio = d.io_time as f64 / (d.total_messages as f64 / f64::from(p));
+        assert!(io_ratio > f64::from(p) * 0.9, "imbalance ratio {io_ratio}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Throughput of the further PIM-model algorithms (`pim-algorithms`):
+//! the striped FIFO queue and the unordered map, vs the ordered skip list
+//! on the same point workload (the price of order).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_algorithms::{PimHashMap, PimQueue};
+use pim_core::{Config, PimSkipList};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithms/queue");
+    g.sample_size(20);
+    for p in [8u32, 64] {
+        let mut q = PimQueue::new(p);
+        let batch: Vec<u64> = (0..4096).collect();
+        g.throughput(Throughput::Elements(batch.len() as u64));
+        g.bench_with_input(BenchmarkId::new("enqueue+dequeue", p), &p, |b, _| {
+            b.iter(|| {
+                q.batch_enqueue(&batch);
+                q.batch_dequeue(batch.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_map_vs_skiplist_gets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithms/point-gets");
+    g.sample_size(20);
+    let p = 32u32;
+    let n = 16_000usize;
+    let pairs: Vec<(i64, u64)> = (0..n as i64).map(|i| (i * 7, i as u64)).collect();
+    let keys: Vec<i64> = pairs.iter().map(|&(k, _)| k).step_by(4).take(800).collect();
+
+    let mut map = PimHashMap::new(p, 3);
+    map.batch_upsert(&pairs);
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("unordered-map", |b| {
+        b.iter(|| map.batch_get(&keys));
+    });
+
+    let mut list = PimSkipList::new(Config::new(p, n as u64, 3));
+    list.load(&pairs);
+    g.bench_function("skip-list", |b| {
+        b.iter(|| list.batch_get(&keys));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_map_vs_skiplist_gets);
+criterion_main!(benches);

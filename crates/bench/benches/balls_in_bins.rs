@@ -1,0 +1,33 @@
+//! LEM21/LEM22: balls-in-bins games underpinning every PIM-balance proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_runtime::balls;
+
+fn bench_lemma21(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balls/lemma21");
+    for p in [64usize, 1024] {
+        let t = 16 * p as u64 * u64::from(pim_runtime::ceil_log2(p as u64));
+        g.throughput(Throughput::Elements(t));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| balls::lemma21_trial(t, p, 42));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lemma22(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balls/lemma22");
+    for p in [64usize, 1024] {
+        let weights: Vec<u64> = (0..50_000u64).map(|i| 1 + (i % 37)).collect();
+        let capped = balls::cap_weights(&weights, p);
+        g.throughput(Throughput::Elements(capped.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| balls::lemma22_trial(&capped, p, 43));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lemma21, bench_lemma22);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! CMP-RANGEPART / CMP-FINEGRAIN: the three structures under uniform,
+//! Zipf-skewed and single-range adversarial batches (§2.2/§3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_baseline::{FineGrainedSkipList, RangePartitionedList};
+use pim_core::{Config, PimSkipList};
+use pim_workloads::{single_range_flood, PointGen};
+
+fn bench(c: &mut Criterion) {
+    let p = 32u32;
+    let n = 16_000usize;
+    let seed = 60;
+    let mut gen = PointGen::new(seed, 0, n as i64 * 16);
+    let keys = gen.distinct_uniform(n);
+    let pairs: Vec<(i64, u64)> = keys.iter().map(|&k| (k, k as u64)).collect();
+    let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+    let batch = p as usize * lg * lg;
+
+    let uniform = gen.from_existing(&keys, batch);
+    let hot: Vec<i64> = keys.iter().copied().step_by(16).collect();
+    let zipf = gen.zipf_over(&hot, 0.99, batch);
+    let domain_hi = n as i64 * 16;
+    let flood = single_range_flood(seed ^ 1, 0, domain_hi / p as i64 - 1, batch);
+
+    let mut ours = PimSkipList::new(Config::new(p, n as u64, seed));
+    ours.load(&pairs);
+    let mut rp = RangePartitionedList::new(p, 0, domain_hi, seed);
+    rp.batch_upsert(&pairs);
+    let mut fine = FineGrainedSkipList::new(p, n as u64, seed);
+    fine.batch_upsert(&pairs);
+
+    let mut g = c.benchmark_group("showdown/get");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(batch as u64));
+    for (name, w) in [
+        ("uniform", &uniform),
+        ("zipf", &zipf),
+        ("one-range", &flood),
+    ] {
+        g.bench_with_input(BenchmarkId::new("pim-balanced", name), &(), |b, _| {
+            b.iter(|| ours.batch_get(w));
+        });
+        g.bench_with_input(BenchmarkId::new("range-part", name), &(), |b, _| {
+            b.iter(|| rp.batch_get(w));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("showdown/successor");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(batch as u64));
+    for (name, w) in [("uniform", &uniform), ("one-range", &flood)] {
+        g.bench_with_input(BenchmarkId::new("pim-balanced", name), &(), |b, _| {
+            b.iter(|| ours.batch_successor(w));
+        });
+        g.bench_with_input(BenchmarkId::new("fine-grained", name), &(), |b, _| {
+            b.iter(|| fine.batch_successor(w));
+        });
+        g.bench_with_input(BenchmarkId::new("range-part", name), &(), |b, _| {
+            b.iter(|| rp.batch_successor(w));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

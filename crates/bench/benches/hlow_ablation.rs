@@ -1,0 +1,34 @@
+//! ABL-HLOW: the replication-height trade-off of §3.1 in wall clock —
+//! batched Successor as `h_low` sweeps from full replication (0) to
+//! near-fine-grained (`2 log P`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_core::{Config, PimSkipList};
+use pim_workloads::PointGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/h_low");
+    g.sample_size(10);
+    let p = 16u32;
+    let n = 8_000usize;
+    let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+    let batch = p as usize * lg * lg;
+    for h_low in [0u8, 2, 4, 6, 8] {
+        let cfg = Config::new(p, n as u64, 70).with_h_low(h_low);
+        let mut list = PimSkipList::new(cfg);
+        let mut gen = PointGen::new(71, 0, n as i64 * 16);
+        let keys = gen.distinct_uniform(n);
+        let pairs: Vec<(i64, u64)> = keys.iter().map(|&k| (k, k as u64)).collect();
+        list.load(&pairs);
+        let queries = gen.from_existing(&keys, batch);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(h_low), &h_low, |b, _| {
+            b.iter(|| list.batch_successor(&queries));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

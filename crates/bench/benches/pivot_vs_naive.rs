@@ -1,0 +1,41 @@
+//! FIG3: the pivot divide-and-conquer vs the naïve batch search under the
+//! same-successor adversary (§4.2). The model-metric gap is reported by
+//! `experiments adversarial`; this measures the corresponding wall-clock
+//! gap on the simulator (the naïve version burns rounds on serialised
+//! `h`-relations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_core::{Config, PimSkipList};
+use pim_workloads::same_successor_flood;
+
+fn setup(p: u32, seed: u64) -> PimSkipList {
+    let mut list = PimSkipList::new(Config::new(p, 1 << 14, seed));
+    let pairs: Vec<(i64, u64)> = (0..64).map(|i| (i * 10_000_000, i as u64)).collect();
+    list.batch_upsert(&pairs);
+    list
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/same-successor");
+    g.sample_size(10);
+    for p in [8u32, 32] {
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = p as usize * lg * lg;
+        let queries = same_successor_flood(5, 10_000_001, 19_999_999, batch);
+        g.throughput(Throughput::Elements(batch as u64));
+
+        let mut naive = setup(p, 1);
+        g.bench_with_input(BenchmarkId::new("naive", p), &p, |b, _| {
+            b.iter(|| naive.batch_successor_naive(&queries));
+        });
+        let mut pivot = setup(p, 1);
+        g.bench_with_input(BenchmarkId::new("pivot", p), &p, |b, _| {
+            b.iter(|| pivot.batch_successor(&queries));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

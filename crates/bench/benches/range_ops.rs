@@ -1,0 +1,72 @@
+//! THM51/THM52: range operations — broadcast flavour across `K`, tree
+//! flavour across `κ`, plus the small-range regime where the tree flavour
+//! should win (the crossover motivating §5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_bench::build_loaded_list;
+use pim_core::RangeFunc;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm51/broadcast");
+    g.sample_size(10);
+    let p = 32u32;
+    let n = 32_000;
+    let (mut list, keys) = build_loaded_list(p, n, 50);
+    for k in [256usize, 2048, 16_000] {
+        let start = (keys.len() - k) / 2;
+        let (lo, hi) = (keys[start], keys[start + k - 1]);
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(BenchmarkId::new("read", k), &k, |b, _| {
+            b.iter(|| list.range_broadcast(lo, hi, RangeFunc::Read));
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm52/tree");
+    g.sample_size(10);
+    let p = 32u32;
+    let n = 32_000;
+    let (mut list, keys) = build_loaded_list(p, n, 51);
+    let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+    let batch = p as usize * lg * lg;
+    for per in [2usize, 8, 32] {
+        let ranges: Vec<(i64, i64)> = (0..batch)
+            .map(|i| {
+                let s = (i * 197) % (keys.len() - per);
+                (keys[s], keys[s + per - 1])
+            })
+            .collect();
+        g.throughput(Throughput::Elements((batch * per) as u64));
+        g.bench_with_input(BenchmarkId::new("read-kappa", batch * per), &per, |b, _| {
+            b.iter(|| list.batch_range(&ranges, RangeFunc::Read));
+        });
+    }
+    g.finish();
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    // §5.2's motivation: "broadcasting is wasteful for small ranges".
+    // Compare both flavours on a single small range vs a single huge one.
+    let mut g = c.benchmark_group("range/crossover");
+    g.sample_size(10);
+    let p = 32u32;
+    let n = 32_000;
+    let (mut list, keys) = build_loaded_list(p, n, 52);
+    for k in [16usize, 16_000] {
+        let start = (keys.len() - k) / 2;
+        let (lo, hi) = (keys[start], keys[start + k - 1]);
+        g.bench_with_input(BenchmarkId::new("broadcast", k), &k, |b, _| {
+            b.iter(|| list.range_broadcast(lo, hi, RangeFunc::Count));
+        });
+        g.bench_with_input(BenchmarkId::new("tree", k), &k, |b, _| {
+            b.iter(|| list.batch_range(&[(lo, hi)], RangeFunc::Count));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_tree, bench_crossover);
+criterion_main!(benches);

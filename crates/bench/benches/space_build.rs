@@ -1,0 +1,32 @@
+//! THM31 companion: construction throughput and the per-module space the
+//! built structure settles at (the space numbers themselves are printed by
+//! `experiments space`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_core::{Config, PimSkipList};
+use pim_workloads::PointGen;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm31/build");
+    g.sample_size(10);
+    for p in [8u32, 64] {
+        let n = 8_000usize;
+        let mut gen = PointGen::new(80, 0, n as i64 * 16);
+        let keys = gen.distinct_uniform(n);
+        let pairs: Vec<(i64, u64)> = keys.iter().map(|&k| (k, k as u64)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("load", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut list = PimSkipList::new(Config::new(p, n as u64, 81));
+                list.load(&pairs);
+                assert_eq!(list.len(), n as u64);
+                list.space_per_module().into_iter().max()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

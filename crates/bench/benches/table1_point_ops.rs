@@ -1,0 +1,58 @@
+//! T1-GET row of Table 1: batched Get/Update wall-clock across `P`.
+//!
+//! Complements `experiments table1`, which reports the model metrics; the
+//! wall clock here tracks the simulator's real execution of the same
+//! batches (batch size `P log P`, resident keys, plus the duplicate-flood
+//! adversary that the semisort dedup must absorb).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_bench::build_loaded_list;
+use pim_workloads::{duplicate_flood, PointGen};
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/get");
+    g.sample_size(20);
+    for p in [8u32, 32, 128] {
+        let n = 16_000;
+        let (mut list, keys) = build_loaded_list(p, n, 42);
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = p as usize * lg;
+        let mut gen = PointGen::new(7, 0, n as i64 * 64);
+        let queries = gen.from_existing(&keys, batch);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("uniform", p), &p, |b, _| {
+            b.iter(|| list.batch_get(&queries));
+        });
+        let flood = duplicate_flood(keys[0], batch);
+        g.bench_with_input(BenchmarkId::new("dup-flood", p), &p, |b, _| {
+            b.iter(|| list.batch_get(&flood));
+        });
+    }
+    g.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/update");
+    g.sample_size(20);
+    for p in [8u32, 32, 128] {
+        let n = 16_000;
+        let (mut list, keys) = build_loaded_list(p, n, 43);
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = p as usize * lg;
+        let mut gen = PointGen::new(8, 0, n as i64 * 64);
+        let pairs: Vec<(i64, u64)> = gen
+            .from_existing(&keys, batch)
+            .into_iter()
+            .map(|k| (k, 1))
+            .collect();
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("uniform", p), &p, |b, _| {
+            b.iter(|| list.batch_update(&pairs));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_get, bench_update);
+criterion_main!(benches);

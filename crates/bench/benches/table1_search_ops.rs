@@ -1,0 +1,69 @@
+//! T1-SUCC row of Table 1: batched Successor/Predecessor across `P` and
+//! `n` (bounds `O(log³P)` IO / `O(log²P·log n)` PIM are `n`-independent in
+//! IO — the `n` sweep checks that).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_bench::build_loaded_list;
+use pim_workloads::PointGen;
+
+fn bench_successor_p_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/successor-p");
+    g.sample_size(10);
+    for p in [8u32, 32, 128] {
+        let n = 16_000;
+        let (mut list, _) = build_loaded_list(p, n, 44);
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = p as usize * lg * lg;
+        let mut gen = PointGen::new(9, 0, n as i64 * 64);
+        let queries = gen.uniform(batch);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("uniform", p), &p, |b, _| {
+            b.iter(|| list.batch_successor(&queries));
+        });
+    }
+    g.finish();
+}
+
+fn bench_successor_n_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/successor-n");
+    g.sample_size(10);
+    let p = 32u32;
+    for n in [4_000usize, 16_000, 64_000] {
+        let (mut list, _) = build_loaded_list(p, n, 45);
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = p as usize * lg * lg;
+        let mut gen = PointGen::new(10, 0, n as i64 * 64);
+        let queries = gen.uniform(batch);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, _| {
+            b.iter(|| list.batch_successor(&queries));
+        });
+    }
+    g.finish();
+}
+
+fn bench_predecessor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/predecessor");
+    g.sample_size(10);
+    let p = 32u32;
+    let n = 16_000;
+    let (mut list, _) = build_loaded_list(p, n, 46);
+    let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+    let batch = p as usize * lg * lg;
+    let mut gen = PointGen::new(11, 0, n as i64 * 64);
+    let queries = gen.uniform(batch);
+    g.throughput(Throughput::Elements(batch as u64));
+    g.bench_function("uniform", |b| {
+        b.iter(|| list.batch_predecessor(&queries));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_successor_p_sweep,
+    bench_successor_n_sweep,
+    bench_predecessor
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! T1-UPS / T1-DEL rows of Table 1: batched Upsert and Delete.
+//!
+//! Upsert benches insert fresh keys each iteration (the structure grows
+//! slowly across samples — the trend across `P` is what matters). Delete
+//! benches delete-and-reinsert so the structure size is stationary.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_bench::build_loaded_list;
+
+fn bench_upsert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/upsert");
+    g.sample_size(10);
+    for p in [8u32, 32, 128] {
+        let n = 16_000;
+        let (mut list, _) = build_loaded_list(p, n, 47);
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = p as usize * lg * lg;
+        let counter = Cell::new(0i64);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("fresh-keys", p), &p, |b, _| {
+            b.iter(|| {
+                let base = 2_000_000 + counter.get() * batch as i64;
+                counter.set(counter.get() + 1);
+                let pairs: Vec<(i64, u64)> =
+                    (0..batch as i64).map(|i| (base + i, i as u64)).collect();
+                list.batch_upsert(&pairs)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/delete");
+    g.sample_size(10);
+    for p in [8u32, 32, 128] {
+        let n = 16_000;
+        let (mut list, keys) = build_loaded_list(p, n, 48);
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = (p as usize * lg * lg).min(keys.len() / 2);
+        let victims: Vec<i64> = keys.iter().copied().step_by(2).take(batch).collect();
+        let pairs: Vec<(i64, u64)> = victims.iter().map(|&k| (k, k as u64)).collect();
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("delete+reinsert", p), &p, |b, _| {
+            b.iter(|| {
+                list.batch_delete(&victims);
+                list.batch_upsert(&pairs)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_delete_contiguous(c: &mut Criterion) {
+    // The contiguous-run adversary: one long marked run through the list
+    // contraction (§4.4's hard case).
+    let mut g = c.benchmark_group("table1/delete-contiguous");
+    g.sample_size(10);
+    let p = 32u32;
+    let mut list = pim_core::PimSkipList::new(pim_core::Config::new(p, 1 << 15, 49));
+    let pairs: Vec<(i64, u64)> = (0..16_000).map(|i| (i, i as u64)).collect();
+    list.load(&pairs);
+    let run: Vec<i64> = (4_000..8_000).collect();
+    let reinsert: Vec<(i64, u64)> = run.iter().map(|&k| (k, k as u64)).collect();
+    g.throughput(Throughput::Elements(run.len() as u64));
+    g.bench_function("run-4000", |b| {
+        b.iter(|| {
+            list.batch_delete(&run);
+            list.batch_upsert(&reinsert)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_upsert, bench_delete, bench_delete_contiguous);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Regenerate the paper's tables and figures from the simulator.
+//!
+//! ```text
+//! cargo run --release -p pim-bench --bin experiments -- <which> [--quick]
+//!
+//! which ∈ { table1, space, balls, contention, adversarial, range,
+//!           baselines, ablation, all }
+//! ```
+//!
+//! Every table prints *model metrics* (IO time, PIM time, CPU work/depth,
+//! rounds, shared-memory peak) as defined in §2.1, measured on the real
+//! algorithms running on the simulated machine.
+
+use pim_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = 0x5EED_2021;
+
+    let (ps, n, big_n): (&[u32], usize, usize) = if quick {
+        (&[8, 16, 32], 4_000, 8_000)
+    } else {
+        (&[8, 16, 32, 64, 128], 16_000, 65_536)
+    };
+
+    let run_table1 = || exp::print_table1(ps, n, seed);
+    let run_space = || {
+        let ns: Vec<usize> = if quick {
+            vec![2_000, 8_000]
+        } else {
+            vec![4_000, 16_000, big_n]
+        };
+        exp::space_experiment(ps, &ns, seed);
+    };
+    let run_balls = || exp::balls_experiment(&[64, 256, 1024], seed);
+    let run_contention = || exp::print_contention(ps, seed);
+    let run_adversarial = || exp::print_adversarial(ps, seed);
+    let run_range = || exp::print_ranges(if quick { 16 } else { 32 }, n, seed);
+    let run_baselines = || exp::print_baselines(if quick { 16 } else { 32 }, n, seed);
+    let run_ablation = || exp::print_ablation(16, n, seed);
+    let run_hprofile = || exp::print_hprofile(if quick { 16 } else { 32 }, seed);
+    let run_paths = || exp::print_path_split(seed);
+
+    match which {
+        "table1" => run_table1(),
+        "space" => run_space(),
+        "balls" => run_balls(),
+        "contention" => run_contention(),
+        "adversarial" => run_adversarial(),
+        "range" => run_range(),
+        "baselines" => run_baselines(),
+        "ablation" => run_ablation(),
+        "hprofile" => run_hprofile(),
+        "paths" => run_paths(),
+        "all" => {
+            run_table1();
+            println!();
+            run_space();
+            println!();
+            run_balls();
+            println!();
+            run_contention();
+            println!();
+            run_adversarial();
+            println!();
+            run_range();
+            println!();
+            run_baselines();
+            println!();
+            run_ablation();
+            println!();
+            run_hprofile();
+            println!();
+            run_paths();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths all");
+            std::process::exit(2);
+        }
+    }
+}

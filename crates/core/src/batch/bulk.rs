@@ -1,0 +1,188 @@
+//! Bulk construction from sorted input.
+//!
+//! The model's algorithm-design section (§2.1) stipulates that "the input
+//! starts evenly divided among the PIM modules"; building the initial
+//! structure therefore should not pay per-key search costs. [`bulk_load`]
+//! constructs the skip list from a sorted key sequence with **no searches
+//! at all**: towers are allocated exactly as in batched Upsert, but the
+//! horizontal pointers are degenerate Algorithm-1 segments — at every
+//! level the new nodes form one run whose predecessor is the −∞ sentinel
+//! and whose successor is null — so the CPU can emit every link directly.
+//!
+//! [`bulk_load`]: crate::PimSkipList::bulk_load
+
+use pim_runtime::Handle;
+
+use crate::config::{Key, Value, POS_INF};
+use crate::list::PimSkipList;
+use crate::tasks::Task;
+
+impl PimSkipList {
+    /// Build the whole structure from a strictly ascending pair sequence.
+    /// Panics if the structure is non-empty or the input unsorted.
+    ///
+    /// Compared to [`PimSkipList::load`] (repeated batched upserts), this
+    /// skips the batched-Predecessor stage entirely: `O(1)` messages per
+    /// node instead of `O(log P)`, and `O(1)` rounds per level instead of
+    /// `O(log P)` per batch.
+    pub fn bulk_load(&mut self, pairs: &[(Key, Value)]) {
+        assert!(self.is_empty(), "bulk_load requires an empty structure");
+        assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires strictly ascending keys"
+        );
+        if pairs.is_empty() {
+            return;
+        }
+        let staged = pairs.len() as u64 * 2;
+        self.sys.shared_mem().alloc(staged);
+
+        // Heights + allocation + vertical wiring (shared with Upsert).
+        let tops: Vec<u8> = (0..pairs.len())
+            .map(|_| self.rng.skiplist_height(self.cfg.max_level - 1))
+            .collect();
+        let tower = self.allocate_towers(pairs, &tops);
+
+        // Horizontal links, level by level: the nodes at each level in key
+        // order form a single chain headed by the −∞ sentinel of that
+        // level (replicated slot = level by construction).
+        let max_top = tops.iter().copied().max().unwrap_or(0);
+        for level in 0..=max_top {
+            let at_level: Vec<usize> = (0..pairs.len()).filter(|&j| tops[j] >= level).collect();
+            if at_level.is_empty() {
+                continue;
+            }
+            let inf = Handle::replicated(u32::from(level));
+            // −∞ → first.
+            let first = tower[at_level[0]][level as usize];
+            self.send_write(
+                inf,
+                Task::WriteRight {
+                    node: inf,
+                    to: first,
+                    to_key: pairs[at_level[0]].0,
+                },
+            );
+            self.send_write(
+                first,
+                Task::WriteLeft {
+                    node: first,
+                    to: inf,
+                },
+            );
+            // node_j → node_{j+1}.
+            for w in at_level.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let (ha, hb) = (tower[a][level as usize], tower[b][level as usize]);
+                self.send_write(
+                    ha,
+                    Task::WriteRight {
+                        node: ha,
+                        to: hb,
+                        to_key: pairs[b].0,
+                    },
+                );
+                self.send_write(hb, Task::WriteLeft { node: hb, to: ha });
+            }
+            // last → null.
+            let last = tower[*at_level.last().expect("non-empty")][level as usize];
+            self.send_write(
+                last,
+                Task::WriteRight {
+                    node: last,
+                    to: Handle::NULL,
+                    to_key: POS_INF,
+                },
+            );
+            self.sys.metrics_mut().charge_cpu(at_level.len() as u64, 1);
+        }
+        self.sys.run_to_quiescence();
+
+        // next_leaf shortcuts of the new upper leaves.
+        self.fix_new_next_leaves(&tower, &tops);
+
+        self.len = pairs.len() as u64;
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::Config;
+    use crate::list::PimSkipList;
+
+    #[test]
+    fn bulk_load_builds_valid_structure() {
+        let mut list = PimSkipList::new(Config::new(8, 1 << 12, 5));
+        let pairs: Vec<(i64, u64)> = (0..2000).map(|i| (i * 3, i as u64)).collect();
+        list.bulk_load(&pairs);
+        assert_eq!(list.len(), 2000);
+        list.validate().unwrap();
+        assert_eq!(list.collect_items(), pairs);
+    }
+
+    #[test]
+    fn bulk_load_then_mutate() {
+        let mut list = PimSkipList::new(Config::new(4, 1 << 10, 6));
+        let pairs: Vec<(i64, u64)> = (0..500).map(|i| (i * 2, i as u64)).collect();
+        list.bulk_load(&pairs);
+        // Interleave new odd keys, delete some evens.
+        let odds: Vec<(i64, u64)> = (0..100).map(|i| (i * 2 + 1, 7)).collect();
+        list.batch_upsert(&odds);
+        let res = list.batch_delete(&[0, 2, 4]);
+        assert_eq!(res, vec![true, true, true]);
+        list.validate().unwrap();
+        assert_eq!(list.len(), 500 + 100 - 3);
+        assert_eq!(list.batch_get(&[1, 3, 0]), vec![Some(7), Some(7), None]);
+    }
+
+    #[test]
+    fn bulk_load_is_cheaper_than_upsert_loading() {
+        let pairs: Vec<(i64, u64)> = (0..4000).map(|i| (i, i as u64)).collect();
+        let mut bulk = PimSkipList::new(Config::new(16, 1 << 12, 7));
+        bulk.bulk_load(&pairs);
+        let bulk_io = bulk.metrics().io_time;
+
+        let mut incr = PimSkipList::new(Config::new(16, 1 << 12, 7));
+        incr.load(&pairs);
+        let incr_io = incr.metrics().io_time;
+
+        assert_eq!(bulk.collect_items(), incr.collect_items());
+        assert!(
+            (bulk_io as f64) < incr_io as f64 * 0.8,
+            "bulk load should save IO: {bulk_io} vs {incr_io}"
+        );
+    }
+
+    #[test]
+    fn bulk_load_empty_is_noop() {
+        let mut list = PimSkipList::new(Config::new(4, 64, 8));
+        list.bulk_load(&[]);
+        assert!(list.is_empty());
+        list.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an empty structure")]
+    fn bulk_load_rejects_nonempty() {
+        let mut list = PimSkipList::new(Config::new(4, 64, 9));
+        list.upsert(1, 1);
+        list.bulk_load(&[(2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bulk_load_rejects_unsorted() {
+        let mut list = PimSkipList::new(Config::new(4, 64, 10));
+        list.bulk_load(&[(2, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn bulk_load_single_pair() {
+        let mut list = PimSkipList::new(Config::new(4, 64, 11));
+        list.bulk_load(&[(42, 420)]);
+        assert_eq!(list.get(42), Some(420));
+        list.validate().unwrap();
+    }
+}

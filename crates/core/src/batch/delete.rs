@@ -1,0 +1,234 @@
+//! Batched Delete (§4.4).
+//!
+//! Deletion shortcuts to the leaf through the per-module hash index (an
+//! `O(log P)` speedup over Insert-in-reverse, as the paper notes), marks
+//! the leaf and its up-chain, and then faces the real problem: up to
+//! `P log² P` *consecutive* nodes may need to leave one horizontal list.
+//! Independent parallel splices would race on shared neighbours, so the
+//! marked nodes (plus one unmarked boundary node on each side) are copied
+//! into CPU shared memory, spliced there with parallel randomized **list
+//! contraction** [9, 28], and the surviving boundary links are written
+//! back with two `RemoteWrite`s per run.
+//!
+//! Upper-part (replicated) nodes never enter the contraction: their whole
+//! neighbourhood is replicated, so a single `UnlinkUpper` broadcast lets
+//! every module splice its own copies locally, in identical order.
+
+use std::collections::HashMap;
+
+use pim_primitives::list_contraction::{contract, LinkedLists, NONE};
+use pim_primitives::semisort::dedup_by_key;
+use pim_runtime::Handle;
+
+use crate::config::{Key, POS_INF};
+use crate::list::PimSkipList;
+use crate::tasks::{Reply, Task};
+
+/// A marked node's snapshot, as reported by the modules.
+#[derive(Debug, Clone, Copy)]
+struct MarkedRec {
+    node: Handle,
+    left: Handle,
+    right: Handle,
+    right_key: Key,
+}
+
+impl PimSkipList {
+    /// Batched Delete: removes each key, returning per-key whether it was
+    /// present. Duplicates within the batch are deduplicated.
+    pub fn batch_delete(&mut self, keys: &[Key]) -> Vec<bool> {
+        let staged = keys.len() as u64 * 2;
+        self.sys.shared_mem().alloc(staged);
+        let (uniq, cost) = dedup_by_key(keys.to_vec(), self.cfg.seed ^ 0xDD, |&k| k as u64);
+        cost.charge(self.sys.metrics_mut());
+
+        // ---- Stage 1: mark leaves + towers via the hash shortcut ----
+        for (op, &key) in uniq.iter().enumerate() {
+            let m = self.module_of(key, 0);
+            self.sys.send(m, Task::DeleteKey { op: op as u32, key });
+        }
+        let replies = self.sys.run_to_quiescence();
+
+        let mut found = vec![false; uniq.len()];
+        let mut marked_by_level: HashMap<u8, Vec<MarkedRec>> = HashMap::new();
+        let mut upper_slots: Vec<u32> = Vec::new();
+        let mut marked_words = 0u64;
+        for r in replies {
+            match r {
+                Reply::Marked {
+                    op,
+                    node,
+                    level,
+                    key: _,
+                    left,
+                    right,
+                    right_key,
+                    upper_slots: ups,
+                    value: _,
+                } => {
+                    if level == 0 {
+                        found[op as usize] = true;
+                    }
+                    upper_slots.extend(ups);
+                    if !node.is_replicated() {
+                        marked_by_level.entry(level).or_default().push(MarkedRec {
+                            node,
+                            left,
+                            right,
+                            right_key,
+                        });
+                        marked_words += 4;
+                    }
+                }
+                Reply::DeleteMissing { op } => {
+                    found[op as usize] = false;
+                }
+                other => unreachable!("unexpected reply in batch_delete: {other:?}"),
+            }
+        }
+        self.sys.shared_mem().alloc(marked_words);
+
+        // ---- Stage 2: CPU-side list contraction per level, then splice ----
+        let mut levels: Vec<u8> = marked_by_level.keys().copied().collect();
+        levels.sort_unstable();
+        for level in levels {
+            let records = &marked_by_level[&level];
+            self.splice_level(records);
+        }
+
+        // ---- Free marked lower nodes; unlink upper replicas ----
+        for records in marked_by_level.values() {
+            for rec in records {
+                self.sys
+                    .send(rec.node.module(), Task::FreeNode { node: rec.node });
+            }
+        }
+        if !upper_slots.is_empty() {
+            let slots = upper_slots.clone();
+            self.sys.broadcast(move |_| Task::UnlinkUpper {
+                slots: slots.clone(),
+            });
+            for &s in &upper_slots {
+                self.shadow.free(s);
+            }
+        }
+        self.sys.run_to_quiescence();
+
+        self.len -= found.iter().filter(|&&f| f).count() as u64;
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged + marked_words);
+
+        // ---- Map back to input order ----
+        let by_key: HashMap<Key, bool> = uniq.iter().zip(&found).map(|(&k, &f)| (k, f)).collect();
+        keys.iter().map(|k| by_key[k]).collect()
+    }
+
+    /// Contract one level's marked nodes in shared memory and write the
+    /// surviving boundary links back.
+    fn splice_level(&mut self, records: &[MarkedRec]) {
+        // Local mirror: marked nodes + boundary nodes.
+        let mut idx_of: HashMap<u64, usize> = HashMap::new();
+        let mut handles: Vec<Handle> = Vec::new();
+        let mut key_of: Vec<Key> = Vec::new(); // POS_INF when unknown
+        let intern = |h: Handle,
+                      idx_of: &mut HashMap<u64, usize>,
+                      handles: &mut Vec<Handle>,
+                      key_of: &mut Vec<Key>|
+         -> usize {
+            *idx_of.entry(h.to_bits()).or_insert_with(|| {
+                handles.push(h);
+                key_of.push(POS_INF);
+                handles.len() - 1
+            })
+        };
+
+        // First pass: intern all marked nodes.
+        for rec in records {
+            intern(rec.node, &mut idx_of, &mut handles, &mut key_of);
+        }
+        let marked_count = handles.len();
+
+        // Second pass: links + boundary nodes.
+        let mut lists = LinkedLists {
+            prev: vec![NONE; marked_count],
+            next: vec![NONE; marked_count],
+        };
+        let mut boundary_left: Vec<usize> = Vec::new();
+        let mut boundary_right: Vec<usize> = Vec::new();
+        for rec in records {
+            let me = idx_of[&rec.node.to_bits()];
+            // Left neighbour.
+            debug_assert!(rec.left.is_some(), "every level has a −∞ sentinel");
+            let lbits = rec.left.to_bits();
+            let l = match idx_of.get(&lbits) {
+                Some(&i) if i < marked_count => i,
+                _ => {
+                    let i = intern(rec.left, &mut idx_of, &mut handles, &mut key_of);
+                    if i >= lists.prev.len() {
+                        lists.prev.resize(i + 1, NONE);
+                        lists.next.resize(i + 1, NONE);
+                    }
+                    boundary_left.push(i);
+                    i
+                }
+            };
+            lists.prev[me] = l;
+            lists.next[l] = me;
+            // Right neighbour (may be the end of the list).
+            if rec.right.is_some() {
+                let rbits = rec.right.to_bits();
+                let r = match idx_of.get(&rbits) {
+                    Some(&i) if i < marked_count => i,
+                    _ => {
+                        let i = intern(rec.right, &mut idx_of, &mut handles, &mut key_of);
+                        if i >= lists.prev.len() {
+                            lists.prev.resize(i + 1, NONE);
+                            lists.next.resize(i + 1, NONE);
+                        }
+                        key_of[i] = rec.right_key;
+                        boundary_right.push(i);
+                        i
+                    }
+                };
+                key_of[r] = rec.right_key;
+                lists.next[me] = r;
+                lists.prev[r] = me;
+            } else {
+                lists.next[me] = NONE;
+            }
+        }
+
+        let n = handles.len();
+        let removed: Vec<bool> = (0..n).map(|i| i < marked_count).collect();
+        contract(&mut lists, &removed, &mut self.rng).charge(self.sys.metrics_mut());
+
+        // Write back the boundary links.
+        for &l in &boundary_left {
+            let r = lists.next[l];
+            let (to, to_key) = if r == NONE {
+                (Handle::NULL, POS_INF)
+            } else {
+                (handles[r], key_of[r])
+            };
+            self.send_write(
+                handles[l],
+                Task::WriteRight {
+                    node: handles[l],
+                    to,
+                    to_key,
+                },
+            );
+        }
+        for &r in &boundary_right {
+            let l = lists.prev[r];
+            debug_assert!(l != NONE, "right boundary lost its left link");
+            self.send_write(
+                handles[r],
+                Task::WriteLeft {
+                    node: handles[r],
+                    to: handles[l],
+                },
+            );
+        }
+    }
+}

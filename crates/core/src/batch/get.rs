@@ -1,0 +1,128 @@
+//! Batched Get and Update (§4.1).
+//!
+//! Both operations shortcut the skip-list structure entirely: the hash
+//! `(key, 0) → module` locates the module that must own the leaf, and the
+//! module's local de-amortized table resolves it in O(1) whp. A parallel
+//! semisort first removes duplicates — that is the entire defence against
+//! the duplicate-flood adversary, and with distinct keys Lemma 2.1 gives
+//! `O(log P)` IO/PIM time per batch of `P log P`.
+
+use std::collections::HashMap;
+
+use pim_primitives::semisort::dedup_by_key;
+
+use crate::config::{Key, Value};
+use crate::list::PimSkipList;
+use crate::tasks::{Reply, Task};
+
+impl PimSkipList {
+    /// Batched Get: the value of each key, in input order (`None` for
+    /// absent keys, which are ignored structurally as the paper specifies).
+    pub fn batch_get(&mut self, keys: &[Key]) -> Vec<Option<Value>> {
+        let staged = keys.len() as u64 * 2;
+        self.sys.shared_mem().alloc(staged);
+        let (uniq, cost) = dedup_by_key(keys.to_vec(), self.cfg.seed ^ 0xDE, |&k| k as u64);
+        cost.charge(self.sys.metrics_mut());
+
+        for (op, &key) in uniq.iter().enumerate() {
+            let m = self.module_of(key, 0);
+            self.sys.send(m, Task::Get { op: op as u32, key });
+        }
+        let replies = self.sys.run_to_quiescence();
+
+        let mut by_key: HashMap<Key, Option<Value>> = HashMap::with_capacity(uniq.len());
+        for r in replies {
+            match r {
+                Reply::GotValue { op, value } => {
+                    by_key.insert(uniq[op as usize], value);
+                }
+                other => unreachable!("unexpected reply in batch_get: {other:?}"),
+            }
+        }
+        self.sys.metrics_mut().charge_cpu(
+            keys.len() as u64,
+            pim_runtime::ceil_log2(keys.len().max(1) as u64).into(),
+        );
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        keys.iter().map(|k| by_key[k]).collect()
+    }
+
+    /// Batched Update: write each pair's value if the key is resident;
+    /// returns per-pair whether the key was found. Duplicate keys within
+    /// the batch are resolved first-wins (one canonical representative per
+    /// key, as the semisort-dedup of §4.1 prescribes).
+    pub fn batch_update(&mut self, pairs: &[(Key, Value)]) -> Vec<bool> {
+        let staged = pairs.len() as u64 * 2;
+        self.sys.shared_mem().alloc(staged);
+        let (uniq, cost) = dedup_by_key(pairs.to_vec(), self.cfg.seed ^ 0xDF, |&(k, _)| k as u64);
+        cost.charge(self.sys.metrics_mut());
+
+        for (op, &(key, value)) in uniq.iter().enumerate() {
+            let m = self.module_of(key, 0);
+            self.sys.send(
+                m,
+                Task::Update {
+                    op: op as u32,
+                    key,
+                    value,
+                },
+            );
+        }
+        let replies = self.sys.run_to_quiescence();
+
+        let mut by_key: HashMap<Key, bool> = HashMap::with_capacity(uniq.len());
+        for r in replies {
+            match r {
+                Reply::Updated { op, found } => {
+                    by_key.insert(uniq[op as usize].0, found);
+                }
+                other => unreachable!("unexpected reply in batch_update: {other:?}"),
+            }
+        }
+        self.sys.metrics_mut().charge_cpu(
+            pairs.len() as u64,
+            pim_runtime::ceil_log2(pairs.len().max(1) as u64).into(),
+        );
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        pairs.iter().map(|(k, _)| by_key[k]).collect()
+    }
+}
+
+impl PimSkipList {
+    /// Dereference a batch of node handles (e.g. the pointers returned by
+    /// [`PimSkipList::batch_successor`]): one message to each owning
+    /// module, `(key, value)` back — `O(1)` messages and PIM work per
+    /// handle, PIM-balanced whenever the handles are (they were placed by
+    /// the secret hash).
+    /// Handles must be non-null and live (e.g. just returned by a search
+    /// in the same quiescent period); dereferencing a stale or null handle
+    /// panics, as any wild `RemoteRead` on the machine would.
+    pub fn batch_read(&mut self, handles: &[pim_runtime::Handle]) -> Vec<(Key, Value)> {
+        for (op, &h) in handles.iter().enumerate() {
+            assert!(h.is_some(), "batch_read: null handle at position {op}");
+            let target = if h.is_replicated() {
+                self.random_module()
+            } else {
+                h.module()
+            };
+            self.sys.send(
+                target,
+                Task::ReadNode {
+                    op: op as u32,
+                    node: h,
+                },
+            );
+        }
+        let replies = self.sys.run_to_quiescence();
+        let mut out = vec![(0, 0); handles.len()];
+        for r in replies {
+            match r {
+                Reply::NodeValue { op, key, value } => out[op as usize] = (key, value),
+                other => unreachable!("unexpected reply in batch_read: {other:?}"),
+            }
+        }
+        out
+    }
+}

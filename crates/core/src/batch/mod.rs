@@ -1,0 +1,9 @@
+//! Batch-parallel point operations (§4).
+
+pub mod bulk;
+pub mod delete;
+pub mod get;
+pub mod search;
+pub mod upsert;
+
+pub use upsert::UpsertOutcome;

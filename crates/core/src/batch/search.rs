@@ -1,0 +1,505 @@
+//! Batched Predecessor/Successor — the pivot divide-and-conquer of §4.2.
+//!
+//! A naïve batch of searches serialises under the same-successor adversary:
+//! all `P log² P` search paths converge on one leaf and its ancestors
+//! become contention points. The paper's fix:
+//!
+//! * **Stage 1** — sort the batch, pick every `log P`-th key as a *pivot*
+//!   (plus both extremes), and resolve the pivots by divide and conquer:
+//!   phase 0 runs the two extremes from the root recording their lower-part
+//!   paths; each later phase runs the median of every open segment,
+//!   starting from the **LCA** of the segment endpoints' recorded paths
+//!   (start-node hints). Lemma 4.2: no node is accessed more than 3 times
+//!   per phase.
+//! * **Stage 2** — run all remaining queries with hints from their
+//!   bracketing pivots; contention is `O(log P)` per node (segment width),
+//!   PIM-balanced by Lemma 2.2.
+//!
+//! For insert support ([`SearchMode::PredLevels`]) a hinted search only
+//! descends below its hint; the per-level predecessors *above* the LCA are
+//! stitched from the segment's left endpoint — valid because search paths
+//! that share an LCA coincide above it (the search-path tree of §3.2).
+
+use std::collections::HashMap;
+
+use pim_primitives::accounting::{log2c, CpuCost};
+use pim_primitives::paths::Hint;
+use pim_primitives::sort::par_sort;
+use pim_runtime::Handle;
+
+use crate::config::{Key, NEG_INF};
+use crate::list::PimSkipList;
+use crate::tasks::{Reply, SearchMode, Task};
+
+/// One deduplicated search request (`op` unique, keys ascending).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SearchRequest {
+    /// Caller-chosen unique id.
+    pub op: u32,
+    /// Search key.
+    pub key: Key,
+    /// Report per-level predecessors for levels `1..=top` (0 = point mode).
+    pub top: u8,
+}
+
+/// Terminal (level-0) search report.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DoneRec {
+    pub pred: Handle,
+    pub pred_key: Key,
+    pub succ: Handle,
+    pub succ_key: Key,
+}
+
+/// Per-level predecessor report (insert support).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PredRec {
+    pub level: u8,
+    pub pred: Handle,
+    pub succ: Handle,
+    pub succ_key: Key,
+}
+
+/// Collected results of a pivoted batch search.
+#[derive(Default)]
+pub(crate) struct SearchResults {
+    pub done: HashMap<u32, DoneRec>,
+    pub preds: HashMap<u32, Vec<PredRec>>,
+    /// The start hint each op was executed with (reused by the
+    /// tree-structure range operations as their descent start, §5.2).
+    pub hints: HashMap<u32, Hint>,
+}
+
+impl SearchResults {
+    /// The predecessor record for `op` at `level` (level 0 via `done`).
+    pub fn pred_at(&self, op: u32, level: u8) -> Option<(Handle, Handle, Key)> {
+        if level == 0 {
+            return self.done.get(&op).map(|d| (d.pred, d.succ, d.succ_key));
+        }
+        self.preds
+            .get(&op)?
+            .iter()
+            .find(|p| p.level == level)
+            .map(|p| (p.pred, p.succ, p.succ_key))
+    }
+}
+
+/// Compute the start hint *and* the shared path prefix (up to and including
+/// the LCA) for a key bracketed by the owners of `a` and `b`.
+fn hint_and_prefix(a: &[Handle], b: &[Handle]) -> (Hint, Vec<Handle>, CpuCost) {
+    let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let cost = CpuCost::new(
+        (common as u64).max(1),
+        log2c(a.len().max(b.len()).max(1) as u64),
+    );
+    if common == 0 {
+        (Hint::Root, Vec::new(), cost)
+    } else if common == a.len() && common == b.len() {
+        (Hint::SharedLeaf(a[common - 1]), a.to_vec(), cost)
+    } else {
+        (Hint::Start(a[common - 1]), a[..common].to_vec(), cost)
+    }
+}
+
+/// A wave item: request index, its start hint, and the path prefix to
+/// prepend when reconstructing its full lower-part path.
+struct WaveItem {
+    idx: usize,
+    hint: Hint,
+    prefix: Vec<Handle>,
+    /// Stitch per-level predecessors above the hint from this op.
+    stitch_from: Option<u32>,
+}
+
+impl PimSkipList {
+    /// Run the full pivoted batch search. `reqs` must be ascending in key
+    /// and unique; `pivot_top` forces pivots to record predecessors up to
+    /// this level so later stitching is always possible.
+    pub(crate) fn pivoted_search(&mut self, reqs: &[SearchRequest]) -> SearchResults {
+        let mut results = SearchResults::default();
+        let b = reqs.len();
+        self.last_phase_contention.clear();
+        if b == 0 {
+            return results;
+        }
+        debug_assert!(reqs.windows(2).all(|w| w[0].key < w[1].key));
+        let max_top = reqs.iter().map(|r| r.top).max().unwrap_or(0);
+
+        let mut staged_words = 2 * b as u64;
+        self.sys.shared_mem().alloc(staged_words);
+
+        // Pivot selection: every log P-th element plus the extremes.
+        let step = self.cfg.log_p().max(1) as usize;
+        let mut pivots: Vec<usize> = (0..b).step_by(step).collect();
+        if *pivots.last().expect("non-empty") != b - 1 {
+            pivots.push(b - 1);
+        }
+        let m = pivots.len();
+
+        let mut paths: HashMap<u32, Vec<Handle>> = HashMap::new();
+
+        // ---- Stage 1, phase 0: the extremes, from the root. ----
+        let mut phase0 = vec![WaveItem {
+            idx: pivots[0],
+            hint: Hint::Root,
+            prefix: Vec::new(),
+            stitch_from: None,
+        }];
+        if m > 1 {
+            phase0.push(WaveItem {
+                idx: pivots[m - 1],
+                hint: Hint::Root,
+                prefix: Vec::new(),
+                stitch_from: None,
+            });
+        }
+        staged_words += self.run_wave(&phase0, reqs, Some(max_top), true, &mut results, &mut paths);
+        self.record_phase_contention();
+
+        // ---- Stage 1, phases 1..: medians of open segments. ----
+        let mut segments: Vec<(usize, usize)> = if m > 1 { vec![(0, m - 1)] } else { Vec::new() };
+        while segments.iter().any(|&(l, r)| r - l > 1) {
+            let mut items = Vec::new();
+            let mut next_segments = Vec::new();
+            let mut hint_cost = CpuCost::ZERO;
+            for &(l, r) in &segments {
+                if r - l <= 1 {
+                    continue;
+                }
+                let med = (l + r) / 2;
+                let (op_l, op_r) = (reqs[pivots[l]].op, reqs[pivots[r]].op);
+                let (hint, prefix, cost) = hint_and_prefix(&paths[&op_l], &paths[&op_r]);
+                hint_cost = hint_cost.beside(cost);
+                items.push(WaveItem {
+                    idx: pivots[med],
+                    hint,
+                    prefix,
+                    stitch_from: Some(op_l),
+                });
+                next_segments.push((l, med));
+                next_segments.push((med, r));
+            }
+            hint_cost.charge(self.sys.metrics_mut());
+            staged_words +=
+                self.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths);
+            self.record_phase_contention();
+            segments = next_segments;
+        }
+
+        // ---- Stage 2: everything else, hinted by bracketing pivots. ----
+        let mut items = Vec::new();
+        let mut hint_cost = CpuCost::ZERO;
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        for i in 0..b {
+            if pivot_set.contains(&i) {
+                continue;
+            }
+            let pos = pivots.partition_point(|&p| p < i);
+            debug_assert!(pos > 0 && pos < pivots.len());
+            let (op_l, op_r) = (reqs[pivots[pos - 1]].op, reqs[pivots[pos]].op);
+            let (hint, prefix, cost) = hint_and_prefix(&paths[&op_l], &paths[&op_r]);
+            hint_cost = hint_cost.beside(cost);
+            items.push(WaveItem {
+                idx: i,
+                hint,
+                prefix,
+                stitch_from: Some(op_l),
+            });
+        }
+        hint_cost.charge(self.sys.metrics_mut());
+        staged_words += self.run_wave(&items, reqs, None, false, &mut results, &mut paths);
+        self.record_phase_contention();
+
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged_words);
+        results
+    }
+
+    /// Issue one wave of searches, absorb replies, reconstruct paths, and
+    /// stitch missing per-level predecessors. Returns the staged words
+    /// added (path storage).
+    fn run_wave(
+        &mut self,
+        items: &[WaveItem],
+        reqs: &[SearchRequest],
+        forced_top: Option<u8>,
+        record: bool,
+        results: &mut SearchResults,
+        paths: &mut HashMap<u32, Vec<Handle>>,
+    ) -> u64 {
+        let mut copies: Vec<(u32, u32)> = Vec::new(); // (dst op, src op)
+        for item in items {
+            let req = reqs[item.idx];
+            let top = forced_top.unwrap_or(req.top).min(self.cfg.max_level);
+            results.hints.insert(req.op, item.hint);
+            match item.hint {
+                Hint::SharedLeaf(_) => {
+                    copies.push((req.op, item.stitch_from.expect("shared leaf has a source")));
+                    continue;
+                }
+                Hint::Root => {
+                    let target = self.random_module();
+                    let root = self.root();
+                    if record {
+                        paths.insert(req.op, Vec::new());
+                    }
+                    self.sys.send(
+                        target,
+                        Task::Search {
+                            op: req.op,
+                            key: req.key,
+                            at: root,
+                            mode: mode_for(top),
+                            record_path: record,
+                        },
+                    );
+                }
+                Hint::Start(h) => {
+                    debug_assert!(!h.is_replicated(), "recorded paths hold lower-part nodes");
+                    if record {
+                        paths.insert(req.op, item.prefix.clone());
+                    }
+                    self.sys.send(
+                        h.module(),
+                        Task::Search {
+                            op: req.op,
+                            key: req.key,
+                            at: h,
+                            mode: mode_for(top),
+                            record_path: record,
+                        },
+                    );
+                }
+            }
+        }
+
+        let replies = self.sys.run_to_quiescence();
+        let mut path_words = 0u64;
+        for r in replies {
+            match r {
+                Reply::SearchDone {
+                    op,
+                    pred,
+                    pred_key,
+                    succ,
+                    succ_key,
+                } => {
+                    results.done.insert(
+                        op,
+                        DoneRec {
+                            pred,
+                            pred_key,
+                            succ,
+                            succ_key,
+                        },
+                    );
+                }
+                Reply::PredAt {
+                    op,
+                    level,
+                    pred,
+                    succ,
+                    succ_key,
+                } => {
+                    results.preds.entry(op).or_default().push(PredRec {
+                        level,
+                        pred,
+                        succ,
+                        succ_key,
+                    });
+                }
+                Reply::PathNode { op, node } => {
+                    paths.entry(op).or_default().push(node);
+                    path_words += 1;
+                }
+                other => unreachable!("unexpected reply during search wave: {other:?}"),
+            }
+        }
+
+        // Resolve SharedLeaf copies (results and paths identical to src).
+        for (dst, src) in copies {
+            let d = results.done[&src];
+            results.done.insert(dst, d);
+            if let Some(p) = results.preds.get(&src).cloned() {
+                results.preds.insert(dst, p);
+            }
+            if record {
+                if let Some(p) = paths.get(&src).cloned() {
+                    paths.insert(dst, p);
+                }
+            }
+        }
+
+        // Stitch per-level predecessors above each hint from the source op
+        // (paths coincide above the LCA).
+        for item in items {
+            let Some(src) = item.stitch_from else {
+                continue;
+            };
+            let req = reqs[item.idx];
+            let top = forced_top.unwrap_or(req.top).min(self.cfg.max_level);
+            if top == 0 {
+                continue;
+            }
+            let have: std::collections::HashSet<u8> = results
+                .preds
+                .get(&req.op)
+                .map(|v| v.iter().map(|p| p.level).collect())
+                .unwrap_or_default();
+            let missing: Vec<PredRec> = results
+                .preds
+                .get(&src)
+                .map(|v| {
+                    v.iter()
+                        .filter(|p| p.level <= top && !have.contains(&p.level))
+                        .copied()
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !missing.is_empty() {
+                results.preds.entry(req.op).or_default().extend(missing);
+            }
+        }
+
+        self.sys.shared_mem().alloc(path_words);
+        path_words
+    }
+
+    fn record_phase_contention(&mut self) {
+        if self.cfg.track_contention {
+            let max = self.take_max_contention();
+            self.last_phase_contention.push(max);
+        }
+    }
+
+    /// Batched Successor: for each key, the smallest resident key `≥` it
+    /// (with its handle), or `None` past the end. Duplicates are deduped
+    /// before searching (the adversary countermeasure of §4.1 applied to
+    /// queries), results fanned back out.
+    pub fn batch_successor(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
+        let results = self.point_search_unique(keys);
+        keys.iter()
+            .map(|k| {
+                let d = &results[k];
+                // Null-handle check, not sentinel-key check: a resident
+                // `i64::MAX` key is a legitimate successor.
+                if d.succ.is_null() {
+                    None
+                } else {
+                    Some((d.succ_key, d.succ))
+                }
+            })
+            .collect()
+    }
+
+    /// Batched Predecessor: for each key, the largest resident key `≤` it,
+    /// or `None` before the beginning.
+    pub fn batch_predecessor(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
+        let results = self.point_search_unique(keys);
+        keys.iter()
+            .map(|k| {
+                let d = &results[k];
+                // `succ_key == k` only counts when a successor node exists:
+                // a query at `POS_INF` must not mistake the null-successor
+                // sentinel key for a resident key.
+                if d.succ.is_some() && d.succ_key == *k {
+                    Some((d.succ_key, d.succ))
+                } else if d.pred_key == NEG_INF {
+                    None
+                } else {
+                    Some((d.pred_key, d.pred))
+                }
+            })
+            .collect()
+    }
+
+    /// The §4.2 *strawman*: batched Successor with no pivots and no hints —
+    /// every query starts at the root on a random module simultaneously.
+    ///
+    /// Correct, but **not PIM-balanced**: under the same-successor
+    /// adversary every search path converges on the same lower-part nodes
+    /// and the per-round `h` grows to the batch size (the paper's
+    /// "completely eliminating parallelism"). Kept as a baseline for the
+    /// FIG3 experiment; real callers use [`PimSkipList::batch_successor`].
+    pub fn batch_successor_naive(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
+        let mut uniq: Vec<Key> = keys.to_vec();
+        par_sort(&mut uniq).charge(self.sys.metrics_mut());
+        uniq.dedup();
+        for (op, &key) in uniq.iter().enumerate() {
+            let target = self.random_module();
+            let root = self.root();
+            self.sys.send(
+                target,
+                Task::Search {
+                    op: op as u32,
+                    key,
+                    at: root,
+                    mode: SearchMode::Point,
+                    record_path: false,
+                },
+            );
+        }
+        let replies = self.sys.run_to_quiescence();
+        let mut by_key: HashMap<Key, DoneRec> = HashMap::with_capacity(uniq.len());
+        for r in replies {
+            if let Reply::SearchDone {
+                op,
+                pred,
+                pred_key,
+                succ,
+                succ_key,
+            } = r
+            {
+                by_key.insert(
+                    uniq[op as usize],
+                    DoneRec {
+                        pred,
+                        pred_key,
+                        succ,
+                        succ_key,
+                    },
+                );
+            }
+        }
+        keys.iter()
+            .map(|k| {
+                let d = &by_key[k];
+                if d.succ.is_null() {
+                    None
+                } else {
+                    Some((d.succ_key, d.succ))
+                }
+            })
+            .collect()
+    }
+
+    /// Sort + dedup the keys, run the pivoted search in point mode, and
+    /// return per-key terminal records.
+    fn point_search_unique(&mut self, keys: &[Key]) -> HashMap<Key, DoneRec> {
+        let mut uniq: Vec<Key> = keys.to_vec();
+        par_sort(&mut uniq).charge(self.sys.metrics_mut());
+        uniq.dedup();
+        let reqs: Vec<SearchRequest> = uniq
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| SearchRequest {
+                op: i as u32,
+                key,
+                top: 0,
+            })
+            .collect();
+        let results = self.pivoted_search(&reqs);
+        uniq.iter()
+            .enumerate()
+            .map(|(i, &k)| (k, results.done[&(i as u32)]))
+            .collect()
+    }
+}
+
+fn mode_for(top: u8) -> SearchMode {
+    if top == 0 {
+        SearchMode::Point
+    } else {
+        SearchMode::PredLevels { top }
+    }
+}

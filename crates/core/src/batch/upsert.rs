@@ -1,0 +1,318 @@
+//! Batched Upsert (§4.3).
+//!
+//! Upsert = Update where the key exists, Insert otherwise. The insert
+//! pipeline follows the paper's stages exactly:
+//!
+//! 1. run the batched Update shortcut; survivors form the insert set;
+//! 2. toss tower heights on the CPU side (secret coins);
+//! 3. **allocation round** — lower-part nodes go to `hash(key, level)`
+//!    modules (which also enter them into the local index and local leaf
+//!    list), upper-part nodes are broadcast into the replicated arena at
+//!    CPU-shadow-chosen slots;
+//! 4. **wiring round** — vertical pointers and the leaf's up-chain
+//!    (Insert steps 4–5);
+//! 5. batched Predecessor with per-level reports (§4.2 machinery);
+//! 6. **Algorithm 1** — construct the horizontal pointers, chaining runs
+//!    of new nodes that share a `(pred, succ)` segment (Fig. 4);
+//! 7. recompute `next_leaf` shortcuts of any new upper-part leaves.
+
+use pim_primitives::semisort::dedup_by_key;
+use pim_primitives::sort::par_sort_by_key;
+use pim_runtime::Handle;
+
+use crate::batch::search::SearchRequest;
+use crate::config::{Key, Value};
+use crate::list::PimSkipList;
+use crate::tasks::{Reply, Task};
+
+/// Outcome of one upsert, in input order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsertOutcome {
+    /// The key existed; its value was updated in place.
+    Updated,
+    /// The key was inserted.
+    Inserted,
+}
+
+impl PimSkipList {
+    /// Batched Upsert. Duplicate keys within the batch are deduplicated
+    /// first-wins; returns the per-pair outcome (duplicates report the
+    /// outcome of their key's canonical occurrence).
+    pub fn batch_upsert(&mut self, pairs: &[(Key, Value)]) -> Vec<UpsertOutcome> {
+        let staged = pairs.len() as u64 * 2;
+        self.sys.shared_mem().alloc(staged);
+        let (uniq, cost) = dedup_by_key(pairs.to_vec(), self.cfg.seed ^ 0xAB, |&(k, _)| k as u64);
+        cost.charge(self.sys.metrics_mut());
+
+        // ---- Update pass (§4.1 shortcut) ----
+        for (op, &(key, value)) in uniq.iter().enumerate() {
+            let m = self.module_of(key, 0);
+            self.sys.send(
+                m,
+                Task::Update {
+                    op: op as u32,
+                    key,
+                    value,
+                },
+            );
+        }
+        let replies = self.sys.run_to_quiescence();
+        let mut updated = vec![false; uniq.len()];
+        for r in replies {
+            match r {
+                Reply::Updated { op, found } => updated[op as usize] = found,
+                other => unreachable!("unexpected reply in upsert update pass: {other:?}"),
+            }
+        }
+
+        // ---- Insert set, sorted by key ----
+        let mut inserts: Vec<(Key, Value)> = uniq
+            .iter()
+            .zip(&updated)
+            .filter(|(_, &u)| !u)
+            .map(|(&kv, _)| kv)
+            .collect();
+        par_sort_by_key(&mut inserts, |&(k, _)| k).charge(self.sys.metrics_mut());
+
+        if !inserts.is_empty() {
+            self.insert_sorted(&inserts);
+        }
+
+        // ---- Map outcomes back ----
+        let outcome_by_key: std::collections::HashMap<Key, UpsertOutcome> = uniq
+            .iter()
+            .zip(&updated)
+            .map(|(&(k, _), &u)| {
+                (
+                    k,
+                    if u {
+                        UpsertOutcome::Updated
+                    } else {
+                        UpsertOutcome::Inserted
+                    },
+                )
+            })
+            .collect();
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        pairs.iter().map(|(k, _)| outcome_by_key[k]).collect()
+    }
+
+    /// Allocate and vertically wire the towers for a sorted batch of new
+    /// keys (Insert steps 1–5): lower-part nodes go to their hashed
+    /// modules (entering local index + local leaf list on arrival),
+    /// upper-part nodes are broadcast into shadow-chosen replicated slots.
+    /// Returns `tower[j][level]` handles.
+    pub(crate) fn allocate_towers(
+        &mut self,
+        inserts: &[(Key, Value)],
+        tops: &[u8],
+    ) -> Vec<Vec<Handle>> {
+        let h_low = self.cfg.h_low;
+        let mut tower: Vec<Vec<Handle>> = (0..inserts.len())
+            .map(|j| vec![Handle::NULL; tops[j] as usize + 1])
+            .collect();
+        for (j, &(key, value)) in inserts.iter().enumerate() {
+            let top = tops[j];
+            if h_low > 0 {
+                for level in 0..=top.min(h_low - 1) {
+                    let m = self.module_of(key, level);
+                    self.sys.send(
+                        m,
+                        Task::AllocLower {
+                            op: j as u32,
+                            key,
+                            value,
+                            level,
+                        },
+                    );
+                }
+            }
+            if top >= h_low {
+                for level in h_low..=top {
+                    let slot = self.shadow.alloc();
+                    tower[j][level as usize] = Handle::replicated(slot);
+                    self.sys.broadcast(|_| Task::AllocUpper {
+                        slot,
+                        key,
+                        level,
+                        value,
+                    });
+                }
+            }
+        }
+        let replies = self.sys.run_to_quiescence();
+        for r in replies {
+            match r {
+                Reply::Alloced { op, level, node } => {
+                    tower[op as usize][level as usize] = node;
+                }
+                other => unreachable!("unexpected reply in alloc round: {other:?}"),
+            }
+        }
+        debug_assert!(tower.iter().all(|t| t.iter().all(|h| h.is_some())));
+
+        // ---- Vertical wiring + leaf chains (Insert steps 4–5) ----
+        for t in &tower {
+            for (l, &h) in t.iter().enumerate() {
+                let up = t.get(l + 1).copied().unwrap_or(Handle::NULL);
+                let down = if l > 0 { t[l - 1] } else { Handle::NULL };
+                if up.is_some() || down.is_some() {
+                    self.send_write(h, Task::WireVertical { node: h, up, down });
+                }
+            }
+            if t.len() > 1 {
+                self.send_write(
+                    t[0],
+                    Task::SetLeafChain {
+                        leaf: t[0],
+                        chain: t[1..].to_vec(),
+                    },
+                );
+            }
+        }
+        self.sys.run_to_quiescence();
+        tower
+    }
+
+    /// Recompute the `next_leaf` shortcut of every new upper-part leaf
+    /// (broadcast; must run after horizontal linking).
+    pub(crate) fn fix_new_next_leaves(&mut self, tower: &[Vec<Handle>], tops: &[u8]) {
+        let h_low = self.cfg.h_low;
+        if h_low == 0 {
+            return;
+        }
+        let mut fixed_any = false;
+        for (j, t) in tower.iter().enumerate() {
+            if tops[j] >= h_low {
+                let slot = t[h_low as usize].slot();
+                self.sys.broadcast(|_| Task::FixNextLeaf { slot });
+                fixed_any = true;
+            }
+        }
+        if fixed_any {
+            self.sys.run_to_quiescence();
+        }
+    }
+
+    /// Insert a sorted, deduplicated, non-resident batch of pairs.
+    fn insert_sorted(&mut self, inserts: &[(Key, Value)]) {
+        let b = inserts.len();
+
+        // ---- Heights (CPU-side secret coins, drawn in key order) ----
+        let tops: Vec<u8> = (0..b)
+            .map(|_| self.rng.skiplist_height(self.cfg.max_level - 1))
+            .collect();
+
+        // ---- Allocation + vertical wiring rounds (Insert steps 1–5) ----
+        let tower = self.allocate_towers(inserts, &tops);
+
+        // ---- Batched Predecessor with per-level reports (§4.2) ----
+        let reqs: Vec<SearchRequest> = inserts
+            .iter()
+            .enumerate()
+            .map(|(j, &(key, _))| SearchRequest {
+                op: j as u32,
+                key,
+                top: tops[j],
+            })
+            .collect();
+        let results = self.pivoted_search(&reqs);
+
+        // ---- Algorithm 1: horizontal pointer construction ----
+        let max_top = tops.iter().copied().max().unwrap_or(0);
+        for level in 0..=max_top {
+            // A[level]: new nodes at this level in ascending key order.
+            struct Entry {
+                cur: Handle,
+                key: Key,
+                pred: Handle,
+                succ: Handle,
+                succ_key: Key,
+            }
+            let a: Vec<Entry> = inserts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| tops[*j] >= level)
+                .map(|(j, &(key, _))| {
+                    let (pred, succ, succ_key) = results
+                        .pred_at(j as u32, level)
+                        .unwrap_or_else(|| panic!("missing pred for op {j} level {level}"));
+                    Entry {
+                        cur: tower[j][level as usize],
+                        key,
+                        pred,
+                        succ,
+                        succ_key,
+                    }
+                })
+                .collect();
+            for j in 0..a.len() {
+                let right_end = j + 1 == a.len() || a[j].succ != a[j + 1].succ;
+                if right_end {
+                    self.send_write(
+                        a[j].cur,
+                        Task::WriteRight {
+                            node: a[j].cur,
+                            to: a[j].succ,
+                            to_key: a[j].succ_key,
+                        },
+                    );
+                    if a[j].succ.is_some() {
+                        self.send_write(
+                            a[j].succ,
+                            Task::WriteLeft {
+                                node: a[j].succ,
+                                to: a[j].cur,
+                            },
+                        );
+                    }
+                } else {
+                    self.send_write(
+                        a[j].cur,
+                        Task::WriteRight {
+                            node: a[j].cur,
+                            to: a[j + 1].cur,
+                            to_key: a[j + 1].key,
+                        },
+                    );
+                    self.send_write(
+                        a[j + 1].cur,
+                        Task::WriteLeft {
+                            node: a[j + 1].cur,
+                            to: a[j].cur,
+                        },
+                    );
+                }
+                let left_end = j == 0 || a[j].pred != a[j - 1].pred;
+                if left_end {
+                    self.send_write(
+                        a[j].pred,
+                        Task::WriteRight {
+                            node: a[j].pred,
+                            to: a[j].cur,
+                            to_key: a[j].key,
+                        },
+                    );
+                    self.send_write(
+                        a[j].cur,
+                        Task::WriteLeft {
+                            node: a[j].cur,
+                            to: a[j].pred,
+                        },
+                    );
+                }
+            }
+            self.sys.metrics_mut().charge_cpu(
+                a.len() as u64,
+                pim_runtime::ceil_log2(a.len().max(1) as u64).into(),
+            );
+        }
+        self.sys.run_to_quiescence();
+
+        // ---- Recompute next_leaf for new upper-part leaves ----
+        self.fix_new_next_leaves(&tower, &tops);
+
+        self.len += b as u64;
+    }
+}

@@ -1,0 +1,177 @@
+//! Graphviz export of the structure — Fig. 2, generated.
+//!
+//! [`PimSkipList::to_dot`] renders the machine's current state in the
+//! visual language of the paper's Figure 2: one row per level, upper-part
+//! (replicated) nodes in white, lower-part nodes coloured by owning
+//! module, solid horizontal edges for the point-operation pointers and
+//! dashed edges for the range-operation pointers (`local_right` of one
+//! chosen module, plus its `next_leaf` shortcuts).
+//!
+//! ```bash
+//! cargo run --release -p pim-examples --bin quickstart  # then, in code:
+//! # std::fs::write("skiplist.dot", list.to_dot(Some(0)))?;
+//! # dot -Tsvg skiplist.dot -o skiplist.svg
+//! ```
+
+use std::fmt::Write as _;
+
+use pim_runtime::Handle;
+
+use crate::config::NEG_INF;
+use crate::list::PimSkipList;
+
+/// Pastel fill colours cycled over module ids (white is reserved for
+/// replicated nodes, matching Fig. 2).
+const COLORS: [&str; 8] = [
+    "#aecbfa", "#f8bbd0", "#c8e6c9", "#ffe082", "#d1c4e9", "#ffccbc", "#b2dfdb", "#e6ee9c",
+];
+
+impl PimSkipList {
+    /// Render the structure as Graphviz. When `local_lists_of` names a
+    /// module, that module's local leaf list and `next_leaf` shortcuts are
+    /// drawn as dashed edges (Fig. 2's dashed pointers). Intended for
+    /// small structures (documentation, debugging); output size is
+    /// `O(n log n)`.
+    pub fn to_dot(&self, local_lists_of: Option<u32>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph pim_skiplist {{");
+        let _ = writeln!(out, "  rankdir=LR; node [shape=box, style=filled];");
+
+        let name = |h: Handle| -> String {
+            if h.is_replicated() {
+                format!("r{}", h.slot())
+            } else {
+                format!("m{}s{}", h.module(), h.slot())
+            }
+        };
+
+        // One subgraph rank per level; walk each level's chain.
+        for level in 0..=self.cfg.max_level {
+            let mut cur = Handle::replicated(u32::from(level));
+            let mut row: Vec<String> = Vec::new();
+            let mut edges: Vec<String> = Vec::new();
+            loop {
+                let n = self.inspect(cur);
+                let label = if n.key == NEG_INF {
+                    format!("-inf L{level}")
+                } else if level == 0 {
+                    format!("{} = {}", n.key, n.value)
+                } else {
+                    format!("{}", n.key)
+                };
+                let fill = if cur.is_replicated() {
+                    "white".to_string()
+                } else {
+                    COLORS[cur.module() as usize % COLORS.len()].to_string()
+                };
+                row.push(format!(
+                    "    {} [label=\"{}\", fillcolor=\"{}\"];",
+                    name(cur),
+                    label,
+                    fill
+                ));
+                if n.right.is_some() {
+                    edges.push(format!("  {} -> {};", name(cur), name(n.right)));
+                }
+                if n.down.is_some() {
+                    edges.push(format!(
+                        "  {} -> {} [weight=0, style=dotted, arrowsize=0.5];",
+                        name(cur),
+                        name(n.down)
+                    ));
+                }
+                if n.right.is_null() {
+                    break;
+                }
+                cur = n.right;
+            }
+            // Skip empty sentinel-only levels above the data to keep the
+            // picture readable.
+            if level > self.cfg.h_low && row.len() <= 1 {
+                continue;
+            }
+            let _ = writeln!(out, "  subgraph level{level} {{ rank=same;");
+            for r in &row {
+                let _ = writeln!(out, "{r}");
+            }
+            let _ = writeln!(out, "  }}");
+            for e in &edges {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+
+        // Dashed range-operation pointers of one module.
+        if let Some(m) = local_lists_of {
+            if self.cfg.h_low > 0 && m < self.p() {
+                // Local leaf list.
+                let mut cur = self.inf_leaf();
+                loop {
+                    let n = self.inspect_at(m, cur);
+                    if n.local_right.is_null() {
+                        break;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [style=dashed, color=\"#555555\", constraint=false];",
+                        name(cur),
+                        name(n.local_right)
+                    );
+                    cur = n.local_right;
+                }
+                // next_leaf shortcuts of the upper leaves.
+                for (slot, n) in self.sys.module(m).upper.iter() {
+                    if n.level == self.cfg.h_low && n.next_leaf.is_some() {
+                        let _ = writeln!(
+                            out,
+                            "  r{} -> {} [style=dashed, color=\"#aa3333\", constraint=false];",
+                            slot,
+                            name(n.next_leaf)
+                        );
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::Config;
+    use crate::list::PimSkipList;
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let mut list = PimSkipList::new(Config::new(4, 64, 21));
+        list.batch_upsert(&[(1, 10), (5, 50), (9, 90)]);
+        let dot = list.to_dot(Some(0));
+        assert!(dot.starts_with("digraph pim_skiplist {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every key appears, values at level 0.
+        assert!(dot.contains("1 = 10"));
+        assert!(dot.contains("5 = 50"));
+        assert!(dot.contains("9 = 90"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn dot_marks_replicated_nodes_white() {
+        let mut list = PimSkipList::new(Config::new(4, 64, 22));
+        list.batch_upsert(&[(3, 30)]);
+        let dot = list.to_dot(None);
+        assert!(dot.contains("fillcolor=\"white\""));
+        assert!(dot.contains("-inf L0"));
+    }
+
+    #[test]
+    fn dot_includes_dashed_pointers_when_requested() {
+        let mut list = PimSkipList::new(Config::new(2, 64, 23));
+        list.batch_upsert(&(0..20).map(|i| (i, i as u64)).collect::<Vec<_>>());
+        let with = list.to_dot(Some(0));
+        let without = list.to_dot(None);
+        assert!(with.contains("style=dashed"));
+        assert!(!without.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,270 @@
+//! The CPU-side driver: [`PimSkipList`].
+//!
+//! The driver plays the role of the model's CPU side: it stages batches in
+//! shared memory, runs the CPU-side parallel preprocessing (sort, semisort,
+//! hint computation — all charged as CPU work/depth), issues `TaskSend`s,
+//! and advances the machine round by round. All structural mutations of the
+//! replicated arena flow through CPU broadcasts paired with the
+//! [`ShadowAllocator`], keeping every module's replica bit-identical.
+
+use pim_runtime::hashfn;
+use pim_runtime::{Handle, Metrics, ModuleId, PimSystem, Rng};
+
+use crate::arena::ShadowAllocator;
+use crate::config::{Config, Key, Value};
+use crate::module::{ModuleParams, SkipModule};
+use crate::node::Node;
+use crate::tasks::Task;
+
+/// A PIM-balanced batch-parallel skip list on a simulated PIM machine.
+///
+/// ```
+/// use pim_core::{Config, PimSkipList};
+///
+/// let mut list = PimSkipList::new(Config::new(4, 1 << 10, 42));
+/// list.batch_upsert(&[(10, 100), (20, 200), (30, 300)]);
+/// assert_eq!(list.batch_get(&[20, 25]), vec![Some(200), None]);
+/// assert_eq!(list.len(), 3);
+/// ```
+pub struct PimSkipList {
+    pub(crate) sys: PimSystem<SkipModule>,
+    pub(crate) cfg: Config,
+    pub(crate) shadow: ShadowAllocator,
+    pub(crate) rng: Rng,
+    pub(crate) len: u64,
+    /// Max per-node access count in each stage-1 phase of the last pivoted
+    /// batch (Lemma 4.2 instrumentation; populated only when
+    /// [`Config::track_contention`] is set).
+    pub last_phase_contention: Vec<u32>,
+}
+
+impl PimSkipList {
+    /// Build an empty structure on `cfg.p` PIM modules.
+    pub fn new(cfg: Config) -> Self {
+        let params = ModuleParams {
+            p: cfg.p,
+            h_low: cfg.h_low,
+            max_level: cfg.max_level,
+            seed: cfg.seed,
+            track_contention: cfg.track_contention,
+        };
+        let sys = PimSystem::new(cfg.p, |id| SkipModule::new(id, params.clone()));
+        let mut shadow = ShadowAllocator::new();
+        for _ in 0..=cfg.max_level {
+            shadow.alloc(); // −∞ tower occupies slots 0..=max_level
+        }
+        let rng = Rng::new(cfg.seed ^ 0x5EED_5EED);
+        PimSkipList {
+            sys,
+            cfg,
+            shadow,
+            rng,
+            len: 0,
+            last_phase_contention: Vec::new(),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Is the structure empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configuration this structure was built with.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Number of PIM modules.
+    pub fn p(&self) -> u32 {
+        self.cfg.p
+    }
+
+    /// Snapshot of the machine's accumulated cost metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.sys.metrics()
+    }
+
+    /// Local-memory words per module (Theorem 3.1 measurements).
+    pub fn space_per_module(&self) -> Vec<u64> {
+        self.sys.local_words_per_module()
+    }
+
+    /// Start recording one [`pim_runtime::RoundTrace`] per round
+    /// (experiment instrumentation).
+    pub fn enable_tracing(&mut self) {
+        self.sys.enable_tracing();
+    }
+
+    /// Stop tracing and take the recorded rounds.
+    pub fn take_trace(&mut self) -> pim_runtime::Trace {
+        self.sys.take_trace()
+    }
+
+    /// The replicated root handle.
+    pub(crate) fn root(&self) -> Handle {
+        Handle::replicated(u32::from(self.cfg.max_level))
+    }
+
+    /// The replicated −∞ leaf handle.
+    pub(crate) fn inf_leaf(&self) -> Handle {
+        Handle::replicated(0)
+    }
+
+    /// The module hosting lower-part node `(key, level)`.
+    pub(crate) fn module_of(&self, key: Key, level: u8) -> ModuleId {
+        hashfn::module_of(self.cfg.seed, key, level, self.cfg.p)
+    }
+
+    /// A uniformly random module (search entry points).
+    pub(crate) fn random_module(&mut self) -> ModuleId {
+        self.rng.below(u64::from(self.cfg.p)) as ModuleId
+    }
+
+    /// Route a write-style task to the module(s) owning `target`:
+    /// replicated targets are broadcast (one write per replica), local
+    /// targets unicast.
+    pub(crate) fn send_write(&mut self, target: Handle, task: Task) {
+        if target.is_replicated() {
+            self.sys.broadcast(|_| task.clone());
+        } else {
+            self.sys.send(target.module(), task);
+        }
+    }
+
+    /// CPU-side inspection of any node (tests, invariants, experiments —
+    /// not a model data path; replicas are read from module 0).
+    pub(crate) fn inspect(&self, h: Handle) -> &Node {
+        if h.is_replicated() {
+            self.sys.module(0).node(h)
+        } else {
+            self.sys.module(h.module()).node(h)
+        }
+    }
+
+    /// Inspect a replica as seen by a *specific* module (per-module fields
+    /// such as `next_leaf`).
+    pub(crate) fn inspect_at(&self, module: ModuleId, h: Handle) -> &Node {
+        self.sys.module(module).node(h)
+    }
+
+    /// Drain module contention counters and return the max count (Lemma
+    /// 4.2 instrumentation).
+    pub(crate) fn take_max_contention(&mut self) -> u32 {
+        let mut max = 0;
+        for id in 0..self.cfg.p {
+            let counts = self.sys.module_mut(id).take_contention();
+            for (_, c) in counts {
+                max = max.max(c);
+            }
+        }
+        max
+    }
+
+    /// All `(key, value)` pairs in key order, read via CPU inspection of
+    /// the level-0 chain (test oracle; does not touch the network).
+    pub fn collect_items(&self) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        let mut cur = self.inspect(self.inf_leaf()).right;
+        while cur.is_some() {
+            let n = self.inspect(cur);
+            out.push((n.key, n.value));
+            cur = n.right;
+        }
+        out
+    }
+
+    /// All `(key, value)` pairs in key order, fetched **through the model's
+    /// data path** (a full-domain broadcast range read) rather than by CPU
+    /// inspection — the public export entry point, fully metered.
+    pub fn export(&mut self) -> Vec<(Key, Value)> {
+        if self.cfg.h_low == 0 {
+            // Full-replication ablation: no local leaf lists to stream
+            // from; fall back to inspection (documented limitation).
+            return self.collect_items();
+        }
+        self.range_broadcast(Key::MIN + 1, Key::MAX, crate::tasks::RangeFunc::Read)
+            .items
+    }
+
+    /// Convenience single-key get (wraps a singleton batch; real workloads
+    /// should use [`PimSkipList::batch_get`] with the paper's batch sizes).
+    pub fn get(&mut self, key: Key) -> Option<Value> {
+        self.batch_get(&[key]).pop().expect("singleton batch")
+    }
+
+    /// Convenience single-pair upsert.
+    pub fn upsert(&mut self, key: Key, value: Value) {
+        self.batch_upsert(&[(key, value)]);
+    }
+
+    /// Convenience single-key delete; returns whether the key was present.
+    pub fn delete(&mut self, key: Key) -> bool {
+        self.batch_delete(&[key]).pop().expect("singleton batch")
+    }
+
+    /// Load many pairs by running batched upserts of the paper's preferred
+    /// size (`P log² P`).
+    pub fn load(&mut self, pairs: &[(Key, Value)]) {
+        let chunk = self.cfg.batch_large().max(1);
+        for c in pairs.chunks(chunk) {
+            self.batch_upsert(c);
+        }
+    }
+}
+
+impl PimSkipList {
+    /// Drain one module's contention counters (experiment instrumentation;
+    /// returns `(handle bits, access count)` pairs recorded since the last
+    /// drain). Only populated when [`Config::track_contention`] is set.
+    pub fn drain_contention(
+        &mut self,
+        module: pim_runtime::ModuleId,
+    ) -> std::collections::HashMap<u64, u32> {
+        self.sys.module_mut(module).take_contention()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_structure_has_sentinel_only() {
+        let list = PimSkipList::new(Config::new(4, 64, 1));
+        assert_eq!(list.len(), 0);
+        assert!(list.collect_items().is_empty());
+        let root = list.inspect(list.root());
+        assert_eq!(root.key, crate::config::NEG_INF);
+        assert!(root.right.is_null());
+    }
+
+    #[test]
+    fn sentinel_tower_is_wired_vertically() {
+        let list = PimSkipList::new(Config::new(4, 64, 1));
+        let mut cur = list.root();
+        let mut levels = 0;
+        loop {
+            let n = list.inspect(cur);
+            levels += 1;
+            if n.down.is_null() {
+                assert_eq!(n.level, 0);
+                break;
+            }
+            cur = n.down;
+        }
+        assert_eq!(levels, u32::from(list.cfg.max_level) + 1);
+    }
+
+    #[test]
+    fn space_accounting_counts_sentinels() {
+        let list = PimSkipList::new(Config::new(8, 64, 1));
+        let words = list.space_per_module();
+        assert_eq!(words.len(), 8);
+        assert!(words.iter().all(|&w| w > 0));
+    }
+}

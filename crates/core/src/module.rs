@@ -1,0 +1,769 @@
+//! The per-module state and task handlers of the PIM skip list.
+//!
+//! A [`SkipModule`] is one PIM module's view of the structure (§3.1):
+//!
+//! * a **replicated arena** holding the upper part *and* the −∞ sentinel
+//!   tower (identical slots on every module; the paper replicates the −∞
+//!   tower's upper nodes and we extend the replication to the whole
+//!   sentinel tower — O(log n) nodes — so every module has a local list
+//!   head, see Fig. 2 where −∞ is drawn white/replicated at every level);
+//! * a **local arena** holding the lower-part nodes hashed to this module
+//!   by `(key, level)`;
+//! * the **local index** (de-amortized cuckoo map, §4.1) mapping keys of
+//!   locally-owned leaves to their handles;
+//! * the **local leaf list** (`local_left`/`local_right` + per-replica
+//!   `next_leaf` shortcuts), maintained on every leaf allocation/removal.
+
+use std::collections::HashMap;
+
+use pim_runtime::{Handle, ModuleCtx, ModuleId, PimModule};
+
+use pim_hashtable::DeamortizedMap;
+
+use crate::arena::Arena;
+use crate::config::{Key, POS_INF};
+use crate::node::Node;
+use crate::tasks::{RangeFunc, Reply, SearchMode, Task};
+
+/// Per-fragment aggregation state of the reduction range functions.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Agg {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Agg {
+    fn new() -> Self {
+        Agg {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn absorb(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn any(&self) -> bool {
+        self.count > 0
+    }
+}
+
+/// Construction parameters shared by all modules of one structure.
+#[derive(Debug, Clone)]
+pub struct ModuleParams {
+    /// Number of PIM modules, `P`.
+    pub p: u32,
+    /// Lower-part height: levels `0..h_low` are distributed.
+    pub h_low: u8,
+    /// Topmost level (root level).
+    pub max_level: u8,
+    /// Index hash seed (same derivation per module is fine: each module
+    /// indexes a disjoint key set).
+    pub seed: u64,
+    /// Record per-node access counts during Search tasks (Lemma 4.2).
+    pub track_contention: bool,
+}
+
+/// One PIM module of the skip list.
+pub struct SkipModule {
+    id: ModuleId,
+    params: ModuleParams,
+    /// Replicated arena (upper part + −∞ tower).
+    pub upper: Arena,
+    /// Local arena (lower-part nodes owned by this module).
+    pub lower: Arena,
+    /// Local key → leaf-handle index.
+    pub index: DeamortizedMap,
+    /// Root of the structure (topmost −∞ node, replicated).
+    pub root: Handle,
+    /// The −∞ leaf (replicated) heading this module's local leaf list.
+    pub inf_leaf: Handle,
+    /// Tail of this module's local leaf list (the −∞ leaf when empty).
+    pub leaf_tail: Handle,
+    /// Lemma 4.2 instrumentation: per-node access counts of Search tasks
+    /// since the last [`SkipModule::take_contention`].
+    pub contention: HashMap<u64, u32>,
+}
+
+impl SkipModule {
+    /// A module with the −∞ sentinel tower materialised in the replicated
+    /// arena at slots `0..=max_level` (slot = level, fixed convention).
+    pub fn new(id: ModuleId, params: ModuleParams) -> Self {
+        let mut upper = Arena::new();
+        let max = params.max_level;
+        for level in 0..=max {
+            let mut n = Node::new(crate::config::NEG_INF, 0, level);
+            if level < max {
+                n.up = Handle::replicated(u32::from(level) + 1);
+            }
+            if level > 0 {
+                n.down = Handle::replicated(u32::from(level) - 1);
+            }
+            upper.insert_at(u32::from(level), n);
+        }
+        let inf_leaf = Handle::replicated(0);
+        SkipModule {
+            id,
+            params,
+            upper,
+            lower: Arena::new(),
+            index: DeamortizedMap::new(64, pim_runtime::hashfn::hash2(0x1d, 0, u64::from(id))),
+            root: Handle::replicated(u32::from(max)),
+            inf_leaf,
+            leaf_tail: inf_leaf,
+            contention: HashMap::new(),
+        }
+    }
+
+    /// Can this module resolve `h` in its own memory?
+    #[inline]
+    pub fn resolvable(&self, h: Handle) -> bool {
+        h.is_replicated() || h.module() == self.id
+    }
+
+    /// Read a node (must be resolvable).
+    pub fn node(&self, h: Handle) -> &Node {
+        debug_assert!(
+            self.resolvable(h),
+            "module {} cannot resolve {h:?}",
+            self.id
+        );
+        if h.is_replicated() {
+            self.upper.get(h.slot())
+        } else {
+            self.lower.get(h.slot())
+        }
+    }
+
+    /// Write access to a node (must be resolvable).
+    pub fn node_mut(&mut self, h: Handle) -> &mut Node {
+        debug_assert!(
+            self.resolvable(h),
+            "module {} cannot resolve {h:?}",
+            self.id
+        );
+        if h.is_replicated() {
+            self.upper.get_mut(h.slot())
+        } else {
+            self.lower.get_mut(h.slot())
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, h: Handle) {
+        if self.params.track_contention {
+            *self.contention.entry(h.to_bits()).or_insert(0) += 1;
+        }
+    }
+
+    /// Drain the contention counters (driver-side instrumentation; not a
+    /// model operation).
+    pub fn take_contention(&mut self) -> HashMap<u64, u32> {
+        std::mem::take(&mut self.contention)
+    }
+
+    // ------------------------------------------------------------------
+    // Local upper-part navigation (all replicated, zero messages)
+    // ------------------------------------------------------------------
+
+    /// Descend the local replica from the root to the rightmost node at
+    /// `target_level` with key `< k` (strict). Returns its handle; counts
+    /// the visited nodes as work via the returned counter.
+    fn upper_descend(&self, k: Key, target_level: u8) -> (Handle, u64) {
+        self.upper_descend_by(k, target_level, false)
+    }
+
+    /// As [`Self::upper_descend`] but with an inclusive comparison:
+    /// rightmost node with key `≤ k`.
+    fn upper_descend_inclusive(&self, k: Key, target_level: u8) -> (Handle, u64) {
+        self.upper_descend_by(k, target_level, true)
+    }
+
+    fn upper_descend_by(&self, k: Key, target_level: u8, inclusive: bool) -> (Handle, u64) {
+        let mut cur = self.root;
+        let mut work = 0u64;
+        loop {
+            work += 1;
+            let n = self.upper.get(cur.slot());
+            // The strict form can rely on `right_key < k` implying a right
+            // neighbour exists (the null sentinel is `POS_INF`); the
+            // inclusive form must check explicitly, since `k` itself can
+            // be `i64::MAX`.
+            let go_right = n.right.is_some()
+                && if inclusive {
+                    n.right_key <= k
+                } else {
+                    n.right_key < k
+                };
+            if go_right {
+                cur = n.right;
+                debug_assert!(cur.is_replicated(), "upper walk left the replica");
+            } else if n.level > target_level {
+                cur = n.down;
+            } else {
+                return (cur, work);
+            }
+        }
+    }
+
+    /// First leaf of this module's local list with key `≥ k`, via the
+    /// upper-part `next_leaf` shortcut (§5.1 steps 1–3). Returns
+    /// `(leaf_or_null, predecessor_in_local_list, work)`.
+    fn local_successor(&self, k: Key) -> (Handle, Handle, u64) {
+        let (anchor, mut work) = self.upper_descend(k, self.params.h_low);
+        let mut prev = Handle::NULL;
+        let mut cur = self.upper.get(anchor.slot()).next_leaf;
+        while cur.is_some() {
+            work += 1;
+            let n = self.node(cur);
+            if n.key >= k {
+                break;
+            }
+            prev = cur;
+            cur = n.local_right;
+        }
+        if prev.is_null() {
+            // No local leaf in (anchor.key, k): the local predecessor is
+            // whatever precedes `cur` (or the tail when the walk exhausted
+            // the list).
+            prev = if cur.is_some() {
+                self.node(cur).local_left
+            } else {
+                self.leaf_tail
+            };
+        }
+        (cur, prev, work)
+    }
+
+    /// Insert a freshly allocated local leaf into the local leaf list and
+    /// maintain the `next_leaf` shortcuts (returns work done).
+    fn local_leaf_insert(&mut self, leaf: Handle) -> u64 {
+        let k = self.node(leaf).key;
+        let (succ, prev, mut work) = self.local_successor(k);
+        // Splice between prev and succ.
+        self.node_mut(prev).local_right = leaf;
+        {
+            let n = self.node_mut(leaf);
+            n.local_left = prev;
+            n.local_right = succ;
+        }
+        if succ.is_some() {
+            self.node_mut(succ).local_left = leaf;
+        } else {
+            self.leaf_tail = leaf;
+        }
+        // next_leaf fixups: upper leaves U with key ≤ k whose shortcut was
+        // `succ` now shortcut to the new leaf. Walk left from the
+        // rightmost upper leaf with key < k... including one with key == k
+        // cannot exist yet (the key is new), so strict descent suffices.
+        let (mut u, w2) = self.upper_descend(k, self.params.h_low);
+        work += w2;
+        loop {
+            work += 1;
+            let un = self.upper.get_mut(u.slot());
+            if un.next_leaf != succ {
+                break;
+            }
+            un.next_leaf = leaf;
+            let left = un.left;
+            if left.is_null() {
+                break;
+            }
+            u = left;
+        }
+        work
+    }
+
+    /// Remove a (marked) local leaf from the local leaf list, fixing
+    /// `next_leaf` shortcuts; returns work done.
+    fn local_leaf_remove(&mut self, leaf: Handle) -> u64 {
+        let (k, prev, next) = {
+            let n = self.node(leaf);
+            (n.key, n.local_left, n.local_right)
+        };
+        debug_assert!(prev.is_some(), "the −∞ head is never removed");
+        self.node_mut(prev).local_right = next;
+        if next.is_some() {
+            self.node_mut(next).local_left = prev;
+        } else {
+            self.leaf_tail = prev;
+        }
+        // Upper leaves shortcutting to this leaf now shortcut to `next`.
+        let (mut u, mut work) = self.upper_descend_inclusive(k, self.params.h_low);
+        loop {
+            work += 1;
+            let un = self.upper.get_mut(u.slot());
+            if un.next_leaf != leaf {
+                break;
+            }
+            un.next_leaf = next;
+            let left = un.left;
+            if left.is_null() {
+                break;
+            }
+            u = left;
+        }
+        work
+    }
+
+    /// Recompute `next_leaf` of a (new) upper leaf replica in this module
+    /// (post-linking round of batched Upsert).
+    fn fix_next_leaf(&mut self, slot: u32) -> u64 {
+        let k = self.upper.get(slot).key;
+        let (succ, _prev, work) = self.local_successor(k);
+        self.upper.get_mut(slot).next_leaf = succ;
+        work + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Search (§4.2)
+    // ------------------------------------------------------------------
+
+    fn do_search(
+        &mut self,
+        op: u32,
+        key: Key,
+        mut at: Handle,
+        mode: SearchMode,
+        record_path: bool,
+        ctx: &mut ModuleCtx<'_, Task, Reply>,
+    ) {
+        loop {
+            if !self.resolvable(at) {
+                ctx.send(
+                    at.module(),
+                    Task::Search {
+                        op,
+                        key,
+                        at,
+                        mode,
+                        record_path,
+                    },
+                );
+                return;
+            }
+            ctx.work(1);
+            self.touch(at);
+            if record_path && !at.is_replicated() {
+                ctx.reply(Reply::PathNode { op, node: at });
+            }
+            let (right, right_key, down, level) = {
+                let n = self.node(at);
+                (n.right, n.right_key, n.down, n.level)
+            };
+            if right_key < key {
+                at = right;
+                continue;
+            }
+            // Descend (or finish): `at` is the predecessor at `level`.
+            if let SearchMode::PredLevels { top } = mode {
+                if level >= 1 && level <= top {
+                    ctx.reply(Reply::PredAt {
+                        op,
+                        level,
+                        pred: at,
+                        succ: right,
+                        succ_key: right_key,
+                    });
+                }
+            }
+            if level == 0 {
+                ctx.reply(Reply::SearchDone {
+                    op,
+                    pred: at,
+                    pred_key: self.node(at).key,
+                    succ: right,
+                    succ_key: right_key,
+                });
+                return;
+            }
+            debug_assert!(down.is_some(), "non-leaf without down pointer");
+            at = down;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Range descent (§5.2)
+    // ------------------------------------------------------------------
+
+    fn apply_func(
+        &mut self,
+        op: u32,
+        leaf: Handle,
+        func: RangeFunc,
+        agg: &mut Agg,
+        ctx: &mut ModuleCtx<'_, Task, Reply>,
+    ) {
+        let (key, old) = {
+            let n = self.node(leaf);
+            (n.key, n.value)
+        };
+        match func {
+            RangeFunc::Read => ctx.reply(Reply::RangeItem {
+                op,
+                node: leaf,
+                key,
+                value: old,
+            }),
+            RangeFunc::Count | RangeFunc::Sum | RangeFunc::Min | RangeFunc::Max => {
+                agg.absorb(old);
+            }
+            RangeFunc::FetchAdd(d) => {
+                self.node_mut(leaf).value = old.wrapping_add(d);
+                ctx.reply(Reply::RangeItem {
+                    op,
+                    node: leaf,
+                    key,
+                    value: old,
+                });
+            }
+            RangeFunc::AddInPlace(d) => {
+                self.node_mut(leaf).value = old.wrapping_add(d);
+            }
+        }
+    }
+
+    fn do_range_descend(
+        &mut self,
+        op: u32,
+        at: Handle,
+        lo: Key,
+        hi: Key,
+        func: RangeFunc,
+        ctx: &mut ModuleCtx<'_, Task, Reply>,
+    ) {
+        // Fragments still to process locally; remote ones are forwarded.
+        let mut agg = Agg::new();
+        let mut stack: Vec<(Handle, Key)> = vec![(at, hi)];
+        while let Some((mut cur, hi_frag)) = stack.pop() {
+            loop {
+                if !self.resolvable(cur) {
+                    ctx.send(
+                        cur.module(),
+                        Task::RangeDescend {
+                            op,
+                            at: cur,
+                            lo,
+                            hi: hi_frag,
+                            func,
+                        },
+                    );
+                    break;
+                }
+                ctx.work(1);
+                let (key, right, right_key, down, level) = {
+                    let n = self.node(cur);
+                    (n.key, n.right, n.right_key, n.down, n.level)
+                };
+                debug_assert!(key <= hi_frag);
+                if level == 0 {
+                    if key >= lo {
+                        self.apply_func(op, cur, func, &mut agg, ctx);
+                    }
+                } else if right_key > lo {
+                    // The child fragment [key, right_key) intersects the
+                    // range: descend, clipped to the fragment.
+                    let child_hi = if right_key == POS_INF {
+                        hi_frag
+                    } else {
+                        hi_frag.min(right_key - 1)
+                    };
+                    stack.push((down, child_hi));
+                }
+                // Continue walking right at this level within the fragment.
+                if right.is_some() && right_key <= hi_frag {
+                    cur = right;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !func.returns_items() && agg.any() {
+            ctx.reply(Reply::RangeAgg {
+                op,
+                count: agg.count,
+                sum: agg.sum,
+                min: agg.min,
+                max: agg.max,
+            });
+        }
+    }
+
+    fn do_range_broadcast(
+        &mut self,
+        op: u32,
+        lo: Key,
+        hi: Key,
+        func: RangeFunc,
+        ctx: &mut ModuleCtx<'_, Task, Reply>,
+    ) {
+        assert!(
+            self.params.h_low > 0,
+            "broadcast ranges need a distributed lower part (h_low > 0)"
+        );
+        let (mut cur, _prev, work) = self.local_successor(lo);
+        ctx.work(work);
+        let mut agg = Agg::new();
+        while cur.is_some() {
+            ctx.work(1);
+            let (key, next) = {
+                let n = self.node(cur);
+                (n.key, n.local_right)
+            };
+            if key > hi {
+                break;
+            }
+            self.apply_func(op, cur, func, &mut agg, ctx);
+            cur = next;
+        }
+        if !func.returns_items() {
+            // Always reply so the CPU can count completion across modules.
+            ctx.reply(Reply::RangeAgg {
+                op,
+                count: agg.count,
+                sum: agg.sum,
+                min: agg.min,
+                max: agg.max,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete support (§4.4)
+    // ------------------------------------------------------------------
+
+    fn do_delete_key(&mut self, op: u32, key: Key, ctx: &mut ModuleCtx<'_, Task, Reply>) {
+        ctx.work(1);
+        let Some(bits) = self.index.remove(key) else {
+            ctx.reply(Reply::DeleteMissing { op });
+            return;
+        };
+        ctx.work(self.index.last_op_work);
+        let leaf = Handle::from_bits(bits);
+        debug_assert!(self.resolvable(leaf));
+        // Mark + gather the leaf record.
+        let (chain, value) = {
+            let n = self.node_mut(leaf);
+            debug_assert!(!n.deleted, "double delete of key {key}");
+            n.deleted = true;
+            (n.chain.clone(), n.value)
+        };
+        let mut upper_slots = Vec::new();
+        if leaf.is_replicated() {
+            // h_low = 0 ablation: the leaf itself is a replica — no local
+            // leaf list to maintain; all replicas unlink via UnlinkUpper.
+            upper_slots.push(leaf.slot());
+        } else {
+            ctx.work(self.local_leaf_remove(leaf));
+        }
+        for h in &chain {
+            if h.is_replicated() {
+                upper_slots.push(h.slot());
+            } else {
+                ctx.send(h.module(), Task::MarkNode { op, node: *h });
+            }
+        }
+        let n = self.node(leaf);
+        ctx.reply(Reply::Marked {
+            op,
+            node: leaf,
+            level: 0,
+            key,
+            left: n.left,
+            right: n.right,
+            right_key: n.right_key,
+            upper_slots,
+            value,
+        });
+    }
+
+    fn do_mark_node(&mut self, op: u32, node: Handle, ctx: &mut ModuleCtx<'_, Task, Reply>) {
+        ctx.work(1);
+        let (level, key, left, right, right_key, value) = {
+            let n = self.node_mut(node);
+            debug_assert!(!n.deleted, "double mark");
+            n.deleted = true;
+            (n.level, n.key, n.left, n.right, n.right_key, n.value)
+        };
+        ctx.reply(Reply::Marked {
+            op,
+            node,
+            level,
+            key,
+            left,
+            right,
+            right_key,
+            upper_slots: Vec::new(),
+            value,
+        });
+    }
+
+    fn do_unlink_upper(&mut self, slots: &[u32], ctx: &mut ModuleCtx<'_, Task, Reply>) {
+        for &slot in slots {
+            ctx.work(1);
+            let (left, right, right_key) = {
+                let n = self.upper.get(slot);
+                (n.left, n.right, n.right_key)
+            };
+            debug_assert!(left.is_replicated(), "upper node with non-replicated left");
+            {
+                let l = self.upper.get_mut(left.slot());
+                l.right = right;
+                l.right_key = right_key;
+            }
+            if right.is_some() {
+                self.upper.get_mut(right.slot()).left = left;
+            }
+            self.upper.free(slot);
+        }
+    }
+}
+
+impl PimModule for SkipModule {
+    type Task = Task;
+    type Reply = Reply;
+
+    fn execute(&mut self, task: Task, ctx: &mut ModuleCtx<'_, Task, Reply>) {
+        match task {
+            Task::Get { op, key } => {
+                let value = self.index.get(key).map(|bits| {
+                    let leaf = Handle::from_bits(bits);
+                    self.node(leaf).value
+                });
+                ctx.work(1 + self.index.last_op_work);
+                ctx.reply(Reply::GotValue { op, value });
+            }
+            Task::Update { op, key, value } => {
+                let found = match self.index.get(key) {
+                    Some(bits) => {
+                        self.node_mut(Handle::from_bits(bits)).value = value;
+                        true
+                    }
+                    None => false,
+                };
+                ctx.work(1 + self.index.last_op_work);
+                ctx.reply(Reply::Updated { op, found });
+            }
+            Task::ReadNode { op, node } => {
+                ctx.work(1);
+                let n = self.node(node);
+                ctx.reply(Reply::NodeValue {
+                    op,
+                    key: n.key,
+                    value: n.value,
+                });
+            }
+            Task::Search {
+                op,
+                key,
+                at,
+                mode,
+                record_path,
+            } => self.do_search(op, key, at, mode, record_path, ctx),
+            Task::AllocLower {
+                op,
+                key,
+                value,
+                level,
+            } => {
+                ctx.work(1);
+                let slot = self.lower.alloc(Node::new(key, value, level));
+                let handle = Handle::local(self.id, slot);
+                if level == 0 {
+                    self.index.insert(key, handle.to_bits());
+                    ctx.work(self.index.last_op_work);
+                    ctx.work(self.local_leaf_insert(handle));
+                }
+                ctx.reply(Reply::Alloced {
+                    op,
+                    level,
+                    node: handle,
+                });
+            }
+            Task::AllocUpper {
+                slot,
+                key,
+                level,
+                value,
+            } => {
+                ctx.work(1);
+                self.upper.insert_at(slot, Node::new(key, value, level));
+                // h_low = 0 ablation: replicated leaves are indexed by the
+                // module the key hashes to (point ops only; documented).
+                if level == 0
+                    && pim_runtime::hashfn::module_of(self.params.seed, key, 0, self.params.p)
+                        == self.id
+                {
+                    self.index.insert(key, Handle::replicated(slot).to_bits());
+                    ctx.work(self.index.last_op_work);
+                }
+            }
+            Task::WireVertical { node, up, down } => {
+                ctx.work(1);
+                let n = self.node_mut(node);
+                if up.is_some() {
+                    n.up = up;
+                }
+                if down.is_some() {
+                    n.down = down;
+                }
+            }
+            Task::FixNextLeaf { slot } => {
+                let w = self.fix_next_leaf(slot);
+                ctx.work(w);
+            }
+            Task::SetLeafChain { leaf, chain } => {
+                ctx.work(1);
+                self.node_mut(leaf).chain = chain;
+            }
+            Task::WriteRight { node, to, to_key } => {
+                ctx.work(1);
+                let n = self.node_mut(node);
+                n.right = to;
+                n.right_key = to_key;
+            }
+            Task::WriteLeft { node, to } => {
+                ctx.work(1);
+                self.node_mut(node).left = to;
+            }
+            Task::WriteValue { node, value } => {
+                ctx.work(1);
+                self.node_mut(node).value = value;
+            }
+            Task::DeleteKey { op, key } => self.do_delete_key(op, key, ctx),
+            Task::MarkNode { op, node } => self.do_mark_node(op, node, ctx),
+            Task::UnlinkUpper { slots } => self.do_unlink_upper(&slots, ctx),
+            Task::FreeNode { node } => {
+                ctx.work(1);
+                debug_assert!(
+                    !node.is_replicated(),
+                    "upper nodes are freed via UnlinkUpper"
+                );
+                debug_assert_eq!(node.module(), self.id);
+                self.lower.free(node.slot());
+            }
+            Task::RangeBroadcast { op, lo, hi, func } => {
+                self.do_range_broadcast(op, lo, hi, func, ctx)
+            }
+            Task::RangeDescend {
+                op,
+                at,
+                lo,
+                hi,
+                func,
+            } => self.do_range_descend(op, at, lo, hi, func, ctx),
+        }
+    }
+
+    fn local_words(&self) -> u64 {
+        self.upper.words() + self.lower.words() + self.index.words()
+    }
+}

@@ -1,0 +1,98 @@
+//! Range operations by broadcasting (§5.1).
+//!
+//! The operation is broadcast to all `P` modules (an `h = 1` relation);
+//! each module finds the *local successor* of `LKey` — upper-part search to
+//! the rightmost upper leaf `≤ LKey`, one `next_leaf` hop, then a short
+//! local-list walk (`O(log P)` whp, Theorem 5.1) — and streams its local
+//! pairs in `[LKey, RKey]` through the function. With `K` covered pairs,
+//! Lemma 2.1 puts `Θ(K/P)` of them in every module whp: PIM time
+//! `O(K/P + log n)`, IO `O(1)` out plus `O(K/P)` returns, `O(1)` rounds.
+
+use pim_primitives::sort::par_sort_by_key;
+
+use crate::config::{Key, Value};
+use crate::list::PimSkipList;
+use crate::tasks::{RangeFunc, Reply, Task};
+
+/// Result of one range operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeResult {
+    /// `(key, value)` pairs in ascending key order (populated by
+    /// item-returning functions; for `FetchAdd` the values are the old
+    /// ones).
+    pub items: Vec<(Key, Value)>,
+    /// Number of pairs the function touched.
+    pub count: u64,
+    /// Sum of touched values (populated by the reductions).
+    pub sum: u64,
+    /// Minimum touched value (`u64::MAX` when the range was empty).
+    pub min: Value,
+    /// Maximum touched value (`0` when the range was empty).
+    pub max: Value,
+}
+
+impl RangeResult {
+    /// An empty result with reduction identities.
+    pub fn empty() -> Self {
+        RangeResult {
+            items: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl PimSkipList {
+    /// Execute one range operation by broadcast (§5.1). Requires a
+    /// distributed lower part (`h_low > 0`).
+    pub fn range_broadcast(&mut self, lo: Key, hi: Key, func: RangeFunc) -> RangeResult {
+        assert!(
+            self.cfg.h_low > 0,
+            "broadcast ranges need local leaf lists (h_low > 0)"
+        );
+        self.sys.broadcast(|_| Task::RangeBroadcast {
+            op: 0,
+            lo,
+            hi,
+            func,
+        });
+        let replies = self.sys.run_to_quiescence();
+
+        let mut out = RangeResult::empty();
+        for r in replies {
+            match r {
+                Reply::RangeItem { key, value, .. } => {
+                    out.items.push((key, value));
+                }
+                Reply::RangeAgg {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    ..
+                } => {
+                    out.count += count;
+                    out.sum = out.sum.wrapping_add(sum);
+                    out.min = out.min.min(min);
+                    out.max = out.max.max(max);
+                }
+                other => unreachable!("unexpected reply in range_broadcast: {other:?}"),
+            }
+        }
+        if func.returns_items() {
+            // The paper indexes results inside the structure; we instead
+            // sort the returned pairs on the CPU side (documented
+            // substitution — same `O(K log K)` work the CPU-side variant
+            // of §5.2 step 4 performs).
+            let staged = out.items.len() as u64 * 2;
+            self.sys.shared_mem().alloc(staged);
+            par_sort_by_key(&mut out.items, |&(k, _)| k).charge(self.sys.metrics_mut());
+            out.count = out.items.len() as u64;
+            self.sys.sample_shared_mem();
+            self.sys.shared_mem().free(staged);
+        }
+        out
+    }
+}

@@ -1,0 +1,6 @@
+//! Range operations (§5): broadcast and tree-structure execution.
+
+pub mod broadcast;
+pub mod tree;
+
+pub use broadcast::RangeResult;

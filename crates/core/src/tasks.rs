@@ -1,0 +1,368 @@
+//! The `TaskSend` protocol of the PIM skip list.
+//!
+//! Every variant corresponds to a constant-size message of the model
+//! (function id + arguments; the few `Vec` payloads are CPU-side broadcast
+//! batches whose length is already charged as separate messages by the
+//! driver). Tasks are executed by [`crate::module::SkipModule`]; replies
+//! land in CPU shared memory.
+
+use pim_runtime::Handle;
+
+use crate::config::{Key, Value};
+
+/// What a search should report back (§4.2 vs. §4.3 usage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Point query: report the level-0 predecessor and successor only.
+    Point,
+    /// Insert support: additionally report the per-level predecessor and
+    /// its right neighbour for every level `1..=top` (level 0 arrives via
+    /// [`Reply::SearchDone`]).
+    PredLevels {
+        /// Top tower level of the key being inserted.
+        top: u8,
+    },
+}
+
+/// The function applied by a `RangeOperation` (§5).
+///
+/// `Read`/`FetchAdd` return one message per pair (the paper's "values can
+/// be returned in `O(K/P)` whp IO time"); `Count`/`Sum` are the associative
+/// reductions the paper notes can be folded inside the PIM modules;
+/// `AddInPlace` writes without returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeFunc {
+    /// Return every `(key, value)` in range.
+    Read,
+    /// Count pairs in range (reduced per module/fragment).
+    Count,
+    /// Sum values in range (reduced per module/fragment).
+    Sum,
+    /// Minimum value in range (reduced per module/fragment).
+    Min,
+    /// Maximum value in range (reduced per module/fragment).
+    Max,
+    /// Atomically add `delta` to each value, returning the old values.
+    FetchAdd(u64),
+    /// Add `delta` to each value, returning nothing.
+    AddInPlace(u64),
+}
+
+impl RangeFunc {
+    /// Does this function return one message per visited pair?
+    pub fn returns_items(self) -> bool {
+        matches!(self, RangeFunc::Read | RangeFunc::FetchAdd(_))
+    }
+}
+
+/// Tasks executed on PIM modules.
+#[derive(Debug, Clone)]
+pub enum Task {
+    // ----- §4.1: hash-shortcut point operations -----
+    /// Look `key` up in the module's local index.
+    Get {
+        /// Batch-local operation id.
+        op: u32,
+        /// Key to fetch.
+        key: Key,
+    },
+    /// Update `key` in place if present.
+    Update {
+        /// Batch-local operation id.
+        op: u32,
+        /// Key to update.
+        key: Key,
+        /// New value.
+        value: Value,
+    },
+
+    /// Dereference a node pointer: return its `(key, value)` (the model's
+    /// "tasks specify a shared-memory address to write back the task's
+    /// return value" — used to read through handles returned by
+    /// Successor/Predecessor).
+    ReadNode {
+        /// Batch-local operation id.
+        op: u32,
+        /// The node to read (resolvable at the receiver).
+        node: Handle,
+    },
+
+    // ----- §4.2: search -----
+    /// Continue a skip-list search from `at` (resolvable at the receiver).
+    Search {
+        /// Batch-local operation id.
+        op: u32,
+        /// Search key.
+        key: Key,
+        /// Node to continue from.
+        at: Handle,
+        /// What to report.
+        mode: SearchMode,
+        /// Stream the visited lower-part nodes back to shared memory
+        /// (pivot path recording).
+        record_path: bool,
+    },
+
+    // ----- §4.3: batched Upsert -----
+    /// Allocate a lower-part node for `key` at `level` in this module.
+    AllocLower {
+        /// Batch-local operation id.
+        op: u32,
+        /// Key of the new tower.
+        key: Key,
+        /// Value (meaningful at level 0).
+        value: Value,
+        /// Node level.
+        level: u8,
+    },
+    /// Broadcast: materialise an upper-part replica at `slot`.
+    AllocUpper {
+        /// Replicated-arena slot chosen by the CPU shadow allocator.
+        slot: u32,
+        /// Key of the new tower.
+        key: Key,
+        /// Node level.
+        level: u8,
+        /// Stored value (meaningful only for the `h_low = 0` ablation,
+        /// where level-0 nodes are replicated).
+        value: Value,
+    },
+    /// Set a node's vertical pointers.
+    WireVertical {
+        /// Target node (local to receiver, or replica).
+        node: Handle,
+        /// Upward pointer value.
+        up: Handle,
+        /// Downward pointer value.
+        down: Handle,
+    },
+    /// Broadcast: recompute the per-module `next_leaf` shortcut of a newly
+    /// linked upper-part leaf (post-Algorithm-1 round of batched Upsert).
+    FixNextLeaf {
+        /// Replicated slot of the new upper leaf.
+        slot: u32,
+    },
+    /// Record a leaf's tower chain (Insert step 5).
+    SetLeafChain {
+        /// The leaf.
+        leaf: Handle,
+        /// Handles of levels `1..=top`, bottom-up.
+        chain: Vec<Handle>,
+    },
+    /// `RemoteWrite(node.right, to)` — with the cached key maintained.
+    WriteRight {
+        /// Node whose `right` is written.
+        node: Handle,
+        /// New right neighbour.
+        to: Handle,
+        /// `to`'s key (cache maintenance).
+        to_key: Key,
+    },
+    /// `RemoteWrite(node.left, to)`.
+    WriteLeft {
+        /// Node whose `left` is written.
+        node: Handle,
+        /// New left neighbour.
+        to: Handle,
+    },
+    /// `RemoteWrite(node.value, value)` — CPU-side write-back of range
+    /// updates (§5.2 step 4).
+    WriteValue {
+        /// Target leaf.
+        node: Handle,
+        /// New value.
+        value: Value,
+    },
+
+    // ----- §4.4: batched Delete -----
+    /// Delete `key` from this module via the local index; marks the leaf,
+    /// unlinks it from the local leaf list, and fans out `MarkNode`s.
+    DeleteKey {
+        /// Batch-local operation id.
+        op: u32,
+        /// Key to delete.
+        key: Key,
+    },
+    /// Mark one lower-part tower node deleted and report its links.
+    MarkNode {
+        /// Batch-local operation id.
+        op: u32,
+        /// The node to mark.
+        node: Handle,
+    },
+    /// Broadcast: splice the given replicated slots out of the upper part
+    /// and free them (in the given order, identically on every module).
+    UnlinkUpper {
+        /// Slots to unlink, CPU-ordered.
+        slots: Vec<u32>,
+    },
+    /// Free a spliced-out lower-part node.
+    FreeNode {
+        /// The node to free.
+        node: Handle,
+    },
+
+    // ----- §5: range operations -----
+    /// Broadcast flavour (§5.1): apply `func` to this module's local pairs
+    /// within `[lo, hi]`.
+    RangeBroadcast {
+        /// Batch-local operation id.
+        op: u32,
+        /// Inclusive lower bound.
+        lo: Key,
+        /// Inclusive upper bound.
+        hi: Key,
+        /// Function to apply.
+        func: RangeFunc,
+    },
+    /// Tree flavour (§5.2): fan down the search area from `at`, covering
+    /// keys in `[lo, hi]` (both already clipped to this subtree).
+    RangeDescend {
+        /// Batch-local (sub)operation id.
+        op: u32,
+        /// Node to continue from.
+        at: Handle,
+        /// Inclusive lower bound.
+        lo: Key,
+        /// Inclusive upper bound (already min-ed with the subtree's span).
+        hi: Key,
+        /// Function to apply at leaves.
+        func: RangeFunc,
+    },
+}
+
+/// Replies returned to CPU shared memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A dereferenced node.
+    NodeValue {
+        /// Operation id.
+        op: u32,
+        /// The node's key.
+        key: Key,
+        /// The node's value.
+        value: Value,
+    },
+    /// Get result.
+    GotValue {
+        /// Operation id.
+        op: u32,
+        /// The value, if the key was present.
+        value: Option<Value>,
+    },
+    /// Update result.
+    Updated {
+        /// Operation id.
+        op: u32,
+        /// Whether the key was present.
+        found: bool,
+    },
+    /// One visited lower-part node on a recorded search path (in visit
+    /// order; one message per node, §4.2 stage 1).
+    PathNode {
+        /// Operation id.
+        op: u32,
+        /// The visited node.
+        node: Handle,
+    },
+    /// Per-level predecessor for an insert search.
+    PredAt {
+        /// Operation id.
+        op: u32,
+        /// Level this report is for.
+        level: u8,
+        /// Rightmost node with key `< search key` at `level`.
+        pred: Handle,
+        /// `pred`'s right neighbour at search time.
+        succ: Handle,
+        /// `succ`'s key (cache maintenance for Algorithm 1's writes).
+        succ_key: Key,
+    },
+    /// Terminal search report (level 0).
+    SearchDone {
+        /// Operation id.
+        op: u32,
+        /// Level-0 predecessor (key `<` search key).
+        pred: Handle,
+        /// Its key.
+        pred_key: Key,
+        /// Level-0 successor (key `≥` search key; null at list end).
+        succ: Handle,
+        /// Its key (`POS_INF` when null).
+        succ_key: Key,
+    },
+    /// A lower-part node was allocated.
+    Alloced {
+        /// Operation id.
+        op: u32,
+        /// Node level.
+        level: u8,
+        /// The new node's handle.
+        node: Handle,
+    },
+    /// A `DeleteKey` hit a missing key.
+    DeleteMissing {
+        /// Operation id.
+        op: u32,
+    },
+    /// A node was marked deleted (leaf or tower node).
+    Marked {
+        /// Operation id.
+        op: u32,
+        /// The marked node.
+        node: Handle,
+        /// Its level.
+        level: u8,
+        /// Its key.
+        key: Key,
+        /// Left neighbour at marking time.
+        left: Handle,
+        /// Right neighbour at marking time.
+        right: Handle,
+        /// Cached right key at marking time.
+        right_key: Key,
+        /// For leaves: replicated slots of the tower's upper nodes (empty
+        /// otherwise) — batched by the CPU into one `UnlinkUpper`.
+        upper_slots: Vec<u32>,
+        /// For leaves: the deleted value.
+        value: Value,
+    },
+    /// One `(key, value)` produced by a range function.
+    RangeItem {
+        /// Operation id.
+        op: u32,
+        /// The leaf holding the pair (for CPU-side write-back).
+        node: Handle,
+        /// Pair key.
+        key: Key,
+        /// Pair value (old value for `FetchAdd`).
+        value: Value,
+    },
+    /// An aggregated range fragment (Count/Sum/Min/Max).
+    RangeAgg {
+        /// Operation id.
+        op: u32,
+        /// Pairs visited by this fragment.
+        count: u64,
+        /// Sum of values visited by this fragment.
+        sum: u64,
+        /// Minimum value visited (`u64::MAX` when none).
+        min: Value,
+        /// Maximum value visited (`0` when none).
+        max: Value,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_func_return_classification() {
+        assert!(RangeFunc::Read.returns_items());
+        assert!(RangeFunc::FetchAdd(1).returns_items());
+        assert!(!RangeFunc::Count.returns_items());
+        assert!(!RangeFunc::Sum.returns_items());
+        assert!(!RangeFunc::AddInPlace(2).returns_items());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based differential testing of the PIM skip list.
+//!
+//! Random batch programs (upsert/delete/get/successor/range) are run
+//! against a `BTreeMap` oracle; after every batch the full structural
+//! validator must pass and contents must match exactly.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pim_core::{Config, PimSkipList, RangeFunc};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(Vec<(i64, u64)>),
+    Delete(Vec<i64>),
+    Get(Vec<i64>),
+    Successor(Vec<i64>),
+    RangeRead(i64, i64),
+    TreeRead(i64, i64),
+}
+
+fn key_strategy() -> impl Strategy<Value = i64> {
+    // A small key domain provokes collisions, duplicate keys, contiguous
+    // runs and range overlaps.
+    -40i64..200
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop::collection::vec((key_strategy(), any::<u64>()), 1..40).prop_map(Op::Upsert),
+        2 => prop::collection::vec(key_strategy(), 1..40).prop_map(Op::Delete),
+        1 => prop::collection::vec(key_strategy(), 1..40).prop_map(Op::Get),
+        1 => prop::collection::vec(key_strategy(), 1..20).prop_map(Op::Successor),
+        1 => (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::RangeRead(a.min(b), a.max(b))),
+        1 => (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::TreeRead(a.min(b), a.max(b))),
+    ]
+}
+
+fn apply_upsert_first_wins(oracle: &mut BTreeMap<i64, u64>, pairs: &[(i64, u64)]) {
+    let mut seen = std::collections::HashSet::new();
+    for &(k, v) in pairs {
+        if seen.insert(k) {
+            oracle.insert(k, v);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_batch_programs_match_oracle(
+        seed in 0u64..1_000_000,
+        p in 1u32..9,
+        ops in prop::collection::vec(op_strategy(), 1..14),
+    ) {
+        let mut list = PimSkipList::new(Config::new(p, 1 << 10, seed));
+        let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Upsert(pairs) => {
+                    list.batch_upsert(pairs);
+                    apply_upsert_first_wins(&mut oracle, pairs);
+                }
+                Op::Delete(keys) => {
+                    let res = list.batch_delete(keys);
+                    let mut removed = std::collections::HashSet::new();
+                    for (i, k) in keys.iter().enumerate() {
+                        let expect = oracle.contains_key(k) || removed.contains(k);
+                        prop_assert_eq!(res[i], expect, "delete({}) mismatch", k);
+                        if oracle.remove(k).is_some() {
+                            removed.insert(*k);
+                        }
+                    }
+                }
+                Op::Get(keys) => {
+                    let res = list.batch_get(keys);
+                    for (i, k) in keys.iter().enumerate() {
+                        prop_assert_eq!(res[i], oracle.get(k).copied(), "get({})", k);
+                    }
+                }
+                Op::Successor(keys) => {
+                    let res = list.batch_successor(keys);
+                    for (i, q) in keys.iter().enumerate() {
+                        let expect = oracle.range(*q..).next().map(|(&k, _)| k);
+                        prop_assert_eq!(res[i].map(|(k, _)| k), expect, "succ({})", q);
+                    }
+                }
+                Op::RangeRead(lo, hi) => {
+                    let r = list.range_broadcast(*lo, *hi, RangeFunc::Read);
+                    let expect: Vec<(i64, u64)> =
+                        oracle.range(*lo..=*hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(&r.items, &expect, "broadcast range [{}, {}]", lo, hi);
+                }
+                Op::TreeRead(lo, hi) => {
+                    let r = list.batch_range(&[(*lo, *hi)], RangeFunc::Read);
+                    let expect: Vec<(i64, u64)> =
+                        oracle.range(*lo..=*hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(&r[0].items, &expect, "tree range [{}, {}]", lo, hi);
+                }
+            }
+            // Full structural validation after every batch.
+            if let Err(e) = list.validate() {
+                return Err(TestCaseError::fail(format!("invariant violated: {e}")));
+            }
+            let items = list.collect_items();
+            let expect: Vec<(i64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(items, expect);
+        }
+    }
+
+    #[test]
+    fn h_low_ablation_point_ops_match_oracle(
+        seed in 0u64..100_000,
+        h_low in 0u8..6,
+        pairs in prop::collection::vec((key_strategy(), any::<u64>()), 1..60),
+        deletes in prop::collection::vec(key_strategy(), 0..30),
+    ) {
+        // Point operations must be correct for every lower-part height,
+        // including full replication (h_low = 0) — the ABL-HLOW ablation.
+        let cfg = Config::new(8, 1 << 10, seed).with_h_low(h_low);
+        let mut list = PimSkipList::new(cfg);
+        let mut oracle = BTreeMap::new();
+        list.batch_upsert(&pairs);
+        apply_upsert_first_wins(&mut oracle, &pairs);
+        let res = list.batch_delete(&deletes);
+        let mut removed = std::collections::HashSet::new();
+        for (i, k) in deletes.iter().enumerate() {
+            let expect = oracle.contains_key(k) || removed.contains(k);
+            prop_assert_eq!(res[i], expect);
+            if oracle.remove(k).is_some() {
+                removed.insert(*k);
+            }
+        }
+        let keys: Vec<i64> = (-45..205).collect();
+        let got = list.batch_get(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(got[i], oracle.get(k).copied());
+        }
+        let succ = list.batch_successor(&(-45..205).step_by(3).collect::<Vec<_>>());
+        for (i, q) in (-45..205).step_by(3).enumerate() {
+            let expect = oracle.range(q..).next().map(|(&k, _)| k);
+            prop_assert_eq!(succ[i].map(|(k, _)| k), expect);
+        }
+    }
+}

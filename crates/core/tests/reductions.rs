@@ -1,0 +1,96 @@
+//! Reduction range functions (Count/Sum/Min/Max) in both execution
+//! flavours, vs a BTreeMap oracle.
+
+use std::collections::BTreeMap;
+
+use pim_core::{Config, PimSkipList, RangeFunc};
+
+fn setup() -> (PimSkipList, BTreeMap<i64, u64>) {
+    let mut list = PimSkipList::new(Config::new(8, 1 << 11, 77));
+    let pairs: Vec<(i64, u64)> = (0..300)
+        .map(|i| (i * 5, ((i * 2654435761i64) % 1000).unsigned_abs()))
+        .collect();
+    list.batch_upsert(&pairs);
+    (list, pairs.into_iter().collect())
+}
+
+fn oracle_agg(oracle: &BTreeMap<i64, u64>, lo: i64, hi: i64) -> (u64, u64, u64, u64) {
+    let vals: Vec<u64> = oracle.range(lo..=hi).map(|(_, &v)| v).collect();
+    (
+        vals.len() as u64,
+        vals.iter().sum(),
+        vals.iter().copied().min().unwrap_or(u64::MAX),
+        vals.iter().copied().max().unwrap_or(0),
+    )
+}
+
+#[test]
+fn broadcast_min_max_match_oracle() {
+    let (mut list, oracle) = setup();
+    for (lo, hi) in [(0i64, 1495i64), (100, 600), (777, 777), (2000, 3000)] {
+        let (cnt, sum, min, max) = oracle_agg(&oracle, lo, hi);
+        let rmin = list.range_broadcast(lo, hi, RangeFunc::Min);
+        assert_eq!(rmin.min, min, "min [{lo},{hi}]");
+        assert_eq!(rmin.count, cnt);
+        let rmax = list.range_broadcast(lo, hi, RangeFunc::Max);
+        assert_eq!(rmax.max, max, "max [{lo},{hi}]");
+        let rsum = list.range_broadcast(lo, hi, RangeFunc::Sum);
+        assert_eq!(rsum.sum, sum, "sum [{lo},{hi}]");
+    }
+}
+
+#[test]
+fn tree_min_max_match_oracle() {
+    let (mut list, oracle) = setup();
+    let ranges = vec![(0i64, 500i64), (250, 1000), (600, 600), (1400, 1495)];
+    let rmin = list.batch_range(&ranges, RangeFunc::Min);
+    let rmax = list.batch_range(&ranges, RangeFunc::Max);
+    let rsum = list.batch_range(&ranges, RangeFunc::Sum);
+    for (i, &(lo, hi)) in ranges.iter().enumerate() {
+        let (cnt, sum, min, max) = oracle_agg(&oracle, lo, hi);
+        assert_eq!(rmin[i].min, min, "tree min [{lo},{hi}]");
+        assert_eq!(rmax[i].max, max, "tree max [{lo},{hi}]");
+        assert_eq!(rsum[i].sum, sum, "tree sum [{lo},{hi}]");
+        assert_eq!(rsum[i].count, cnt, "tree count [{lo},{hi}]");
+    }
+}
+
+#[test]
+fn empty_range_reduction_identities() {
+    let (mut list, _) = setup();
+    let r = list.range_broadcast(1, 2, RangeFunc::Min);
+    assert_eq!(r.count, 0);
+    assert_eq!(r.min, u64::MAX);
+    assert_eq!(r.max, 0);
+    let rt = list.batch_range(&[(1, 2)], RangeFunc::Max);
+    assert_eq!(rt[0].count, 0);
+    assert_eq!(rt[0].max, 0);
+}
+
+#[test]
+fn overlapping_tree_reductions_count_per_op() {
+    let (mut list, oracle) = setup();
+    // Identical overlapping ranges must each get the full reduction.
+    let ranges = vec![(0i64, 700i64); 3];
+    let res = list.batch_range(&ranges, RangeFunc::Sum);
+    let (cnt, sum, _, _) = oracle_agg(&oracle, 0, 700);
+    for r in res {
+        assert_eq!(r.count, cnt);
+        assert_eq!(r.sum, sum);
+    }
+}
+
+#[test]
+fn range_auto_matches_both_strategies() {
+    let (mut list, oracle) = setup();
+    // Small range (tree regime) and large range (broadcast regime).
+    for (lo, hi) in [(100i64, 130i64), (0, 1495)] {
+        let auto = list.range_auto(lo, hi, RangeFunc::Read);
+        let expect: Vec<(i64, u64)> = oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(auto.items, expect, "range_auto [{lo},{hi}]");
+        let auto_sum = list.range_auto(lo, hi, RangeFunc::Sum);
+        assert_eq!(auto_sum.sum, expect.iter().map(|&(_, v)| v).sum::<u64>());
+        let auto_cnt = list.range_auto(lo, hi, RangeFunc::Count);
+        assert_eq!(auto_cnt.count, expect.len() as u64);
+    }
+}

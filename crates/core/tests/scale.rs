@@ -1,0 +1,109 @@
+//! Scale tests: paper-sized machines and batch sizes.
+//!
+//! These run with `P` up to 64 and batches of the paper's recommended
+//! sizes (`P log P`, `P log² P`), verifying both correctness at scale and
+//! the PIM-balance property (max/mean ratios bounded).
+
+use std::collections::BTreeMap;
+
+use pim_core::{Config, PimSkipList, RangeFunc};
+
+#[test]
+fn paper_sized_batches_p32() {
+    let p = 32u32;
+    let mut list = PimSkipList::new(Config::new(p, 1 << 15, 7));
+    let logp = 5u64;
+    let big = (u64::from(p) * logp * logp) as usize; // P log² P = 800
+
+    // Load 8 big batches.
+    let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+    let mut k = 0i64;
+    for b in 0..8 {
+        let pairs: Vec<(i64, u64)> = (0..big)
+            .map(|i| {
+                k += 1 + ((i as i64 * 2654435761) % 7).abs();
+                (k, (b * big + i) as u64)
+            })
+            .collect();
+        list.batch_upsert(&pairs);
+        for &(k, v) in &pairs {
+            oracle.insert(k, v);
+        }
+    }
+    assert_eq!(list.len(), oracle.len() as u64);
+    list.validate().unwrap();
+
+    // A Get batch of size P log P over resident keys.
+    let keys: Vec<i64> = oracle.keys().copied().take((p as usize) * 5).collect();
+    let got = list.batch_get(&keys);
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(got[i], oracle.get(k).copied());
+    }
+
+    // Successor batch of size P log² P straddling resident keys.
+    let queries: Vec<i64> = (0..big as i64).map(|i| i * 7 + 3).collect();
+    let succ = list.batch_successor(&queries);
+    for (i, q) in queries.iter().enumerate() {
+        let expect = oracle.range(*q..).next().map(|(&k, _)| k);
+        assert_eq!(succ[i].map(|(x, _)| x), expect, "succ({q})");
+    }
+
+    // Delete one big batch (mix of resident and missing).
+    let dels: Vec<i64> = oracle.keys().copied().step_by(3).take(big).collect();
+    let res = list.batch_delete(&dels);
+    assert!(res.iter().all(|&f| f));
+    for d in &dels {
+        oracle.remove(d);
+    }
+    assert_eq!(list.len(), oracle.len() as u64);
+    list.validate().unwrap();
+
+    // Contents still match exactly.
+    let items = list.collect_items();
+    let expect: Vec<(i64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(items, expect);
+}
+
+#[test]
+fn pim_balance_holds_for_uniform_batches() {
+    let p = 64u32;
+    let mut list = PimSkipList::new(Config::new(p, 1 << 15, 11));
+    let logp = 6u64;
+    let pairs: Vec<(i64, u64)> = (0..(u64::from(p) * logp * logp) as i64)
+        .map(|i| (i * 1_000_003 % 10_000_019, i as u64))
+        .collect();
+    list.batch_upsert(&pairs);
+    list.validate().unwrap();
+
+    let m0 = list.metrics();
+    let keys: Vec<i64> = pairs
+        .iter()
+        .map(|&(k, _)| k)
+        .take((p * 6) as usize)
+        .collect();
+    list.batch_get(&keys);
+    let d = list.metrics() - m0;
+    // PIM-balance: IO time within a constant factor of I/P, PIM time of W/P.
+    let io_ratio = d.io_time as f64 / (d.total_messages as f64 / f64::from(p));
+    let work_ratio = d.pim_time as f64 / (d.total_pim_work as f64 / f64::from(p));
+    assert!(io_ratio < 4.0, "Get IO imbalance {io_ratio}");
+    assert!(work_ratio < 4.0, "Get PIM-work imbalance {work_ratio}");
+}
+
+#[test]
+fn broadcast_range_scales_and_balances() {
+    let p = 32u32;
+    let mut list = PimSkipList::new(Config::new(p, 1 << 14, 13));
+    let pairs: Vec<(i64, u64)> = (0..8000).map(|i| (i, i as u64)).collect();
+    list.load(&pairs);
+    list.validate().unwrap();
+
+    let m0 = list.metrics();
+    let r = list.range_broadcast(1000, 5000, RangeFunc::Read);
+    assert_eq!(r.items.len(), 4001);
+    let d = list.metrics() - m0;
+    // Theorem 5.1: O(1) rounds (broadcast + streamed returns).
+    assert!(d.rounds <= 3, "broadcast range took {} rounds", d.rounds);
+    let io_ratio = d.io_time as f64 / (d.total_messages as f64 / f64::from(p));
+    assert!(io_ratio < 4.0, "broadcast range IO imbalance {io_ratio}");
+}

@@ -1,0 +1,86 @@
+//! Property-based differential testing of the de-amortized cuckoo map
+//! against `std::collections::HashMap`, with the O(1)-whp work bound
+//! asserted on every operation.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pim_hashtable::DeamortizedMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u64),
+    Remove(i64),
+    Get(i64),
+    Update(i64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = -64i64..64;
+    prop_oneof![
+        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.clone().prop_map(Op::Remove),
+        2 => key.clone().prop_map(Op::Get),
+        1 => (key, any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matches_hashmap_and_bounds_work(
+        seed in any::<u64>(),
+        ops in prop::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut map = DeamortizedMap::new(4, seed);
+        let mut oracle: HashMap<i64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(map.insert(k, v), oracle.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(map.remove(k), oracle.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(map.get(k), oracle.get(&k).copied());
+                }
+                Op::Update(k, v) => {
+                    let expect = oracle.contains_key(&k);
+                    prop_assert_eq!(map.update(k, v), expect);
+                    if expect {
+                        oracle.insert(k, v);
+                    }
+                }
+            }
+            prop_assert_eq!(map.len(), oracle.len());
+            // De-amortization: a hard per-op work bound, always.
+            prop_assert!(
+                map.last_op_work < 500,
+                "op work spiked to {}",
+                map.last_op_work
+            );
+        }
+        // Final sweep.
+        for k in -64i64..64 {
+            prop_assert_eq!(map.get(k), oracle.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn dense_growth_never_loses_keys(
+        seed in any::<u64>(),
+        n in 1usize..3000,
+    ) {
+        let mut map = DeamortizedMap::new(4, seed);
+        for k in 0..n as i64 {
+            map.insert(k, (k * 3) as u64);
+        }
+        prop_assert_eq!(map.len(), n);
+        for k in 0..n as i64 {
+            prop_assert_eq!(map.get(k), Some((k * 3) as u64));
+        }
+    }
+}

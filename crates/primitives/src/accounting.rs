@@ -1,0 +1,94 @@
+//! Work/depth accounting for CPU-side primitives.
+//!
+//! The PIM model analyses the CPU side with standard work–depth metrics
+//! (§2.1): "CPU work (total work summed over all the CPU cores) and CPU
+//! depth (sum of the work on the critical path)". Because the simulator's
+//! CPU side runs on a real work-stealing scheduler (rayon), wall clock would
+//! conflate machine effects with algorithmic cost, so every primitive
+//! *charges* its asymptotic work and depth analytically, exactly as the
+//! paper's proofs do (e.g. "Semisorting the batch takes `O(P log P)`
+//! expected CPU work with `O(log P)` whp depth [9]").
+
+use pim_runtime::Metrics;
+
+/// An (work, depth) cost pair with sequential/parallel composition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuCost {
+    /// Total operations across all CPU cores.
+    pub work: u64,
+    /// Operations on the critical path.
+    pub depth: u64,
+}
+
+impl CpuCost {
+    /// The zero cost.
+    pub const ZERO: CpuCost = CpuCost { work: 0, depth: 0 };
+
+    /// A cost pair.
+    pub fn new(work: u64, depth: u64) -> Self {
+        CpuCost { work, depth }
+    }
+
+    /// Sequential composition: work adds, depth adds.
+    #[must_use]
+    pub fn then(self, next: CpuCost) -> CpuCost {
+        CpuCost {
+            work: self.work + next.work,
+            depth: self.depth + next.depth,
+        }
+    }
+
+    /// Parallel composition: work adds, depth maxes.
+    #[must_use]
+    pub fn beside(self, other: CpuCost) -> CpuCost {
+        CpuCost {
+            work: self.work + other.work,
+            depth: self.depth.max(other.depth),
+        }
+    }
+
+    /// Charge this cost to a metrics record (sequential with what precedes).
+    pub fn charge(self, metrics: &mut Metrics) {
+        metrics.charge_cpu(self.work, self.depth);
+    }
+}
+
+/// `ceil(log2 x)` clamped to ≥1; re-exported convenience for cost formulas.
+pub fn log2c(x: u64) -> u64 {
+    u64::from(pim_runtime::ceil_log2(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_composition_adds_depth() {
+        let a = CpuCost::new(10, 3);
+        let b = CpuCost::new(5, 4);
+        assert_eq!(a.then(b), CpuCost::new(15, 7));
+    }
+
+    #[test]
+    fn parallel_composition_maxes_depth() {
+        let a = CpuCost::new(10, 3);
+        let b = CpuCost::new(5, 4);
+        assert_eq!(a.beside(b), CpuCost::new(15, 4));
+    }
+
+    #[test]
+    fn charge_accumulates_into_metrics() {
+        let mut m = Metrics::new();
+        CpuCost::new(100, 10).charge(&mut m);
+        CpuCost::new(50, 5).charge(&mut m);
+        assert_eq!(m.cpu_work, 150);
+        assert_eq!(m.cpu_depth, 15);
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let a = CpuCost::new(7, 2);
+        assert_eq!(a.then(CpuCost::ZERO), a);
+        assert_eq!(a.beside(CpuCost::ZERO), a);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pim-primitives — CPU-side parallel primitives for the PIM model
+//!
+//! The batch algorithms of the paper lean on a small toolbox of CPU-side
+//! parallel routines, each cited with binary-forking-model costs (§4, [9,
+//! 18, 28]):
+//!
+//! * [`sort`] — parallel comparison sort (`O(n log n)` work, `O(log n)`
+//!   depth whp), used to sort every batch;
+//! * [`semisort`] — semisort + deduplication (`O(n)` expected work,
+//!   `O(log n)` whp depth), used by batched Get/Update (§4.1);
+//! * [`prefix`] — prefix sums and budgeted grouping (`O(n)` work,
+//!   `O(log n)` depth), used by the range-operation pipeline (§5.2);
+//! * [`list_contraction`] — random-priority parallel list contraction
+//!   (`O(R)` work, `O(log R)` depth whp), used by batched Delete (§4.4);
+//! * [`paths`] — search-path LCA hints for the pivot divide-and-conquer
+//!   (§4.2).
+//!
+//! Every routine *executes* in parallel (rayon) and *charges* its
+//! model-level work/depth through [`accounting::CpuCost`], keeping the
+//! simulator's CPU metrics aligned with the paper's analysis.
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod list_contraction;
+pub mod paths;
+pub mod prefix;
+pub mod semisort;
+pub mod sort;
+
+pub use accounting::CpuCost;
+pub use list_contraction::{contract, LinkedLists, NONE};
+pub use paths::{hint_between, Hint, SearchPath};
+pub use prefix::{exclusive_scan, group_by_budget, inclusive_scan};
+pub use semisort::{dedup_by_key, semisort_by_key};
+pub use sort::{par_sort, par_sort_by_key};

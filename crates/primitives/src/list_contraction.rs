@@ -1,0 +1,240 @@
+//! Parallel randomized list contraction (batched Delete, §4.4).
+//!
+//! Batched Delete must splice up to `P log² P` *consecutive* marked nodes
+//! out of horizontal linked lists; doing each splice independently would
+//! race on shared neighbours. The paper copies the marked nodes (plus the
+//! first unmarked node on each side) into shared memory and runs an
+//! efficient parallel list-contraction algorithm [9, 28] on the CPU side.
+//!
+//! This module implements the random-priority contraction of Shun et al.
+//! [28]: every marked node draws a random priority; in each round, a marked
+//! node splices itself out iff its priority is a local minimum among its
+//! *currently adjacent* marked nodes. Two adjacent nodes can never both be
+//! local minima, so each round's splice set is an independent set and can be
+//! applied without conflicts; a constant fraction of nodes is expected to go
+//! per round, giving `O(R)` work and `O(log R)` depth whp for `R` marked
+//! nodes — the costs charged here.
+
+use rayon::prelude::*;
+
+use pim_runtime::Rng;
+
+use crate::accounting::{log2c, CpuCost};
+
+/// Sentinel for "no neighbour".
+pub const NONE: usize = usize::MAX;
+
+/// A doubly-linked list (or disjoint union of lists) over nodes `0..n`,
+/// encoded as neighbour indices. `NONE` terminates a list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkedLists {
+    /// `prev[i]`: left neighbour of node `i`.
+    pub prev: Vec<usize>,
+    /// `next[i]`: right neighbour of node `i`.
+    pub next: Vec<usize>,
+}
+
+impl LinkedLists {
+    /// A single chain `0 → 1 → … → n-1`.
+    pub fn chain(n: usize) -> Self {
+        LinkedLists {
+            prev: (0..n).map(|i| if i == 0 { NONE } else { i - 1 }).collect(),
+            next: (0..n)
+                .map(|i| if i + 1 == n { NONE } else { i + 1 })
+                .collect(),
+        }
+    }
+
+    fn check(&self) {
+        assert_eq!(self.prev.len(), self.next.len());
+    }
+}
+
+/// Splice every node with `removed[i] == true` out of its list, in parallel.
+///
+/// On return, `lists` links only the surviving nodes; removed nodes' own
+/// `prev`/`next` entries are left in an unspecified state and must not be
+/// read. Returns the contraction cost (`O(R)` work, `O(log R)` depth whp).
+pub fn contract(lists: &mut LinkedLists, removed: &[bool], rng: &mut Rng) -> CpuCost {
+    lists.check();
+    assert_eq!(removed.len(), lists.prev.len());
+    let marked: Vec<usize> = (0..removed.len()).filter(|&i| removed[i]).collect();
+    let r = marked.len();
+    if r == 0 {
+        return CpuCost::new(1, 1);
+    }
+
+    // Random priorities: a random permutation of 0..r scattered to nodes.
+    let mut order: Vec<u32> = (0..r as u32).collect();
+    rng.shuffle(&mut order);
+    let mut priority = vec![u32::MAX; removed.len()];
+    for (rank, &node) in marked.iter().enumerate() {
+        priority[node] = order[rank];
+    }
+
+    let mut alive: Vec<usize> = marked;
+    let mut rounds = 0u64;
+    while !alive.is_empty() {
+        rounds += 1;
+        // A node splices iff no adjacent *marked alive* node has a smaller
+        // priority. (Unmarked neighbours never block.)
+        let is_blocked = |me: usize, nb: usize| -> bool {
+            nb != NONE && priority[nb] != u32::MAX && priority[nb] < priority[me]
+        };
+        let (splice, keep): (Vec<usize>, Vec<usize>) = alive
+            .par_iter()
+            .partition(|&&i| !is_blocked(i, lists.prev[i]) && !is_blocked(i, lists.next[i]));
+
+        debug_assert!(!splice.is_empty(), "contraction made no progress");
+        // The splice set is independent: apply sequentially (cheap) —
+        // correctness does not depend on order within the set.
+        for &i in &splice {
+            let (p, nx) = (lists.prev[i], lists.next[i]);
+            if p != NONE {
+                lists.next[p] = nx;
+            }
+            if nx != NONE {
+                lists.prev[nx] = p;
+            }
+            priority[i] = u32::MAX; // no longer blocks anyone
+        }
+        alive = keep;
+    }
+
+    CpuCost::new(r as u64 * 2, log2c(r as u64).max(rounds))
+}
+
+/// Reference sequential splice (for differential testing).
+pub fn contract_sequential(lists: &mut LinkedLists, removed: &[bool]) {
+    for (i, &is_removed) in removed.iter().enumerate() {
+        if !is_removed {
+            continue;
+        }
+        let (p, nx) = (lists.prev[i], lists.next[i]);
+        if p != NONE {
+            lists.next[p] = nx;
+        }
+        if nx != NONE {
+            lists.prev[nx] = p;
+        }
+    }
+}
+
+/// Extract the surviving chain starting at `head`, following `next`.
+pub fn collect_chain(lists: &LinkedLists, head: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut cur = head;
+    while cur != NONE {
+        out.push(cur);
+        cur = lists.next[cur];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn surviving_links(lists: &LinkedLists, removed: &[bool], head: usize) -> Vec<usize> {
+        // First surviving node from head, then follow next.
+        let mut start = head;
+        while start != NONE && removed[start] {
+            start = lists.next[start];
+        }
+        if start == NONE {
+            return vec![];
+        }
+        collect_chain(lists, start)
+    }
+
+    #[test]
+    fn removes_isolated_nodes() {
+        let mut l = LinkedLists::chain(5);
+        let removed = vec![false, true, false, true, false];
+        let mut rng = Rng::new(1);
+        contract(&mut l, &removed, &mut rng);
+        assert_eq!(collect_chain(&l, 0), vec![0, 2, 4]);
+        assert_eq!(l.prev[4], 2);
+        assert_eq!(l.prev[2], 0);
+    }
+
+    #[test]
+    fn removes_long_run() {
+        let n = 1000;
+        let mut l = LinkedLists::chain(n);
+        // Remove everything except the two endpoints.
+        let removed: Vec<bool> = (0..n).map(|i| i != 0 && i != n - 1).collect();
+        let mut rng = Rng::new(2);
+        contract(&mut l, &removed, &mut rng);
+        assert_eq!(collect_chain(&l, 0), vec![0, n - 1]);
+        assert_eq!(l.prev[n - 1], 0);
+    }
+
+    #[test]
+    fn removes_entire_chain() {
+        let mut l = LinkedLists::chain(64);
+        let removed = vec![true; 64];
+        let mut rng = Rng::new(3);
+        contract(&mut l, &removed, &mut rng);
+        assert!(
+            surviving_links(&l, &removed.iter().map(|_| true).collect::<Vec<_>>(), 0).is_empty()
+        );
+    }
+
+    #[test]
+    fn no_removals_is_noop() {
+        let mut l = LinkedLists::chain(10);
+        let orig = l.clone();
+        let removed = vec![false; 10];
+        let mut rng = Rng::new(4);
+        contract(&mut l, &removed, &mut rng);
+        assert_eq!(l, orig);
+    }
+
+    #[test]
+    fn matches_sequential_reference_on_random_patterns() {
+        for seed in 0..20u64 {
+            let n = 257;
+            let mut rng = Rng::new(seed);
+            let removed: Vec<bool> = (0..n).map(|_| rng.coin()).collect();
+            let mut par = LinkedLists::chain(n);
+            let mut seq = LinkedLists::chain(n);
+            contract(&mut par, &removed, &mut rng);
+            contract_sequential(&mut seq, &removed);
+            // Compare only via surviving nodes' links.
+            for (i, &is_removed) in removed.iter().enumerate() {
+                if !is_removed {
+                    assert_eq!(par.prev[i], seq.prev[i], "prev mismatch at {i} seed {seed}");
+                    assert_eq!(par.next[i], seq.next[i], "next mismatch at {i} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_disjoint_lists() {
+        // Two chains: 0-1-2 and 3-4-5 (as one arena).
+        let mut l = LinkedLists {
+            prev: vec![NONE, 0, 1, NONE, 3, 4],
+            next: vec![1, 2, NONE, 4, 5, NONE],
+        };
+        let removed = vec![false, true, false, true, true, false];
+        let mut rng = Rng::new(5);
+        contract(&mut l, &removed, &mut rng);
+        assert_eq!(collect_chain(&l, 0), vec![0, 2]);
+        assert_eq!(collect_chain(&l, 5), vec![5]);
+        assert_eq!(l.prev[5], NONE);
+    }
+
+    #[test]
+    fn cost_depth_is_logarithmic() {
+        let n = 4096;
+        let mut l = LinkedLists::chain(n);
+        let removed = vec![true; n];
+        let mut rng = Rng::new(6);
+        let c = contract(&mut l, &removed, &mut rng);
+        assert_eq!(c.work, 2 * n as u64);
+        // Rounds should be close to log n whp, certainly below 4 log n.
+        assert!(c.depth <= 4 * 12, "depth {} too large", c.depth);
+    }
+}

@@ -1,0 +1,102 @@
+//! Search-path bookkeeping for the pivot divide-and-conquer (§4.2).
+//!
+//! Stage 1 of batched Successor records, for every pivot, the *lower-part*
+//! nodes on its search path. Because "joining all possible search paths
+//! gives a directed tree" (§3.2, used by Lemma 4.2), two search paths share
+//! exactly a prefix; the **start-node hint** for a key between two pivots is
+//! the deepest node common to the two recorded paths:
+//!
+//! * no common lower-part node → start at the root;
+//! * the paths share their final leaf → the answer is that leaf, no search
+//!   needed;
+//! * otherwise → start at the lowest common node.
+
+use pim_runtime::Handle;
+
+use crate::accounting::{log2c, CpuCost};
+
+/// The start-node hint derived from two endpoint search paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hint {
+    /// Paths share no lower-part node: start from the (replicated) root.
+    Root,
+    /// Paths share their leaf: the search is already answered by this leaf.
+    SharedLeaf(Handle),
+    /// Start the lower-part search from this node.
+    Start(Handle),
+}
+
+/// A recorded lower-part search path, in visit order (shallow → leaf).
+pub type SearchPath = Vec<Handle>;
+
+/// Compute the hint for keys lying between the keys of `left` and `right`
+/// (paths recorded by earlier pivot searches). Cost: `O(common prefix)`
+/// work, `O(log)` depth (charged; the scan is short — `O(log P)` whp).
+pub fn hint_between(left: &SearchPath, right: &SearchPath) -> (Hint, CpuCost) {
+    let common = left
+        .iter()
+        .zip(right.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    let cost = CpuCost::new(
+        (common as u64).max(1),
+        log2c(left.len().max(right.len()).max(1) as u64),
+    );
+    if common == 0 {
+        return (Hint::Root, cost);
+    }
+    // Shared leaf: both paths end at the same node, which is their last
+    // common element.
+    if common == left.len() && common == right.len() {
+        return (Hint::SharedLeaf(left[common - 1]), cost);
+    }
+    (Hint::Start(left[common - 1]), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(m: u32, s: u32) -> Handle {
+        Handle::local(m, s)
+    }
+
+    #[test]
+    fn disjoint_paths_give_root() {
+        let a = vec![h(0, 1), h(1, 2)];
+        let b = vec![h(2, 3), h(3, 4)];
+        let (hint, _) = hint_between(&a, &b);
+        assert_eq!(hint, Hint::Root);
+    }
+
+    #[test]
+    fn shared_prefix_gives_deepest_common() {
+        let a = vec![h(0, 1), h(1, 2), h(2, 5)];
+        let b = vec![h(0, 1), h(1, 2), h(3, 7), h(4, 8)];
+        let (hint, _) = hint_between(&a, &b);
+        assert_eq!(hint, Hint::Start(h(1, 2)));
+    }
+
+    #[test]
+    fn identical_paths_share_leaf() {
+        let a = vec![h(0, 1), h(1, 2)];
+        let (hint, _) = hint_between(&a, &a.clone());
+        assert_eq!(hint, Hint::SharedLeaf(h(1, 2)));
+    }
+
+    #[test]
+    fn one_path_prefix_of_other_is_start_not_leaf() {
+        let a = vec![h(0, 1), h(1, 2)];
+        let b = vec![h(0, 1), h(1, 2), h(3, 7)];
+        let (hint, _) = hint_between(&a, &b);
+        assert_eq!(hint, Hint::Start(h(1, 2)));
+    }
+
+    #[test]
+    fn empty_paths_give_root() {
+        let (hint, _) = hint_between(&vec![], &vec![h(0, 1)]);
+        assert_eq!(hint, Hint::Root);
+        let (hint, _) = hint_between(&vec![], &vec![]);
+        assert_eq!(hint, Hint::Root);
+    }
+}

@@ -1,0 +1,146 @@
+//! Parallel prefix sums (scan).
+//!
+//! Used by the range-operation pipeline (§5.2 step 4: "We compute the prefix
+//! sum of the subrange sizes in ascending order, and partition the subranges
+//! into groups") and by assorted batch bookkeeping. Work `O(n)`, depth
+//! `O(log n)` — the textbook two-pass blocked scan, actually executed in
+//! parallel with rayon.
+
+use rayon::prelude::*;
+
+use crate::accounting::{log2c, CpuCost};
+
+/// Exclusive prefix sums: `out[i] = Σ_{j<i} xs[j]`; returns `(out, total,
+/// cost)`.
+pub fn exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64, CpuCost) {
+    let n = xs.len();
+    if n == 0 {
+        return (Vec::new(), 0, CpuCost::new(0, 1));
+    }
+    let chunk = (n / rayon::current_num_threads().max(1)).max(1024);
+    // Pass 1: per-block sums.
+    let block_sums: Vec<u64> = xs.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    // Sequential scan over the (few) block sums.
+    let mut block_offsets = Vec::with_capacity(block_sums.len());
+    let mut acc = 0u64;
+    for &s in &block_sums {
+        block_offsets.push(acc);
+        acc += s;
+    }
+    // Pass 2: per-block exclusive scan with offset.
+    let mut out = vec![0u64; n];
+    out.par_chunks_mut(chunk)
+        .zip(xs.par_chunks(chunk))
+        .zip(block_offsets.par_iter())
+        .for_each(|((o, c), &off)| {
+            let mut run = off;
+            for (oi, &ci) in o.iter_mut().zip(c) {
+                *oi = run;
+                run += ci;
+            }
+        });
+    (out, acc, CpuCost::new(n as u64, log2c(n as u64)))
+}
+
+/// Inclusive prefix sums: `out[i] = Σ_{j<=i} xs[j]`.
+pub fn inclusive_scan(xs: &[u64]) -> (Vec<u64>, u64, CpuCost) {
+    let (mut out, total, cost) = exclusive_scan(xs);
+    out.par_iter_mut().zip(xs.par_iter()).for_each(|(o, &x)| {
+        *o += x;
+    });
+    (out, total, cost)
+}
+
+/// Partition items with sizes `sizes` into consecutive groups of total size
+/// at most `budget` (each group as full as possible; an item larger than
+/// `budget` gets a group of its own — callers split such items beforehand
+/// when the model requires it, as §5.2 does for oversized subranges).
+/// Returns group boundaries as index ranges.
+pub fn group_by_budget(sizes: &[u64], budget: u64) -> (Vec<std::ops::Range<usize>>, CpuCost) {
+    assert!(budget > 0);
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &s) in sizes.iter().enumerate() {
+        if i > start && acc + s > budget {
+            groups.push(start..i);
+            start = i;
+            acc = 0;
+        }
+        acc += s;
+    }
+    if start < sizes.len() {
+        groups.push(start..sizes.len());
+    }
+    let n = sizes.len() as u64;
+    (groups, CpuCost::new(n.max(1), log2c(n.max(1))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_small() {
+        let (out, total, _) = exclusive_scan(&[3, 1, 4, 1, 5]);
+        assert_eq!(out, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn inclusive_scan_small() {
+        let (out, total, _) = inclusive_scan(&[3, 1, 4, 1, 5]);
+        assert_eq!(out, vec![3, 4, 8, 9, 14]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn scan_empty() {
+        let (out, total, _) = exclusive_scan(&[]);
+        assert!(out.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn scan_matches_sequential_on_large_input() {
+        let xs: Vec<u64> = (0..100_000).map(|i| i % 17).collect();
+        let (out, total, _) = exclusive_scan(&xs);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(out[i], acc, "mismatch at {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn grouping_respects_budget() {
+        let sizes = vec![4, 4, 4, 4, 4];
+        let (groups, _) = group_by_budget(&sizes, 8);
+        assert_eq!(groups, vec![0..2, 2..4, 4..5]);
+    }
+
+    #[test]
+    fn grouping_oversized_item_isolated() {
+        let sizes = vec![2, 100, 2, 2];
+        let (groups, _) = group_by_budget(&sizes, 8);
+        assert_eq!(groups, vec![0..1, 1..2, 2..4]);
+        // Every group except oversized singletons fits the budget.
+        for g in &groups {
+            let total: u64 = sizes[g.clone()].iter().sum();
+            assert!(total <= 8 || g.len() == 1);
+        }
+    }
+
+    #[test]
+    fn grouping_empty() {
+        let (groups, _) = group_by_budget(&[], 8);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn grouping_exact_fit() {
+        let (groups, _) = group_by_budget(&[8, 8], 8);
+        assert_eq!(groups, vec![0..1, 1..2]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Parallel semisort and batch deduplication.
+//!
+//! Batched Get/Update "first goes through a parallel semisort on the CPU
+//! side to remove duplicate operations" (§4.1) — deduplication is what makes
+//! duplicate-heavy adversarial batches PIM-balanced, since only one message
+//! per distinct key ever reaches a module. A semisort groups equal keys
+//! without fully ordering them; per Gu–Shun–Sun–Blelloch [18] it runs in
+//! `O(n)` expected work and `O(log n)` whp depth, which is what we charge.
+//!
+//! The execution strategy groups by hashed key (the classic semisort
+//! reduction): items are scattered to buckets by a seeded hash of the key,
+//! each bucket is grouped locally, and groups are emitted bucket by bucket —
+//! equal keys are contiguous in the output but the global order is the
+//! (random) hash order, not the key order.
+
+use rayon::prelude::*;
+
+use pim_runtime::hashfn::hash1;
+
+use crate::accounting::{log2c, CpuCost};
+
+/// Group items with equal keys contiguously (hash order, not key order):
+/// `O(n)` expected work, `O(log n)` whp depth.
+pub fn semisort_by_key<T, F>(items: Vec<T>, seed: u64, key: F) -> (Vec<T>, CpuCost)
+where
+    T: Send,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = items.len() as u64;
+    if n <= 1 {
+        return (items, CpuCost::new(n, 1));
+    }
+    let buckets = (items.len() / 4).next_power_of_two().max(1);
+    let mask = buckets as u64 - 1;
+    let mut slots: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+    for item in items {
+        let b = (hash1(seed, key(&item)) & mask) as usize;
+        slots[b].push(item);
+    }
+    // Group equal keys within each bucket (buckets are small in
+    // expectation; sort each by hashed key for contiguity).
+    slots.par_iter_mut().for_each(|bucket| {
+        bucket.sort_by_key(|it| hash1(seed, key(it)));
+    });
+    let out: Vec<T> = slots.into_iter().flatten().collect();
+    (out, CpuCost::new(n, log2c(n)))
+}
+
+/// Deduplicate a batch by key, keeping the *first* occurrence of each key
+/// (batch semantics: within one batch all operations are the same type, and
+/// the model leaves intra-batch duplicate resolution to the data structure;
+/// first-wins is our documented choice). Built on [`semisort_by_key`];
+/// same costs.
+pub fn dedup_by_key<T, F>(items: Vec<T>, seed: u64, key: F) -> (Vec<T>, CpuCost)
+where
+    T: Send,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return (items, CpuCost::new(n as u64, 1));
+    }
+    // Tag with the original index so "first occurrence" is well defined
+    // after the semisort scrambles the order.
+    let tagged: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let (grouped, cost) = semisort_by_key(tagged, seed, |(_, it)| key(it));
+    let mut out: Vec<(usize, T)> = Vec::new();
+    let mut iter = grouped.into_iter().peekable();
+    while let Some((idx, item)) = iter.next() {
+        let k = key(&item);
+        let mut best = (idx, item);
+        while let Some((_, nxt)) = iter.peek() {
+            if key(nxt) != k {
+                break;
+            }
+            let (nidx, nitem) = iter.next().expect("peeked");
+            if nidx < best.0 {
+                best = (nidx, nitem);
+            }
+        }
+        out.push(best);
+    }
+    // Restore input order of the survivors (stable, deterministic output).
+    out.sort_unstable_by_key(|&(idx, _)| idx);
+    let final_cost = cost.then(CpuCost::new(out.len() as u64, log2c(out.len() as u64)));
+    (out.into_iter().map(|(_, it)| it).collect(), final_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn semisort_groups_equal_keys() {
+        let items: Vec<u64> = (0..1000).map(|i| i % 37).collect();
+        let (out, _) = semisort_by_key(items, 99, |&x| x);
+        // Equal keys must be contiguous.
+        let mut seen_ranges: HashMap<u64, usize> = HashMap::new();
+        let mut runs = 0;
+        let mut prev: Option<u64> = None;
+        for &x in &out {
+            if prev != Some(x) {
+                runs += 1;
+                assert!(
+                    seen_ranges.insert(x, runs).is_none(),
+                    "key {x} appears in two separate runs"
+                );
+            }
+            prev = Some(x);
+        }
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn semisort_preserves_multiset() {
+        let items = vec![3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let (mut out, _) = semisort_by_key(items.clone(), 7, |&x| x);
+        let mut expect = items;
+        out.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence() {
+        // (key, payload): payloads distinguish occurrences.
+        let items = vec![(5u64, 'a'), (3, 'b'), (5, 'c'), (3, 'd'), (7, 'e')];
+        let (out, _) = dedup_by_key(items, 1, |&(k, _)| k);
+        assert_eq!(out, vec![(5, 'a'), (3, 'b'), (7, 'e')]);
+    }
+
+    #[test]
+    fn dedup_is_identity_on_unique_keys() {
+        let items: Vec<u64> = (0..100).rev().collect();
+        let (out, _) = dedup_by_key(items.clone(), 2, |&x| x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn dedup_adversarial_all_same_key() {
+        let items: Vec<(u64, u32)> = (0..10_000).map(|i| (42, i)).collect();
+        let (out, _) = dedup_by_key(items, 3, |&(k, _)| k);
+        assert_eq!(out, vec![(42, 0)]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (out, _) = dedup_by_key(Vec::<u64>::new(), 1, |&x| x);
+        assert!(out.is_empty());
+        let (out, _) = dedup_by_key(vec![9u64], 1, |&x| x);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn cost_is_linear_work() {
+        let items: Vec<u64> = (0..1024).collect();
+        let (_, c) = semisort_by_key(items, 5, |&x| x);
+        assert_eq!(c.work, 1024);
+        assert_eq!(c.depth, 10);
+    }
+}

@@ -1,0 +1,114 @@
+//! Parallel sorting with work/depth charges.
+//!
+//! The paper's batch operations begin by sorting the batch on the CPU side
+//! ("The keys in the batch are first sorted on the CPU side", §4.2), citing
+//! binary-forking-model sorting [9] with `O(n log n)` work and `O(log n)`
+//! whp depth. The execution here uses rayon's parallel merge/quick sort,
+//! and charges the cited costs.
+
+use rayon::prelude::*;
+
+use crate::accounting::{log2c, CpuCost};
+
+/// Parallel comparison sort: `O(n log n)` work, `O(log n)` depth whp.
+pub fn par_sort<T: Ord + Send>(items: &mut [T]) -> CpuCost {
+    items.par_sort_unstable();
+    sort_cost(items.len() as u64)
+}
+
+/// Parallel sort by key extraction.
+pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F) -> CpuCost
+where
+    T: Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    items.par_sort_unstable_by_key(key);
+    sort_cost(items.len() as u64)
+}
+
+/// The work/depth charge of a comparison sort of `n` items.
+pub fn sort_cost(n: u64) -> CpuCost {
+    if n <= 1 {
+        return CpuCost::new(n, 1);
+    }
+    CpuCost::new(n * log2c(n), log2c(n))
+}
+
+/// Check sortedness (used by debug assertions in the batch algorithms).
+pub fn is_sorted<T: Ord>(items: &[T]) -> bool {
+    items.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Merge two sorted sequences: `O(n+m)` work, `O(log(n+m))` depth.
+pub fn par_merge<T: Ord + Send + Copy>(a: &[T], b: &[T]) -> (Vec<T>, CpuCost) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    let n = out.len() as u64;
+    (out, CpuCost::new(n.max(1), log2c(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_charges() {
+        let mut v = vec![5, 3, 8, 1, 9, 2, 7];
+        let c = par_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 5, 7, 8, 9]);
+        assert_eq!(c, CpuCost::new(7 * 3, 3));
+    }
+
+    #[test]
+    fn sort_by_key_descending() {
+        let mut v = vec![(1, 'a'), (3, 'b'), (2, 'c')];
+        par_sort_by_key(&mut v, |&(k, _)| std::cmp::Reverse(k));
+        assert_eq!(v, vec![(3, 'b'), (2, 'c'), (1, 'a')]);
+    }
+
+    #[test]
+    fn large_parallel_sort_correct() {
+        let mut v: Vec<u64> = (0..100_000).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut v: Vec<u32> = vec![];
+        assert_eq!(par_sort(&mut v), CpuCost::new(0, 1));
+        let mut v = vec![42];
+        assert_eq!(par_sort(&mut v), CpuCost::new(1, 1));
+        assert!(is_sorted(&v));
+    }
+
+    #[test]
+    fn merge_is_sorted_and_complete() {
+        let a = vec![1, 4, 6, 9];
+        let b = vec![2, 3, 5, 10, 12];
+        let (m, _) = par_merge(&a, &b);
+        assert_eq!(m, vec![1, 2, 3, 4, 5, 6, 9, 10, 12]);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let (m, _) = par_merge::<u32>(&[], &[1, 2]);
+        assert_eq!(m, vec![1, 2]);
+        let (m, _) = par_merge::<u32>(&[1, 2], &[]);
+        assert_eq!(m, vec![1, 2]);
+    }
+}

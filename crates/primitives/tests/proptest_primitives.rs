@@ -1,0 +1,140 @@
+//! Property-based tests of the CPU-side parallel primitives.
+
+use proptest::prelude::*;
+
+use pim_primitives::list_contraction::{contract, contract_sequential, LinkedLists, NONE};
+use pim_primitives::prefix::{exclusive_scan, group_by_budget, inclusive_scan};
+use pim_primitives::semisort::{dedup_by_key, semisort_by_key};
+use pim_primitives::sort::{par_merge, par_sort};
+use pim_runtime::Rng;
+
+proptest! {
+    #[test]
+    fn par_sort_matches_std(mut xs in prop::collection::vec(any::<i64>(), 0..2000)) {
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        par_sort(&mut xs);
+        prop_assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn par_merge_matches_concat_sort(
+        mut a in prop::collection::vec(any::<i32>(), 0..500),
+        mut b in prop::collection::vec(any::<i32>(), 0..500),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let (m, _) = par_merge(&a, &b);
+        let mut expect = [a, b].concat();
+        expect.sort_unstable();
+        prop_assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn scans_match_reference(xs in prop::collection::vec(0u64..1000, 0..3000)) {
+        let (ex, total, _) = exclusive_scan(&xs);
+        let (inc, total2, _) = inclusive_scan(&xs);
+        prop_assert_eq!(total, xs.iter().sum::<u64>());
+        prop_assert_eq!(total, total2);
+        let mut acc = 0;
+        for i in 0..xs.len() {
+            prop_assert_eq!(ex[i], acc);
+            acc += xs[i];
+            prop_assert_eq!(inc[i], acc);
+        }
+    }
+
+    #[test]
+    fn grouping_covers_everything_in_order(
+        sizes in prop::collection::vec(0u64..50, 0..200),
+        budget in 1u64..100,
+    ) {
+        let (groups, _) = group_by_budget(&sizes, budget);
+        // Groups partition 0..n in order.
+        let mut next = 0;
+        for g in &groups {
+            prop_assert_eq!(g.start, next);
+            prop_assert!(g.end > g.start);
+            next = g.end;
+            let total: u64 = sizes[g.clone()].iter().sum();
+            prop_assert!(total <= budget || g.len() == 1);
+        }
+        prop_assert_eq!(next, sizes.len());
+    }
+
+    #[test]
+    fn semisort_groups_and_preserves(xs in prop::collection::vec(0u64..40, 0..800)) {
+        let (out, _) = semisort_by_key(xs.clone(), 9, |&x| x);
+        // Multiset preserved.
+        let mut a = out.clone();
+        let mut b = xs;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(&a, &b);
+        // Equal keys contiguous.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = None;
+        for &x in &out {
+            if prev != Some(x) {
+                prop_assert!(seen.insert(x), "key {} split into two runs", x);
+            }
+            prev = Some(x);
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_exactly_first_occurrences(
+        xs in prop::collection::vec((0u64..30, any::<u32>()), 0..400),
+    ) {
+        let (out, _) = dedup_by_key(xs.clone(), 11, |&(k, _)| k);
+        // Reference: first occurrence of each key, in input order.
+        let mut seen = std::collections::HashSet::new();
+        let expect: Vec<(u64, u32)> = xs
+            .into_iter()
+            .filter(|&(k, _)| seen.insert(k))
+            .collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn contraction_matches_sequential(
+        seed in any::<u64>(),
+        removed in prop::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let n = removed.len();
+        let mut par = LinkedLists::chain(n);
+        let mut seq = LinkedLists::chain(n);
+        let mut rng = Rng::new(seed);
+        contract(&mut par, &removed, &mut rng);
+        contract_sequential(&mut seq, &removed);
+        for (i, &is_removed) in removed.iter().enumerate() {
+            if !is_removed {
+                prop_assert_eq!(par.prev[i], seq.prev[i]);
+                prop_assert_eq!(par.next[i], seq.next[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_survivors_form_a_chain(
+        seed in any::<u64>(),
+        removed in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let n = removed.len();
+        let mut lists = LinkedLists::chain(n);
+        let mut rng = Rng::new(seed);
+        contract(&mut lists, &removed, &mut rng);
+        let survivors: Vec<usize> = (0..n).filter(|&i| !removed[i]).collect();
+        // Walk from the first survivor; must visit exactly the survivors
+        // in order.
+        if let Some(&first) = survivors.first() {
+            let mut walked = vec![];
+            let mut cur = first;
+            while cur != NONE {
+                walked.push(cur);
+                cur = lists.next[cur];
+            }
+            prop_assert_eq!(walked, survivors);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Balls-in-bins experiments (Lemmas 2.1 and 2.2).
+//!
+//! The paper's PIM-balance arguments rest on two randomised load-balancing
+//! facts:
+//!
+//! * **Lemma 2.1** (Raab–Steger): throwing `T = Ω(P log P)` balls into `P`
+//!   bins uniformly yields `Θ(T/P)` balls in every bin whp.
+//! * **Lemma 2.2** (with the paper's Appendix whp proof via Bernstein):
+//!   throwing weighted balls with total weight `W` and per-ball weight cap
+//!   `W/(P log P)` yields `O(W/P)` weight in every bin whp.
+//!
+//! These helpers run the experiments and report max/mean statistics so the
+//! bench harness can plot the constant in front of `T/P` (resp. `W/P`) as
+//! `P` grows — the empirical analogue of "whp in `P`".
+
+use crate::hashfn::hash2;
+
+/// Outcome statistics of one balls-in-bins trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinStats {
+    /// Number of bins `P`.
+    pub bins: usize,
+    /// Total weight thrown (ball count for the unweighted game).
+    pub total: u64,
+    /// Heaviest bin.
+    pub max: u64,
+    /// Lightest bin.
+    pub min: u64,
+    /// Mean load `total / bins`.
+    pub mean: f64,
+    /// `max / mean` — the PIM-imbalance factor; Θ(1) whp per the lemmas.
+    pub max_over_mean: f64,
+}
+
+fn stats(loads: &[u64]) -> BinStats {
+    let total: u64 = loads.iter().sum();
+    let max = loads.iter().copied().max().unwrap_or(0);
+    let min = loads.iter().copied().min().unwrap_or(0);
+    let mean = total as f64 / loads.len() as f64;
+    BinStats {
+        bins: loads.len(),
+        total,
+        max,
+        min,
+        mean,
+        max_over_mean: if mean > 0.0 { max as f64 / mean } else { 1.0 },
+    }
+}
+
+/// Throw `t` unit balls into `p` bins uniformly (Lemma 2.1); returns loads.
+pub fn throw_uniform(t: u64, p: usize, seed: u64) -> Vec<u64> {
+    assert!(p > 0);
+    let mut loads = vec![0u64; p];
+    for i in 0..t {
+        loads[(hash2(seed, i, 0x5ba11) % p as u64) as usize] += 1;
+    }
+    loads
+}
+
+/// Throw weighted balls into `p` bins uniformly (Lemma 2.2); returns loads.
+pub fn throw_weighted(weights: &[u64], p: usize, seed: u64) -> Vec<u64> {
+    assert!(p > 0);
+    let mut loads = vec![0u64; p];
+    for (i, &w) in weights.iter().enumerate() {
+        loads[(hash2(seed, i as u64, 0x3eb) % p as u64) as usize] += w;
+    }
+    loads
+}
+
+/// Run the Lemma 2.1 game and summarise.
+pub fn lemma21_trial(t: u64, p: usize, seed: u64) -> BinStats {
+    stats(&throw_uniform(t, p, seed))
+}
+
+/// Run the Lemma 2.2 game and summarise. Panics if any weight exceeds the
+/// lemma's cap `W/(P log P)` by more than rounding (callers build compliant
+/// inputs with [`cap_weights`]).
+pub fn lemma22_trial(weights: &[u64], p: usize, seed: u64) -> BinStats {
+    let w: u64 = weights.iter().sum();
+    let cap = weight_cap(w, p);
+    for &wi in weights {
+        assert!(
+            wi <= cap.max(1),
+            "weight {wi} exceeds Lemma 2.2 cap {cap} (W={w}, P={p})"
+        );
+    }
+    stats(&throw_weighted(weights, p, seed))
+}
+
+/// Lemma 2.2's per-ball weight limit, `W/(P log P)`.
+pub fn weight_cap(total_weight: u64, p: usize) -> u64 {
+    let logp = (p.max(2)).ilog2() as u64;
+    (total_weight / (p as u64 * logp.max(1))).max(1)
+}
+
+/// Split an arbitrary weight multiset into one obeying Lemma 2.2's cap by
+/// chopping heavy balls into cap-sized pieces (this is exactly what the
+/// paper's algorithms do when they split oversized subranges, §5.2 step 4).
+pub fn cap_weights(weights: &[u64], p: usize) -> Vec<u64> {
+    let w: u64 = weights.iter().sum();
+    let cap = weight_cap(w, p);
+    let mut out = Vec::with_capacity(weights.len());
+    for &wi in weights {
+        let mut rest = wi;
+        while rest > cap {
+            out.push(cap);
+            rest -= cap;
+        }
+        if rest > 0 {
+            out.push(rest);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loads_sum_to_t() {
+        let loads = throw_uniform(10_000, 16, 1);
+        assert_eq!(loads.iter().sum::<u64>(), 10_000);
+        assert_eq!(loads.len(), 16);
+    }
+
+    #[test]
+    fn lemma21_balanced_when_t_is_p_log_p_scaled() {
+        // T = 64 * P log P: the constant in front of T/P should be small.
+        let p = 64;
+        let t = 64 * (p as u64) * 6;
+        let s = lemma21_trial(t, p, 42);
+        assert!(s.max_over_mean < 1.6, "imbalance {}", s.max_over_mean);
+        assert!(s.min > 0);
+    }
+
+    #[test]
+    fn lemma21_small_t_shows_log_over_loglog_imbalance() {
+        // T = P: classic Θ(log P / log log P) max load — imbalance must be
+        // clearly above the large-T regime, motivating the minimum batch
+        // sizes in Table 1.
+        let p = 1024;
+        let s = lemma21_trial(p as u64, p, 7);
+        assert!(s.max >= 3, "max load {} too small", s.max);
+    }
+
+    #[test]
+    fn weighted_loads_sum_to_w() {
+        let weights: Vec<u64> = (1..=100).collect();
+        let loads = throw_weighted(&weights, 8, 3);
+        assert_eq!(loads.iter().sum::<u64>(), weights.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn cap_weights_obeys_cap_and_preserves_total() {
+        let p = 16;
+        let weights = vec![1000, 3, 5, 2000, 1];
+        let total: u64 = weights.iter().sum();
+        let capped = cap_weights(&weights, p);
+        assert_eq!(capped.iter().sum::<u64>(), total);
+        let cap = weight_cap(total, p);
+        assert!(capped.iter().all(|&w| w <= cap));
+    }
+
+    #[test]
+    fn lemma22_balanced_with_capped_weights() {
+        let p = 64;
+        // Many balls, geometric-ish weights, then cap.
+        let raw: Vec<u64> = (0..20_000u64).map(|i| 1 + (i % 37)).collect();
+        let capped = cap_weights(&raw, p);
+        let s = lemma22_trial(&capped, p, 5);
+        assert!(s.max_over_mean < 1.5, "imbalance {}", s.max_over_mean);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lemma22_rejects_overweight_balls() {
+        // One ball holds the entire weight: violates the cap.
+        let _ = lemma22_trial(&[1_000_000, 1, 1], 64, 9);
+    }
+
+    #[test]
+    fn weight_cap_floor_is_one() {
+        assert_eq!(weight_cap(0, 8), 1);
+        assert_eq!(weight_cap(5, 1024), 1);
+    }
+}

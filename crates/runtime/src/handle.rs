@@ -1,0 +1,202 @@
+//! Node handles: global addresses in the PIM machine.
+//!
+//! A [`Handle`] names one slot of one PIM module's local memory. The paper's
+//! skip list stores two kinds of nodes (§3.1): *lower-part* nodes living in
+//! exactly one module, and *upper-part* nodes replicated across **all**
+//! modules at the same local address. The [`Arena`] discriminant records
+//! which of the two address spaces a handle points into; for replicated
+//! handles the module field is irrelevant (any module can resolve them
+//! locally), which is exactly the property the algorithms exploit to avoid
+//! network traffic in the upper part.
+
+use std::fmt;
+
+/// Identifier of a PIM module, `0..P`.
+pub type ModuleId = u32;
+
+/// Which of the two per-module address spaces a handle refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arena {
+    /// Replicated storage: the same slot exists in every module.
+    Replicated,
+    /// Distributed storage: the slot exists only in `Handle::module()`.
+    Local,
+}
+
+/// A packed global address: `(arena kind, module id, slot index)`.
+///
+/// Packing keeps handles `Copy` and exactly one machine word, matching the
+/// model's assumption that messages carry a constant number of words.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(u64);
+
+const NULL_BITS: u64 = u64::MAX;
+const REPL_BIT: u64 = 1 << 63;
+const MODULE_SHIFT: u32 = 32;
+const MODULE_MASK: u64 = 0x7FFF_FFFF;
+const SLOT_MASK: u64 = 0xFFFF_FFFF;
+
+impl Handle {
+    /// The distinguished null handle (no node).
+    pub const NULL: Handle = Handle(NULL_BITS);
+
+    /// A handle to a distributed (single-module) slot.
+    #[inline]
+    pub fn local(module: ModuleId, slot: u32) -> Handle {
+        debug_assert!((module as u64) < MODULE_MASK);
+        Handle(((module as u64) << MODULE_SHIFT) | slot as u64)
+    }
+
+    /// A handle to a replicated slot (present in every module).
+    #[inline]
+    pub fn replicated(slot: u32) -> Handle {
+        Handle(REPL_BIT | slot as u64)
+    }
+
+    /// Is this the null handle?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == NULL_BITS
+    }
+
+    /// Is this a non-null handle?
+    #[inline]
+    pub fn is_some(self) -> bool {
+        !self.is_null()
+    }
+
+    /// Which arena the handle addresses. Panics on null in debug builds.
+    #[inline]
+    pub fn arena(self) -> Arena {
+        debug_assert!(!self.is_null(), "arena() on null handle");
+        if self.0 & REPL_BIT != 0 {
+            Arena::Replicated
+        } else {
+            Arena::Local
+        }
+    }
+
+    /// True if the handle addresses the replicated arena.
+    #[inline]
+    pub fn is_replicated(self) -> bool {
+        self.is_some() && self.0 & REPL_BIT != 0
+    }
+
+    /// The owning module of a [`Arena::Local`] handle.
+    ///
+    /// For replicated handles there is no unique owner; callers must not ask.
+    #[inline]
+    pub fn module(self) -> ModuleId {
+        debug_assert!(
+            self.is_some() && self.0 & REPL_BIT == 0,
+            "module() requires a non-null Local handle"
+        );
+        ((self.0 >> MODULE_SHIFT) & MODULE_MASK) as ModuleId
+    }
+
+    /// Slot index within the arena.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        debug_assert!(!self.is_null(), "slot() on null handle");
+        (self.0 & SLOT_MASK) as u32
+    }
+
+    /// Raw bit pattern (one machine word, as shipped in messages).
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`Handle::to_bits`].
+    #[inline]
+    pub fn from_bits(bits: u64) -> Handle {
+        Handle(bits)
+    }
+
+    /// The module whose local memory resolves this handle *from the
+    /// perspective of module `me`*: replicated handles resolve locally,
+    /// distributed handles resolve at their owner.
+    #[inline]
+    pub fn resolver(self, me: ModuleId) -> ModuleId {
+        if self.is_replicated() {
+            me
+        } else {
+            self.module()
+        }
+    }
+}
+
+impl Default for Handle {
+    fn default() -> Self {
+        Handle::NULL
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Handle(NULL)")
+        } else if self.is_replicated() {
+            write!(f, "Handle(R:{})", self.slot())
+        } else {
+            write!(f, "Handle({}:{})", self.module(), self.slot())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_roundtrip() {
+        assert!(Handle::NULL.is_null());
+        assert!(!Handle::NULL.is_some());
+        assert_eq!(Handle::from_bits(Handle::NULL.to_bits()), Handle::NULL);
+        assert_eq!(Handle::default(), Handle::NULL);
+    }
+
+    #[test]
+    fn local_fields() {
+        let h = Handle::local(17, 123_456);
+        assert!(h.is_some());
+        assert!(!h.is_replicated());
+        assert_eq!(h.arena(), Arena::Local);
+        assert_eq!(h.module(), 17);
+        assert_eq!(h.slot(), 123_456);
+    }
+
+    #[test]
+    fn replicated_fields() {
+        let h = Handle::replicated(99);
+        assert!(h.is_replicated());
+        assert_eq!(h.arena(), Arena::Replicated);
+        assert_eq!(h.slot(), 99);
+    }
+
+    #[test]
+    fn resolver_semantics() {
+        let local = Handle::local(3, 5);
+        let repl = Handle::replicated(5);
+        assert_eq!(local.resolver(7), 3);
+        assert_eq!(repl.resolver(7), 7);
+        assert_eq!(repl.resolver(0), 0);
+    }
+
+    #[test]
+    fn bit_roundtrip_distinguishes_arenas() {
+        let a = Handle::local(0, 5);
+        let b = Handle::replicated(5);
+        assert_ne!(a, b);
+        assert_eq!(Handle::from_bits(a.to_bits()), a);
+        assert_eq!(Handle::from_bits(b.to_bits()), b);
+    }
+
+    #[test]
+    fn max_local_fields() {
+        let h = Handle::local(0x7FFF_FFFE, u32::MAX - 1);
+        assert_eq!(h.module(), 0x7FFF_FFFE);
+        assert_eq!(h.slot(), u32::MAX - 1);
+        assert!(!h.is_null());
+    }
+}

@@ -1,0 +1,237 @@
+//! Cost metrics of the PIM model (§2.1).
+//!
+//! The model is analysed in five currencies:
+//!
+//! * **IO time** — the network runs in bulk-synchronous rounds; round `i`
+//!   realises an `h_i`-relation where `h_i` is the *maximum* number of
+//!   messages to/from any one PIM module; IO time is `Σ h_i`.
+//! * **PIM time** — maximum local work on any one PIM core (we account it
+//!   per round and sum, which equals the max along the barrier-aligned
+//!   schedule the simulator executes).
+//! * **CPU work / CPU depth** — standard work/span of the CPU side, charged
+//!   analytically by the instrumented CPU-side primitives.
+//! * **rounds** — number of bulk-synchronous rounds (synchronisation cost is
+//!   `rounds · log P`, reported separately as in Theorem 5.1's discussion).
+//! * **shared memory** — high-water mark of CPU-side staging space in words
+//!   (the minimal `M` column of Table 1).
+//!
+//! Totals (`total_messages`, `total_pim_work`) are kept as well so that
+//! PIM-*balance* — PIM time `O(W/P)` and IO time `O(I/P)` — can be checked
+//! directly, which is the paper's central algorithmic property.
+
+use std::ops::Sub;
+
+/// Accumulated costs of a (portion of a) computation on the PIM machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of bulk-synchronous rounds executed.
+    pub rounds: u64,
+    /// `Σ_i h_i`: sum over rounds of the max per-module message count.
+    pub io_time: u64,
+    /// Sum over rounds of the max per-module local work.
+    pub pim_time: u64,
+    /// `I`: total messages crossing the network (both directions).
+    pub total_messages: u64,
+    /// `W`: total work executed by all PIM cores.
+    pub total_pim_work: u64,
+    /// Total CPU-side work (charged by instrumented primitives).
+    pub cpu_work: u64,
+    /// CPU-side depth/span (sequential phases add, parallel phases max).
+    pub cpu_depth: u64,
+    /// High-water mark of CPU shared-memory words in use.
+    pub shared_mem_peak: u64,
+}
+
+impl Metrics {
+    /// A zeroed metrics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one bulk-synchronous round.
+    ///
+    /// `h` is the max per-module message count, `max_work` the max per-module
+    /// local work, `messages`/`work` the corresponding totals.
+    pub fn record_round(&mut self, h: u64, max_work: u64, messages: u64, work: u64) {
+        self.rounds += 1;
+        self.io_time += h;
+        self.pim_time += max_work;
+        self.total_messages += messages;
+        self.total_pim_work += work;
+    }
+
+    /// Charge CPU-side cost: sequential composition (depth adds).
+    pub fn charge_cpu(&mut self, work: u64, depth: u64) {
+        self.cpu_work += work;
+        self.cpu_depth += depth;
+    }
+
+    /// Raise the shared-memory high-water mark to at least `words`.
+    pub fn observe_shared_mem(&mut self, words: u64) {
+        self.shared_mem_peak = self.shared_mem_peak.max(words);
+    }
+
+    /// Synchronisation cost of the rounds, `rounds · ceil(log2 P)`.
+    pub fn sync_cost(&self, p: u32) -> u64 {
+        self.rounds * u64::from(p.max(2).ilog2())
+    }
+
+    /// The PIM-balance ratio for local work: `pim_time / (W/P)`.
+    ///
+    /// An algorithm is PIM-balanced when this is `O(1)`; a serialised
+    /// algorithm degrades towards `P`.
+    pub fn pim_balance_work(&self, p: u32) -> f64 {
+        if self.total_pim_work == 0 {
+            return 1.0;
+        }
+        self.pim_time as f64 / (self.total_pim_work as f64 / f64::from(p))
+    }
+
+    /// The PIM-balance ratio for communication: `io_time / (I/P)`.
+    pub fn pim_balance_io(&self, p: u32) -> f64 {
+        if self.total_messages == 0 {
+            return 1.0;
+        }
+        self.io_time as f64 / (self.total_messages as f64 / f64::from(p))
+    }
+}
+
+impl Sub for Metrics {
+    type Output = Metrics;
+
+    /// Difference of two snapshots: costs incurred between them.
+    ///
+    /// `shared_mem_peak` is not a counter; the difference keeps the later
+    /// snapshot's peak (the peak observed *by the end* of the interval).
+    fn sub(self, earlier: Metrics) -> Metrics {
+        Metrics {
+            rounds: self.rounds - earlier.rounds,
+            io_time: self.io_time - earlier.io_time,
+            pim_time: self.pim_time - earlier.pim_time,
+            total_messages: self.total_messages - earlier.total_messages,
+            total_pim_work: self.total_pim_work - earlier.total_pim_work,
+            cpu_work: self.cpu_work - earlier.cpu_work,
+            cpu_depth: self.cpu_depth - earlier.cpu_depth,
+            shared_mem_peak: self.shared_mem_peak,
+        }
+    }
+}
+
+/// Tracker for CPU shared-memory usage (the model's `M`).
+///
+/// CPU-side algorithms bracket their staging allocations with
+/// [`SharedMem::alloc`] / [`SharedMem::free`]; the peak is folded into
+/// [`Metrics::shared_mem_peak`] by the system at each round boundary and can
+/// be sampled directly.
+#[derive(Debug, Default, Clone)]
+pub struct SharedMem {
+    current: u64,
+    peak: u64,
+}
+
+impl SharedMem {
+    /// New tracker with zero usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `words` words of shared memory.
+    pub fn alloc(&mut self, words: u64) {
+        self.current += words;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Free `words` words previously allocated.
+    pub fn free(&mut self, words: u64) {
+        debug_assert!(self.current >= words, "freeing more than allocated");
+        self.current = self.current.saturating_sub(words);
+    }
+
+    /// Words currently in use.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark since creation (or last [`SharedMem::reset_peak`]).
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Reset the peak to the current usage (start of a new measurement).
+    pub fn reset_peak(&mut self) {
+        self.peak = self.current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_recording_accumulates() {
+        let mut m = Metrics::new();
+        m.record_round(3, 10, 30, 50);
+        m.record_round(2, 5, 16, 20);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.io_time, 5);
+        assert_eq!(m.pim_time, 15);
+        assert_eq!(m.total_messages, 46);
+        assert_eq!(m.total_pim_work, 70);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let mut m = Metrics::new();
+        m.record_round(3, 10, 30, 50);
+        let snap = m;
+        m.record_round(2, 5, 16, 20);
+        m.charge_cpu(100, 7);
+        let d = m - snap;
+        assert_eq!(d.rounds, 1);
+        assert_eq!(d.io_time, 2);
+        assert_eq!(d.pim_time, 5);
+        assert_eq!(d.cpu_work, 100);
+        assert_eq!(d.cpu_depth, 7);
+    }
+
+    #[test]
+    fn balance_ratios() {
+        let mut m = Metrics::new();
+        // Perfectly balanced: P=4, each module 5 messages and 5 work.
+        m.record_round(5, 5, 20, 20);
+        assert!((m.pim_balance_work(4) - 1.0).abs() < 1e-9);
+        assert!((m.pim_balance_io(4) - 1.0).abs() < 1e-9);
+        // Fully serialised round on top: one module does everything.
+        m.record_round(20, 20, 20, 20);
+        assert!(m.pim_balance_io(4) > 2.0);
+    }
+
+    #[test]
+    fn balance_ratio_of_empty_is_one() {
+        let m = Metrics::new();
+        assert_eq!(m.pim_balance_work(8), 1.0);
+        assert_eq!(m.pim_balance_io(8), 1.0);
+    }
+
+    #[test]
+    fn sync_cost_uses_log_p() {
+        let mut m = Metrics::new();
+        m.record_round(1, 1, 1, 1);
+        m.record_round(1, 1, 1, 1);
+        assert_eq!(m.sync_cost(16), 2 * 4);
+        assert_eq!(m.sync_cost(1), 2); // clamped to log 2
+    }
+
+    #[test]
+    fn shared_mem_peak_tracking() {
+        let mut s = SharedMem::new();
+        s.alloc(10);
+        s.alloc(5);
+        s.free(12);
+        s.alloc(4);
+        assert_eq!(s.current(), 7);
+        assert_eq!(s.peak(), 15);
+        s.reset_peak();
+        assert_eq!(s.peak(), 7);
+    }
+}

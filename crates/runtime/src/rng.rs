@@ -1,0 +1,133 @@
+//! Deterministic pseudo-randomness for the simulator.
+//!
+//! All random choices made by the algorithms (hash seeds, coin tosses for
+//! skip-list heights, random module targets, list-contraction priorities)
+//! flow from [`Rng`], a SplitMix64 generator. Determinism given a seed is
+//! what lets every experiment and test in this repository be reproducible,
+//! and matches the model's adversary constraint: the adversary fixes the
+//! batches *before* the algorithm's coins are revealed.
+
+use crate::hashfn::mix64;
+
+/// A SplitMix64 PRNG: tiny state, full 64-bit output, splittable.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: mix64(seed ^ 0xA076_1D64_78BD_642F),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform value in `0..n` (Lemire reduction; `n > 0`).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Fair coin.
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Geometric level draw for a skip list: the number of successful fair
+    /// coin tosses, capped at `max_level`. A tower of height `h` occupies
+    /// levels `0..=h`; `P(level >= i) = 2^-i` — "a level i node also appears
+    /// in level i+1 with probability 1/2" (paper footnote 4).
+    #[inline]
+    pub fn skiplist_height(&mut self, max_level: u8) -> u8 {
+        // Count trailing ones of a random word: P(k ones) = 2^-(k+1).
+        let r = self.next_u64();
+        (r.trailing_ones() as u8).min(max_level)
+    }
+
+    /// Split off an independent generator (for handing to parallel tasks).
+    pub fn split(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn heights_are_geometric() {
+        let mut r = Rng::new(3);
+        let n = 100_000;
+        let mut counts = [0u64; 20];
+        for _ in 0..n {
+            counts[r.skiplist_height(19) as usize] += 1;
+        }
+        // ~1/2 of towers have height 0, ~1/4 height 1, ...
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert!((counts[1] as f64 / n as f64 - 0.25).abs() < 0.02);
+        assert!((counts[2] as f64 / n as f64 - 0.125).abs() < 0.02);
+    }
+
+    #[test]
+    fn height_cap_respected() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(r.skiplist_height(4) <= 4);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(11);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_decorrelates() {
+        let mut a = Rng::new(5);
+        let mut b = a.split();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,399 @@
+//! The PIM machine: `P` modules + bulk-synchronous network + metrics.
+//!
+//! [`PimSystem`] drives the network in rounds (§2.1): between barriers, a set
+//! of parallel messages — each a constant number of words — moves between the
+//! CPU side and the PIM side. Message accounting per round and module:
+//!
+//! * every task *delivered* to a module this round counts as one message
+//!   into it;
+//! * every [`reply`](crate::module::ModuleCtx::reply) counts as one message
+//!   out of it;
+//! * every cross-module [`send`](crate::module::ModuleCtx::send) counts as
+//!   one message out of the sender this round (PIM → CPU leg) and one
+//!   message into the receiver next round (CPU → PIM leg), exactly the
+//!   model's "offload via shared memory" route.
+//!
+//! The round's `h` is the max per-module total; IO time is `Σ h` (see
+//! [`Metrics`]). Modules execute their queues in parallel via rayon — the
+//! simulation stays deterministic because messages are only visible at the
+//! next barrier and per-receiver delivery order is fixed (CPU sends first,
+//! then forwarded sends in sender-id order).
+
+use rayon::prelude::*;
+
+use crate::handle::ModuleId;
+use crate::metrics::{Metrics, SharedMem};
+use crate::module::{ModuleCtx, PimModule};
+use crate::trace::{RoundTrace, Trace};
+
+/// The simulated PIM machine.
+pub struct PimSystem<M: PimModule> {
+    modules: Vec<M>,
+    /// Tasks queued for delivery at the next round, per receiving module.
+    inboxes: Vec<Vec<M::Task>>,
+    metrics: Metrics,
+    shared_mem: SharedMem,
+    trace: Option<Trace>,
+}
+
+/// Per-module output of one round, merged at the barrier.
+struct RoundOut<T, R> {
+    sends: Vec<(ModuleId, T)>,
+    replies: Vec<R>,
+    work: u64,
+    delivered: u64,
+}
+
+impl<M: PimModule> PimSystem<M> {
+    /// Build a machine of `p` modules, constructing each from its id.
+    pub fn new(p: u32, mut make: impl FnMut(ModuleId) -> M) -> Self {
+        assert!(p > 0, "a PIM machine needs at least one module");
+        let modules: Vec<M> = (0..p).map(&mut make).collect();
+        PimSystem {
+            inboxes: (0..p).map(|_| Vec::new()).collect(),
+            modules,
+            metrics: Metrics::new(),
+            shared_mem: SharedMem::new(),
+            trace: None,
+        }
+    }
+
+    /// Start recording one [`RoundTrace`] per round (experiment
+    /// instrumentation; adds O(P) bookkeeping per round).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::default());
+        }
+    }
+
+    /// Stop tracing and take what was recorded.
+    pub fn take_trace(&mut self) -> Trace {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Number of PIM modules, `P`.
+    #[inline]
+    pub fn p(&self) -> u32 {
+        self.modules.len() as u32
+    }
+
+    /// `ceil(log2 P)`, clamped to at least 1 — the ubiquitous batch/bound
+    /// parameter.
+    #[inline]
+    pub fn log_p(&self) -> u32 {
+        self.p().max(2).ilog2() + u32::from(!self.p().max(2).is_power_of_two())
+    }
+
+    /// CPU-side `TaskSend`: queue `task` for module `to`, delivered at the
+    /// next round. Counts one CPU→PIM message.
+    pub fn send(&mut self, to: ModuleId, task: M::Task) {
+        self.inboxes[to as usize].push(task);
+    }
+
+    /// Broadcast one task to every module (`P` messages, `h` contribution 1
+    /// per module — the replication write pattern of the upper part).
+    pub fn broadcast(&mut self, mut make: impl FnMut(ModuleId) -> M::Task) {
+        for id in 0..self.p() {
+            self.send(id, make(id));
+        }
+    }
+
+    /// Are any tasks queued for the next round?
+    pub fn has_pending(&self) -> bool {
+        self.inboxes.iter().any(|q| !q.is_empty())
+    }
+
+    /// Execute one bulk-synchronous round; returns the replies that reached
+    /// CPU shared memory, in deterministic (module-id, issue) order.
+    pub fn run_round(&mut self) -> Vec<M::Reply> {
+        let round = self.metrics.rounds;
+        let inboxes = std::mem::take(&mut self.inboxes);
+        self.inboxes = (0..self.p()).map(|_| Vec::new()).collect();
+
+        let outs: Vec<RoundOut<M::Task, M::Reply>> = self
+            .modules
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .enumerate()
+            .map(|(id, (module, inbox))| {
+                let mut sends = Vec::new();
+                let mut replies = Vec::new();
+                let mut work = 0u64;
+                let delivered = inbox.len() as u64;
+                for task in inbox {
+                    let mut ctx =
+                        ModuleCtx::new(id as ModuleId, round, &mut sends, &mut replies, &mut work);
+                    module.execute(task, &mut ctx);
+                }
+                RoundOut {
+                    sends,
+                    replies,
+                    work,
+                    delivered,
+                }
+            })
+            .collect();
+
+        // Barrier: merge outputs, compute the h-relation and work maxima.
+        let mut h = 0u64;
+        let mut max_work = 0u64;
+        let mut messages = 0u64;
+        let mut work_total = 0u64;
+        let mut replies_all = Vec::new();
+        let mut per_module = self.trace.is_some().then(|| Vec::with_capacity(outs.len()));
+
+        // Per-module message count this round: delivered (in) + replies (out)
+        // + cross sends (out). `delivered` already includes both CPU sends
+        // and last round's forwarded sends.
+        for out in &outs {
+            let msgs = out.delivered + out.replies.len() as u64 + out.sends.len() as u64;
+            h = h.max(msgs);
+            messages += msgs;
+            max_work = max_work.max(out.work);
+            work_total += out.work;
+            if let Some(pm) = per_module.as_mut() {
+                pm.push(msgs);
+            }
+        }
+        if let (Some(trace), Some(per_module_messages)) = (self.trace.as_mut(), per_module) {
+            trace.rounds.push(RoundTrace {
+                round,
+                h,
+                max_work,
+                messages,
+                work: work_total,
+                per_module_messages,
+            });
+        }
+
+        for out in outs {
+            for (to, task) in out.sends {
+                self.inboxes[to as usize].push(task);
+            }
+            replies_all.extend(out.replies);
+        }
+
+        self.metrics.record_round(h, max_work, messages, work_total);
+        self.metrics.observe_shared_mem(self.shared_mem.peak());
+        replies_all
+    }
+
+    /// Run rounds until no tasks remain; returns all replies in order.
+    pub fn run_to_quiescence(&mut self) -> Vec<M::Reply> {
+        let mut replies = Vec::new();
+        while self.has_pending() {
+            replies.extend(self.run_round());
+        }
+        replies
+    }
+
+    /// Read access to a module's local state (CPU-side inspection for tests
+    /// and invariant checks — not part of the model's data path).
+    pub fn module(&self, id: ModuleId) -> &M {
+        &self.modules[id as usize]
+    }
+
+    /// Mutable access to a module (setup / test instrumentation only).
+    pub fn module_mut(&mut self, id: ModuleId) -> &mut M {
+        &mut self.modules[id as usize]
+    }
+
+    /// Iterate all modules.
+    pub fn modules(&self) -> impl Iterator<Item = &M> {
+        self.modules.iter()
+    }
+
+    /// Local memory in words per module (Theorem 3.1's measurement).
+    pub fn local_words_per_module(&self) -> Vec<u64> {
+        self.modules.iter().map(|m| m.local_words()).collect()
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Mutable metrics (CPU-side cost charging).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The CPU shared-memory tracker.
+    pub fn shared_mem(&mut self) -> &mut SharedMem {
+        &mut self.shared_mem
+    }
+
+    /// Fold the shared-memory peak into the metrics now (also done at each
+    /// round barrier).
+    pub fn sample_shared_mem(&mut self) {
+        self.metrics.observe_shared_mem(self.shared_mem.peak());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A module that counts, echoes, and forwards.
+    struct Echo {
+        hits: u64,
+    }
+
+    enum EchoTask {
+        Ping(u64),
+        Forward { hops: u32, payload: u64 },
+    }
+
+    impl PimModule for Echo {
+        type Task = EchoTask;
+        type Reply = (ModuleId, u64);
+
+        fn execute(&mut self, task: EchoTask, ctx: &mut ModuleCtx<'_, EchoTask, Self::Reply>) {
+            ctx.work(1);
+            self.hits += 1;
+            match task {
+                EchoTask::Ping(x) => ctx.reply((ctx.me(), x)),
+                EchoTask::Forward { hops, payload } => {
+                    if hops == 0 {
+                        ctx.reply((ctx.me(), payload));
+                    } else {
+                        let next = (ctx.me() + 1) % 4;
+                        ctx.send(
+                            next,
+                            EchoTask::Forward {
+                                hops: hops - 1,
+                                payload,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        fn local_words(&self) -> u64 {
+            self.hits
+        }
+    }
+
+    fn machine() -> PimSystem<Echo> {
+        PimSystem::new(4, |_| Echo { hits: 0 })
+    }
+
+    #[test]
+    fn ping_replies_and_counts_messages() {
+        let mut sys = machine();
+        sys.send(2, EchoTask::Ping(7));
+        let replies = sys.run_round();
+        assert_eq!(replies, vec![(2, 7)]);
+        let m = sys.metrics();
+        assert_eq!(m.rounds, 1);
+        // Module 2: 1 delivered + 1 reply = h of 2.
+        assert_eq!(m.io_time, 2);
+        assert_eq!(m.total_messages, 2);
+        assert_eq!(m.pim_time, 1);
+    }
+
+    #[test]
+    fn forwarding_takes_one_round_per_hop() {
+        let mut sys = machine();
+        sys.send(
+            0,
+            EchoTask::Forward {
+                hops: 3,
+                payload: 99,
+            },
+        );
+        let replies = sys.run_to_quiescence();
+        assert_eq!(replies, vec![(3, 99)]);
+        assert_eq!(sys.metrics().rounds, 4);
+        // Each hop round: 1 in + 1 out = 2; final round: 1 in + 1 reply = 2.
+        assert_eq!(sys.metrics().io_time, 8);
+    }
+
+    #[test]
+    fn h_is_max_not_total() {
+        let mut sys = machine();
+        // 8 pings to module 0, 1 ping to each other module.
+        for _ in 0..8 {
+            sys.send(0, EchoTask::Ping(1));
+        }
+        for id in 1..4 {
+            sys.send(id, EchoTask::Ping(1));
+        }
+        sys.run_round();
+        let m = sys.metrics();
+        // Module 0: 8 in + 8 replies = 16.
+        assert_eq!(m.io_time, 16);
+        assert_eq!(m.total_messages, 22);
+        assert_eq!(m.pim_time, 8);
+        assert_eq!(m.total_pim_work, 11);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_modules_with_h_one() {
+        let mut sys = machine();
+        sys.broadcast(|id| EchoTask::Ping(u64::from(id)));
+        let mut replies = sys.run_round();
+        replies.sort_unstable();
+        assert_eq!(replies, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        // Each module: 1 in + 1 reply.
+        assert_eq!(sys.metrics().io_time, 2);
+    }
+
+    #[test]
+    fn determinism_under_parallel_execution() {
+        let run = || {
+            let mut sys = machine();
+            for i in 0..64u64 {
+                sys.send(
+                    (i % 4) as ModuleId,
+                    EchoTask::Forward {
+                        hops: (i % 5) as u32,
+                        payload: i,
+                    },
+                );
+            }
+            let replies = sys.run_to_quiescence();
+            (replies, sys.metrics())
+        };
+        let (r1, m1) = run();
+        let (r2, m2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn local_words_reporting() {
+        let mut sys = machine();
+        sys.send(1, EchoTask::Ping(0));
+        sys.send(1, EchoTask::Ping(0));
+        sys.send(3, EchoTask::Ping(0));
+        sys.run_round();
+        assert_eq!(sys.local_words_per_module(), vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_round_is_free_of_io() {
+        let mut sys = machine();
+        let replies = sys.run_round();
+        assert!(replies.is_empty());
+        assert_eq!(sys.metrics().io_time, 0);
+        assert_eq!(sys.metrics().rounds, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_modules_rejected() {
+        let _ = PimSystem::new(0, |_| Echo { hits: 0 });
+    }
+
+    #[test]
+    fn log_p_rounding() {
+        assert_eq!(PimSystem::new(1, |_| Echo { hits: 0 }).log_p(), 1);
+        assert_eq!(PimSystem::new(2, |_| Echo { hits: 0 }).log_p(), 1);
+        assert_eq!(PimSystem::new(4, |_| Echo { hits: 0 }).log_p(), 2);
+        assert_eq!(PimSystem::new(5, |_| Echo { hits: 0 }).log_p(), 3);
+        assert_eq!(PimSystem::new(8, |_| Echo { hits: 0 }).log_p(), 3);
+        assert_eq!(PimSystem::new(9, |_| Echo { hits: 0 }).log_p(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Optional per-round tracing.
+//!
+//! The aggregate metrics of [`crate::metrics::Metrics`] summarise a whole
+//! computation; some experiments need the *profile* — how the `h`-relation
+//! and the PIM work evolve round by round (e.g. the step structure of the
+//! naïve search in §4.2, or the phase boundaries of the pivot divide and
+//! conquer). When enabled, the system records one [`RoundTrace`] per round,
+//! including the per-module message counts the round's `h` was the max of.
+
+use crate::handle::ModuleId;
+
+/// One bulk-synchronous round's record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Round index (machine lifetime, 0-based).
+    pub round: u64,
+    /// The `h` of this round's `h`-relation.
+    pub h: u64,
+    /// Max local work on any module this round.
+    pub max_work: u64,
+    /// Total messages this round.
+    pub messages: u64,
+    /// Total PIM work this round.
+    pub work: u64,
+    /// Per-module message counts (in + out), length `P`.
+    pub per_module_messages: Vec<u64>,
+}
+
+impl RoundTrace {
+    /// Which module realised the round's `h`.
+    pub fn hottest_module(&self) -> ModuleId {
+        self.per_module_messages
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &m)| m)
+            .map(|(i, _)| i as ModuleId)
+            .unwrap_or(0)
+    }
+
+    /// Messages of the busiest module divided by the mean — the round's
+    /// own imbalance factor.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.per_module_messages.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.per_module_messages.len() as f64;
+        self.h as f64 / mean
+    }
+}
+
+/// A sequence of round traces with summary helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The recorded rounds, oldest first.
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl Trace {
+    /// Rounds whose `h` is at least `threshold` (hot rounds).
+    pub fn hot_rounds(&self, threshold: u64) -> Vec<&RoundTrace> {
+        self.rounds.iter().filter(|r| r.h >= threshold).collect()
+    }
+
+    /// The largest `h` observed.
+    pub fn max_h(&self) -> u64 {
+        self.rounds.iter().map(|r| r.h).max().unwrap_or(0)
+    }
+
+    /// A compact text histogram of `h` per round (experiment output).
+    pub fn h_profile(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let max = self.max_h().max(1);
+        for r in &self.rounds {
+            let bars = (r.h * 40 / max) as usize;
+            let _ = writeln!(out, "{:>5} | {:<40} h={}", r.round, "#".repeat(bars), r.h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(round: u64, per_module: Vec<u64>) -> RoundTrace {
+        let h = per_module.iter().copied().max().unwrap_or(0);
+        let messages = per_module.iter().sum();
+        RoundTrace {
+            round,
+            h,
+            max_work: h,
+            messages,
+            work: messages,
+            per_module_messages: per_module,
+        }
+    }
+
+    #[test]
+    fn hottest_module_and_imbalance() {
+        let r = rt(0, vec![1, 5, 2, 0]);
+        assert_eq!(r.hottest_module(), 1);
+        assert!((r.imbalance() - 5.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_of_idle_round_is_one() {
+        let r = rt(0, vec![0, 0]);
+        assert_eq!(r.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn trace_summaries() {
+        let t = Trace {
+            rounds: vec![rt(0, vec![1, 1]), rt(1, vec![9, 0]), rt(2, vec![2, 3])],
+        };
+        assert_eq!(t.max_h(), 9);
+        assert_eq!(t.hot_rounds(4).len(), 1);
+        assert_eq!(t.hot_rounds(3).len(), 2);
+        let profile = t.h_profile();
+        assert!(profile.contains("h=9"));
+        assert_eq!(profile.lines().count(), 3);
+    }
+}

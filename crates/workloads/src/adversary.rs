@@ -1,0 +1,94 @@
+//! Adversarial batch generators (§3.3, §4.2).
+//!
+//! The paper's central robustness claim is PIM-balance under
+//! *adversary-controlled* batches. Three canonical attacks appear in the
+//! text:
+//!
+//! * **duplicate flood** (§3.3): "multiple Get (or Update) operations with
+//!   the same key can cause contention on the PIM module holding the key";
+//! * **same-successor flood** (§3.3, §4.2): "the adversary can request a
+//!   batch of `P log² P` different keys all with the same successor,
+//!   causing lower-part nodes to become contention points ... completely
+//!   eliminating parallelism" for the naïve algorithm;
+//! * **single-range flood** (§2.2): against range partitioning, "all keys
+//!   fall within the range hosted by a single PIM-module", serialising the
+//!   baseline.
+
+use rand::{Rng, SeedableRng};
+
+use crate::point::Key;
+
+/// A batch consisting of one key repeated `count` times (duplicate flood).
+pub fn duplicate_flood(key: Key, count: usize) -> Vec<Key> {
+    vec![key; count]
+}
+
+/// `count` *distinct* keys that all share one successor: the keys are drawn
+/// from the open interval `(gap_lo, gap_hi)` which the caller guarantees to
+/// contain no resident key, so every query's successor is the resident key
+/// at/above `gap_hi`. Requires the gap to be wider than `count`.
+pub fn same_successor_flood(seed: u64, gap_lo: Key, gap_hi: Key, count: usize) -> Vec<Key> {
+    assert!(gap_hi - gap_lo > count as i64 + 1, "gap too narrow");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let k = rng.gen_range(gap_lo + 1..gap_hi);
+        if seen.insert(k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// `count` keys confined to `[lo, hi]` (single-range flood against range
+/// partitioning; duplicates allowed).
+pub fn single_range_flood(seed: u64, lo: Key, hi: Key, count: usize) -> Vec<Key> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// An arithmetic run of `count` consecutive keys starting at `start`
+/// (contiguous-delete / contiguous-insert adversary: stresses Algorithm 1's
+/// segment chaining and Delete's list contraction with one long run).
+pub fn contiguous_run(start: Key, count: usize) -> Vec<Key> {
+    (0..count as i64).map(|i| start + i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_flood_is_constant() {
+        let b = duplicate_flood(42, 10);
+        assert_eq!(b.len(), 10);
+        assert!(b.iter().all(|&k| k == 42));
+    }
+
+    #[test]
+    fn same_successor_flood_distinct_in_gap() {
+        let b = same_successor_flood(1, 1000, 100_000, 5000);
+        assert_eq!(b.len(), 5000);
+        let set: std::collections::HashSet<_> = b.iter().collect();
+        assert_eq!(set.len(), 5000);
+        assert!(b.iter().all(|&k| k > 1000 && k < 100_000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn same_successor_flood_rejects_narrow_gap() {
+        let _ = same_successor_flood(1, 0, 10, 100);
+    }
+
+    #[test]
+    fn single_range_flood_confined() {
+        let b = single_range_flood(2, 50, 60, 1000);
+        assert!(b.iter().all(|&k| (50..=60).contains(&k)));
+    }
+
+    #[test]
+    fn contiguous_run_is_consecutive() {
+        assert_eq!(contiguous_run(5, 4), vec![5, 6, 7, 8]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # pim-workloads — reproducible batch generators
+//!
+//! Workloads driving the experiments: uniform and Zipf-skewed point
+//! batches, the paper's three adversarial patterns (duplicate flood,
+//! same-successor flood, single-range flood), contiguous runs, and range
+//! batches parameterised by covered-key counts (`K`, `κ`).
+//!
+//! Everything is deterministic in an explicit seed, and — matching the
+//! model's adversary (§2.1) — generators never see the data structure's
+//! internal random choices (hash seeds, tower heights).
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod point;
+pub mod range;
+pub mod zipf;
+
+pub use adversary::{contiguous_run, duplicate_flood, same_successor_flood, single_range_flood};
+pub use point::{value_for, Key, PointGen};
+pub use range::{keys_in_range, nested_ranges, range_batch, range_covering, KeyRange};
+pub use zipf::Zipf;

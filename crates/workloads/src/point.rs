@@ -1,0 +1,158 @@
+//! Point-operation batch generators.
+//!
+//! All generators are deterministic in their seed, and generate keys
+//! *without* access to the data structure's internal random choices —
+//! matching the model's adversary, who fixes batches before the algorithm's
+//! coins are revealed (§2.1).
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Keys are signed 64-bit integers ( `i64::MIN` is reserved for the
+/// structure's −∞ sentinel and never generated).
+pub type Key = i64;
+
+/// Deterministic generator state for batches of point operations.
+#[derive(Debug, Clone)]
+pub struct PointGen {
+    rng: rand::rngs::StdRng,
+    /// Inclusive key domain bounds.
+    pub lo: Key,
+    /// Inclusive key domain bounds.
+    pub hi: Key,
+}
+
+impl PointGen {
+    /// Generator over the key domain `[lo, hi]`.
+    pub fn new(seed: u64, lo: Key, hi: Key) -> Self {
+        assert!(lo > Key::MIN, "i64::MIN is reserved for the -inf sentinel");
+        assert!(lo <= hi);
+        PointGen {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
+    }
+
+    /// `count` distinct uniform keys (sampling without replacement via
+    /// rejection; requires the domain to be comfortably larger than
+    /// `count`).
+    pub fn distinct_uniform(&mut self, count: usize) -> Vec<Key> {
+        let mut seen = std::collections::HashSet::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let k = self.rng.gen_range(self.lo..=self.hi);
+            if seen.insert(k) {
+                out.push(k);
+            }
+        }
+        out
+    }
+
+    /// `count` uniform keys with replacement (duplicates likely if the
+    /// domain is small — exercises the semisort/dedup path of §4.1).
+    pub fn uniform(&mut self, count: usize) -> Vec<Key> {
+        (0..count)
+            .map(|_| self.rng.gen_range(self.lo..=self.hi))
+            .collect()
+    }
+
+    /// A batch where every key equals one of `hot.len()` hot keys, drawn
+    /// Zipf(θ)-skewed over the hot set.
+    pub fn zipf_over(&mut self, hot: &[Key], theta: f64, count: usize) -> Vec<Key> {
+        assert!(!hot.is_empty());
+        let z = Zipf::new(hot.len() as u64, theta);
+        (0..count)
+            .map(|_| hot[z.sample(&mut self.rng) as usize])
+            .collect()
+    }
+
+    /// Sample `count` keys (with replacement) from an existing key set —
+    /// the "operate on resident keys" batches used for Get/Update/Delete.
+    pub fn from_existing(&mut self, existing: &[Key], count: usize) -> Vec<Key> {
+        assert!(!existing.is_empty());
+        (0..count)
+            .map(|_| *existing.choose(&mut self.rng).expect("non-empty"))
+            .collect()
+    }
+
+    /// Sample `count` *distinct* keys from an existing key set (for batch
+    /// Delete, which requires resident keys; count ≤ existing.len()).
+    pub fn distinct_from_existing(&mut self, existing: &[Key], count: usize) -> Vec<Key> {
+        assert!(count <= existing.len());
+        let mut pool: Vec<Key> = existing.to_vec();
+        pool.partial_shuffle(&mut self.rng, count);
+        pool.truncate(count);
+        pool
+    }
+
+    /// Key/value pairs for insert-style batches (values derived from keys
+    /// so tests can verify round-trips).
+    pub fn with_values(keys: Vec<Key>) -> Vec<(Key, u64)> {
+        keys.into_iter().map(|k| (k, value_for(k))).collect()
+    }
+}
+
+/// The canonical test value for a key (deterministic, collision-free).
+pub fn value_for(k: Key) -> u64 {
+    (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_uniform_has_no_duplicates() {
+        let mut g = PointGen::new(1, 0, 1_000_000);
+        let keys = g.distinct_uniform(10_000);
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+        assert!(keys.iter().all(|&k| (0..=1_000_000).contains(&k)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = PointGen::new(7, 0, 999).uniform(100);
+        let b = PointGen::new(7, 0, 999).uniform(100);
+        assert_eq!(a, b);
+        let c = PointGen::new(8, 0, 999).uniform(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_over_hot_set_only_emits_hot_keys() {
+        let mut g = PointGen::new(2, 0, 100);
+        let hot = vec![5, 50, 500];
+        let batch = g.zipf_over(&hot, 0.99, 1000);
+        assert!(batch.iter().all(|k| hot.contains(k)));
+        // Rank 0 (key 5) should dominate.
+        let n5 = batch.iter().filter(|&&k| k == 5).count();
+        assert!(n5 > batch.len() / 3);
+    }
+
+    #[test]
+    fn distinct_from_existing_subset_and_unique() {
+        let mut g = PointGen::new(3, 0, 100);
+        let existing: Vec<Key> = (0..100).collect();
+        let picked = g.distinct_from_existing(&existing, 30);
+        assert_eq!(picked.len(), 30);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(picked.iter().all(|k| existing.contains(k)));
+    }
+
+    #[test]
+    fn values_roundtrip_distinctly() {
+        assert_ne!(value_for(1), value_for(2));
+        assert_eq!(value_for(5), value_for(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reserves_sentinel_key() {
+        let _ = PointGen::new(1, Key::MIN, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Range-operation workload generators (§5).
+//!
+//! Theorem 5.1 is parameterised by `K` (pairs in one range) and Theorem 5.2
+//! by `κ` (total pairs covered by a batch of ranges); the generators here
+//! target those knobs given a *sorted* resident key set.
+
+use rand::{Rng, SeedableRng};
+
+use crate::point::Key;
+
+/// A half-open key interval `[lo, hi]` (inclusive ends, as the paper's
+/// `LKey ≤ k ≤ RKey`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Left end (inclusive).
+    pub lo: Key,
+    /// Right end (inclusive).
+    pub hi: Key,
+}
+
+/// One range covering exactly `k` resident keys, starting at a uniformly
+/// random position of the sorted resident set.
+pub fn range_covering(seed: u64, sorted_keys: &[Key], k: usize) -> KeyRange {
+    assert!(k >= 1 && k <= sorted_keys.len());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let start = rng.gen_range(0..=sorted_keys.len() - k);
+    KeyRange {
+        lo: sorted_keys[start],
+        hi: sorted_keys[start + k - 1],
+    }
+}
+
+/// A batch of `count` ranges each covering ~`k_each` resident keys,
+/// uniformly placed (may overlap — §5.2 splits overlaps into disjoint
+/// subranges).
+pub fn range_batch(seed: u64, sorted_keys: &[Key], k_each: usize, count: usize) -> Vec<KeyRange> {
+    (0..count)
+        .map(|i| range_covering(seed.wrapping_add(i as u64 * 0x9E37), sorted_keys, k_each))
+        .collect()
+}
+
+/// A batch of `count` ranges all nested around one hot point (adversarial:
+/// maximal overlap, exercising the subrange-splitting path).
+pub fn nested_ranges(sorted_keys: &[Key], count: usize) -> Vec<KeyRange> {
+    assert!(!sorted_keys.is_empty());
+    let mid = sorted_keys.len() / 2;
+    (0..count)
+        .map(|i| {
+            let spread = 1 + i.min(mid).min(sorted_keys.len() - 1 - mid);
+            KeyRange {
+                lo: sorted_keys[mid - spread.min(mid)],
+                hi: sorted_keys[(mid + spread).min(sorted_keys.len() - 1)],
+            }
+        })
+        .collect()
+}
+
+/// Count resident keys inside a range (reference oracle for tests).
+pub fn keys_in_range(sorted_keys: &[Key], r: KeyRange) -> usize {
+    let lo = sorted_keys.partition_point(|&k| k < r.lo);
+    let hi = sorted_keys.partition_point(|&k| k <= r.hi);
+    hi - lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<Key> {
+        (0..1000).map(|i| i * 10).collect()
+    }
+
+    #[test]
+    fn range_covering_exact_count() {
+        let ks = keys();
+        for seed in 0..20 {
+            let r = range_covering(seed, &ks, 37);
+            assert_eq!(keys_in_range(&ks, r), 37);
+        }
+    }
+
+    #[test]
+    fn range_batch_sizes() {
+        let ks = keys();
+        let rs = range_batch(5, &ks, 10, 50);
+        assert_eq!(rs.len(), 50);
+        for r in rs {
+            assert_eq!(keys_in_range(&ks, r), 10);
+        }
+    }
+
+    #[test]
+    fn nested_ranges_are_nested() {
+        let ks = keys();
+        let rs = nested_ranges(&ks, 10);
+        for w in rs.windows(2) {
+            assert!(w[1].lo <= w[0].lo && w[1].hi >= w[0].hi);
+        }
+    }
+
+    #[test]
+    fn keys_in_range_oracle() {
+        let ks = keys();
+        assert_eq!(keys_in_range(&ks, KeyRange { lo: 0, hi: 90 }), 10);
+        assert_eq!(keys_in_range(&ks, KeyRange { lo: 1, hi: 9 }), 0);
+        assert_eq!(
+            keys_in_range(
+                &ks,
+                KeyRange {
+                    lo: 9990,
+                    hi: 99999
+                }
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn single_key_range() {
+        let ks = keys();
+        let r = range_covering(1, &ks, 1);
+        assert_eq!(keys_in_range(&ks, r), 1);
+        assert_eq!(r.lo, r.hi);
+    }
+}

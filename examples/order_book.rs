@@ -1,0 +1,147 @@
+//! A limit order book on a PIM machine — three PIM-model structures
+//! cooperating, all metered in the same cost model:
+//!
+//! * the **price ladder** is the paper's PIM-balanced skip list
+//!   (price → aggregated resting quantity), queried with Successor (best
+//!   ask), Predecessor (best bid) and range reads (depth snapshots);
+//! * the **event log** is the batch FIFO queue of `pim-algorithms`;
+//! * the **order table** (order id → price) is the batch unordered map.
+//!
+//! Each tick: drain a batch of events from the queue, apply cancels via
+//! the map, apply placements to the ladder, then take a depth snapshot —
+//! everything in batches, everything PIM-balanced.
+//!
+//! ```text
+//! cargo run --release -p pim-examples --bin order_book
+//! ```
+
+use pim_algorithms::{PimHashMap, PimQueue};
+use pim_core::{Config, PimSkipList, RangeFunc};
+use rand::{Rng as _, SeedableRng};
+
+const PLACE: u64 = 0;
+const CANCEL: u64 = 1;
+
+fn encode(kind: u64, order_id: u64, price: u64, qty: u64) -> u64 {
+    kind << 62 | order_id << 40 | price << 16 | qty
+}
+
+fn decode(ev: u64) -> (u64, u64, u64, u64) {
+    (
+        ev >> 62,
+        (ev >> 40) & 0x3F_FFFF,
+        (ev >> 16) & 0xFF_FFFF,
+        ev & 0xFFFF,
+    )
+}
+
+fn main() {
+    let p = 16u32;
+    let mut ladder = PimSkipList::new(Config::new(p, 1 << 16, 0x0B00));
+    let mut events = PimQueue::new(p);
+    let mut orders = PimHashMap::new(p, 0x0B01);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    let mid = 50_000u64;
+    let mut next_order_id = 1u64;
+    let mut live: Vec<(u64, u64, u64)> = Vec::new(); // (id, price, qty)
+
+    println!("limit order book on {p} PIM modules\n");
+    println!(
+        "{:>5} {:>8} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "tick", "placed", "cancel", "best bid", "best ask", "depth±100", "IO/event"
+    );
+
+    for tick in 0..10 {
+        // ---- Producers enqueue a batch of events ----
+        let mut batch = Vec::new();
+        for _ in 0..600 {
+            if !live.is_empty() && rng.gen_bool(0.3) {
+                let (id, price, qty) = live.swap_remove(rng.gen_range(0..live.len()));
+                batch.push(encode(CANCEL, id, price, qty));
+            } else {
+                let price = mid as i64 + rng.gen_range(-200i64..=200);
+                let qty = rng.gen_range(1..=50u64);
+                let id = next_order_id;
+                next_order_id += 1;
+                live.push((id, price as u64, qty));
+                batch.push(encode(PLACE, id, price as u64, qty));
+            }
+        }
+        events.batch_enqueue(&batch);
+
+        // ---- The matching engine drains and applies the batch ----
+        let m0 = ladder.metrics();
+        let drained = events.batch_dequeue(usize::MAX / 2);
+        let mut places: Vec<(i64, u64)> = Vec::new(); // price deltas
+        let mut cancels: Vec<(i64, u64)> = Vec::new();
+        let mut id_updates: Vec<(i64, u64)> = Vec::new();
+        let mut id_removals: Vec<i64> = Vec::new();
+        for ev in &drained {
+            let (kind, id, price, qty) = decode(*ev);
+            if kind == PLACE {
+                places.push((price as i64, qty));
+                id_updates.push((id as i64, price));
+            } else {
+                cancels.push((price as i64, qty));
+                id_removals.push(id as i64);
+            }
+        }
+        // Order table maintenance.
+        orders.batch_upsert(&id_updates);
+        orders.batch_remove(&id_removals);
+
+        // Aggregate quantity per price level on the CPU, then apply to the
+        // ladder: read-modify-write as one get + one upsert batch.
+        let mut delta: std::collections::HashMap<i64, i64> = Default::default();
+        for &(price, qty) in &places {
+            *delta.entry(price).or_default() += qty as i64;
+        }
+        for &(price, qty) in &cancels {
+            *delta.entry(price).or_default() -= qty as i64;
+        }
+        let prices: Vec<i64> = delta.keys().copied().collect();
+        let current = ladder.batch_get(&prices);
+        let mut writes = Vec::new();
+        let mut removals = Vec::new();
+        for (i, &price) in prices.iter().enumerate() {
+            let new = current[i].unwrap_or(0) as i64 + delta[&price];
+            if new > 0 {
+                writes.push((price, new as u64));
+            } else if current[i].is_some() {
+                removals.push(price);
+            }
+        }
+        ladder.batch_upsert(&writes);
+        ladder.batch_delete(&removals);
+
+        // ---- Market data: best bid/ask + a depth snapshot ----
+        let best_ask = ladder.batch_successor(&[mid as i64])[0].map(|(k, _)| k);
+        let best_bid = ladder.batch_predecessor(&[mid as i64 - 1])[0].map(|(k, _)| k);
+        let depth = ladder.range_broadcast(mid as i64 - 100, mid as i64 + 100, RangeFunc::Sum);
+        let d = ladder.metrics() - m0;
+
+        println!(
+            "{:>5} {:>8} {:>8} {:>10} {:>10} {:>12} {:>10.3}",
+            tick,
+            places.len(),
+            cancels.len(),
+            best_bid.unwrap_or(0),
+            best_ask.unwrap_or(0),
+            depth.sum,
+            d.io_time as f64 / drained.len() as f64,
+        );
+    }
+
+    ladder.validate().expect("ladder consistent");
+    println!(
+        "\nladder levels: {}, queue empty: {}, orders live: {}",
+        ladder.len(),
+        events.is_empty(),
+        orders.len()
+    );
+    println!("all batches stayed PIM-balanced: IO-balance {:.2}", {
+        let m = ladder.metrics();
+        m.pim_balance_io(p)
+    });
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a PIM machine, run every batch operation once, and
+//! read the model's cost meters.
+//!
+//! ```text
+//! cargo run --release -p pim-examples --bin quickstart
+//! ```
+
+use pim_core::{Config, PimSkipList, RangeFunc};
+
+fn main() {
+    // A machine with P = 16 PIM modules, sized for ~10k keys. The seed
+    // feeds the structure's secret coins (hash placement, tower heights).
+    let mut list = PimSkipList::new(Config::new(16, 10_000, 0xC0FFEE));
+
+    // Batched Upsert: the canonical write path. Batches are plain slices;
+    // the paper's recommended minimum sizes are Config::batch_small() for
+    // Get/Update and Config::batch_large() for everything else.
+    let pairs: Vec<(i64, u64)> = (0..1_000).map(|i| (i * 7, (i * 10) as u64)).collect();
+    list.batch_upsert(&pairs);
+    println!("loaded {} keys on {} modules", list.len(), list.p());
+
+    // Batched Get: hash-shortcut lookups, O(1) PIM work per key.
+    let values = list.batch_get(&[0, 7, 13, 700]);
+    println!("get [0, 7, 13, 700] -> {values:?}");
+
+    // Batched Successor: ordered search with the pivot load-balancing.
+    let succ = list.batch_successor(&[1, 8, 6_994]);
+    println!(
+        "successors of [1, 8, 6994] -> {:?}",
+        succ.iter().map(|s| s.map(|(k, _)| k)).collect::<Vec<_>>()
+    );
+
+    // A range operation: sum all values in [0, 70], executed on the PIM
+    // side by broadcast.
+    let r = list.range_broadcast(0, 70, RangeFunc::Sum);
+    println!("sum of values in [0, 70]: {} ({} pairs)", r.sum, r.count);
+
+    // Batched Delete.
+    let deleted = list.batch_delete(&[0, 1, 7]);
+    println!("delete [0, 1, 7] -> {deleted:?} (len now {})", list.len());
+
+    // Every operation was metered in the PIM model's five cost metrics.
+    let m = list.metrics();
+    println!("\n-- accumulated model costs --");
+    println!("bulk-synchronous rounds : {}", m.rounds);
+    println!("IO time (Σ max-h)       : {}", m.io_time);
+    println!("PIM time (Σ max work)   : {}", m.pim_time);
+    println!("CPU work / depth        : {} / {}", m.cpu_work, m.cpu_depth);
+    println!("shared-memory peak      : {} words", m.shared_mem_peak);
+    println!(
+        "PIM-balance (io, work)  : {:.2}, {:.2}  (1.0 = perfect)",
+        m.pim_balance_io(list.p()),
+        m.pim_balance_work(list.p())
+    );
+
+    // The structure can self-check all Fig. 2 invariants.
+    list.validate().expect("structure is consistent");
+    println!("\nall structural invariants hold ✓");
+}

@@ -1,0 +1,219 @@
+//! Empirical checks of the paper's bounds — the theorem suite as tests.
+//!
+//! Each test measures model metrics on the simulator and asserts the
+//! paper's *shape*: constants in front of the bound must stay within a
+//! generous factor as `P` (or `n`, or `K`) sweeps.
+
+use pim_bench::experiments::{adversarial_experiment, contention_experiment, table1_rows};
+use pim_bench::{build_loaded_list, BatchCosts};
+use pim_core::RangeFunc;
+use pim_runtime::balls;
+
+fn lg(p: u32) -> f64 {
+    f64::from(pim_runtime::ceil_log2(u64::from(p)))
+}
+
+#[test]
+fn table1_get_io_scales_as_log_p() {
+    // IO time of a P log P Get batch is O(log P) whp: the measured
+    // constant io/log P must not grow with P.
+    let mut constants = Vec::new();
+    for p in [8u32, 32, 128] {
+        let rows = table1_rows(p, 6000, 21);
+        let get = rows.iter().find(|r| r.op == "Get").unwrap();
+        constants.push(get.costs.io_time as f64 / lg(p));
+    }
+    let (first, last) = (constants[0], constants[2]);
+    assert!(last < first * 4.0, "Get IO constant grew: {constants:?}");
+}
+
+#[test]
+fn table1_successor_io_scales_as_log3_p() {
+    let mut constants = Vec::new();
+    for p in [8u32, 32, 128] {
+        let rows = table1_rows(p, 6000, 22);
+        let s = rows.iter().find(|r| r.op == "Successor").unwrap();
+        constants.push(s.costs.io_time as f64 / lg(p).powi(3));
+    }
+    assert!(
+        constants[2] < constants[0] * 4.0,
+        "Successor IO constant grew: {constants:?}"
+    );
+}
+
+#[test]
+fn table1_delete_io_scales_as_log2_p() {
+    let mut constants = Vec::new();
+    for p in [8u32, 32, 128] {
+        let rows = table1_rows(p, 6000, 23);
+        let d = rows.iter().find(|r| r.op == "Delete").unwrap();
+        constants.push(d.costs.io_time as f64 / lg(p).powi(2));
+    }
+    assert!(
+        constants[2] < constants[0] * 4.0,
+        "Delete IO constant grew: {constants:?}"
+    );
+}
+
+#[test]
+fn successor_io_is_independent_of_n() {
+    // Table 1's headline: network costs are independent of n.
+    let p = 32u32;
+    let lgp = pim_runtime::ceil_log2(u64::from(p)) as usize;
+    let batch = p as usize * lgp * lgp;
+    let mut ios = Vec::new();
+    for n in [2_000usize, 16_000, 64_000] {
+        let (mut list, _) = build_loaded_list(p, n, 24);
+        let queries: Vec<i64> = (0..batch as i64)
+            .map(|i| i * 997 % (n as i64 * 64))
+            .collect();
+        let before = list.metrics();
+        list.batch_successor(&queries);
+        let costs = BatchCosts::from_diff(batch, before, list.metrics());
+        ios.push(costs.io_time as f64);
+    }
+    assert!(
+        ios[2] < ios[0] * 2.0,
+        "Successor IO must not scale with n: {ios:?}"
+    );
+}
+
+#[test]
+fn theorem31_space_per_module_is_theta_n_over_p() {
+    let mut ratios = Vec::new();
+    for (p, n) in [(8u32, 4_000usize), (32, 16_000), (64, 32_000)] {
+        let (list, _) = build_loaded_list(p, n, 25);
+        let words = list.space_per_module();
+        let max = *words.iter().max().unwrap() as f64;
+        ratios.push(max / (n as f64 / f64::from(p)));
+    }
+    // Constant words-per-key across machine shapes (within 2x).
+    let lo = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(hi / lo < 2.0, "space constant drifts: {ratios:?}");
+}
+
+#[test]
+fn lemma21_imbalance_shrinks_with_batch_factor() {
+    let p = 256;
+    let s1 = balls::lemma21_trial(
+        u64::from(pim_runtime::ceil_log2(p as u64)) * p as u64,
+        p,
+        26,
+    );
+    let s64 = balls::lemma21_trial(
+        64 * u64::from(pim_runtime::ceil_log2(p as u64)) * p as u64,
+        p,
+        26,
+    );
+    assert!(s64.max_over_mean < s1.max_over_mean);
+    assert!(
+        s64.max_over_mean < 1.35,
+        "large-T imbalance {}",
+        s64.max_over_mean
+    );
+}
+
+#[test]
+fn lemma22_capped_weights_stay_balanced() {
+    let p = 128;
+    let weights: Vec<u64> = (0..8192u64).map(|i| (i % 200) + 1).collect();
+    let capped = balls::cap_weights(&weights, p);
+    let s = balls::lemma22_trial(&capped, p, 27);
+    assert!(s.max_over_mean < 2.0, "imbalance {}", s.max_over_mean);
+}
+
+#[test]
+fn lemma42_contention_is_at_most_three_per_phase() {
+    for p in [8u32, 16, 64] {
+        let phases = contention_experiment(p, 28);
+        let stage1 = &phases[..phases.len().saturating_sub(1)];
+        assert!(
+            stage1.iter().all(|&c| c <= 3),
+            "P={p}: stage-1 contention {stage1:?} exceeds Lemma 4.2's bound"
+        );
+    }
+}
+
+#[test]
+fn fig3_pivot_gain_grows_with_p() {
+    let (n8, p8) = adversarial_experiment(8, 29);
+    let (n64, p64) = adversarial_experiment(64, 29);
+    let gain8 = n8.io_time as f64 / p8.io_time.max(1) as f64;
+    let gain64 = n64.io_time as f64 / p64.io_time.max(1) as f64;
+    assert!(gain8 > 2.0, "pivot must beat naive at P=8: {gain8}");
+    assert!(
+        gain64 > gain8,
+        "the gap must widen with P: {gain8} vs {gain64}"
+    );
+}
+
+#[test]
+fn theorem51_broadcast_is_constant_rounds_and_balanced() {
+    let p = 32u32;
+    let (mut list, keys) = build_loaded_list(p, 16_000, 30);
+    let k = 8_000;
+    let start = (keys.len() - k) / 2;
+    let before = list.metrics();
+    let r = list.range_broadcast(keys[start], keys[start + k - 1], RangeFunc::Read);
+    let costs = BatchCosts::from_diff(k, before, list.metrics());
+    assert_eq!(r.items.len(), k);
+    assert!(costs.rounds <= 3, "{} rounds", costs.rounds);
+    // PIM time Θ(K/P): within a small factor of K/P.
+    let kp = k as f64 / f64::from(p);
+    assert!(
+        costs.pim_time as f64 / kp < 4.0,
+        "broadcast PIM time {} vs K/P {kp}",
+        costs.pim_time
+    );
+}
+
+#[test]
+fn theorem52_tree_ranges_scale_with_kappa_over_p() {
+    let p = 32u32;
+    let (mut list, keys) = build_loaded_list(p, 32_000, 31);
+    let lgp = pim_runtime::ceil_log2(u64::from(p)) as usize;
+    let batch = p as usize * lgp * lgp;
+    let mut per_covered = Vec::new();
+    for per in [4usize, 16] {
+        let ranges: Vec<(i64, i64)> = (0..batch)
+            .map(|i| {
+                let s = (i * 131) % (keys.len() - per);
+                (keys[s], keys[s + per - 1])
+            })
+            .collect();
+        let before = list.metrics();
+        let res = list.batch_range(&ranges, RangeFunc::Read);
+        let costs = BatchCosts::from_diff(batch, before, list.metrics());
+        let covered: u64 = res.iter().map(|r| r.count).sum();
+        per_covered.push(costs.io_time as f64 / covered as f64);
+    }
+    // Larger κ amortises the log³P term: per-covered-pair IO must fall.
+    assert!(
+        per_covered[1] < per_covered[0],
+        "tree-range IO per pair should amortise: {per_covered:?}"
+    );
+}
+
+#[test]
+fn path_split_lower_is_n_independent_and_tracks_log_p() {
+    use pim_bench::experiments::path_split_experiment;
+    // n sweep at fixed P: lower-part visits must stay flat.
+    let (_, low_small, _) = path_split_experiment(16, 2_000, 33);
+    let (_, low_big, _) = path_split_experiment(16, 64_000, 33);
+    assert!(
+        low_big < low_small * 2.0 + 2.0,
+        "lower path grew with n: {low_small} -> {low_big}"
+    );
+    // P sweep at fixed n: lower-part visits must grow.
+    let (_, low_p4, _) = path_split_experiment(4, 16_000, 34);
+    let (_, low_p64, _) = path_split_experiment(64, 16_000, 34);
+    assert!(
+        low_p64 > low_p4 * 1.5,
+        "lower path should track log P: {low_p4} vs {low_p64}"
+    );
+    // Upper-part visits must grow with n (the O(log n) part).
+    let (up_small, _, _) = path_split_experiment(16, 2_000, 35);
+    let (up_big, _, _) = path_split_experiment(16, 64_000, 35);
+    assert!(up_big > up_small, "upper path should track log n");
+}

@@ -1,0 +1,73 @@
+//! A deterministic soak test: thousands of mixed batches against the
+//! oracle with periodic full validation — the "leave it running" test.
+
+use std::collections::BTreeMap;
+
+use pim_core::{Config, PimSkipList, RangeFunc};
+
+#[test]
+fn soak_mixed_workload() {
+    let p = 8u32;
+    let mut list = PimSkipList::new(Config::new(p, 1 << 12, 0x50AC));
+    let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+    let mut state = 0xDEADBEEFu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let rounds = if cfg!(debug_assertions) { 120 } else { 400 };
+    for round in 0..rounds {
+        match next() % 5 {
+            0 | 1 => {
+                let b = (next() % 96 + 1) as usize;
+                let pairs: Vec<(i64, u64)> = (0..b)
+                    .map(|_| ((next() % 2_000) as i64, next() % 1_000))
+                    .collect();
+                list.batch_upsert(&pairs);
+                let mut seen = std::collections::HashSet::new();
+                for &(k, v) in &pairs {
+                    if seen.insert(k) {
+                        oracle.insert(k, v);
+                    }
+                }
+            }
+            2 => {
+                let b = (next() % 64 + 1) as usize;
+                let keys: Vec<i64> = (0..b).map(|_| (next() % 2_000) as i64).collect();
+                list.batch_delete(&keys);
+                for k in keys {
+                    oracle.remove(&k);
+                }
+            }
+            3 => {
+                let b = (next() % 64 + 1) as usize;
+                let keys: Vec<i64> = (0..b).map(|_| (next() % 2_200) as i64).collect();
+                let got = list.batch_get(&keys);
+                for (i, k) in keys.iter().enumerate() {
+                    assert_eq!(got[i], oracle.get(k).copied(), "round {round} get({k})");
+                }
+            }
+            _ => {
+                let a = (next() % 2_000) as i64;
+                let b = (next() % 2_000) as i64;
+                let (lo, hi) = (a.min(b), a.max(b));
+                let r = list.range_broadcast(lo, hi, RangeFunc::Read);
+                let expect: Vec<(i64, u64)> =
+                    oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(r.items, expect, "round {round} range [{lo},{hi}]");
+            }
+        }
+        if round % 25 == 0 {
+            list.validate()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            let items = list.collect_items();
+            let expect: Vec<(i64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(items, expect, "round {round} full divergence");
+        }
+    }
+    list.validate().unwrap();
+    assert_eq!(list.len(), oracle.len() as u64);
+}
