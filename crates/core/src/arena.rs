@@ -57,6 +57,21 @@ impl Arena {
         self.live += 1;
     }
 
+    /// Place `node` at `slot` unconditionally, replacing any occupant
+    /// (crash recovery: a wiped module re-materialises its sentinel towers
+    /// on restart, so installs must overwrite as well as insert).
+    pub fn install(&mut self, slot: u32, node: Node) {
+        let idx = slot as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].is_none() {
+            self.live += 1;
+            self.free.retain(|&s| s != slot);
+        }
+        self.slots[idx] = Some(node);
+    }
+
     /// Free a slot (panics if already vacant).
     pub fn free(&mut self, slot: u32) {
         let taken = self.slots[slot as usize].take();
@@ -77,6 +92,18 @@ impl Arena {
         self.slots[slot as usize]
             .as_mut()
             .unwrap_or_else(|| panic!("dangling handle: slot {slot}"))
+    }
+
+    /// Fault-tolerant read: `None` instead of panicking on a vacant slot
+    /// (dangling handles are expected while a crashed module is being
+    /// recovered; the module answers `Faulted` instead of aborting).
+    pub fn get_opt(&self, slot: u32) -> Option<&Node> {
+        self.slots.get(slot as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Fault-tolerant write access; see [`Arena::get_opt`].
+    pub fn get_mut_opt(&mut self, slot: u32) -> Option<&mut Node> {
+        self.slots.get_mut(slot as usize).and_then(|s| s.as_mut())
     }
 
     /// Does `slot` currently hold a node?
@@ -227,6 +254,35 @@ mod tests {
         a.free(s);
         // Slot directory remains, nodes gone.
         assert_eq!(a.words(), a.slots.len() as u64);
+    }
+
+    #[test]
+    fn get_opt_is_total() {
+        let mut a = Arena::new();
+        let s = a.alloc(node(7));
+        assert_eq!(a.get_opt(s).map(|n| n.key), Some(7));
+        assert!(a.get_opt(s + 10).is_none());
+        a.free(s);
+        assert!(a.get_opt(s).is_none());
+        assert!(a.get_mut_opt(s).is_none());
+    }
+
+    #[test]
+    fn install_overwrites_and_inserts() {
+        let mut a = Arena::new();
+        a.install(3, node(1));
+        assert_eq!(a.len(), 1);
+        a.install(3, node(2));
+        assert_eq!(a.len(), 1, "overwrite must not double-count");
+        assert_eq!(a.get(3).key, 2);
+        // Installing into a freed slot must remove it from the free list so
+        // a later alloc cannot clobber the installed node.
+        let s = a.alloc(node(9));
+        a.free(s);
+        a.install(s, node(10));
+        let s2 = a.alloc(node(11));
+        assert_ne!(s2, s);
+        assert_eq!(a.get(s).key, 10);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use pim_runtime::Handle;
 
 use crate::config::{Key, Value, POS_INF};
+use crate::error::PimResult;
 use crate::list::PimSkipList;
 use crate::tasks::Task;
 
@@ -31,17 +32,32 @@ impl PimSkipList {
             pairs.windows(2).all(|w| w[0].0 < w[1].0),
             "bulk_load requires strictly ascending keys"
         );
+        self.try_bulk_load(pairs)
+            .unwrap_or_else(|e| panic!("bulk_load: {e}"))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::bulk_load`]. Also the
+    /// workhorse of crash recovery: `restore_all` resets the machine and
+    /// replays the journal's contents through this path.
+    pub(crate) fn bulk_load_attempt(&mut self, pairs: &[(Key, Value)]) -> PimResult<()> {
+        debug_assert!(self.is_empty(), "bulk_load_attempt on non-empty structure");
         if pairs.is_empty() {
-            return;
+            return Ok(());
         }
         let staged = pairs.len() as u64 * 2;
         self.sys.shared_mem().alloc(staged);
+        let out = self.bulk_load_attempt_inner(pairs);
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        out
+    }
 
+    fn bulk_load_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<()> {
         // Heights + allocation + vertical wiring (shared with Upsert).
         let tops: Vec<u8> = (0..pairs.len())
             .map(|_| self.rng.skiplist_height(self.cfg.max_level - 1))
             .collect();
-        let tower = self.allocate_towers(pairs, &tops);
+        let tower = self.allocate_towers(pairs, &tops)?;
 
         // Horizontal links, level by level: the nodes at each level in key
         // order form a single chain headed by the −∞ sentinel of that
@@ -96,14 +112,17 @@ impl PimSkipList {
             );
             self.sys.metrics_mut().charge_cpu(at_level.len() as u64, 1);
         }
-        self.sys.run_to_quiescence();
+        self.quiesce_writes("bulk_load")?;
 
         // next_leaf shortcuts of the new upper leaves.
-        self.fix_new_next_leaves(&tower, &tops);
+        self.fix_new_next_leaves(&tower, &tops)?;
 
+        // Commit: every pair is now part of the logical contents.
+        for (j, &(key, value)) in pairs.iter().enumerate() {
+            self.journal.record_insert(key, value, tower[j].clone());
+        }
         self.len = pairs.len() as u64;
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
+        Ok(())
     }
 }
 

@@ -21,6 +21,7 @@ use pim_primitives::semisort::dedup_by_key;
 use pim_runtime::Handle;
 
 use crate::config::{Key, POS_INF};
+use crate::error::{PimError, PimResult};
 use crate::list::PimSkipList;
 use crate::tasks::{Reply, Task};
 
@@ -37,8 +38,24 @@ impl PimSkipList {
     /// Batched Delete: removes each key, returning per-key whether it was
     /// present. Duplicates within the batch are deduplicated.
     pub fn batch_delete(&mut self, keys: &[Key]) -> Vec<bool> {
+        self.try_batch_delete(keys)
+            .unwrap_or_else(|e| panic!("batch_delete: {e}"))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_delete`].
+    /// Commits removals to the journal only when every stage completed.
+    pub(crate) fn delete_attempt(&mut self, keys: &[Key]) -> PimResult<Vec<bool>> {
         let staged = keys.len() as u64 * 2;
         self.sys.shared_mem().alloc(staged);
+        let mut extra = 0u64;
+        let out = self.delete_attempt_inner(keys, &mut extra);
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged + extra);
+        out
+    }
+
+    fn delete_attempt_inner(&mut self, keys: &[Key], extra_staged: &mut u64) -> PimResult<Vec<bool>> {
+        let before = self.sys.metrics();
         let (uniq, cost) = dedup_by_key(keys.to_vec(), self.cfg.seed ^ 0xDD, |&k| k as u64);
         cost.charge(self.sys.metrics_mut());
 
@@ -50,6 +67,8 @@ impl PimSkipList {
         let replies = self.sys.run_to_quiescence();
 
         let mut found = vec![false; uniq.len()];
+        let mut answered = vec![false; uniq.len()];
+        let mut faulted = 0usize;
         let mut marked_by_level: HashMap<u8, Vec<MarkedRec>> = HashMap::new();
         let mut upper_slots: Vec<u32> = Vec::new();
         let mut marked_words = 0u64;
@@ -68,6 +87,7 @@ impl PimSkipList {
                 } => {
                     if level == 0 {
                         found[op as usize] = true;
+                        answered[op as usize] = true;
                     }
                     upper_slots.extend(ups);
                     if !node.is_replicated() {
@@ -82,23 +102,36 @@ impl PimSkipList {
                 }
                 Reply::DeleteMissing { op } => {
                     found[op as usize] = false;
+                    answered[op as usize] = true;
                 }
-                other => unreachable!("unexpected reply in batch_delete: {other:?}"),
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol("batch_delete", other)),
             }
         }
         self.sys.shared_mem().alloc(marked_words);
+        *extra_staged = marked_words;
+        // The marked set is only coherent if no message was lost and no
+        // module crashed during the marking waves: a missing tower-node
+        // `Marked` is indistinguishable from a short tower, so any fault
+        // signal aborts the attempt before the splice consumes the data.
+        let missing = answered.iter().filter(|&&a| !a).count();
+        if faulted > 0 || missing > 0 || self.damage_since(&before) {
+            return Err(PimError::incomplete("batch_delete", faulted + missing));
+        }
 
         // ---- Stage 2: CPU-side list contraction per level, then splice ----
         let mut levels: Vec<u8> = marked_by_level.keys().copied().collect();
         levels.sort_unstable();
-        for level in levels {
+        for &level in &levels {
             let records = &marked_by_level[&level];
             self.splice_level(records);
         }
 
         // ---- Free marked lower nodes; unlink upper replicas ----
-        for records in marked_by_level.values() {
-            for rec in records {
+        // (level order: deterministic message order keeps `nth`-counted
+        // drop faults replayable)
+        for &level in &levels {
+            for rec in &marked_by_level[&level] {
                 self.sys
                     .send(rec.node.module(), Task::FreeNode { node: rec.node });
             }
@@ -112,15 +145,19 @@ impl PimSkipList {
                 self.shadow.free(s);
             }
         }
-        self.sys.run_to_quiescence();
+        self.quiesce_writes("batch_delete")?;
 
         self.len -= found.iter().filter(|&&f| f).count() as u64;
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged + marked_words);
+        // Commit removals to the journal.
+        for (&k, &f) in uniq.iter().zip(&found) {
+            if f {
+                self.journal.remove(k);
+            }
+        }
 
         // ---- Map back to input order ----
         let by_key: HashMap<Key, bool> = uniq.iter().zip(&found).map(|(&k, &f)| (k, f)).collect();
-        keys.iter().map(|k| by_key[k]).collect()
+        Ok(keys.iter().map(|k| by_key[k]).collect())
     }
 
     /// Contract one level's marked nodes in shared memory and write the

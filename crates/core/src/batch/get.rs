@@ -6,12 +6,17 @@
 //! semisort first removes duplicates — that is the entire defence against
 //! the duplicate-flood adversary, and with distinct keys Lemma 2.1 gives
 //! `O(log P)` IO/PIM time per batch of `P log P`.
+//!
+//! The public entry points are infallible wrappers around fault-observable
+//! *attempts*: the `try_*` retry loops (see `crate::recover`) re-issue an
+//! attempt after recovering from injected message loss or module crashes.
 
 use std::collections::HashMap;
 
 use pim_primitives::semisort::dedup_by_key;
 
 use crate::config::{Key, Value};
+use crate::error::{PimError, PimResult};
 use crate::list::PimSkipList;
 use crate::tasks::{Reply, Task};
 
@@ -19,8 +24,21 @@ impl PimSkipList {
     /// Batched Get: the value of each key, in input order (`None` for
     /// absent keys, which are ignored structurally as the paper specifies).
     pub fn batch_get(&mut self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.try_batch_get(keys)
+            .unwrap_or_else(|e| panic!("batch_get: {e}"))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_get`].
+    pub(crate) fn get_attempt(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
         let staged = keys.len() as u64 * 2;
         self.sys.shared_mem().alloc(staged);
+        let out = self.get_attempt_inner(keys);
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        out
+    }
+
+    fn get_attempt_inner(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
         let (uniq, cost) = dedup_by_key(keys.to_vec(), self.cfg.seed ^ 0xDE, |&k| k as u64);
         cost.charge(self.sys.metrics_mut());
 
@@ -30,22 +48,31 @@ impl PimSkipList {
         }
         let replies = self.sys.run_to_quiescence();
 
+        let mut faulted = 0usize;
         let mut by_key: HashMap<Key, Option<Value>> = HashMap::with_capacity(uniq.len());
         for r in replies {
             match r {
                 Reply::GotValue { op, value } => {
-                    by_key.insert(uniq[op as usize], value);
+                    let k = *uniq
+                        .get(op as usize)
+                        .ok_or_else(|| PimError::protocol("batch_get", op))?;
+                    by_key.insert(k, value);
                 }
-                other => unreachable!("unexpected reply in batch_get: {other:?}"),
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol("batch_get", other)),
             }
         }
         self.sys.metrics_mut().charge_cpu(
             keys.len() as u64,
             pim_runtime::ceil_log2(keys.len().max(1) as u64).into(),
         );
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        keys.iter().map(|k| by_key[k]).collect()
+        if faulted > 0 || by_key.len() < uniq.len() {
+            return Err(PimError::incomplete(
+                "batch_get",
+                faulted + (uniq.len() - by_key.len()),
+            ));
+        }
+        Ok(keys.iter().map(|k| by_key[k]).collect())
     }
 
     /// Batched Update: write each pair's value if the key is resident;
@@ -53,8 +80,23 @@ impl PimSkipList {
     /// the batch are resolved first-wins (one canonical representative per
     /// key, as the semisort-dedup of §4.1 prescribes).
     pub fn batch_update(&mut self, pairs: &[(Key, Value)]) -> Vec<bool> {
+        self.try_batch_update(pairs)
+            .unwrap_or_else(|e| panic!("batch_update: {e}"))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_update`].
+    /// Journals applied updates on success so a later crash recovery
+    /// replays them.
+    pub(crate) fn update_attempt(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
         let staged = pairs.len() as u64 * 2;
         self.sys.shared_mem().alloc(staged);
+        let out = self.update_attempt_inner(pairs);
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        out
+    }
+
+    fn update_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
         let (uniq, cost) = dedup_by_key(pairs.to_vec(), self.cfg.seed ^ 0xDF, |&(k, _)| k as u64);
         cost.charge(self.sys.metrics_mut());
 
@@ -71,22 +113,39 @@ impl PimSkipList {
         }
         let replies = self.sys.run_to_quiescence();
 
+        let mut faulted = 0usize;
         let mut by_key: HashMap<Key, bool> = HashMap::with_capacity(uniq.len());
         for r in replies {
             match r {
                 Reply::Updated { op, found } => {
-                    by_key.insert(uniq[op as usize].0, found);
+                    let k = uniq
+                        .get(op as usize)
+                        .ok_or_else(|| PimError::protocol("batch_update", op))?
+                        .0;
+                    by_key.insert(k, found);
                 }
-                other => unreachable!("unexpected reply in batch_update: {other:?}"),
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol("batch_update", other)),
             }
         }
         self.sys.metrics_mut().charge_cpu(
             pairs.len() as u64,
             pim_runtime::ceil_log2(pairs.len().max(1) as u64).into(),
         );
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        pairs.iter().map(|(k, _)| by_key[k]).collect()
+        if faulted > 0 || by_key.len() < uniq.len() {
+            return Err(PimError::incomplete(
+                "batch_update",
+                faulted + (uniq.len() - by_key.len()),
+            ));
+        }
+        // Commit to the journal: these writes are now part of the logical
+        // contents and any subsequent recovery must reproduce them.
+        for &(k, v) in &uniq {
+            if by_key[&k] {
+                self.journal.record_update(k, v);
+            }
+        }
+        Ok(pairs.iter().map(|(k, _)| by_key[k]).collect())
     }
 }
 

@@ -28,6 +28,7 @@ use pim_primitives::sort::par_sort;
 use pim_runtime::Handle;
 
 use crate::config::{Key, NEG_INF};
+use crate::error::{PimError, PimResult};
 use crate::list::PimSkipList;
 use crate::tasks::{Reply, SearchMode, Task};
 
@@ -115,18 +116,36 @@ impl PimSkipList {
     /// Run the full pivoted batch search. `reqs` must be ascending in key
     /// and unique; `pivot_top` forces pivots to record predecessors up to
     /// this level so later stitching is always possible.
-    pub(crate) fn pivoted_search(&mut self, reqs: &[SearchRequest]) -> SearchResults {
+    ///
+    /// Fails with [`PimError::Incomplete`] when injected faults lose search
+    /// traffic (missing terminal records, missing pivot paths, `Faulted`
+    /// replies); on a fault-free machine the result is always `Ok`.
+    pub(crate) fn pivoted_search(&mut self, reqs: &[SearchRequest]) -> PimResult<SearchResults> {
+        let mut staged_words = 0u64;
+        let out = self.pivoted_search_inner(reqs, &mut staged_words);
+        if staged_words > 0 {
+            self.sys.sample_shared_mem();
+            self.sys.shared_mem().free(staged_words);
+        }
+        out
+    }
+
+    fn pivoted_search_inner(
+        &mut self,
+        reqs: &[SearchRequest],
+        staged_words: &mut u64,
+    ) -> PimResult<SearchResults> {
         let mut results = SearchResults::default();
         let b = reqs.len();
         self.last_phase_contention.clear();
         if b == 0 {
-            return results;
+            return Ok(results);
         }
         debug_assert!(reqs.windows(2).all(|w| w[0].key < w[1].key));
         let max_top = reqs.iter().map(|r| r.top).max().unwrap_or(0);
 
-        let mut staged_words = 2 * b as u64;
-        self.sys.shared_mem().alloc(staged_words);
+        *staged_words = 2 * b as u64;
+        self.sys.shared_mem().alloc(*staged_words);
 
         // Pivot selection: every log P-th element plus the extremes.
         let step = self.cfg.log_p().max(1) as usize;
@@ -153,7 +172,8 @@ impl PimSkipList {
                 stitch_from: None,
             });
         }
-        staged_words += self.run_wave(&phase0, reqs, Some(max_top), true, &mut results, &mut paths);
+        *staged_words +=
+            self.run_wave(&phase0, reqs, Some(max_top), true, &mut results, &mut paths)?;
         self.record_phase_contention();
 
         // ---- Stage 1, phases 1..: medians of open segments. ----
@@ -168,7 +188,15 @@ impl PimSkipList {
                 }
                 let med = (l + r) / 2;
                 let (op_l, op_r) = (reqs[pivots[l]].op, reqs[pivots[r]].op);
-                let (hint, prefix, cost) = hint_and_prefix(&paths[&op_l], &paths[&op_r]);
+                let (path_l, path_r) = (
+                    paths
+                        .get(&op_l)
+                        .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
+                    paths
+                        .get(&op_r)
+                        .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
+                );
+                let (hint, prefix, cost) = hint_and_prefix(path_l, path_r);
                 hint_cost = hint_cost.beside(cost);
                 items.push(WaveItem {
                     idx: pivots[med],
@@ -180,8 +208,8 @@ impl PimSkipList {
                 next_segments.push((med, r));
             }
             hint_cost.charge(self.sys.metrics_mut());
-            staged_words +=
-                self.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths);
+            *staged_words +=
+                self.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths)?;
             self.record_phase_contention();
             segments = next_segments;
         }
@@ -197,7 +225,15 @@ impl PimSkipList {
             let pos = pivots.partition_point(|&p| p < i);
             debug_assert!(pos > 0 && pos < pivots.len());
             let (op_l, op_r) = (reqs[pivots[pos - 1]].op, reqs[pivots[pos]].op);
-            let (hint, prefix, cost) = hint_and_prefix(&paths[&op_l], &paths[&op_r]);
+            let (path_l, path_r) = (
+                paths
+                    .get(&op_l)
+                    .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
+                paths
+                    .get(&op_r)
+                    .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
+            );
+            let (hint, prefix, cost) = hint_and_prefix(path_l, path_r);
             hint_cost = hint_cost.beside(cost);
             items.push(WaveItem {
                 idx: i,
@@ -207,12 +243,18 @@ impl PimSkipList {
             });
         }
         hint_cost.charge(self.sys.metrics_mut());
-        staged_words += self.run_wave(&items, reqs, None, false, &mut results, &mut paths);
+        *staged_words += self.run_wave(&items, reqs, None, false, &mut results, &mut paths)?;
         self.record_phase_contention();
 
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged_words);
-        results
+        // Completeness: every request must have reached level 0.
+        let missing = reqs
+            .iter()
+            .filter(|r| !results.done.contains_key(&r.op))
+            .count();
+        if missing > 0 {
+            return Err(PimError::incomplete("search", missing));
+        }
+        Ok(results)
     }
 
     /// Issue one wave of searches, absorb replies, reconstruct paths, and
@@ -226,7 +268,7 @@ impl PimSkipList {
         record: bool,
         results: &mut SearchResults,
         paths: &mut HashMap<u32, Vec<Handle>>,
-    ) -> u64 {
+    ) -> PimResult<u64> {
         let mut copies: Vec<(u32, u32)> = Vec::new(); // (dst op, src op)
         for item in items {
             let req = reqs[item.idx];
@@ -275,6 +317,7 @@ impl PimSkipList {
 
         let replies = self.sys.run_to_quiescence();
         let mut path_words = 0u64;
+        let mut faulted = 0usize;
         for r in replies {
             match r {
                 Reply::SearchDone {
@@ -312,13 +355,20 @@ impl PimSkipList {
                     paths.entry(op).or_default().push(node);
                     path_words += 1;
                 }
-                other => unreachable!("unexpected reply during search wave: {other:?}"),
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol("search", other)),
             }
+        }
+        if faulted > 0 {
+            return Err(PimError::incomplete("search", faulted));
         }
 
         // Resolve SharedLeaf copies (results and paths identical to src).
         for (dst, src) in copies {
-            let d = results.done[&src];
+            let d = *results
+                .done
+                .get(&src)
+                .ok_or(PimError::Incomplete { op: "search", missing: 1 })?;
             results.done.insert(dst, d);
             if let Some(p) = results.preds.get(&src).cloned() {
                 results.preds.insert(dst, p);
@@ -362,7 +412,7 @@ impl PimSkipList {
         }
 
         self.sys.shared_mem().alloc(path_words);
-        path_words
+        Ok(path_words)
     }
 
     fn record_phase_contention(&mut self) {
@@ -377,8 +427,16 @@ impl PimSkipList {
     /// before searching (the adversary countermeasure of §4.1 applied to
     /// queries), results fanned back out.
     pub fn batch_successor(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
-        let results = self.point_search_unique(keys);
-        keys.iter()
+        self.try_batch_successor(keys)
+            .unwrap_or_else(|e| panic!("batch_successor: {e}"))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_successor`]
+    /// (the retry loop lives in [`PimSkipList::try_batch_successor`]).
+    pub(crate) fn successor_attempt(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
+        let results = self.point_search_unique(keys)?;
+        Ok(keys
+            .iter()
             .map(|k| {
                 let d = &results[k];
                 // Null-handle check, not sentinel-key check: a resident
@@ -389,14 +447,24 @@ impl PimSkipList {
                     Some((d.succ_key, d.succ))
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Batched Predecessor: for each key, the largest resident key `≤` it,
     /// or `None` before the beginning.
     pub fn batch_predecessor(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
-        let results = self.point_search_unique(keys);
-        keys.iter()
+        self.try_batch_predecessor(keys)
+            .unwrap_or_else(|e| panic!("batch_predecessor: {e}"))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_predecessor`].
+    pub(crate) fn predecessor_attempt(
+        &mut self,
+        keys: &[Key],
+    ) -> PimResult<Vec<Option<(Key, Handle)>>> {
+        let results = self.point_search_unique(keys)?;
+        Ok(keys
+            .iter()
             .map(|k| {
                 let d = &results[k];
                 // `succ_key == k` only counts when a successor node exists:
@@ -410,7 +478,7 @@ impl PimSkipList {
                     Some((d.pred_key, d.pred))
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// The §4.2 *strawman*: batched Successor with no pivots and no hints —
@@ -475,7 +543,7 @@ impl PimSkipList {
 
     /// Sort + dedup the keys, run the pivoted search in point mode, and
     /// return per-key terminal records.
-    fn point_search_unique(&mut self, keys: &[Key]) -> HashMap<Key, DoneRec> {
+    fn point_search_unique(&mut self, keys: &[Key]) -> PimResult<HashMap<Key, DoneRec>> {
         let mut uniq: Vec<Key> = keys.to_vec();
         par_sort(&mut uniq).charge(self.sys.metrics_mut());
         uniq.dedup();
@@ -488,11 +556,13 @@ impl PimSkipList {
                 top: 0,
             })
             .collect();
-        let results = self.pivoted_search(&reqs);
-        uniq.iter()
+        let results = self.pivoted_search(&reqs)?;
+        // `pivoted_search` checked completeness: indexing is safe.
+        Ok(uniq
+            .iter()
             .enumerate()
             .map(|(i, &k)| (k, results.done[&(i as u32)]))
-            .collect()
+            .collect())
     }
 }
 

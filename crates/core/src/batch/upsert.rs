@@ -22,6 +22,7 @@ use pim_runtime::Handle;
 
 use crate::batch::search::SearchRequest;
 use crate::config::{Key, Value};
+use crate::error::{PimError, PimResult};
 use crate::list::PimSkipList;
 use crate::tasks::{Reply, Task};
 
@@ -39,8 +40,23 @@ impl PimSkipList {
     /// first-wins; returns the per-pair outcome (duplicates report the
     /// outcome of their key's canonical occurrence).
     pub fn batch_upsert(&mut self, pairs: &[(Key, Value)]) -> Vec<UpsertOutcome> {
+        self.try_batch_upsert(pairs)
+            .unwrap_or_else(|e| panic!("batch_upsert: {e}"))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_upsert`] (the
+    /// recovery loop lives in [`PimSkipList::try_batch_upsert`]). Commits
+    /// the batch to the journal only when every stage completed.
+    pub(crate) fn upsert_attempt(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
         let staged = pairs.len() as u64 * 2;
         self.sys.shared_mem().alloc(staged);
+        let out = self.upsert_attempt_inner(pairs);
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        out
+    }
+
+    fn upsert_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
         let (uniq, cost) = dedup_by_key(pairs.to_vec(), self.cfg.seed ^ 0xAB, |&(k, _)| k as u64);
         cost.charge(self.sys.metrics_mut());
 
@@ -58,11 +74,27 @@ impl PimSkipList {
         }
         let replies = self.sys.run_to_quiescence();
         let mut updated = vec![false; uniq.len()];
+        let mut answered = 0usize;
+        let mut faulted = 0usize;
         for r in replies {
             match r {
-                Reply::Updated { op, found } => updated[op as usize] = found,
-                other => unreachable!("unexpected reply in upsert update pass: {other:?}"),
+                Reply::Updated { op, found } => {
+                    updated[op as usize] = found;
+                    answered += 1;
+                }
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol("batch_upsert", other)),
             }
+        }
+        // Every update task answers exactly once on a healthy machine; a
+        // shortfall means a dropped task/reply or a crash-wiped inbox, and
+        // a `found = false` derived from silence must never reach the
+        // insert path (it would duplicate the key).
+        if faulted > 0 || answered < uniq.len() {
+            return Err(PimError::incomplete(
+                "batch_upsert",
+                faulted + (uniq.len() - answered),
+            ));
         }
 
         // ---- Insert set, sorted by key ----
@@ -75,7 +107,14 @@ impl PimSkipList {
         par_sort_by_key(&mut inserts, |&(k, _)| k).charge(self.sys.metrics_mut());
 
         if !inserts.is_empty() {
-            self.insert_sorted(&inserts);
+            self.insert_sorted(&inserts)?;
+        }
+
+        // The inserts are journaled by `insert_sorted`; commit the updates.
+        for (&(k, v), &u) in uniq.iter().zip(&updated) {
+            if u {
+                self.journal.record_update(k, v);
+            }
         }
 
         // ---- Map outcomes back ----
@@ -93,9 +132,7 @@ impl PimSkipList {
                 )
             })
             .collect();
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        pairs.iter().map(|(k, _)| outcome_by_key[k]).collect()
+        Ok(pairs.iter().map(|(k, _)| outcome_by_key[k]).collect())
     }
 
     /// Allocate and vertically wire the towers for a sorted batch of new
@@ -107,7 +144,7 @@ impl PimSkipList {
         &mut self,
         inserts: &[(Key, Value)],
         tops: &[u8],
-    ) -> Vec<Vec<Handle>> {
+    ) -> PimResult<Vec<Vec<Handle>>> {
         let h_low = self.cfg.h_low;
         let mut tower: Vec<Vec<Handle>> = (0..inserts.len())
             .map(|j| vec![Handle::NULL; tops[j] as usize + 1])
@@ -142,15 +179,24 @@ impl PimSkipList {
             }
         }
         let replies = self.sys.run_to_quiescence();
+        let mut faulted = 0usize;
         for r in replies {
             match r {
                 Reply::Alloced { op, level, node } => {
                     tower[op as usize][level as usize] = node;
                 }
-                other => unreachable!("unexpected reply in alloc round: {other:?}"),
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol("alloc", other)),
             }
         }
-        debug_assert!(tower.iter().all(|t| t.iter().all(|h| h.is_some())));
+        let missing = tower
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter(|h| h.is_null())
+            .count();
+        if faulted > 0 || missing > 0 {
+            return Err(PimError::incomplete("alloc", faulted + missing));
+        }
 
         // ---- Vertical wiring + leaf chains (Insert steps 4–5) ----
         for t in &tower {
@@ -171,16 +217,16 @@ impl PimSkipList {
                 );
             }
         }
-        self.sys.run_to_quiescence();
-        tower
+        self.quiesce_writes("wire")?;
+        Ok(tower)
     }
 
     /// Recompute the `next_leaf` shortcut of every new upper-part leaf
     /// (broadcast; must run after horizontal linking).
-    pub(crate) fn fix_new_next_leaves(&mut self, tower: &[Vec<Handle>], tops: &[u8]) {
+    pub(crate) fn fix_new_next_leaves(&mut self, tower: &[Vec<Handle>], tops: &[u8]) -> PimResult<()> {
         let h_low = self.cfg.h_low;
         if h_low == 0 {
-            return;
+            return Ok(());
         }
         let mut fixed_any = false;
         for (j, t) in tower.iter().enumerate() {
@@ -191,12 +237,13 @@ impl PimSkipList {
             }
         }
         if fixed_any {
-            self.sys.run_to_quiescence();
+            self.quiesce_writes("fix_next_leaf")?;
         }
+        Ok(())
     }
 
     /// Insert a sorted, deduplicated, non-resident batch of pairs.
-    fn insert_sorted(&mut self, inserts: &[(Key, Value)]) {
+    fn insert_sorted(&mut self, inserts: &[(Key, Value)]) -> PimResult<()> {
         let b = inserts.len();
 
         // ---- Heights (CPU-side secret coins, drawn in key order) ----
@@ -205,7 +252,7 @@ impl PimSkipList {
             .collect();
 
         // ---- Allocation + vertical wiring rounds (Insert steps 1–5) ----
-        let tower = self.allocate_towers(inserts, &tops);
+        let tower = self.allocate_towers(inserts, &tops)?;
 
         // ---- Batched Predecessor with per-level reports (§4.2) ----
         let reqs: Vec<SearchRequest> = inserts
@@ -217,7 +264,7 @@ impl PimSkipList {
                 top: tops[j],
             })
             .collect();
-        let results = self.pivoted_search(&reqs);
+        let results = self.pivoted_search(&reqs)?;
 
         // ---- Algorithm 1: horizontal pointer construction ----
         let max_top = tops.iter().copied().max().unwrap_or(0);
@@ -230,23 +277,22 @@ impl PimSkipList {
                 succ: Handle,
                 succ_key: Key,
             }
-            let a: Vec<Entry> = inserts
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| tops[*j] >= level)
-                .map(|(j, &(key, _))| {
-                    let (pred, succ, succ_key) = results
-                        .pred_at(j as u32, level)
-                        .unwrap_or_else(|| panic!("missing pred for op {j} level {level}"));
-                    Entry {
-                        cur: tower[j][level as usize],
-                        key,
-                        pred,
-                        succ,
-                        succ_key,
-                    }
-                })
-                .collect();
+            let mut a: Vec<Entry> = Vec::new();
+            for (j, &(key, _)) in inserts.iter().enumerate() {
+                if tops[j] < level {
+                    continue;
+                }
+                let (pred, succ, succ_key) = results
+                    .pred_at(j as u32, level)
+                    .ok_or(PimError::Incomplete { op: "batch_upsert", missing: 1 })?;
+                a.push(Entry {
+                    cur: tower[j][level as usize],
+                    key,
+                    pred,
+                    succ,
+                    succ_key,
+                });
+            }
             for j in 0..a.len() {
                 let right_end = j + 1 == a.len() || a[j].succ != a[j + 1].succ;
                 if right_end {
@@ -308,11 +354,17 @@ impl PimSkipList {
                 pim_runtime::ceil_log2(a.len().max(1) as u64).into(),
             );
         }
-        self.sys.run_to_quiescence();
+        self.quiesce_writes("link")?;
 
         // ---- Recompute next_leaf for new upper-part leaves ----
-        self.fix_new_next_leaves(&tower, &tops);
+        self.fix_new_next_leaves(&tower, &tops)?;
 
+        // Commit: the batch is structurally complete — journal each new
+        // tower so recovery can re-materialise it handle for handle.
+        for (j, &(key, value)) in inserts.iter().enumerate() {
+            self.journal.record_insert(key, value, tower[j].clone());
+        }
         self.len += b as u64;
+        Ok(())
     }
 }

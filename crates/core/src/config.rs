@@ -33,6 +33,12 @@ pub struct Config {
     /// instrumentation; off by default — it is test/experiment machinery,
     /// not part of the data structure).
     pub track_contention: bool,
+    /// How many times a batch operation is re-issued (with recovery in
+    /// between) when an injected fault loses messages or crashes a module,
+    /// before the driver gives up with
+    /// [`crate::error::PimError::RetriesExhausted`]. Irrelevant on a
+    /// fault-free machine. Default 3.
+    pub max_retries: u32,
 }
 
 impl Config {
@@ -46,7 +52,14 @@ impl Config {
             h_low,
             max_level,
             track_contention: false,
+            max_retries: 3,
         }
+    }
+
+    /// Override the recovery retry budget (chaos testing).
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
     }
 
     /// Override the lower-part height (the `ABL-HLOW` ablation experiment).

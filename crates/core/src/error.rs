@@ -1,0 +1,119 @@
+//! Typed errors of the fault-tolerant driver paths.
+//!
+//! The plain batch API (`batch_get`, `batch_upsert`, …) keeps its
+//! infallible signatures — on a fault-free machine none of these errors
+//! can occur, and the plain entry points panic on the (impossible)
+//! failure with the typed error's message. The `try_*` entry points
+//! surface the same conditions as values, which is what the recovery
+//! layer needs: a lost reply or a crashed module is an *expected* event
+//! under an installed [`pim_runtime::FaultPlan`], and the driver retries,
+//! rebuilds, or reports instead of tearing the process down.
+
+use std::error::Error;
+use std::fmt;
+
+/// Driver-visible failures of a batch operation on the PIM machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PimError {
+    /// The bounded retry/recovery loop gave up: every attempt (including
+    /// the recovery rebuilds between them) kept losing messages or
+    /// modules. The structure has been restored to a journal-consistent
+    /// state, but the requested batch is not applied.
+    RetriesExhausted {
+        /// The operation that gave up.
+        op: &'static str,
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// A quiescent period ended with replies missing (dropped tasks or
+    /// replies, or a module answered [`crate::tasks::Reply::Faulted`]).
+    /// Transient: the retry wrappers recover and re-issue.
+    Incomplete {
+        /// The operation that observed the loss.
+        op: &'static str,
+        /// How many expected records never arrived (0 when the loss was
+        /// signalled by a `Faulted` reply rather than by absence).
+        missing: usize,
+    },
+    /// The request itself is invalid for this configuration (e.g. a
+    /// broadcast range operation on an `h_low = 0` structure, which has
+    /// no local leaf lists to stream from).
+    InvalidArgument {
+        /// The rejecting operation.
+        op: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A reply arrived that the operation's protocol cannot produce —
+    /// on a fault-free machine this is a driver bug, under faults it is
+    /// treated like [`PimError::Incomplete`] by the retry wrappers.
+    Protocol {
+        /// The operation that received the reply.
+        op: &'static str,
+        /// Debug rendering of the offending reply.
+        detail: String,
+    },
+}
+
+/// Result alias used by the fault-tolerant driver paths.
+pub type PimResult<T> = Result<T, PimError>;
+
+impl PimError {
+    pub(crate) fn incomplete(op: &'static str, missing: usize) -> Self {
+        PimError::Incomplete { op, missing }
+    }
+
+    pub(crate) fn protocol(op: &'static str, detail: impl fmt::Debug) -> Self {
+        PimError::Protocol {
+            op,
+            detail: format!("{detail:?}"),
+        }
+    }
+
+    /// Is this error transient, i.e. worth a recovery-and-retry cycle?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PimError::Incomplete { .. } | PimError::Protocol { .. })
+    }
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::RetriesExhausted { op, attempts } => {
+                write!(f, "{op}: retries exhausted after {attempts} attempts")
+            }
+            PimError::Incomplete { op, missing } => {
+                write!(f, "{op}: incomplete batch ({missing} records missing)")
+            }
+            PimError::InvalidArgument { op, reason } => write!(f, "{op}: {reason}"),
+            PimError::Protocol { op, detail } => {
+                write!(f, "{op}: protocol violation ({detail})")
+            }
+        }
+    }
+}
+
+impl Error for PimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PimError::RetriesExhausted {
+            op: "batch_get",
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("batch_get"));
+        assert!(e.to_string().contains('4'));
+        assert!(!e.is_transient());
+        assert!(PimError::incomplete("x", 2).is_transient());
+        assert!(PimError::protocol("x", "y").is_transient());
+        assert!(!PimError::InvalidArgument {
+            op: "range_broadcast",
+            reason: "h_low = 0".into()
+        }
+        .is_transient());
+    }
+}

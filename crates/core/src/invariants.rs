@@ -47,6 +47,26 @@ impl PimSkipList {
             self.check_next_leaf()?;
         }
         self.check_index()?;
+        self.check_journal()?;
+        Ok(())
+    }
+
+    /// The recovery journal must mirror the logical contents exactly —
+    /// anything else means a batch committed without journaling (or vice
+    /// versa), which would silently corrupt the next crash recovery.
+    fn check_journal(&self) -> Result<(), String> {
+        ensure!(
+            self.journal.len() as u64 == self.len(),
+            "journal holds {} keys but len() = {}",
+            self.journal.len(),
+            self.len()
+        );
+        let journaled = self.journal.items_sorted();
+        let actual = self.collect_items();
+        ensure!(
+            journaled == actual,
+            "journal snapshot diverges from leaf chain"
+        );
         Ok(())
     }
 

@@ -1,0 +1,139 @@
+//! CPU-side operation journal — the recovery layer's source of truth.
+//!
+//! The PIM modules' local memories are volatile under the fault model: an
+//! injected crash wipes a module cold. The driver therefore keeps a journal
+//! of the structure's *logical* contents in host DRAM, updated only when a
+//! batch completes undamaged. Recovery rebuilds module state from it:
+//!
+//! * [`crate::list::PimSkipList::recover_module`] re-materialises one
+//!   module's node images (upper-part replicas at their exact slots, local
+//!   nodes at their exact slots) so every handle held by other modules
+//!   keeps resolving — which requires the journal to remember each key's
+//!   tower handles;
+//! * [`crate::list::PimSkipList::restore_all`] rebuilds the whole machine
+//!   by bulk-loading the journal's `(key, value)` snapshot.
+//!
+//! Host DRAM is not PIM-module memory and journal maintenance is ordinary
+//! CPU bookkeeping, so it is deliberately *unmetered*: with no fault plan
+//! installed, metrics stay bit-identical to a build without the journal.
+//!
+//! One subtlety: upper-part replicas keep the value a key was *inserted*
+//! with (later updates only touch the leaf), and the replica invariant
+//! check compares values across modules. The journal therefore records both
+//! the current value (what queries must see) and the insert-time value
+//! (what a rebuilt replica must carry to match its healthy donors).
+
+use std::collections::HashMap;
+
+use pim_runtime::Handle;
+
+use crate::config::{Key, Value};
+
+/// Per-key journal record.
+#[derive(Debug, Clone)]
+pub(crate) struct JournalEntry {
+    /// Current logical value (reflects updates, fetch-adds, range adds).
+    pub value: Value,
+    /// Value at insert time — what every upper-part replica of this tower
+    /// stores (updates never rewrite replicas).
+    pub inserted_value: Value,
+    /// The tower's handles, bottom-up: `tower[0]` is the leaf,
+    /// `tower[j]` the level-`j` node.
+    pub tower: Vec<Handle>,
+}
+
+/// The driver's journal of live keys.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Journal {
+    entries: HashMap<Key, JournalEntry>,
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Record a committed insert (also used when a rebuild re-towers a key:
+    /// the rebuilt replicas carry the then-current value uniformly, so
+    /// `inserted_value` resets alongside).
+    pub fn record_insert(&mut self, key: Key, value: Value, tower: Vec<Handle>) {
+        self.entries.insert(
+            key,
+            JournalEntry {
+                value,
+                inserted_value: value,
+                tower,
+            },
+        );
+    }
+
+    /// Record a committed in-place update (leaf only; replicas untouched).
+    pub fn record_update(&mut self, key: Key, value: Value) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.value = value;
+        }
+    }
+
+    /// Record a committed delete.
+    pub fn remove(&mut self, key: Key) {
+        self.entries.remove(&key);
+    }
+
+    /// Record a committed range add: every live key in `[lo, hi]` gained
+    /// `delta` (wrapping, matching the module-side arithmetic).
+    pub fn add_in_range(&mut self, lo: Key, hi: Key, delta: Value) {
+        for (k, e) in self.entries.iter_mut() {
+            if (lo..=hi).contains(k) {
+                e.value = e.value.wrapping_add(delta);
+            }
+        }
+    }
+
+    /// Live keys recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Snapshot `(key, current value)`, ascending by key — the
+    /// `restore_all` bulk-load input.
+    pub fn items_sorted(&self) -> Vec<(Key, Value)> {
+        let mut v: Vec<(Key, Value)> = self.entries.iter().map(|(&k, e)| (k, e.value)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Snapshot full entries, ascending by key — the `recover_module`
+    /// image-reconstruction input.
+    pub fn entries_sorted(&self) -> Vec<(Key, JournalEntry)> {
+        let mut v: Vec<(Key, JournalEntry)> = self
+            .entries
+            .iter()
+            .map(|(&k, e)| (k, e.clone()))
+            .collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_lifecycle() {
+        let mut j = Journal::new();
+        j.record_insert(5, 50, vec![Handle::local(1, 0)]);
+        j.record_insert(2, 20, vec![Handle::local(0, 3), Handle::replicated(9)]);
+        assert_eq!(j.len(), 2);
+        j.record_update(5, 55);
+        j.record_update(99, 1); // absent: no-op
+        assert_eq!(j.items_sorted(), vec![(2, 20), (5, 55)]);
+        j.add_in_range(0, 4, 10);
+        assert_eq!(j.items_sorted(), vec![(2, 30), (5, 55)]);
+        let entries = j.entries_sorted();
+        assert_eq!(entries[0].1.inserted_value, 20, "insert-time value kept");
+        assert_eq!(entries[0].1.tower.len(), 2);
+        j.remove(2);
+        assert_eq!(j.items_sorted(), vec![(5, 55)]);
+    }
+}

@@ -36,15 +36,20 @@ pub mod arena;
 pub mod batch;
 pub mod config;
 pub mod dot;
+pub mod error;
 pub mod invariants;
+mod journal;
 pub mod list;
 pub mod module;
 pub mod node;
 pub mod range;
+mod recover;
 pub mod tasks;
 
 pub use batch::UpsertOutcome;
 pub use config::{Config, Key, Value, NEG_INF, POS_INF};
+pub use error::{PimError, PimResult};
 pub use list::PimSkipList;
+pub use pim_runtime::{FaultKind, FaultPlan};
 pub use range::RangeResult;
 pub use tasks::RangeFunc;

@@ -8,10 +8,11 @@
 //! [`ShadowAllocator`], keeping every module's replica bit-identical.
 
 use pim_runtime::hashfn;
-use pim_runtime::{Handle, Metrics, ModuleId, PimSystem, Rng};
+use pim_runtime::{FaultPlan, Handle, Metrics, ModuleId, PimSystem, Rng};
 
 use crate::arena::ShadowAllocator;
 use crate::config::{Config, Key, Value};
+use crate::journal::Journal;
 use crate::module::{ModuleParams, SkipModule};
 use crate::node::Node;
 use crate::tasks::Task;
@@ -32,6 +33,9 @@ pub struct PimSkipList {
     pub(crate) shadow: ShadowAllocator,
     pub(crate) rng: Rng,
     pub(crate) len: u64,
+    /// Host-DRAM journal of committed contents (recovery source of truth;
+    /// unmetered CPU bookkeeping, see [`crate::journal`]).
+    pub(crate) journal: Journal,
     /// Max per-node access count in each stage-1 phase of the last pivoted
     /// batch (Lemma 4.2 instrumentation; populated only when
     /// [`Config::track_contention`] is set).
@@ -60,8 +64,28 @@ impl PimSkipList {
             shadow,
             rng,
             len: 0,
+            journal: Journal::new(),
             last_phase_contention: Vec::new(),
         }
+    }
+
+    /// The [`ModuleParams`] every module of this structure was built with
+    /// (recovery reconstructs crashed modules from them).
+    pub(crate) fn module_params(&self) -> ModuleParams {
+        ModuleParams {
+            p: self.cfg.p,
+            h_low: self.cfg.h_low,
+            max_level: self.cfg.max_level,
+            seed: self.cfg.seed,
+            track_contention: self.cfg.track_contention,
+        }
+    }
+
+    /// Install a deterministic fault schedule on the underlying machine
+    /// (an empty plan removes the injector entirely — execution is then
+    /// bit-identical to a machine that never had one).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sys.set_fault_plan(plan);
     }
 
     /// Number of keys stored.

@@ -23,7 +23,7 @@ use pim_hashtable::DeamortizedMap;
 use crate::arena::Arena;
 use crate::config::{Key, POS_INF};
 use crate::node::Node;
-use crate::tasks::{RangeFunc, Reply, SearchMode, Task};
+use crate::tasks::{RangeFunc, Reply, SearchMode, Task, NO_OP};
 
 /// Per-fragment aggregation state of the reduction range functions.
 #[derive(Debug, Clone, Copy)]
@@ -154,6 +154,33 @@ impl SkipModule {
             self.upper.get_mut(h.slot())
         } else {
             self.lower.get_mut(h.slot())
+        }
+    }
+
+    /// Fault-tolerant node read: `None` for unresolvable or dangling
+    /// handles instead of panicking. Task handlers reached from the CPU
+    /// driver use this so a post-crash dangling handle yields a
+    /// [`Reply::Faulted`] the driver can recover from, not an abort.
+    pub fn try_node(&self, h: Handle) -> Option<&Node> {
+        if !self.resolvable(h) {
+            return None;
+        }
+        if h.is_replicated() {
+            self.upper.get_opt(h.slot())
+        } else {
+            self.lower.get_opt(h.slot())
+        }
+    }
+
+    /// Fault-tolerant node write access; see [`SkipModule::try_node`].
+    pub fn try_node_mut(&mut self, h: Handle) -> Option<&mut Node> {
+        if !self.resolvable(h) {
+            return None;
+        }
+        if h.is_replicated() {
+            self.upper.get_mut_opt(h.slot())
+        } else {
+            self.lower.get_mut_opt(h.slot())
         }
     }
 
@@ -355,10 +382,14 @@ impl SkipModule {
             if record_path && !at.is_replicated() {
                 ctx.reply(Reply::PathNode { op, node: at });
             }
-            let (right, right_key, down, level) = {
-                let n = self.node(at);
-                (n.right, n.right_key, n.down, n.level)
+            let Some(n) = self.try_node(at) else {
+                // Dangling handle (crashed peer's node referenced through a
+                // stale pointer): surface the loss, the driver recovers.
+                ctx.reply(Reply::Faulted { op });
+                return;
             };
+            let (at_key, right, right_key, down, level) =
+                (n.key, n.right, n.right_key, n.down, n.level);
             if right_key < key {
                 at = right;
                 continue;
@@ -379,7 +410,7 @@ impl SkipModule {
                 ctx.reply(Reply::SearchDone {
                     op,
                     pred: at,
-                    pred_key: self.node(at).key,
+                    pred_key: at_key,
                     succ: right,
                     succ_key: right_key,
                 });
@@ -459,10 +490,12 @@ impl SkipModule {
                     break;
                 }
                 ctx.work(1);
-                let (key, right, right_key, down, level) = {
-                    let n = self.node(cur);
-                    (n.key, n.right, n.right_key, n.down, n.level)
+                let Some(n) = self.try_node(cur) else {
+                    ctx.reply(Reply::Faulted { op });
+                    return;
                 };
+                let (key, right, right_key, down, level) =
+                    (n.key, n.right, n.right_key, n.down, n.level);
                 debug_assert!(key <= hi_frag);
                 if level == 0 {
                     if key >= lo {
@@ -550,12 +583,15 @@ impl SkipModule {
         let leaf = Handle::from_bits(bits);
         debug_assert!(self.resolvable(leaf));
         // Mark + gather the leaf record.
-        let (chain, value) = {
-            let n = self.node_mut(leaf);
-            debug_assert!(!n.deleted, "double delete of key {key}");
-            n.deleted = true;
-            (n.chain.clone(), n.value)
+        let Some(n) = self.try_node_mut(leaf) else {
+            // Index pointed at a vacated slot — only possible after fault
+            // damage; report it instead of tearing the simulation down.
+            ctx.reply(Reply::Faulted { op });
+            return;
         };
+        debug_assert!(!n.deleted, "double delete of key {key}");
+        n.deleted = true;
+        let (chain, value) = (n.chain.clone(), n.value);
         let mut upper_slots = Vec::new();
         if leaf.is_replicated() {
             // h_low = 0 ablation: the leaf itself is a replica — no local
@@ -587,12 +623,14 @@ impl SkipModule {
 
     fn do_mark_node(&mut self, op: u32, node: Handle, ctx: &mut ModuleCtx<'_, Task, Reply>) {
         ctx.work(1);
-        let (level, key, left, right, right_key, value) = {
-            let n = self.node_mut(node);
-            debug_assert!(!n.deleted, "double mark");
-            n.deleted = true;
-            (n.level, n.key, n.left, n.right, n.right_key, n.value)
+        let Some(n) = self.try_node_mut(node) else {
+            ctx.reply(Reply::Faulted { op });
+            return;
         };
+        debug_assert!(!n.deleted, "double mark");
+        n.deleted = true;
+        let (level, key, left, right, right_key, value) =
+            (n.level, n.key, n.left, n.right, n.right_key, n.value);
         ctx.reply(Reply::Marked {
             op,
             node,
@@ -609,11 +647,22 @@ impl SkipModule {
     fn do_unlink_upper(&mut self, slots: &[u32], ctx: &mut ModuleCtx<'_, Task, Reply>) {
         for &slot in slots {
             ctx.work(1);
-            let (left, right, right_key) = {
-                let n = self.upper.get(slot);
-                (n.left, n.right, n.right_key)
+            let Some(n) = self.upper.get_opt(slot) else {
+                // Slot already vacant: a crash or a dropped earlier
+                // broadcast left this replica behind. Report, don't splice.
+                ctx.reply(Reply::Faulted { op: NO_OP });
+                continue;
             };
+            let (left, right, right_key) = (n.left, n.right, n.right_key);
             debug_assert!(left.is_replicated(), "upper node with non-replicated left");
+            // Check both neighbours before mutating anything so a damaged
+            // replica never applies half a splice.
+            if self.upper.get_opt(left.slot()).is_none()
+                || (right.is_some() && self.upper.get_opt(right.slot()).is_none())
+            {
+                ctx.reply(Reply::Faulted { op: NO_OP });
+                continue;
+            }
             {
                 let l = self.upper.get_mut(left.slot());
                 l.right = right;
@@ -625,6 +674,58 @@ impl SkipModule {
             self.upper.free(slot);
         }
     }
+
+    /// Rebuild the derived local views — hash index, local leaf list and
+    /// `next_leaf` shortcuts — from the (re)installed arenas; the recovery
+    /// finaliser after a crash. Returns the local work done.
+    fn rebuild_local_views(&mut self) -> u64 {
+        let mut work = 1u64;
+        self.index = DeamortizedMap::new(
+            64,
+            pim_runtime::hashfn::hash2(0x1d, 0, u64::from(self.id)),
+        );
+        let mut leaves: Vec<(Key, u32)> = self
+            .lower
+            .iter()
+            .filter(|(_, n)| n.level == 0 && !n.deleted)
+            .map(|(s, n)| (n.key, s))
+            .collect();
+        leaves.sort_unstable();
+        work += leaves.len() as u64;
+        let inf = self.inf_leaf;
+        self.node_mut(inf).local_right = Handle::NULL;
+        let mut prev = inf;
+        for &(k, s) in &leaves {
+            let h = Handle::local(self.id, s);
+            self.index.insert(k, h.to_bits());
+            work += 1 + self.index.last_op_work;
+            self.node_mut(prev).local_right = h;
+            let n = self.node_mut(h);
+            n.local_left = prev;
+            n.local_right = Handle::NULL;
+            prev = h;
+        }
+        self.leaf_tail = prev;
+        // Every replica at level h_low (the sentinel included) shortcuts to
+        // the first local leaf with key ≥ its own key.
+        let h_low = self.params.h_low;
+        let uppers: Vec<(u32, Key)> = self
+            .upper
+            .iter()
+            .filter(|(_, n)| n.level == h_low)
+            .map(|(s, n)| (s, n.key))
+            .collect();
+        for (slot, key) in uppers {
+            let i = leaves.partition_point(|&(k, _)| k < key);
+            let succ = leaves
+                .get(i)
+                .map(|&(_, s)| Handle::local(self.id, s))
+                .unwrap_or(Handle::NULL);
+            self.upper.get_mut(slot).next_leaf = succ;
+            work += 1;
+        }
+        work
+    }
 }
 
 impl PimModule for SkipModule {
@@ -634,32 +735,42 @@ impl PimModule for SkipModule {
     fn execute(&mut self, task: Task, ctx: &mut ModuleCtx<'_, Task, Reply>) {
         match task {
             Task::Get { op, key } => {
-                let value = self.index.get(key).map(|bits| {
-                    let leaf = Handle::from_bits(bits);
-                    self.node(leaf).value
-                });
+                let bits = self.index.get(key);
                 ctx.work(1 + self.index.last_op_work);
-                ctx.reply(Reply::GotValue { op, value });
+                match bits {
+                    None => ctx.reply(Reply::GotValue { op, value: None }),
+                    Some(bits) => match self.try_node(Handle::from_bits(bits)) {
+                        Some(n) => {
+                            let value = Some(n.value);
+                            ctx.reply(Reply::GotValue { op, value });
+                        }
+                        None => ctx.reply(Reply::Faulted { op }),
+                    },
+                }
             }
             Task::Update { op, key, value } => {
-                let found = match self.index.get(key) {
-                    Some(bits) => {
-                        self.node_mut(Handle::from_bits(bits)).value = value;
-                        true
-                    }
-                    None => false,
-                };
+                let bits = self.index.get(key);
                 ctx.work(1 + self.index.last_op_work);
-                ctx.reply(Reply::Updated { op, found });
+                match bits {
+                    None => ctx.reply(Reply::Updated { op, found: false }),
+                    Some(bits) => match self.try_node_mut(Handle::from_bits(bits)) {
+                        Some(n) => {
+                            n.value = value;
+                            ctx.reply(Reply::Updated { op, found: true });
+                        }
+                        None => ctx.reply(Reply::Faulted { op }),
+                    },
+                }
             }
             Task::ReadNode { op, node } => {
                 ctx.work(1);
-                let n = self.node(node);
-                ctx.reply(Reply::NodeValue {
-                    op,
-                    key: n.key,
-                    value: n.value,
-                });
+                match self.try_node(node) {
+                    Some(n) => {
+                        let (key, value) = (n.key, n.value);
+                        ctx.reply(Reply::NodeValue { op, key, value });
+                    }
+                    None => ctx.reply(Reply::Faulted { op }),
+                }
             }
             Task::Search {
                 op,
@@ -695,6 +806,12 @@ impl PimModule for SkipModule {
                 value,
             } => {
                 ctx.work(1);
+                if self.upper.contains(slot) {
+                    // Replica divergence (a crash missed an earlier unlink
+                    // broadcast): refuse and report rather than clobber.
+                    ctx.reply(Reply::Faulted { op: NO_OP });
+                    return;
+                }
                 self.upper.insert_at(slot, Node::new(key, value, level));
                 // h_low = 0 ablation: replicated leaves are indexed by the
                 // module the key hashes to (point ops only; documented).
@@ -708,35 +825,57 @@ impl PimModule for SkipModule {
             }
             Task::WireVertical { node, up, down } => {
                 ctx.work(1);
-                let n = self.node_mut(node);
-                if up.is_some() {
-                    n.up = up;
-                }
-                if down.is_some() {
-                    n.down = down;
+                match self.try_node_mut(node) {
+                    Some(n) => {
+                        if up.is_some() {
+                            n.up = up;
+                        }
+                        if down.is_some() {
+                            n.down = down;
+                        }
+                    }
+                    None => ctx.reply(Reply::Faulted { op: NO_OP }),
                 }
             }
             Task::FixNextLeaf { slot } => {
-                let w = self.fix_next_leaf(slot);
-                ctx.work(w);
+                if self.upper.contains(slot) {
+                    let w = self.fix_next_leaf(slot);
+                    ctx.work(w);
+                } else {
+                    ctx.work(1);
+                    ctx.reply(Reply::Faulted { op: NO_OP });
+                }
             }
             Task::SetLeafChain { leaf, chain } => {
                 ctx.work(1);
-                self.node_mut(leaf).chain = chain;
+                match self.try_node_mut(leaf) {
+                    Some(n) => n.chain = chain,
+                    None => ctx.reply(Reply::Faulted { op: NO_OP }),
+                }
             }
             Task::WriteRight { node, to, to_key } => {
                 ctx.work(1);
-                let n = self.node_mut(node);
-                n.right = to;
-                n.right_key = to_key;
+                match self.try_node_mut(node) {
+                    Some(n) => {
+                        n.right = to;
+                        n.right_key = to_key;
+                    }
+                    None => ctx.reply(Reply::Faulted { op: NO_OP }),
+                }
             }
             Task::WriteLeft { node, to } => {
                 ctx.work(1);
-                self.node_mut(node).left = to;
+                match self.try_node_mut(node) {
+                    Some(n) => n.left = to,
+                    None => ctx.reply(Reply::Faulted { op: NO_OP }),
+                }
             }
             Task::WriteValue { node, value } => {
                 ctx.work(1);
-                self.node_mut(node).value = value;
+                match self.try_node_mut(node) {
+                    Some(n) => n.value = value,
+                    None => ctx.reply(Reply::Faulted { op: NO_OP }),
+                }
             }
             Task::DeleteKey { op, key } => self.do_delete_key(op, key, ctx),
             Task::MarkNode { op, node } => self.do_mark_node(op, node, ctx),
@@ -748,7 +887,11 @@ impl PimModule for SkipModule {
                     "upper nodes are freed via UnlinkUpper"
                 );
                 debug_assert_eq!(node.module(), self.id);
-                self.lower.free(node.slot());
+                if self.lower.contains(node.slot()) {
+                    self.lower.free(node.slot());
+                } else {
+                    ctx.reply(Reply::Faulted { op: NO_OP });
+                }
             }
             Task::RangeBroadcast { op, lo, hi, func } => {
                 self.do_range_broadcast(op, lo, hi, func, ctx)
@@ -760,10 +903,29 @@ impl PimModule for SkipModule {
                 hi,
                 func,
             } => self.do_range_descend(op, at, lo, hi, func, ctx),
+            Task::InstallUpper { slot, node } => {
+                ctx.work(1);
+                self.upper.install(slot, node);
+            }
+            Task::InstallLower { slot, node } => {
+                ctx.work(1);
+                self.lower.install(slot, node);
+            }
+            Task::RecoverLocal => {
+                let w = self.rebuild_local_views();
+                ctx.work(w);
+                ctx.reply(Reply::Recovered { module: self.id });
+            }
         }
     }
 
     fn local_words(&self) -> u64 {
         self.upper.words() + self.lower.words() + self.index.words()
+    }
+
+    fn on_crash(&mut self) {
+        // Local memory is volatile: restart cold, exactly as constructed
+        // (sentinel tower re-materialised, everything else gone).
+        *self = SkipModule::new(self.id, self.params.clone());
     }
 }

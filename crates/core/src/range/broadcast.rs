@@ -11,6 +11,7 @@
 use pim_primitives::sort::par_sort_by_key;
 
 use crate::config::{Key, Value};
+use crate::error::{PimError, PimResult};
 use crate::list::PimSkipList;
 use crate::tasks::{RangeFunc, Reply, Task};
 
@@ -52,6 +53,41 @@ impl PimSkipList {
             self.cfg.h_low > 0,
             "broadcast ranges need local leaf lists (h_low > 0)"
         );
+        self.try_range_broadcast(lo, hi, func)
+            .unwrap_or_else(|e| panic!("range_broadcast: {e}"))
+    }
+
+    /// Fault-tolerant broadcast range operation; see
+    /// [`PimSkipList::range_broadcast`]. Mutating functions (`FetchAdd`,
+    /// `AddInPlace`) are recovered like structural batches: any damaged
+    /// attempt restores the machine from the journal before retrying, so a
+    /// partial add is never applied twice.
+    pub fn try_range_broadcast(
+        &mut self,
+        lo: Key,
+        hi: Key,
+        func: RangeFunc,
+    ) -> PimResult<RangeResult> {
+        if self.cfg.h_low == 0 {
+            return Err(PimError::InvalidArgument {
+                op: "range_broadcast",
+                reason: "broadcast ranges need local leaf lists (h_low > 0)".into(),
+            });
+        }
+        let p = self.cfg.p as usize;
+        self.retry_structural("range_broadcast", p, |s| {
+            s.range_broadcast_attempt(lo, hi, func)
+        })
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::range_broadcast`].
+    fn range_broadcast_attempt(
+        &mut self,
+        lo: Key,
+        hi: Key,
+        func: RangeFunc,
+    ) -> PimResult<RangeResult> {
+        let before = self.sys.metrics();
         self.sys.broadcast(|_| Task::RangeBroadcast {
             op: 0,
             lo,
@@ -61,6 +97,8 @@ impl PimSkipList {
         let replies = self.sys.run_to_quiescence();
 
         let mut out = RangeResult::empty();
+        let mut agg_replies = 0u32;
+        let mut faulted = 0usize;
         for r in replies {
             match r {
                 Reply::RangeItem { key, value, .. } => {
@@ -73,13 +111,32 @@ impl PimSkipList {
                     max,
                     ..
                 } => {
+                    agg_replies += 1;
                     out.count += count;
                     out.sum = out.sum.wrapping_add(sum);
                     out.min = out.min.min(min);
                     out.max = out.max.max(max);
                 }
-                other => unreachable!("unexpected reply in range_broadcast: {other:?}"),
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol("range_broadcast", other)),
             }
+        }
+        // Non-item functions get exactly one aggregate reply per module —
+        // a direct completeness count. Item streams have no such invariant;
+        // the metrics delta below covers silently lost items instead.
+        if faulted > 0 || (!func.returns_items() && agg_replies < self.cfg.p) {
+            let missing = (self.cfg.p - agg_replies.min(self.cfg.p)) as usize;
+            return Err(PimError::incomplete("range_broadcast", faulted + missing));
+        }
+        if self.damage_since(&before) {
+            return Err(PimError::incomplete("range_broadcast", 1));
+        }
+        // Commit mutations to the journal only now, on an undamaged pass.
+        match func {
+            RangeFunc::FetchAdd(d) | RangeFunc::AddInPlace(d) => {
+                self.journal.add_in_range(lo, hi, d);
+            }
+            _ => {}
         }
         if func.returns_items() {
             // The paper indexes results inside the structure; we instead
@@ -93,6 +150,6 @@ impl PimSkipList {
             self.sys.sample_shared_mem();
             self.sys.shared_mem().free(staged);
         }
-        out
+        Ok(out)
     }
 }

@@ -35,6 +35,7 @@ use pim_runtime::Handle;
 
 use crate::batch::search::SearchRequest;
 use crate::config::{Key, Value};
+use crate::error::{PimError, PimResult};
 use crate::list::PimSkipList;
 use crate::range::broadcast::RangeResult;
 use crate::tasks::{RangeFunc, Reply, Task};
@@ -53,9 +54,6 @@ impl PimSkipList {
     /// all applying the same `func` (the model's same-type batch), via the
     /// tree structure (§5.2). Returns one [`RangeResult`] per input range.
     pub fn batch_range(&mut self, ranges: &[(Key, Key)], func: RangeFunc) -> Vec<RangeResult> {
-        if ranges.is_empty() {
-            return Vec::new();
-        }
         for &(lo, hi) in ranges {
             assert!(lo <= hi, "inverted range [{lo}, {hi}]");
         }
@@ -64,8 +62,69 @@ impl PimSkipList {
                 || matches!(func, RangeFunc::Read | RangeFunc::Count | RangeFunc::Sum | RangeFunc::Min | RangeFunc::Max),
             "mutating range functions require a distributed lower part              (h_low > 0): under full replication a single-module write              would diverge the replicas"
         );
+        self.try_batch_range(ranges, func)
+            .unwrap_or_else(|e| panic!("batch_range: {e}"))
+    }
+
+    /// Fault-tolerant batched range operation; see
+    /// [`PimSkipList::batch_range`]. Read-only functions retry with
+    /// per-module recovery; mutating ones restore from the journal on any
+    /// damaged attempt so a partial pass is never applied twice.
+    pub fn try_batch_range(
+        &mut self,
+        ranges: &[(Key, Key)],
+        func: RangeFunc,
+    ) -> PimResult<Vec<RangeResult>> {
+        if ranges.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &(lo, hi) in ranges {
+            if lo > hi {
+                return Err(PimError::InvalidArgument {
+                    op: "batch_range",
+                    reason: format!("inverted range [{lo}, {hi}]"),
+                });
+            }
+        }
+        let mutating = matches!(func, RangeFunc::FetchAdd(_) | RangeFunc::AddInPlace(_));
+        if mutating && self.cfg.h_low == 0 {
+            return Err(PimError::InvalidArgument {
+                op: "batch_range",
+                reason: "mutating range functions require a distributed lower part (h_low > 0)"
+                    .into(),
+            });
+        }
+        if mutating {
+            self.retry_structural("batch_range", ranges.len(), |s| {
+                s.batch_range_attempt(ranges, func)
+            })
+        } else {
+            self.retry_read("batch_range", ranges.len(), |s| {
+                s.batch_range_attempt(ranges, func)
+            })
+        }
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_range`].
+    fn batch_range_attempt(
+        &mut self,
+        ranges: &[(Key, Key)],
+        func: RangeFunc,
+    ) -> PimResult<Vec<RangeResult>> {
         let staged = ranges.len() as u64 * 4;
         self.sys.shared_mem().alloc(staged);
+        let out = self.batch_range_attempt_inner(ranges, func);
+        self.sys.sample_shared_mem();
+        self.sys.shared_mem().free(staged);
+        out
+    }
+
+    fn batch_range_attempt_inner(
+        &mut self,
+        ranges: &[(Key, Key)],
+        func: RangeFunc,
+    ) -> PimResult<Vec<RangeResult>> {
+        let before = self.sys.metrics();
 
         // ---- Step 1: split into disjoint atomic subranges (CPU sweep) ----
         let (subranges, op_spans) = split_ranges(ranges);
@@ -84,7 +143,7 @@ impl PimSkipList {
                 top: 0,
             })
             .collect();
-        let search = self.pivoted_search(&reqs);
+        let search = self.pivoted_search(&reqs)?;
 
         let starts: Vec<(Handle, Option<u32>)> = (0..subranges.len())
             .map(|i| match search.hints.get(&(i as u32)) {
@@ -143,8 +202,26 @@ impl PimSkipList {
             }
         };
 
+        // A silently lost descent or write (no reply to count) shows up
+        // only in the machine's loss counters: refuse to report results
+        // from a damaged pass, and never journal one.
+        if self.damage_since(&before) {
+            return Err(PimError::incomplete("batch_range", 1));
+        }
+        // Commit mutations to the journal (per atomic subrange, with the
+        // coverage multiplicity folded in, matching the module-side adds).
+        match func {
+            RangeFunc::FetchAdd(d) | RangeFunc::AddInPlace(d) => {
+                for s in &subranges {
+                    self.journal
+                        .add_in_range(s.lo, s.hi, d.wrapping_mul(u64::from(s.multiplicity)));
+                }
+            }
+            _ => {}
+        }
+
         // ---- Map atomic subranges back to the input operations ----
-        let out = ranges
+        Ok(ranges
             .iter()
             .enumerate()
             .map(|(op, _)| {
@@ -159,10 +236,7 @@ impl PimSkipList {
                 }
                 r
             })
-            .collect();
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        out
+            .collect())
     }
 
     /// Counting pass: one `RangeDescend(Count)` per subrange.
@@ -215,6 +289,9 @@ impl PimSkipList {
                     a.min = a.min.min(min);
                     a.max = a.max.max(max);
                 }
+                // A Faulted reply means the descent hit crash-damaged
+                // state; the caller's damage check triggers the retry.
+                Reply::Faulted { .. } => {}
                 other => unreachable!("unexpected reply in counting descent: {other:?}"),
             }
         }
@@ -266,6 +343,7 @@ impl PimSkipList {
                         key,
                         value,
                     } => fetched.entry(op).or_default().push((key, value, node)),
+                    Reply::Faulted { .. } => {}
                     other => unreachable!("unexpected reply in grouped fetch: {other:?}"),
                 }
             }

@@ -1,0 +1,365 @@
+//! Driver-side crash recovery: retry wrappers, shard rebuild, full restore.
+//!
+//! The fault model (see [`pim_runtime::FaultPlan`]) lets the machine lose
+//! messages, stall modules, slow them down, or crash them cold. The driver
+//! defends in three layers:
+//!
+//! 1. **Attempts** — every batch operation is written as a fault-observable
+//!    *attempt* (`get_attempt`, `upsert_attempt`, …) that detects loss via
+//!    completeness counting and [`crate::tasks::Reply::Faulted`] replies,
+//!    commits to the [`crate::journal::Journal`] only on full success, and
+//!    reports [`PimError::Incomplete`] otherwise.
+//! 2. **Retry wrappers** — the `try_*` entry points re-issue failed
+//!    attempts with bounded retries ([`crate::Config::max_retries`]),
+//!    repairing the machine between attempts: crashed modules get their
+//!    shard rebuilt ([`PimSkipList::recover_module`]); structurally torn
+//!    machines are rebuilt wholesale ([`PimSkipList::restore_all`]).
+//! 3. **Plain wrappers** — the classic infallible API (`batch_get`, …)
+//!    simply unwraps the `try_*` result: on a fault-free machine no error
+//!    can occur, and the wrappers add *zero* metered cost, keeping
+//!    execution bit-identical to the pre-fault-layer simulator.
+//!
+//! Recovery accounting: rounds spent on re-installs and rebuilds are
+//! recorded in [`pim_runtime::Metrics::recovery_rounds`], re-issued batch
+//! slots in [`pim_runtime::Metrics::retries_issued`].
+
+use pim_runtime::{Handle, Metrics, ModuleId};
+
+use crate::arena::ShadowAllocator;
+use crate::batch::UpsertOutcome;
+use crate::config::{Key, Value, NEG_INF};
+use crate::error::{PimError, PimResult};
+use crate::list::PimSkipList;
+use crate::module::SkipModule;
+use crate::node::Node;
+use crate::tasks::{Reply, Task};
+
+impl PimSkipList {
+    /// Did the machine record new message loss or module crashes since the
+    /// snapshot `before`? (Stalls and slowdowns delay and inflate costs but
+    /// lose nothing, so they do not count as damage.)
+    pub(crate) fn damage_since(&self, before: &Metrics) -> bool {
+        let now = self.sys.metrics();
+        now.messages_dropped > before.messages_dropped
+            || now.module_crashes > before.module_crashes
+    }
+
+    /// Run queued write-style traffic to quiescence. Healthy write tasks
+    /// reply nothing, so any reply at all is a fault signal: `Faulted`
+    /// means a write addressed a damaged node, anything else is a protocol
+    /// violation.
+    pub(crate) fn quiesce_writes(&mut self, op: &'static str) -> PimResult<()> {
+        let replies = self.sys.run_to_quiescence();
+        let mut faulted = 0usize;
+        for r in replies {
+            match r {
+                Reply::Faulted { .. } => faulted += 1,
+                other => return Err(PimError::protocol(op, other)),
+            }
+        }
+        if faulted > 0 {
+            return Err(PimError::incomplete(op, faulted));
+        }
+        Ok(())
+    }
+
+    /// Retry loop for read-style (idempotent) operations: Get, Update,
+    /// Successor, Predecessor. On damage, crashed modules get their shard
+    /// rebuilt and the whole batch is re-issued; a clean failure is a
+    /// driver bug and is returned as-is.
+    pub(crate) fn retry_read<T>(
+        &mut self,
+        op: &'static str,
+        batch_size: usize,
+        mut attempt: impl FnMut(&mut Self) -> PimResult<T>,
+    ) -> PimResult<T> {
+        let max_retries = self.cfg.max_retries;
+        for _ in 0..=max_retries {
+            let before = self.sys.metrics();
+            let result = attempt(self);
+            let mut crashed = self.sys.drain_crashed();
+            crashed.sort_unstable();
+            crashed.dedup();
+            let damaged = !crashed.is_empty() || self.damage_since(&before);
+            match result {
+                Ok(out) => {
+                    // A crash can strike after every reply already reached
+                    // shared memory: the answers are valid, but the machine
+                    // must be repaired before control goes back.
+                    for m in crashed {
+                        self.recover_module(m)?;
+                    }
+                    return Ok(out);
+                }
+                Err(e) if !damaged && !e.is_transient() => return Err(e),
+                Err(_) => {
+                    for m in crashed {
+                        self.recover_module(m)?;
+                    }
+                    self.sys.metrics_mut().retries_issued += batch_size as u64;
+                }
+            }
+        }
+        Err(PimError::RetriesExhausted {
+            op,
+            attempts: max_retries + 1,
+        })
+    }
+
+    /// Retry loop for structural operations: Upsert, Delete, bulk load,
+    /// mutating ranges. A damaged attempt may have torn links half-way, so
+    /// repair is always the whole-machine restore; whether the batch is
+    /// then re-applied follows from the journal commit protocol.
+    pub(crate) fn retry_structural<T>(
+        &mut self,
+        op: &'static str,
+        batch_size: usize,
+        mut attempt: impl FnMut(&mut Self) -> PimResult<T>,
+    ) -> PimResult<T> {
+        let max_retries = self.cfg.max_retries;
+        for _ in 0..=max_retries {
+            let before = self.sys.metrics();
+            let result = attempt(self);
+            let crashed = self.sys.drain_crashed();
+            let damaged = !crashed.is_empty() || self.damage_since(&before);
+            match result {
+                Ok(out) if !damaged => return Ok(out),
+                Ok(out) => {
+                    // The attempt committed to the journal before the
+                    // damage struck (or before it was observable): the
+                    // rebuilt machine *includes* the batch, so this is a
+                    // success — with the repair bill on the metrics.
+                    self.restore_all()?;
+                    return Ok(out);
+                }
+                Err(e) if !damaged && !e.is_transient() => return Err(e),
+                Err(_) => {
+                    // Failed attempts never commit: restoring from the
+                    // journal reverts every partial effect (half-spliced
+                    // levels, consumed index entries, advanced shadow
+                    // slots) and the retry re-applies the batch fresh.
+                    self.restore_all()?;
+                    self.sys.metrics_mut().retries_issued += batch_size as u64;
+                }
+            }
+        }
+        Err(PimError::RetriesExhausted {
+            op,
+            attempts: max_retries + 1,
+        })
+    }
+
+    /// Fault-tolerant batched Get; see [`PimSkipList::batch_get`]. Retries
+    /// with module recovery under an installed fault plan.
+    pub fn try_batch_get(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
+        self.retry_read("batch_get", keys.len(), |s| s.get_attempt(keys))
+    }
+
+    /// Fault-tolerant batched Update; see [`PimSkipList::batch_update`].
+    pub fn try_batch_update(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
+        self.retry_read("batch_update", pairs.len(), |s| s.update_attempt(pairs))
+    }
+
+    /// Fault-tolerant batched Successor; see
+    /// [`PimSkipList::batch_successor`].
+    pub fn try_batch_successor(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
+        self.retry_read("batch_successor", keys.len(), |s| s.successor_attempt(keys))
+    }
+
+    /// Fault-tolerant batched Predecessor; see
+    /// [`PimSkipList::batch_predecessor`].
+    pub fn try_batch_predecessor(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
+        self.retry_read("batch_predecessor", keys.len(), |s| {
+            s.predecessor_attempt(keys)
+        })
+    }
+
+    /// Fault-tolerant batched Upsert; see [`PimSkipList::batch_upsert`].
+    pub fn try_batch_upsert(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
+        self.retry_structural("batch_upsert", pairs.len(), |s| s.upsert_attempt(pairs))
+    }
+
+    /// Fault-tolerant batched Delete; see [`PimSkipList::batch_delete`].
+    pub fn try_batch_delete(&mut self, keys: &[Key]) -> PimResult<Vec<bool>> {
+        self.retry_structural("batch_delete", keys.len(), |s| s.delete_attempt(keys))
+    }
+
+    /// Fault-tolerant bulk construction; see [`PimSkipList::bulk_load`].
+    pub fn try_bulk_load(&mut self, pairs: &[(Key, Value)]) -> PimResult<()> {
+        if !self.is_empty() {
+            return Err(PimError::InvalidArgument {
+                op: "bulk_load",
+                reason: "bulk_load requires an empty structure".into(),
+            });
+        }
+        if !pairs.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(PimError::InvalidArgument {
+                op: "bulk_load",
+                reason: "bulk_load requires strictly ascending keys".into(),
+            });
+        }
+        self.retry_structural("bulk_load", pairs.len(), |s| s.bulk_load_attempt(pairs))
+    }
+
+    /// Rebuild one crashed module's shard in place: re-install its
+    /// upper-part replicas (sentinel tower included) and its lower-part
+    /// nodes from the journal's tower records — handle for handle, so every
+    /// pointer held by healthy modules keeps resolving — then have the
+    /// module rebuild its derived views (hash index, local leaf list,
+    /// `next_leaf` shortcuts). Falls back to [`PimSkipList::restore_all`]
+    /// when the recovery traffic is itself hit by faults, or under the
+    /// `h_low = 0` ablation (where there is no per-module shard).
+    pub(crate) fn recover_module(&mut self, module: ModuleId) -> PimResult<()> {
+        if self.cfg.h_low == 0 {
+            return self.restore_all();
+        }
+        let before = self.sys.metrics();
+        let acknowledged = self.recover_module_attempt(module);
+        let rounds = self.sys.metrics().rounds - before.rounds;
+        self.sys.metrics_mut().recovery_rounds += rounds;
+        let crashed = self.sys.drain_crashed();
+        if acknowledged && crashed.is_empty() && !self.damage_since(&before) {
+            Ok(())
+        } else {
+            self.restore_all()
+        }
+    }
+
+    /// One shot of per-module recovery; returns whether the module
+    /// acknowledged with [`Reply::Recovered`]. All installs and the final
+    /// `RecoverLocal` ride in one inbox in order, so the rebuild of the
+    /// derived views always sees the complete image — unless a fault
+    /// removes part of it, which the caller detects via the metrics delta.
+    fn recover_module_attempt(&mut self, module: ModuleId) -> bool {
+        self.send_module_image(module);
+        self.sys.send(module, Task::RecoverLocal);
+        let replies = self.sys.run_to_quiescence();
+        replies
+            .iter()
+            .any(|r| matches!(r, Reply::Recovered { module: m } if *m == module))
+    }
+
+    /// Reconstruct every node image the crashed module must hold, from the
+    /// journal alone, and send the installs. Per level, the live keys with
+    /// towers reaching that level form the level's list in key order; the
+    /// sentinel replica heads it. Replicas carry the insert-time value
+    /// (updates never rewrite replicas), leaves the current one.
+    fn send_module_image(&mut self, module: ModuleId) {
+        let entries = self.journal.entries_sorted();
+        let max_level = usize::from(self.cfg.max_level);
+        self.sys.metrics_mut().charge_cpu(
+            entries.len() as u64 + 1,
+            pim_runtime::ceil_log2(entries.len().max(1) as u64).into(),
+        );
+
+        for level in 0..=max_level {
+            let at_level: Vec<usize> = (0..entries.len())
+                .filter(|&i| entries[i].1.tower.len() > level)
+                .collect();
+
+            // Sentinel replica (slot = level by convention), wired to the
+            // level's first node.
+            let mut s = Node::new(NEG_INF, 0, level as u8);
+            if level < max_level {
+                s.up = Handle::replicated(level as u32 + 1);
+            }
+            if level > 0 {
+                s.down = Handle::replicated(level as u32 - 1);
+            }
+            if let Some(&first) = at_level.first() {
+                s.right = entries[first].1.tower[level];
+                s.right_key = entries[first].0;
+            }
+            self.sys.send(
+                module,
+                Task::InstallUpper {
+                    slot: level as u32,
+                    node: s,
+                },
+            );
+
+            for (pos, &i) in at_level.iter().enumerate() {
+                let (key, e) = &entries[i];
+                let h = e.tower[level];
+                if !h.is_replicated() && h.module() != module {
+                    continue; // a healthy module's node — leave it be
+                }
+                let value = if level == 0 { e.value } else { e.inserted_value };
+                let mut n = Node::new(*key, value, level as u8);
+                n.left = if pos == 0 {
+                    Handle::replicated(level as u32)
+                } else {
+                    entries[at_level[pos - 1]].1.tower[level]
+                };
+                if let Some(&next) = at_level.get(pos + 1) {
+                    n.right = entries[next].1.tower[level];
+                    n.right_key = entries[next].0;
+                }
+                n.up = e.tower.get(level + 1).copied().unwrap_or(Handle::NULL);
+                n.down = if level > 0 { e.tower[level - 1] } else { Handle::NULL };
+                if level == 0 {
+                    n.chain = e.tower[1..].to_vec();
+                }
+                let task = if h.is_replicated() {
+                    Task::InstallUpper {
+                        slot: h.slot(),
+                        node: n,
+                    }
+                } else {
+                    Task::InstallLower {
+                        slot: h.slot(),
+                        node: n,
+                    }
+                };
+                self.sys.send(module, task);
+            }
+        }
+    }
+
+    /// Rebuild the whole machine from the journal: cold-reset every module,
+    /// purge in-flight traffic, and bulk-load the journal's `(key, value)`
+    /// snapshot (which re-towers every key — handles change, and the
+    /// journal is re-written accordingly by the bulk-load attempt). Bounded
+    /// by [`crate::Config::max_retries`] against faults hitting the rebuild
+    /// itself.
+    pub(crate) fn restore_all(&mut self) -> PimResult<()> {
+        let snapshot = self.journal.items_sorted();
+        let max_retries = self.cfg.max_retries;
+        for _ in 0..=max_retries {
+            let before = self.sys.metrics();
+            self.reset_machine();
+            self.sys.metrics_mut().retries_issued += snapshot.len() as u64;
+            let result = self.bulk_load_attempt(&snapshot);
+            let rounds = self.sys.metrics().rounds - before.rounds;
+            self.sys.metrics_mut().recovery_rounds += rounds;
+            let crashed = self.sys.drain_crashed();
+            if result.is_ok() && crashed.is_empty() && !self.damage_since(&before) {
+                return Ok(());
+            }
+        }
+        Err(PimError::RetriesExhausted {
+            op: "restore_all",
+            attempts: max_retries + 1,
+        })
+    }
+
+    /// Cold-reset the machine to its just-constructed state: fresh modules
+    /// (sentinel towers re-materialised), no in-flight tasks, a fresh
+    /// shadow allocator holding only the sentinel slots, zero length. The
+    /// journal and the driver RNG are *not* reset: the journal is the
+    /// recovery source, and the RNG stream continuing keeps the whole
+    /// execution a deterministic function of (seed, fault plan).
+    fn reset_machine(&mut self) {
+        let params = self.module_params();
+        self.sys.purge_pending();
+        for id in 0..self.cfg.p {
+            *self.sys.module_mut(id) = SkipModule::new(id, params.clone());
+        }
+        let mut shadow = ShadowAllocator::new();
+        for _ in 0..=self.cfg.max_level {
+            shadow.alloc();
+        }
+        self.shadow = shadow;
+        self.len = 0;
+    }
+}

@@ -6,9 +6,14 @@
 //! driver). Tasks are executed by [`crate::module::SkipModule`]; replies
 //! land in CPU shared memory.
 
-use pim_runtime::Handle;
+use pim_runtime::{Handle, ModuleId};
 
 use crate::config::{Key, Value};
+use crate::node::Node;
+
+/// Operation id used by [`Reply::Faulted`] when the failed task carried no
+/// batch-local id (pure write tasks such as `WriteRight` or `FreeNode`).
+pub const NO_OP: u32 = u32::MAX;
 
 /// What a search should report back (§4.2 vs. §4.3 usage).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,6 +234,31 @@ pub enum Task {
         /// Function to apply at leaves.
         func: RangeFunc,
     },
+
+    // ----- crash recovery (driver-side rebuild of a wiped module) -----
+    /// Recovery: install a complete upper-part node image at `slot`,
+    /// replacing whatever the slot holds (sent unicast to the module being
+    /// rebuilt; the image is computed CPU-side from the journal, so the
+    /// replica matches the healthy modules bit for bit).
+    InstallUpper {
+        /// Replicated-arena slot to (re)populate.
+        slot: u32,
+        /// Full node image.
+        node: Node,
+    },
+    /// Recovery: install a lower-part node image at the exact local slot it
+    /// occupied before the crash (handles held by other modules keep
+    /// resolving).
+    InstallLower {
+        /// Local-arena slot to (re)populate.
+        slot: u32,
+        /// Full node image.
+        node: Node,
+    },
+    /// Recovery finaliser: rebuild the module's derived local views (hash
+    /// index, local leaf list, `next_leaf` shortcuts) from the installed
+    /// nodes, then acknowledge with [`Reply::Recovered`].
+    RecoverLocal,
 }
 
 /// Replies returned to CPU shared memory.
@@ -350,6 +380,19 @@ pub enum Reply {
         min: Value,
         /// Maximum value visited (`0` when none).
         max: Value,
+    },
+    /// The module could not execute a task because local state it needed is
+    /// missing (e.g. a dangling handle after a crash wiped the module).
+    /// The driver treats this as a recoverable loss, never an answer.
+    Faulted {
+        /// The failed task's operation id, or [`NO_OP`] for pure writes.
+        op: u32,
+    },
+    /// A [`Task::RecoverLocal`] completed: the module's derived views are
+    /// rebuilt and it is ready to serve traffic again.
+    Recovered {
+        /// The recovered module.
+        module: ModuleId,
     },
 }
 

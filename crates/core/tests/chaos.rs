@@ -1,0 +1,270 @@
+//! Chaos suite: the skip list under deterministic fault injection.
+//!
+//! Every test installs a [`FaultPlan`] — crashes, message drops, stalls,
+//! slowdowns — and checks the recovery layer's contract end to end:
+//!
+//! * after any recoverable fault schedule, contents match a fault-free
+//!   `BTreeMap` oracle and [`PimSkipList::validate`] passes;
+//! * the same plan replays the exact same execution (metrics included);
+//! * an *empty* plan is bit-identical to never installing one;
+//! * unrecoverable schedules surface [`PimError::RetriesExhausted`]
+//!   instead of corrupting state.
+
+use std::collections::BTreeMap;
+
+use pim_core::{Config, FaultKind, FaultPlan, PimError, PimSkipList, RangeFunc};
+use pim_workloads::adversary::{contiguous_run, same_successor_flood};
+
+/// The adversarial upsert/delete workload shared by several tests:
+/// bulk-build, then a contiguous-run insert wave and a contiguous-run
+/// delete wave (the Delete-side adversary — one long splice run), then a
+/// same-successor query flood.
+fn adversarial_workload(list: &mut PimSkipList) -> (Vec<bool>, Vec<Option<u64>>) {
+    let base: Vec<(i64, u64)> = (0..300).map(|i| (i * 4, i as u64)).collect();
+    list.bulk_load(&base);
+
+    let inserts: Vec<(i64, u64)> = contiguous_run(401, 120).into_iter().map(|k| (k, 7)).collect();
+    list.batch_upsert(&inserts);
+
+    let dels = contiguous_run(400, 160);
+    let deleted = list.batch_delete(&dels);
+
+    // All flood keys live in the (801, 1100) key gap: same successor.
+    let queries = same_successor_flood(9, 801, 1100, 64);
+    let got = list.batch_get(&queries);
+    (deleted, got)
+}
+
+/// The oracle for [`adversarial_workload`].
+fn adversarial_oracle() -> BTreeMap<i64, u64> {
+    let mut m: BTreeMap<i64, u64> = (0..300).map(|i| (i * 4, i as u64)).collect();
+    for k in contiguous_run(401, 120) {
+        m.insert(k, 7);
+    }
+    for k in contiguous_run(400, 160) {
+        m.remove(&k);
+    }
+    m
+}
+
+#[test]
+fn crash_at_fixed_round_recovers_and_matches_oracle() {
+    // Dry run to learn where the mutation phase lives on the round axis.
+    let mut dry = PimSkipList::new(Config::new(4, 1 << 10, 77));
+    let rounds_probe = {
+        let base: Vec<(i64, u64)> = (0..300).map(|i| (i * 4, i as u64)).collect();
+        dry.bulk_load(&base);
+        dry.metrics().rounds
+    };
+    let mut dry = PimSkipList::new(Config::new(4, 1 << 10, 77));
+    let (dry_deleted, dry_got) = adversarial_workload(&mut dry);
+
+    // Chaos run: crash module 1 at a fixed round inside the upsert/delete
+    // phase. Execution is deterministic, so the crash strikes mid-batch.
+    let crash_round = rounds_probe + (dry.metrics().rounds - rounds_probe) / 2;
+    let mut chaotic = PimSkipList::new(Config::new(4, 1 << 10, 77));
+    chaotic.set_fault_plan(FaultPlan::new().at(crash_round, 1, FaultKind::Crash));
+    let (deleted, got) = adversarial_workload(&mut chaotic);
+
+    let m = chaotic.metrics();
+    assert_eq!(m.module_crashes, 1, "the scheduled crash must have struck");
+    assert!(m.recovery_rounds > 0, "recovery must have spent rounds");
+    assert_eq!(deleted, dry_deleted, "per-key delete results must survive the crash");
+    assert_eq!(got, dry_got, "query results must survive the crash");
+    chaotic.validate().expect("recovered structure valid");
+    let oracle = adversarial_oracle();
+    assert_eq!(
+        chaotic.collect_items(),
+        oracle.into_iter().collect::<Vec<_>>(),
+        "recovered contents must equal the fault-free oracle"
+    );
+}
+
+#[test]
+fn random_fault_storm_matches_oracle() {
+    // 40 faults over the first 600 rounds, every kind in the mix. A
+    // generous retry budget makes exhaustion impossible (each scheduled
+    // round can damage at most one attempt), so any error is a real bug.
+    let mut list = PimSkipList::new(Config::new(4, 1 << 10, 42).with_max_retries(50));
+    list.set_fault_plan(FaultPlan::random(0xC0FFEE, 4, 600, 40));
+    let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+
+    let base: Vec<(i64, u64)> = (0..200).map(|i| (i * 3, i as u64)).collect();
+    list.try_bulk_load(&base).expect("bulk load under storm");
+    oracle.extend(base.iter().copied());
+
+    for wave in 0..6i64 {
+        let ups: Vec<(i64, u64)> = (0..40)
+            .map(|i| (wave * 100 + i * 2 + 1, (wave * 1000 + i) as u64))
+            .collect();
+        list.try_batch_upsert(&ups).expect("upsert under storm");
+        oracle.extend(ups.iter().copied());
+
+        let dels: Vec<i64> = (0..25).map(|i| wave * 24 + i * 3).collect();
+        let res = list.try_batch_delete(&dels).expect("delete under storm");
+        for (i, k) in dels.iter().enumerate() {
+            assert_eq!(res[i], oracle.remove(k).is_some(), "delete({k}) verdict");
+        }
+
+        let gets: Vec<i64> = (0..50).map(|i| wave * 7 + i * 5 - 20).collect();
+        let res = list.try_batch_get(&gets).expect("get under storm");
+        for (i, k) in gets.iter().enumerate() {
+            assert_eq!(res[i], oracle.get(k).copied(), "get({k}) under storm");
+        }
+    }
+
+    list.validate().expect("structure valid after the storm");
+    assert_eq!(
+        list.collect_items(),
+        oracle.into_iter().collect::<Vec<_>>(),
+        "contents must equal the fault-free oracle after the storm"
+    );
+    let m = list.metrics();
+    assert!(m.faults_injected > 0, "the storm must actually strike");
+}
+
+#[test]
+fn same_fault_seed_replays_identically() {
+    let run = || {
+        let mut list = PimSkipList::new(Config::new(4, 1 << 10, 7).with_max_retries(50));
+        list.set_fault_plan(FaultPlan::random(1234, 4, 400, 25));
+        let (deleted, got) = adversarial_workload(&mut list);
+        (list.metrics(), deleted, got, list.collect_items())
+    };
+    let (m1, d1, g1, items1) = run();
+    let (m2, d2, g2, items2) = run();
+    assert_eq!(m1, m2, "same plan, same seed ⇒ identical metrics");
+    assert_eq!(d1, d2);
+    assert_eq!(g1, g2);
+    assert_eq!(items1, items2);
+    assert!(m1.faults_injected > 0, "the plan must actually strike");
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_no_plan() {
+    let mut bare = PimSkipList::new(Config::new(8, 1 << 10, 5));
+    let bare_out = adversarial_workload(&mut bare);
+
+    let mut planned = PimSkipList::new(Config::new(8, 1 << 10, 5));
+    planned.set_fault_plan(FaultPlan::new());
+    let planned_out = adversarial_workload(&mut planned);
+
+    assert_eq!(
+        bare.metrics(),
+        planned.metrics(),
+        "an empty plan must not perturb a single metric"
+    );
+    assert_eq!(bare_out, planned_out);
+    assert_eq!(bare.collect_items(), planned.collect_items());
+}
+
+#[test]
+fn dropped_replies_are_retried_transparently() {
+    let mut list = PimSkipList::new(Config::new(4, 1 << 10, 11));
+    let pairs: Vec<(i64, u64)> = (0..200).map(|i| (i * 2, i as u64 + 100)).collect();
+    list.bulk_load(&pairs);
+
+    // Lose one Get reply from every module on the query round.
+    let round = list.metrics().rounds;
+    let mut plan = FaultPlan::new();
+    for m in 0..4 {
+        plan = plan.at(round, m, FaultKind::DropReply { nth: 0 });
+    }
+    list.set_fault_plan(plan);
+
+    let keys: Vec<i64> = (0..200).map(|i| i * 2).collect();
+    let got = list.try_batch_get(&keys).expect("get with dropped replies");
+    for (i, v) in got.iter().enumerate() {
+        assert_eq!(*v, Some(i as u64 + 100), "value of key {}", i * 2);
+    }
+    let m = list.metrics();
+    assert!(m.messages_dropped > 0, "the drops must have struck");
+    assert!(m.retries_issued > 0, "the batch must have been re-issued");
+    list.validate().expect("reads never tear the structure");
+}
+
+#[test]
+fn stalls_and_slowdowns_never_need_recovery() {
+    let mut dry = PimSkipList::new(Config::new(4, 1 << 10, 13));
+    let dry_out = adversarial_workload(&mut dry);
+
+    let mut list = PimSkipList::new(Config::new(4, 1 << 10, 13));
+    let mut plan = FaultPlan::new();
+    for r in (5..100).step_by(7) {
+        plan = plan.at(r, (r % 4) as u32, FaultKind::Stall);
+        plan = plan.at(r + 2, ((r + 1) % 4) as u32, FaultKind::Slow { factor: 3 });
+    }
+    list.set_fault_plan(plan);
+    let out = adversarial_workload(&mut list);
+
+    assert_eq!(out, dry_out, "stalls/slowdowns only delay, never damage");
+    assert_eq!(list.collect_items(), dry.collect_items());
+    let m = list.metrics();
+    assert!(m.stalled_module_rounds > 0, "the stalls must have struck");
+    assert_eq!(m.retries_issued, 0, "no retry may be triggered");
+    assert_eq!(m.recovery_rounds, 0, "no recovery may be triggered");
+    assert_eq!(m.messages_dropped, 0);
+    assert_eq!(m.module_crashes, 0);
+    list.validate().expect("valid");
+}
+
+#[test]
+fn crash_during_mutating_range_applies_add_exactly_once() {
+    let mut list = PimSkipList::new(Config::new(4, 1 << 10, 17));
+    let pairs: Vec<(i64, u64)> = (0..150).map(|i| (i * 2, i as u64)).collect();
+    list.bulk_load(&pairs);
+
+    // Crash module 2 on the broadcast round itself.
+    let round = list.metrics().rounds;
+    list.set_fault_plan(FaultPlan::new().at(round, 2, FaultKind::Crash));
+    list.try_range_broadcast(40, 120, RangeFunc::AddInPlace(5))
+        .expect("range add under crash");
+
+    let expect: Vec<(i64, u64)> = pairs
+        .iter()
+        .map(|&(k, v)| (k, if (40..=120).contains(&k) { v + 5 } else { v }))
+        .collect();
+    assert_eq!(
+        list.collect_items(),
+        expect,
+        "the add must be applied exactly once despite the crash"
+    );
+    list.validate().expect("recovered structure valid");
+    assert_eq!(list.metrics().module_crashes, 1);
+}
+
+#[test]
+fn unrecoverable_schedule_surfaces_retries_exhausted() {
+    // Crash module 0 at every round: no attempt can ever complete. With
+    // max_retries = 1 the wrapper gives up after two attempts.
+    let mut list = PimSkipList::new(Config::new(4, 1 << 8, 19).with_max_retries(1));
+    let mut plan = FaultPlan::new();
+    for r in 0..300 {
+        plan = plan.at(r, 0, FaultKind::Crash);
+    }
+    list.set_fault_plan(plan);
+
+    let pairs: Vec<(i64, u64)> = (0..50).map(|i| (i, i as u64)).collect();
+    let err = list.try_batch_upsert(&pairs).expect_err("must exhaust retries");
+    assert!(
+        matches!(err, PimError::RetriesExhausted { .. }),
+        "expected RetriesExhausted, got: {err}"
+    );
+}
+
+#[test]
+fn invalid_arguments_are_typed_errors_not_retries() {
+    let mut list = PimSkipList::new(Config::new(4, 1 << 8, 23));
+    list.bulk_load(&[(1, 1), (2, 2)]);
+    let err = list.try_bulk_load(&[(3, 3)]).expect_err("non-empty");
+    assert!(matches!(err, PimError::InvalidArgument { .. }), "got: {err}");
+
+    let mut empty = PimSkipList::new(Config::new(4, 1 << 8, 23));
+    let err = empty.try_bulk_load(&[(2, 2), (1, 1)]).expect_err("unsorted");
+    assert!(matches!(err, PimError::InvalidArgument { .. }), "got: {err}");
+    assert_eq!(
+        list.metrics().retries_issued,
+        0,
+        "argument errors must not burn retries"
+    );
+}

@@ -1,0 +1,233 @@
+//! Deterministic fault injection for the simulated PIM machine.
+//!
+//! Real PIM hardware is not the analysed perfect network: UPMEM-class
+//! devices exhibit transient DPU faults, stalled tasklets and lost
+//! transfers. This module gives the simulator a *failure surface* without
+//! giving up reproducibility: a [`FaultPlan`] is an explicit, seedable
+//! schedule of per-round, per-module [`FaultKind`]s, applied by
+//! [`crate::system::PimSystem`] at round barriers. The same plan against
+//! the same workload replays the exact same execution — trace, metrics and
+//! results — which is what makes chaos failures debuggable.
+//!
+//! Fault semantics (where in the round each kind strikes):
+//!
+//! * [`FaultKind::Crash`] — before delivery: the module's local memory is
+//!   wiped ([`crate::module::PimModule::on_crash`]) and every task queued
+//!   for it this round dies with it. The module keeps running from a cold
+//!   state; *recovering its contents is the driver's job*.
+//! * [`FaultKind::Stall`] — before delivery: the module executes nothing
+//!   this round; its inbox carries over to the next round unchanged.
+//! * [`FaultKind::DropTask`] — before delivery: one queued task is lost on
+//!   the CPU→PIM leg (never delivered, never charged as a message).
+//! * [`FaultKind::DropReply`] — after execution: one reply is lost on the
+//!   PIM→CPU leg (it was transmitted, so it *is* charged, then vanishes).
+//! * [`FaultKind::Slow`] — after execution: the module's local work this
+//!   round is multiplied (a congested or thermally-throttled core).
+
+use crate::handle::ModuleId;
+use crate::rng::Rng;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The module executes no tasks this round; its inbox carries over.
+    Stall,
+    /// Lose the `nth % queued` task queued for the module this round
+    /// (no-op if nothing is queued).
+    DropTask {
+        /// Selector into the module's inbox, reduced modulo its length.
+        nth: u64,
+    },
+    /// Lose the `nth % produced` reply the module produced this round
+    /// (no-op if it produced none).
+    DropReply {
+        /// Selector into the module's replies, reduced modulo their count.
+        nth: u64,
+    },
+    /// Wipe the module's local memory and restart it cold; tasks queued
+    /// for it this round are lost.
+    Crash,
+    /// Multiply the module's local work this round (≥ 1).
+    Slow {
+        /// The work multiplier.
+        factor: u64,
+    },
+}
+
+/// A fault scheduled for one module at one absolute round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Absolute round index (machine lifetime, i.e. `Metrics::rounds` at
+    /// the moment the round starts).
+    pub round: u64,
+    /// The afflicted module.
+    pub module: ModuleId,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A fault that was actually applied, as recorded in round traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The afflicted module.
+    pub module: ModuleId,
+    /// The applied fault.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults.
+///
+/// Build one explicitly with [`FaultPlan::at`] or draw one from a seed
+/// with [`FaultPlan::random`]; install it with
+/// [`crate::system::PimSystem::set_fault_plan`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injecting it is exactly the fault-free machine).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` for `module` at absolute round `round`.
+    pub fn at(mut self, round: u64, module: ModuleId, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent {
+            round,
+            module,
+            kind,
+        });
+        self
+    }
+
+    /// Draw `events` faults uniformly over rounds `0..max_round` and
+    /// modules `0..p`, with a kind mix biased towards transient faults
+    /// (drops and stalls) over crashes — deterministic in `seed`.
+    pub fn random(seed: u64, p: u32, max_round: u64, events: usize) -> Self {
+        assert!(p > 0, "fault plan needs at least one module");
+        assert!(max_round > 0, "fault plan needs a nonempty round range");
+        let mut rng = Rng::new(seed ^ 0xFA01_75FA_0175);
+        let mut plan = FaultPlan::new();
+        for _ in 0..events {
+            let round = rng.below(max_round);
+            let module = rng.below(u64::from(p)) as ModuleId;
+            let kind = match rng.below(8) {
+                0 | 1 => FaultKind::DropTask {
+                    nth: rng.next_u64(),
+                },
+                2 | 3 => FaultKind::DropReply {
+                    nth: rng.next_u64(),
+                },
+                4 | 5 => FaultKind::Stall,
+                6 => FaultKind::Slow {
+                    factor: 2 + rng.below(6),
+                },
+                _ => FaultKind::Crash,
+            };
+            plan = plan.at(round, module, kind);
+        }
+        plan
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events (arbitrary order).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Executor state for a [`FaultPlan`]: hands the system each round's
+/// faults in deterministic (module, schedule) order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Events grouped by absolute round.
+    by_round: std::collections::BTreeMap<u64, Vec<(ModuleId, FaultKind)>>,
+}
+
+impl FaultInjector {
+    /// Compile a plan into per-round schedules.
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut by_round: std::collections::BTreeMap<u64, Vec<(ModuleId, FaultKind)>> =
+            std::collections::BTreeMap::new();
+        let mut events = plan.events;
+        // Deterministic application order regardless of insertion order:
+        // by round, then module, then the schedule's own sequence.
+        events.sort_by_key(|e| (e.round, e.module));
+        for e in events {
+            by_round.entry(e.round).or_default().push((e.module, e.kind));
+        }
+        FaultInjector { by_round }
+    }
+
+    /// Remove and return the faults scheduled for `round`.
+    pub fn take_round(&mut self, round: u64) -> Vec<(ModuleId, FaultKind)> {
+        self.by_round.remove(&round).unwrap_or_default()
+    }
+
+    /// Are any faults still pending?
+    pub fn has_pending(&self) -> bool {
+        !self.by_round.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_injector_ordering() {
+        let plan = FaultPlan::new()
+            .at(5, 3, FaultKind::Stall)
+            .at(2, 1, FaultKind::Crash)
+            .at(2, 0, FaultKind::DropTask { nth: 7 });
+        assert_eq!(plan.len(), 3);
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.has_pending());
+        assert_eq!(
+            inj.take_round(2),
+            vec![
+                (0, FaultKind::DropTask { nth: 7 }),
+                (1, FaultKind::Crash)
+            ]
+        );
+        assert!(inj.take_round(3).is_empty());
+        assert_eq!(inj.take_round(5), vec![(3, FaultKind::Stall)]);
+        assert!(!inj.has_pending());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let a = FaultPlan::random(42, 8, 100, 25);
+        let b = FaultPlan::random(42, 8, 100, 25);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+        for e in a.events() {
+            assert!(e.round < 100);
+            assert!(e.module < 8);
+            if let FaultKind::Slow { factor } = e.kind {
+                assert!((2..8).contains(&factor));
+            }
+        }
+        let c = FaultPlan::random(43, 8, 100, 25);
+        assert_ne!(a, c, "different seeds should give different plans");
+    }
+
+    #[test]
+    fn empty_plan_has_no_events() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.has_pending());
+        assert!(inj.take_round(0).is_empty());
+    }
+}

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod balls;
+pub mod fault;
 pub mod handle;
 pub mod hashfn;
 pub mod metrics;
@@ -60,6 +61,7 @@ pub mod rng;
 pub mod system;
 pub mod trace;
 
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use handle::{Arena, Handle, ModuleId};
 pub use metrics::{Metrics, SharedMem};
 pub use module::{ModuleCtx, PimModule};

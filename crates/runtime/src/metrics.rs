@@ -40,6 +40,19 @@ pub struct Metrics {
     pub cpu_depth: u64,
     /// High-water mark of CPU shared-memory words in use.
     pub shared_mem_peak: u64,
+    /// Fault events applied by the injector (all kinds).
+    pub faults_injected: u64,
+    /// Tasks and replies lost to drops and crash inbox wipes.
+    pub messages_dropped: u64,
+    /// Module crash events (cold restarts).
+    pub module_crashes: u64,
+    /// (module, round) pairs in which a module was stalled.
+    pub stalled_module_rounds: u64,
+    /// Tasks re-issued by the driver's recovery path.
+    pub retries_issued: u64,
+    /// Rounds spent exclusively on recovery traffic (re-installs,
+    /// shard rebuilds) rather than the application's own operations.
+    pub recovery_rounds: u64,
 }
 
 impl Metrics {
@@ -113,6 +126,12 @@ impl Sub for Metrics {
             cpu_work: self.cpu_work - earlier.cpu_work,
             cpu_depth: self.cpu_depth - earlier.cpu_depth,
             shared_mem_peak: self.shared_mem_peak,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            messages_dropped: self.messages_dropped - earlier.messages_dropped,
+            module_crashes: self.module_crashes - earlier.module_crashes,
+            stalled_module_rounds: self.stalled_module_rounds - earlier.stalled_module_rounds,
+            retries_issued: self.retries_issued - earlier.retries_issued,
+            recovery_rounds: self.recovery_rounds - earlier.recovery_rounds,
         }
     }
 }

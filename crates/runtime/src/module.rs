@@ -99,4 +99,10 @@ pub trait PimModule: Send {
     fn local_words(&self) -> u64 {
         0
     }
+
+    /// Wipe local memory: the module restarts cold after an injected
+    /// [`crate::fault::FaultKind::Crash`]. Implementations must reset
+    /// every piece of local state to its just-constructed value; the
+    /// default is a no-op for modules with no durable local state.
+    fn on_crash(&mut self) {}
 }

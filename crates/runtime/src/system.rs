@@ -21,6 +21,7 @@
 
 use rayon::prelude::*;
 
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 use crate::handle::ModuleId;
 use crate::metrics::{Metrics, SharedMem};
 use crate::module::{ModuleCtx, PimModule};
@@ -34,6 +35,11 @@ pub struct PimSystem<M: PimModule> {
     metrics: Metrics,
     shared_mem: SharedMem,
     trace: Option<Trace>,
+    /// Installed fault schedule, if any (`None` is the fault-free machine,
+    /// with zero per-round overhead).
+    injector: Option<FaultInjector>,
+    /// Modules that crashed since the last [`PimSystem::drain_crashed`].
+    crashed: Vec<ModuleId>,
 }
 
 /// Per-module output of one round, merged at the barrier.
@@ -55,6 +61,35 @@ impl<M: PimModule> PimSystem<M> {
             metrics: Metrics::new(),
             shared_mem: SharedMem::new(),
             trace: None,
+            injector: None,
+            crashed: Vec::new(),
+        }
+    }
+
+    /// Install a fault schedule; rounds from now on apply its events as
+    /// they come due (round indices in the plan are absolute, i.e.
+    /// compared against `metrics().rounds`). An empty plan removes the
+    /// injector entirely, restoring the exact fault-free execution.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// Modules that crashed since the last call (driver-side recovery
+    /// polls this at its barriers), in crash order.
+    pub fn drain_crashed(&mut self) -> Vec<ModuleId> {
+        std::mem::take(&mut self.crashed)
+    }
+
+    /// Drop every queued task (used by whole-structure recovery: after
+    /// rebuilding all modules from the journal, in-flight traffic that
+    /// addressed the old state must not be delivered).
+    pub fn purge_pending(&mut self) {
+        for q in &mut self.inboxes {
+            q.clear();
         }
     }
 
@@ -107,10 +142,51 @@ impl<M: PimModule> PimSystem<M> {
     /// CPU shared memory, in deterministic (module-id, issue) order.
     pub fn run_round(&mut self) -> Vec<M::Reply> {
         let round = self.metrics.rounds;
-        let inboxes = std::mem::take(&mut self.inboxes);
+        let mut inboxes = std::mem::take(&mut self.inboxes);
         self.inboxes = (0..self.p()).map(|_| Vec::new()).collect();
 
-        let outs: Vec<RoundOut<M::Task, M::Reply>> = self
+        // Apply this round's scheduled faults. Pre-delivery kinds (crash,
+        // stall, task drop) strike now; post-execution kinds (slow, reply
+        // drop) are deferred past the parallel section. See `crate::fault`
+        // for the exact semantics of each kind.
+        let round_faults = match self.injector.as_mut() {
+            Some(injector) => injector.take_round(round),
+            None => Vec::new(),
+        };
+        let mut post_faults: Vec<(ModuleId, FaultKind)> = Vec::new();
+        for &(m, kind) in &round_faults {
+            let mi = m as usize;
+            self.metrics.faults_injected += 1;
+            match kind {
+                FaultKind::Crash => {
+                    self.modules[mi].on_crash();
+                    let lost = inboxes[mi].len() as u64;
+                    inboxes[mi].clear();
+                    self.metrics.messages_dropped += lost;
+                    self.metrics.module_crashes += 1;
+                    self.crashed.push(m);
+                }
+                FaultKind::Stall => {
+                    // Defer the whole inbox to the next round; the fresh
+                    // next-round inbox is still empty at this point, so the
+                    // carried-over tasks stay ahead of new traffic.
+                    self.inboxes[mi] = std::mem::take(&mut inboxes[mi]);
+                    self.metrics.stalled_module_rounds += 1;
+                }
+                FaultKind::DropTask { nth } => {
+                    if !inboxes[mi].is_empty() {
+                        let idx = (nth % inboxes[mi].len() as u64) as usize;
+                        inboxes[mi].remove(idx);
+                        self.metrics.messages_dropped += 1;
+                    }
+                }
+                FaultKind::Slow { .. } | FaultKind::DropReply { .. } => {
+                    post_faults.push((m, kind));
+                }
+            }
+        }
+
+        let mut outs: Vec<RoundOut<M::Task, M::Reply>> = self
             .modules
             .par_iter_mut()
             .zip(inboxes.into_par_iter())
@@ -133,6 +209,15 @@ impl<M: PimModule> PimSystem<M> {
                 }
             })
             .collect();
+
+        // A slow module's local work is inflated before the barrier maxima
+        // are taken (the round waits for its slowest core).
+        for &(m, kind) in &post_faults {
+            if let FaultKind::Slow { factor } = kind {
+                let out = &mut outs[m as usize];
+                out.work = out.work.saturating_mul(factor.max(1));
+            }
+        }
 
         // Barrier: merge outputs, compute the h-relation and work maxima.
         let mut h = 0u64;
@@ -163,7 +248,24 @@ impl<M: PimModule> PimSystem<M> {
                 messages,
                 work: work_total,
                 per_module_messages,
+                faults: round_faults
+                    .iter()
+                    .map(|&(module, kind)| FaultRecord { module, kind })
+                    .collect(),
             });
+        }
+
+        // Reply drops happen on the PIM→CPU leg: the reply was transmitted
+        // (and charged above), then lost before reaching shared memory.
+        for &(m, kind) in &post_faults {
+            if let FaultKind::DropReply { nth } = kind {
+                let replies = &mut outs[m as usize].replies;
+                if !replies.is_empty() {
+                    let idx = (nth % replies.len() as u64) as usize;
+                    replies.remove(idx);
+                    self.metrics.messages_dropped += 1;
+                }
+            }
         }
 
         for out in outs {
@@ -385,6 +487,165 @@ mod tests {
     #[should_panic]
     fn zero_modules_rejected() {
         let _ = PimSystem::new(0, |_| Echo { hits: 0 });
+    }
+
+    /// A module whose "local memory" is its hit counter; crashes zero it.
+    struct Crashy {
+        hits: u64,
+    }
+
+    impl PimModule for Crashy {
+        type Task = u64;
+        type Reply = u64;
+
+        fn execute(&mut self, task: u64, ctx: &mut ModuleCtx<'_, u64, u64>) {
+            ctx.work(task);
+            self.hits += 1;
+            ctx.reply(self.hits)
+        }
+
+        fn on_crash(&mut self) {
+            self.hits = 0;
+        }
+    }
+
+    #[test]
+    fn stall_defers_the_inbox_one_round() {
+        let mut sys = machine();
+        sys.set_fault_plan(FaultPlan::new().at(0, 1, FaultKind::Stall));
+        sys.send(1, EchoTask::Ping(5));
+        assert!(sys.run_round().is_empty(), "stalled round yields nothing");
+        assert!(sys.has_pending(), "the task must carry over");
+        assert_eq!(sys.run_round(), vec![(1, 5)]);
+        let m = sys.metrics();
+        assert_eq!(m.stalled_module_rounds, 1);
+        assert_eq!(m.faults_injected, 1);
+        assert_eq!(m.messages_dropped, 0);
+        // Round 0 carried no delivered messages for module 1.
+        assert_eq!(m.io_time, 2);
+    }
+
+    #[test]
+    fn drop_task_loses_exactly_one_delivery() {
+        let mut sys = machine();
+        sys.set_fault_plan(FaultPlan::new().at(0, 2, FaultKind::DropTask { nth: 7 }));
+        sys.send(2, EchoTask::Ping(1));
+        sys.send(2, EchoTask::Ping(2));
+        let mut replies = sys.run_round();
+        replies.sort_unstable();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(sys.metrics().messages_dropped, 1);
+    }
+
+    #[test]
+    fn drop_reply_is_charged_then_lost() {
+        let mut sys = machine();
+        sys.set_fault_plan(FaultPlan::new().at(0, 2, FaultKind::DropReply { nth: 0 }));
+        sys.send(2, EchoTask::Ping(1));
+        let replies = sys.run_round();
+        assert!(replies.is_empty());
+        let m = sys.metrics();
+        // Delivered + transmitted reply both counted, then the reply died.
+        assert_eq!(m.io_time, 2);
+        assert_eq!(m.messages_dropped, 1);
+    }
+
+    #[test]
+    fn crash_wipes_state_and_inbox() {
+        let mut sys = PimSystem::new(2, |_| Crashy { hits: 0 });
+        sys.send(0, 1);
+        sys.send(0, 1);
+        sys.run_round();
+        assert_eq!(sys.module(0).hits, 2);
+
+        sys.set_fault_plan(FaultPlan::new().at(1, 0, FaultKind::Crash));
+        sys.send(0, 1);
+        sys.send(1, 1);
+        let replies = sys.run_round();
+        // Module 0's delivery died with it; module 1 replied normally.
+        assert_eq!(replies, vec![1]);
+        assert_eq!(sys.module(0).hits, 0, "crash must wipe local state");
+        assert_eq!(sys.drain_crashed(), vec![0]);
+        assert!(sys.drain_crashed().is_empty());
+        let m = sys.metrics();
+        assert_eq!(m.module_crashes, 1);
+        assert_eq!(m.messages_dropped, 1);
+    }
+
+    #[test]
+    fn slow_module_inflates_pim_time_only() {
+        let healthy = {
+            let mut sys = PimSystem::new(2, |_| Crashy { hits: 0 });
+            sys.send(0, 10);
+            sys.run_round();
+            sys.metrics()
+        };
+        let mut sys = PimSystem::new(2, |_| Crashy { hits: 0 });
+        sys.set_fault_plan(FaultPlan::new().at(0, 0, FaultKind::Slow { factor: 3 }));
+        sys.send(0, 10);
+        sys.run_round();
+        let m = sys.metrics();
+        assert_eq!(m.pim_time, 3 * healthy.pim_time);
+        assert_eq!(m.io_time, healthy.io_time);
+        assert_eq!(m.rounds, healthy.rounds);
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let run = |with_empty_plan: bool| {
+            let mut sys = machine();
+            if with_empty_plan {
+                sys.set_fault_plan(FaultPlan::new());
+            }
+            sys.enable_tracing();
+            for i in 0..32u64 {
+                sys.send(
+                    (i % 4) as ModuleId,
+                    EchoTask::Forward {
+                        hops: (i % 3) as u32,
+                        payload: i,
+                    },
+                );
+            }
+            let replies = sys.run_to_quiescence();
+            (replies, sys.metrics(), sys.take_trace().rounds)
+        };
+        let (r1, m1, t1) = run(false);
+        let (r2, m2, t2) = run(true);
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn same_plan_replays_identically() {
+        let run = || {
+            let mut sys = PimSystem::new(4, |_| Crashy { hits: 0 });
+            sys.set_fault_plan(FaultPlan::random(99, 4, 6, 10));
+            sys.enable_tracing();
+            for round in 0..6u64 {
+                for m in 0..4u32 {
+                    sys.send(m, round + u64::from(m));
+                }
+                sys.run_round();
+            }
+            (sys.metrics(), sys.take_trace().rounds)
+        };
+        let (m1, t1) = run();
+        let (m2, t2) = run();
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+        assert!(m1.faults_injected > 0, "the random plan must have fired");
+    }
+
+    #[test]
+    fn purge_pending_clears_queues() {
+        let mut sys = machine();
+        sys.send(0, EchoTask::Ping(1));
+        sys.send(3, EchoTask::Ping(2));
+        assert!(sys.has_pending());
+        sys.purge_pending();
+        assert!(!sys.has_pending());
     }
 
     #[test]

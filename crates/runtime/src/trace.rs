@@ -7,6 +7,7 @@
 //! conquer). When enabled, the system records one [`RoundTrace`] per round,
 //! including the per-module message counts the round's `h` was the max of.
 
+use crate::fault::{FaultKind, FaultRecord};
 use crate::handle::ModuleId;
 
 /// One bulk-synchronous round's record.
@@ -24,6 +25,8 @@ pub struct RoundTrace {
     pub work: u64,
     /// Per-module message counts (in + out), length `P`.
     pub per_module_messages: Vec<u64>,
+    /// Faults the injector applied this round (empty on healthy rounds).
+    pub faults: Vec<FaultRecord>,
 }
 
 impl RoundTrace {
@@ -68,13 +71,28 @@ impl Trace {
     }
 
     /// A compact text histogram of `h` per round (experiment output).
+    ///
+    /// Rounds that suffered injected faults are annotated so hot-round
+    /// diagnostics can tell workload skew apart from injected adversity:
+    /// `!crash(m)`, `!stall(m)`, `!drop(m)` (task or reply loss) and
+    /// `!slow(m)`, one marker per applied fault.
     pub fn h_profile(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let max = self.max_h().max(1);
         for r in &self.rounds {
             let bars = (r.h * 40 / max) as usize;
-            let _ = writeln!(out, "{:>5} | {:<40} h={}", r.round, "#".repeat(bars), r.h);
+            let _ = write!(out, "{:>5} | {:<40} h={}", r.round, "#".repeat(bars), r.h);
+            for f in &r.faults {
+                let tag = match f.kind {
+                    FaultKind::Crash => "crash",
+                    FaultKind::Stall => "stall",
+                    FaultKind::DropTask { .. } | FaultKind::DropReply { .. } => "drop",
+                    FaultKind::Slow { .. } => "slow",
+                };
+                let _ = write!(out, " !{}({})", tag, f.module);
+            }
+            out.push('\n');
         }
         out
     }
@@ -94,6 +112,7 @@ mod tests {
             messages,
             work: messages,
             per_module_messages: per_module,
+            faults: Vec::new(),
         }
     }
 
@@ -121,5 +140,32 @@ mod tests {
         let profile = t.h_profile();
         assert!(profile.contains("h=9"));
         assert_eq!(profile.lines().count(), 3);
+    }
+
+    #[test]
+    fn h_profile_annotates_faulted_rounds() {
+        let mut crashed = rt(1, vec![9, 0]);
+        crashed.faults.push(FaultRecord {
+            module: 1,
+            kind: FaultKind::Crash,
+        });
+        crashed.faults.push(FaultRecord {
+            module: 0,
+            kind: FaultKind::Slow { factor: 3 },
+        });
+        let mut stalled = rt(2, vec![2, 3]);
+        stalled.faults.push(FaultRecord {
+            module: 0,
+            kind: FaultKind::Stall,
+        });
+        let t = Trace {
+            rounds: vec![rt(0, vec![1, 1]), crashed, stalled],
+        };
+        let profile = t.h_profile();
+        let lines: Vec<&str> = profile.lines().collect();
+        assert!(!lines[0].contains('!'), "healthy round must be unmarked");
+        assert!(lines[1].contains("!crash(1)"));
+        assert!(lines[1].contains("!slow(0)"));
+        assert!(lines[2].contains("!stall(0)"));
     }
 }

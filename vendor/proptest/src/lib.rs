@@ -1,0 +1,545 @@
+//! Vendored stand-in for `proptest`: a deterministic mini
+//! property-testing harness covering exactly the API surface this
+//! workspace uses (`proptest!`, `prop_oneof!`, `prop_assert*`,
+//! `any`, typed range strategies, tuples, `prop::collection::vec`,
+//! `prop_map`, `ProptestConfig`, `TestCaseError`).
+//!
+//! The build environment is hermetic (no crates.io access), so the real
+//! crate cannot be pulled in. Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its 1-based case number and
+//!   the failure message; cases are reproducible (see below), so re-running
+//!   the same binary reaches the same inputs.
+//! * **Deterministic generation.** Each test's RNG is seeded from a hash
+//!   of the test's module path, name and case index — every run of the
+//!   same test binary explores the same inputs, which suits this repo's
+//!   reproducibility-first philosophy (the simulator itself is seeded
+//!   everywhere).
+//! * Only the strategy combinators listed above exist; add more here if a
+//!   new test needs them.
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is consulted; the other fields
+    /// exist so `..ProptestConfig::default()` struct-update syntax keeps
+    /// working when tests set just one knob.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; rejection sampling is not implemented.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 0,
+            }
+        }
+    }
+
+    /// Failure type returned (not thrown) by `prop_assert*` macros.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The input was rejected (kept for API compatibility).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(reason: S) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject<S: Into<String>>(reason: S) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// SplitMix64 generator seeded from the test identity and case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    #[inline]
+    fn mix64(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// The per-case RNG: FNV-1a over the test's identity, mixed with
+        /// the case index.
+        pub fn deterministic(test_id: &str, case: u32) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_id.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: mix64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+            }
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            mix64(self.state)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        #[inline]
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe shim behind [`BoxedStrategy`].
+    trait ObjStrategy<T> {
+        fn generate_obj(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ObjStrategy<S::Value> for S {
+        fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (cheaply clonable).
+    pub struct BoxedStrategy<T>(Rc<dyn ObjStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_obj(rng)
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, strat) in &self.arms {
+                if pick < u64::from(*w) {
+                    return strat.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    let off = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                    (lo as $wide).wrapping_add(off as $wide) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range! {
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct ArbitraryStrategy<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Uniform strategy over the whole domain of `A`.
+    pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length distribution for [`vec`]: `[lo, hi)` like upstream's
+    /// `Range<usize>` form.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, 0..n)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in -40i64..200, y in 1u32..9, b in any::<bool>()) {
+            prop_assert!((-40..200).contains(&x), "x = {x}");
+            prop_assert!((1..9).contains(&y));
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        #[test]
+        fn vec_and_oneof(
+            mut xs in prop::collection::vec((0u64..30, any::<u32>()), 0..40),
+            pick in prop_oneof![3 => (0i64..10).prop_map(|v| v * 2), 1 => 100i64..101],
+        ) {
+            xs.sort_unstable();
+            prop_assert!(xs.len() < 40);
+            for &(a, _) in &xs {
+                prop_assert!(a < 30);
+            }
+            prop_assert!(pick == 100 || (pick % 2 == 0 && pick < 20), "pick = {pick}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 1..50);
+        let one: Vec<Vec<u64>> = (0..5)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::deterministic("t", c)))
+            .collect();
+        let two: Vec<Vec<u64>> = (0..5)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::deterministic("t", c)))
+            .collect();
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_are_reported() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x = {x}");
+            }
+        }
+        always_fails();
+    }
+}

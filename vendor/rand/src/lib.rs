@@ -1,0 +1,252 @@
+//! Vendored stand-in for `rand`, covering the API surface this workspace
+//! uses: `StdRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}` and
+//! `SliceRandom::{choose, partial_shuffle}`.
+//!
+//! The build environment is hermetic (no crates.io access). The generator
+//! is SplitMix64 — statistically fine for workload generation, and every
+//! workload in this repo is seeded, so runs stay reproducible. It is NOT
+//! the real `StdRng` (ChaCha12): sequences differ from upstream, but
+//! nothing in the repo depends on upstream's exact streams.
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                let off = rng.next_u64() % (span as u64);
+                (self.start as $wide).wrapping_add(off as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                let off = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() % (span + 1)
+                };
+                (lo as $wide).wrapping_add(off as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+/// The user-facing sampling interface (blanket-implemented for every
+/// `RngCore`, like upstream rand's `Rng`).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not a probability");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{mix64, RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (SplitMix64; see crate docs for the
+    /// deliberate divergence from upstream's ChaCha12).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            mix64(self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: mix64(seed ^ 0x517C_C1B7_2722_0A95),
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice sampling helpers (`choose`, `partial_shuffle`).
+    pub trait SliceRandom {
+        type Item;
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// Fisher–Yates shuffle of the first `amount` positions; returns
+        /// `(shuffled_prefix, rest)` like upstream.
+        fn partial_shuffle<R: RngCore>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn partial_shuffle<R: RngCore>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let amount = amount.min(self.len());
+            for i in 0..amount {
+                let j = rng.gen_range(i..self.len());
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(-50i64..50);
+            assert_eq!(x, b.gen_range(-50i64..50));
+            assert!((-50..50).contains(&x));
+            let y = a.gen_range(1..=6u64);
+            assert_eq!(y, b.gen_range(1..=6u64));
+            assert!((1..=6).contains(&y));
+            let f: f64 = a.gen();
+            assert!((0.0..1.0).contains(&f));
+            let _ = b.gen::<f64>();
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_600..3_400).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let xs = [10u32, 20, 30];
+        assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+
+        let mut pool: Vec<u32> = (0..100).collect();
+        let (front, rest) = pool.partial_shuffle(&mut rng, 10);
+        assert_eq!(front.len(), 10);
+        assert_eq!(rest.len(), 90);
+        let mut all: Vec<u32> = pool.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

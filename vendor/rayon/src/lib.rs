@@ -1,0 +1,130 @@
+//! Vendored stand-in for `rayon`, providing the exact API surface this
+//! workspace uses, backed by sequential `std` iterators.
+//!
+//! The build environment is hermetic (no crates.io access), so the real
+//! data-parallel executor cannot be pulled in. Everything here preserves
+//! semantics — `par_iter` is `iter`, `par_sort_unstable` is
+//! `sort_unstable` — only the wall-clock parallelism is gone, which the
+//! simulator's *model* cost accounting (rounds, h-relations, CPU
+//! work/depth) never depended on.
+
+/// Number of worker threads in the (sequential) pool.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    //! Extension traits mirroring `rayon::prelude`.
+
+    /// `par_iter`/`par_chunks` on slices — sequential here.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable counterparts plus the parallel sorts.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K;
+        fn par_sort_by_key<K, F>(&mut self, key: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        #[inline]
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+        #[inline]
+        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K,
+        {
+            self.sort_unstable_by_key(key);
+        }
+        #[inline]
+        fn par_sort_by_key<K, F>(&mut self, key: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K,
+        {
+            self.sort_by_key(key);
+        }
+    }
+
+    /// `into_par_iter` for owned collections.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_matches_sequential() {
+        let mut v = vec![3u64, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, [1, 2, 3]);
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, [2, 4, 6]);
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, [2, 3, 4]);
+        let chunks: Vec<usize> = v.par_chunks(2).map(|c| c.len()).collect();
+        assert_eq!(chunks, [2, 1]);
+        assert_eq!(super::current_num_threads(), 1);
+    }
+}
