@@ -4,7 +4,12 @@
 //! cargo run --release -p pim-bench --bin experiments -- <which> [--quick]
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
-//!           baselines, ablation, all }
+//!           baselines, ablation, hprofile, paths, trace-export, all }
+//!
+//! `trace-export [--quick] [--out DIR]` runs an instrumented session and
+//! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
+//! `DIR/rounds.jsonl` (the `pim-trace` CLI's input); DIR defaults to
+//! `target/trace-export`.
 //! ```
 //!
 //! Every table prints *model metrics* (IO time, PIM time, CPU work/depth,
@@ -42,6 +47,23 @@ fn main() {
     let run_ablation = || exp::print_ablation(16, n, seed);
     let run_hprofile = || exp::print_hprofile(if quick { 16 } else { 32 }, seed);
     let run_paths = || exp::print_path_split(seed);
+    let run_trace_export = || {
+        let flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+        };
+        let out_dir = flag("--out")
+            .map(String::as_str)
+            .unwrap_or("target/trace-export");
+        let (dp, dn) = if quick { (16, 4_000) } else { (32, 16_000) };
+        let p = flag("--p").and_then(|v| v.parse().ok()).unwrap_or(dp);
+        let tn = flag("--n").and_then(|v| v.parse().ok()).unwrap_or(dn);
+        if let Err(e) = exp::trace_export(out_dir, p, tn, seed) {
+            eprintln!("trace-export: {e}");
+            std::process::exit(1);
+        }
+    };
 
     match which {
         "table1" => run_table1(),
@@ -54,6 +76,7 @@ fn main() {
         "ablation" => run_ablation(),
         "hprofile" => run_hprofile(),
         "paths" => run_paths(),
+        "trace-export" => run_trace_export(),
         "all" => {
             run_table1();
             println!();
@@ -77,7 +100,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export all");
             std::process::exit(2);
         }
     }

@@ -682,6 +682,91 @@ pub fn print_path_split(seed: u64) {
     println!("(upper visits track log n; lower visits track log P and are n-independent)");
 }
 
+/// OBS: one fully instrumented session — probe and round trace on, a
+/// representative batch of every operation family (Get, Update, Upsert,
+/// Delete, tree range, broadcast range) — returning the pieces an
+/// [`pim_runtime::ExportBundle`] needs. The load phase runs *before* the
+/// probe is enabled so the export covers only the measured operations.
+pub fn trace_export_session(
+    p: u32,
+    n: usize,
+    seed: u64,
+) -> (pim_runtime::Trace, pim_runtime::ProbeReport) {
+    let (mut list, keys) = build_loaded_list(p, n, seed);
+    list.enable_tracing_with_cap(1 << 16);
+    list.enable_probe();
+
+    let lg = logp(p);
+    let small = (u64::from(p) * lg) as usize;
+    let large = (u64::from(p) * lg * lg) as usize;
+    let mut gen = PointGen::new(seed ^ 0x0B5, 0, (n as i64) * 64);
+
+    let batch = gen.from_existing(&keys, small);
+    list.batch_get(&batch);
+    let pairs: Vec<(i64, u64)> = gen
+        .from_existing(&keys, small)
+        .into_iter()
+        .map(|k| (k, 1))
+        .collect();
+    list.batch_update(&pairs);
+    let fresh: Vec<(i64, u64)> = gen
+        .distinct_uniform(large)
+        .into_iter()
+        .map(|k| (k + (n as i64) * 128, k as u64))
+        .collect();
+    list.batch_upsert(&fresh);
+    let batch = gen.distinct_from_existing(&keys, large.min(keys.len()));
+    list.batch_delete(&batch);
+    let span = (n as i64) * 64 / 8;
+    list.batch_range(&[(0, span), (span / 2, span * 2)], RangeFunc::Sum);
+    list.range_broadcast(0, span, RangeFunc::Count);
+
+    let report = list.take_probe().expect("probe was enabled");
+    let trace = list.take_trace();
+    (trace, report)
+}
+
+/// OBS: run [`trace_export_session`], write the Chrome trace and the JSONL
+/// round log into `out_dir`, and print the per-phase cost breakdown (the
+/// same §2.1 columns as Table 1, via [`BatchCosts::from_span_stats`]).
+pub fn trace_export(out_dir: &str, p: u32, n: usize, seed: u64) -> std::io::Result<()> {
+    let (trace, report) = trace_export_session(p, n, seed);
+    let bundle = pim_runtime::ExportBundle {
+        p,
+        trace: &trace,
+        report: Some(&report),
+    };
+    std::fs::create_dir_all(out_dir)?;
+    let trace_path = format!("{out_dir}/trace.json");
+    let rounds_path = format!("{out_dir}/rounds.jsonl");
+    std::fs::write(&trace_path, pim_runtime::chrome_trace(&bundle))?;
+    std::fs::write(&rounds_path, pim_runtime::rounds_jsonl(&bundle))?;
+
+    println!("== Observability: per-phase cost breakdown (P = {p}, n = {n}) ==");
+    println!(
+        "{:<40} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "phase", "calls", "rounds", "IO", "PIM", "msgs", "CPUw", "sharedM"
+    );
+    for (path, _depth, count, stats) in report.by_path() {
+        let c = BatchCosts::from_span_stats(count as usize, &stats);
+        println!(
+            "{:<40} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            path,
+            count,
+            c.rounds,
+            c.io_time,
+            c.pim_time,
+            c.total_messages,
+            c.cpu_work,
+            c.shared_mem_peak
+        );
+    }
+    println!("(exclusive stats: nested phases own their share; load phase ran before the probe)");
+    println!("wrote {trace_path}");
+    println!("wrote {rounds_path}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

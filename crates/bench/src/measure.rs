@@ -44,6 +44,24 @@ impl BatchCosts {
         }
     }
 
+    /// Costs of one phase from a span's exclusive stats (see
+    /// [`pim_runtime::ProbeReport`]): the same §2.1 columns every table
+    /// prints, but attributed to a single instrumented phase instead of
+    /// diffed around the whole batch.
+    pub fn from_span_stats(batch: usize, stats: &Metrics) -> Self {
+        BatchCosts {
+            batch,
+            rounds: stats.rounds,
+            io_time: stats.io_time,
+            pim_time: stats.pim_time,
+            total_messages: stats.total_messages,
+            total_pim_work: stats.total_pim_work,
+            cpu_work: stats.cpu_work,
+            cpu_depth: stats.cpu_depth,
+            shared_mem_peak: stats.shared_mem_peak,
+        }
+    }
+
     /// CPU work per operation.
     pub fn cpu_work_per_op(&self) -> f64 {
         self.cpu_work as f64 / self.batch.max(1) as f64

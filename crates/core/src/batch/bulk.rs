@@ -44,12 +44,14 @@ impl PimSkipList {
         if pairs.is_empty() {
             return Ok(());
         }
-        let staged = pairs.len() as u64 * 2;
-        self.sys.shared_mem().alloc(staged);
-        let out = self.bulk_load_attempt_inner(pairs);
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        out
+        self.spanned("bulk_load", |s| {
+            let staged = pairs.len() as u64 * 2;
+            s.sys.shared_mem().alloc(staged);
+            let out = s.bulk_load_attempt_inner(pairs);
+            s.sys.sample_shared_mem();
+            s.sys.shared_mem().free(staged);
+            out
+        })
     }
 
     fn bulk_load_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<()> {
@@ -63,56 +65,58 @@ impl PimSkipList {
         // order form a single chain headed by the −∞ sentinel of that
         // level (replicated slot = level by construction).
         let max_top = tops.iter().copied().max().unwrap_or(0);
-        for level in 0..=max_top {
-            let at_level: Vec<usize> = (0..pairs.len()).filter(|&j| tops[j] >= level).collect();
-            if at_level.is_empty() {
-                continue;
-            }
-            let inf = Handle::replicated(u32::from(level));
-            // −∞ → first.
-            let first = tower[at_level[0]][level as usize];
-            self.send_write(
-                inf,
-                Task::WriteRight {
-                    node: inf,
-                    to: first,
-                    to_key: pairs[at_level[0]].0,
-                },
-            );
-            self.send_write(
-                first,
-                Task::WriteLeft {
-                    node: first,
-                    to: inf,
-                },
-            );
-            // node_j → node_{j+1}.
-            for w in at_level.windows(2) {
-                let (a, b) = (w[0], w[1]);
-                let (ha, hb) = (tower[a][level as usize], tower[b][level as usize]);
-                self.send_write(
-                    ha,
+        self.spanned("link", |s| -> PimResult<()> {
+            for level in 0..=max_top {
+                let at_level: Vec<usize> = (0..pairs.len()).filter(|&j| tops[j] >= level).collect();
+                if at_level.is_empty() {
+                    continue;
+                }
+                let inf = Handle::replicated(u32::from(level));
+                // −∞ → first.
+                let first = tower[at_level[0]][level as usize];
+                s.send_write(
+                    inf,
                     Task::WriteRight {
-                        node: ha,
-                        to: hb,
-                        to_key: pairs[b].0,
+                        node: inf,
+                        to: first,
+                        to_key: pairs[at_level[0]].0,
                     },
                 );
-                self.send_write(hb, Task::WriteLeft { node: hb, to: ha });
+                s.send_write(
+                    first,
+                    Task::WriteLeft {
+                        node: first,
+                        to: inf,
+                    },
+                );
+                // node_j → node_{j+1}.
+                for w in at_level.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    let (ha, hb) = (tower[a][level as usize], tower[b][level as usize]);
+                    s.send_write(
+                        ha,
+                        Task::WriteRight {
+                            node: ha,
+                            to: hb,
+                            to_key: pairs[b].0,
+                        },
+                    );
+                    s.send_write(hb, Task::WriteLeft { node: hb, to: ha });
+                }
+                // last → null.
+                let last = tower[*at_level.last().expect("non-empty")][level as usize];
+                s.send_write(
+                    last,
+                    Task::WriteRight {
+                        node: last,
+                        to: Handle::NULL,
+                        to_key: POS_INF,
+                    },
+                );
+                s.sys.metrics_mut().charge_cpu(at_level.len() as u64, 1);
             }
-            // last → null.
-            let last = tower[*at_level.last().expect("non-empty")][level as usize];
-            self.send_write(
-                last,
-                Task::WriteRight {
-                    node: last,
-                    to: Handle::NULL,
-                    to_key: POS_INF,
-                },
-            );
-            self.sys.metrics_mut().charge_cpu(at_level.len() as u64, 1);
-        }
-        self.quiesce_writes("bulk_load")?;
+            s.quiesce_writes("bulk_load")
+        })?;
 
         // next_leaf shortcuts of the new upper leaves.
         self.fix_new_next_leaves(&tower, &tops)?;

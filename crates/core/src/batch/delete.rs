@@ -45,26 +45,34 @@ impl PimSkipList {
     /// One fault-observable attempt of [`PimSkipList::batch_delete`].
     /// Commits removals to the journal only when every stage completed.
     pub(crate) fn delete_attempt(&mut self, keys: &[Key]) -> PimResult<Vec<bool>> {
-        let staged = keys.len() as u64 * 2;
-        self.sys.shared_mem().alloc(staged);
-        let mut extra = 0u64;
-        let out = self.delete_attempt_inner(keys, &mut extra);
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged + extra);
-        out
+        self.spanned("delete", |s| {
+            let staged = keys.len() as u64 * 2;
+            s.sys.shared_mem().alloc(staged);
+            let mut extra = 0u64;
+            let out = s.delete_attempt_inner(keys, &mut extra);
+            s.sys.sample_shared_mem();
+            s.sys.shared_mem().free(staged + extra);
+            out
+        })
     }
 
-    fn delete_attempt_inner(&mut self, keys: &[Key], extra_staged: &mut u64) -> PimResult<Vec<bool>> {
+    fn delete_attempt_inner(
+        &mut self,
+        keys: &[Key],
+        extra_staged: &mut u64,
+    ) -> PimResult<Vec<bool>> {
         let before = self.sys.metrics();
         let (uniq, cost) = dedup_by_key(keys.to_vec(), self.cfg.seed ^ 0xDD, |&k| k as u64);
         cost.charge(self.sys.metrics_mut());
 
         // ---- Stage 1: mark leaves + towers via the hash shortcut ----
-        for (op, &key) in uniq.iter().enumerate() {
-            let m = self.module_of(key, 0);
-            self.sys.send(m, Task::DeleteKey { op: op as u32, key });
-        }
-        let replies = self.sys.run_to_quiescence();
+        let replies = self.spanned("delete/mark", |s| {
+            for (op, &key) in uniq.iter().enumerate() {
+                let m = s.module_of(key, 0);
+                s.sys.send(m, Task::DeleteKey { op: op as u32, key });
+            }
+            s.sys.run_to_quiescence()
+        });
 
         let mut found = vec![false; uniq.len()];
         let mut answered = vec![false; uniq.len()];
@@ -122,30 +130,34 @@ impl PimSkipList {
         // ---- Stage 2: CPU-side list contraction per level, then splice ----
         let mut levels: Vec<u8> = marked_by_level.keys().copied().collect();
         levels.sort_unstable();
-        for &level in &levels {
-            let records = &marked_by_level[&level];
-            self.splice_level(records);
-        }
+        self.spanned("delete/contract", |s| {
+            for &level in &levels {
+                let records = &marked_by_level[&level];
+                s.splice_level(records);
+            }
+        });
 
         // ---- Free marked lower nodes; unlink upper replicas ----
         // (level order: deterministic message order keeps `nth`-counted
         // drop faults replayable)
-        for &level in &levels {
-            for rec in &marked_by_level[&level] {
-                self.sys
-                    .send(rec.node.module(), Task::FreeNode { node: rec.node });
+        self.spanned("delete/unlink", |s| {
+            for &level in &levels {
+                for rec in &marked_by_level[&level] {
+                    s.sys
+                        .send(rec.node.module(), Task::FreeNode { node: rec.node });
+                }
             }
-        }
-        if !upper_slots.is_empty() {
-            let slots = upper_slots.clone();
-            self.sys.broadcast(move |_| Task::UnlinkUpper {
-                slots: slots.clone(),
-            });
-            for &s in &upper_slots {
-                self.shadow.free(s);
+            if !upper_slots.is_empty() {
+                let slots = upper_slots.clone();
+                s.sys.broadcast(move |_| Task::UnlinkUpper {
+                    slots: slots.clone(),
+                });
+                for &slot in &upper_slots {
+                    s.shadow.free(slot);
+                }
             }
-        }
-        self.quiesce_writes("batch_delete")?;
+            s.quiesce_writes("batch_delete")
+        })?;
 
         self.len -= found.iter().filter(|&&f| f).count() as u64;
         // Commit removals to the journal.

@@ -30,23 +30,30 @@ impl PimSkipList {
 
     /// One fault-observable attempt of [`PimSkipList::batch_get`].
     pub(crate) fn get_attempt(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
-        let staged = keys.len() as u64 * 2;
-        self.sys.shared_mem().alloc(staged);
-        let out = self.get_attempt_inner(keys);
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        out
+        self.spanned("get", |s| {
+            let staged = keys.len() as u64 * 2;
+            s.sys.shared_mem().alloc(staged);
+            let out = s.get_attempt_inner(keys);
+            s.sys.sample_shared_mem();
+            s.sys.shared_mem().free(staged);
+            out
+        })
     }
 
     fn get_attempt_inner(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
-        let (uniq, cost) = dedup_by_key(keys.to_vec(), self.cfg.seed ^ 0xDE, |&k| k as u64);
-        cost.charge(self.sys.metrics_mut());
+        let uniq = self.spanned("get/dedup", |s| {
+            let (uniq, cost) = dedup_by_key(keys.to_vec(), s.cfg.seed ^ 0xDE, |&k| k as u64);
+            cost.charge(s.sys.metrics_mut());
+            uniq
+        });
 
-        for (op, &key) in uniq.iter().enumerate() {
-            let m = self.module_of(key, 0);
-            self.sys.send(m, Task::Get { op: op as u32, key });
-        }
-        let replies = self.sys.run_to_quiescence();
+        let replies = self.spanned("get/lookup", |s| {
+            for (op, &key) in uniq.iter().enumerate() {
+                let m = s.module_of(key, 0);
+                s.sys.send(m, Task::Get { op: op as u32, key });
+            }
+            s.sys.run_to_quiescence()
+        });
 
         let mut faulted = 0usize;
         let mut by_key: HashMap<Key, Option<Value>> = HashMap::with_capacity(uniq.len());
@@ -88,30 +95,37 @@ impl PimSkipList {
     /// Journals applied updates on success so a later crash recovery
     /// replays them.
     pub(crate) fn update_attempt(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
-        let staged = pairs.len() as u64 * 2;
-        self.sys.shared_mem().alloc(staged);
-        let out = self.update_attempt_inner(pairs);
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        out
+        self.spanned("update", |s| {
+            let staged = pairs.len() as u64 * 2;
+            s.sys.shared_mem().alloc(staged);
+            let out = s.update_attempt_inner(pairs);
+            s.sys.sample_shared_mem();
+            s.sys.shared_mem().free(staged);
+            out
+        })
     }
 
     fn update_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
-        let (uniq, cost) = dedup_by_key(pairs.to_vec(), self.cfg.seed ^ 0xDF, |&(k, _)| k as u64);
-        cost.charge(self.sys.metrics_mut());
+        let uniq = self.spanned("update/dedup", |s| {
+            let (uniq, cost) = dedup_by_key(pairs.to_vec(), s.cfg.seed ^ 0xDF, |&(k, _)| k as u64);
+            cost.charge(s.sys.metrics_mut());
+            uniq
+        });
 
-        for (op, &(key, value)) in uniq.iter().enumerate() {
-            let m = self.module_of(key, 0);
-            self.sys.send(
-                m,
-                Task::Update {
-                    op: op as u32,
-                    key,
-                    value,
-                },
-            );
-        }
-        let replies = self.sys.run_to_quiescence();
+        let replies = self.spanned("update/lookup", |s| {
+            for (op, &(key, value)) in uniq.iter().enumerate() {
+                let m = s.module_of(key, 0);
+                s.sys.send(
+                    m,
+                    Task::Update {
+                        op: op as u32,
+                        key,
+                        value,
+                    },
+                );
+            }
+            s.sys.run_to_quiescence()
+        });
 
         let mut faulted = 0usize;
         let mut by_key: HashMap<Key, bool> = HashMap::with_capacity(uniq.len());

@@ -121,13 +121,15 @@ impl PimSkipList {
     /// traffic (missing terminal records, missing pivot paths, `Faulted`
     /// replies); on a fault-free machine the result is always `Ok`.
     pub(crate) fn pivoted_search(&mut self, reqs: &[SearchRequest]) -> PimResult<SearchResults> {
-        let mut staged_words = 0u64;
-        let out = self.pivoted_search_inner(reqs, &mut staged_words);
-        if staged_words > 0 {
-            self.sys.sample_shared_mem();
-            self.sys.shared_mem().free(staged_words);
-        }
-        out
+        self.spanned("search", |s| {
+            let mut staged_words = 0u64;
+            let out = s.pivoted_search_inner(reqs, &mut staged_words);
+            if staged_words > 0 {
+                s.sys.sample_shared_mem();
+                s.sys.shared_mem().free(staged_words);
+            }
+            out
+        })
     }
 
     fn pivoted_search_inner(
@@ -172,79 +174,91 @@ impl PimSkipList {
                 stitch_from: None,
             });
         }
-        *staged_words +=
-            self.run_wave(&phase0, reqs, Some(max_top), true, &mut results, &mut paths)?;
-        self.record_phase_contention();
+        // ---- Stage 1: extremes from the root, then medians of open
+        // segments (pivot divide and conquer). ----
+        self.spanned("search/stage1", |s| -> PimResult<()> {
+            *staged_words +=
+                s.run_wave(&phase0, reqs, Some(max_top), true, &mut results, &mut paths)?;
+            s.record_phase_contention();
 
-        // ---- Stage 1, phases 1..: medians of open segments. ----
-        let mut segments: Vec<(usize, usize)> = if m > 1 { vec![(0, m - 1)] } else { Vec::new() };
-        while segments.iter().any(|&(l, r)| r - l > 1) {
+            let mut segments: Vec<(usize, usize)> =
+                if m > 1 { vec![(0, m - 1)] } else { Vec::new() };
+            while segments.iter().any(|&(l, r)| r - l > 1) {
+                let mut items = Vec::new();
+                let mut next_segments = Vec::new();
+                let mut hint_cost = CpuCost::ZERO;
+                for &(l, r) in &segments {
+                    if r - l <= 1 {
+                        continue;
+                    }
+                    let med = (l + r) / 2;
+                    let (op_l, op_r) = (reqs[pivots[l]].op, reqs[pivots[r]].op);
+                    let (path_l, path_r) = (
+                        paths.get(&op_l).ok_or(PimError::Incomplete {
+                            op: "search",
+                            missing: 1,
+                        })?,
+                        paths.get(&op_r).ok_or(PimError::Incomplete {
+                            op: "search",
+                            missing: 1,
+                        })?,
+                    );
+                    let (hint, prefix, cost) = hint_and_prefix(path_l, path_r);
+                    hint_cost = hint_cost.beside(cost);
+                    items.push(WaveItem {
+                        idx: pivots[med],
+                        hint,
+                        prefix,
+                        stitch_from: Some(op_l),
+                    });
+                    next_segments.push((l, med));
+                    next_segments.push((med, r));
+                }
+                hint_cost.charge(s.sys.metrics_mut());
+                *staged_words +=
+                    s.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths)?;
+                s.record_phase_contention();
+                segments = next_segments;
+            }
+            Ok(())
+        })?;
+
+        // ---- Stage 2: everything else, hinted by bracketing pivots. ----
+        self.spanned("search/stage2", |s| -> PimResult<()> {
             let mut items = Vec::new();
-            let mut next_segments = Vec::new();
             let mut hint_cost = CpuCost::ZERO;
-            for &(l, r) in &segments {
-                if r - l <= 1 {
+            let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+            for i in 0..b {
+                if pivot_set.contains(&i) {
                     continue;
                 }
-                let med = (l + r) / 2;
-                let (op_l, op_r) = (reqs[pivots[l]].op, reqs[pivots[r]].op);
+                let pos = pivots.partition_point(|&p| p < i);
+                debug_assert!(pos > 0 && pos < pivots.len());
+                let (op_l, op_r) = (reqs[pivots[pos - 1]].op, reqs[pivots[pos]].op);
                 let (path_l, path_r) = (
-                    paths
-                        .get(&op_l)
-                        .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
-                    paths
-                        .get(&op_r)
-                        .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
+                    paths.get(&op_l).ok_or(PimError::Incomplete {
+                        op: "search",
+                        missing: 1,
+                    })?,
+                    paths.get(&op_r).ok_or(PimError::Incomplete {
+                        op: "search",
+                        missing: 1,
+                    })?,
                 );
                 let (hint, prefix, cost) = hint_and_prefix(path_l, path_r);
                 hint_cost = hint_cost.beside(cost);
                 items.push(WaveItem {
-                    idx: pivots[med],
+                    idx: i,
                     hint,
                     prefix,
                     stitch_from: Some(op_l),
                 });
-                next_segments.push((l, med));
-                next_segments.push((med, r));
             }
-            hint_cost.charge(self.sys.metrics_mut());
-            *staged_words +=
-                self.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths)?;
-            self.record_phase_contention();
-            segments = next_segments;
-        }
-
-        // ---- Stage 2: everything else, hinted by bracketing pivots. ----
-        let mut items = Vec::new();
-        let mut hint_cost = CpuCost::ZERO;
-        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
-        for i in 0..b {
-            if pivot_set.contains(&i) {
-                continue;
-            }
-            let pos = pivots.partition_point(|&p| p < i);
-            debug_assert!(pos > 0 && pos < pivots.len());
-            let (op_l, op_r) = (reqs[pivots[pos - 1]].op, reqs[pivots[pos]].op);
-            let (path_l, path_r) = (
-                paths
-                    .get(&op_l)
-                    .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
-                paths
-                    .get(&op_r)
-                    .ok_or(PimError::Incomplete { op: "search", missing: 1 })?,
-            );
-            let (hint, prefix, cost) = hint_and_prefix(path_l, path_r);
-            hint_cost = hint_cost.beside(cost);
-            items.push(WaveItem {
-                idx: i,
-                hint,
-                prefix,
-                stitch_from: Some(op_l),
-            });
-        }
-        hint_cost.charge(self.sys.metrics_mut());
-        *staged_words += self.run_wave(&items, reqs, None, false, &mut results, &mut paths)?;
-        self.record_phase_contention();
+            hint_cost.charge(s.sys.metrics_mut());
+            *staged_words += s.run_wave(&items, reqs, None, false, &mut results, &mut paths)?;
+            s.record_phase_contention();
+            Ok(())
+        })?;
 
         // Completeness: every request must have reached level 0.
         let missing = reqs
@@ -365,10 +379,10 @@ impl PimSkipList {
 
         // Resolve SharedLeaf copies (results and paths identical to src).
         for (dst, src) in copies {
-            let d = *results
-                .done
-                .get(&src)
-                .ok_or(PimError::Incomplete { op: "search", missing: 1 })?;
+            let d = *results.done.get(&src).ok_or(PimError::Incomplete {
+                op: "search",
+                missing: 1,
+            })?;
             results.done.insert(dst, d);
             if let Some(p) = results.preds.get(&src).cloned() {
                 results.preds.insert(dst, p);
@@ -433,8 +447,11 @@ impl PimSkipList {
 
     /// One fault-observable attempt of [`PimSkipList::batch_successor`]
     /// (the retry loop lives in [`PimSkipList::try_batch_successor`]).
-    pub(crate) fn successor_attempt(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
-        let results = self.point_search_unique(keys)?;
+    pub(crate) fn successor_attempt(
+        &mut self,
+        keys: &[Key],
+    ) -> PimResult<Vec<Option<(Key, Handle)>>> {
+        let results = self.spanned("successor", |s| s.point_search_unique(keys))?;
         Ok(keys
             .iter()
             .map(|k| {
@@ -462,7 +479,7 @@ impl PimSkipList {
         &mut self,
         keys: &[Key],
     ) -> PimResult<Vec<Option<(Key, Handle)>>> {
-        let results = self.point_search_unique(keys)?;
+        let results = self.spanned("predecessor", |s| s.point_search_unique(keys))?;
         Ok(keys
             .iter()
             .map(|k| {

@@ -47,13 +47,18 @@ impl PimSkipList {
     /// One fault-observable attempt of [`PimSkipList::batch_upsert`] (the
     /// recovery loop lives in [`PimSkipList::try_batch_upsert`]). Commits
     /// the batch to the journal only when every stage completed.
-    pub(crate) fn upsert_attempt(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
-        let staged = pairs.len() as u64 * 2;
-        self.sys.shared_mem().alloc(staged);
-        let out = self.upsert_attempt_inner(pairs);
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        out
+    pub(crate) fn upsert_attempt(
+        &mut self,
+        pairs: &[(Key, Value)],
+    ) -> PimResult<Vec<UpsertOutcome>> {
+        self.spanned("upsert", |s| {
+            let staged = pairs.len() as u64 * 2;
+            s.sys.shared_mem().alloc(staged);
+            let out = s.upsert_attempt_inner(pairs);
+            s.sys.sample_shared_mem();
+            s.sys.shared_mem().free(staged);
+            out
+        })
     }
 
     fn upsert_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
@@ -61,18 +66,20 @@ impl PimSkipList {
         cost.charge(self.sys.metrics_mut());
 
         // ---- Update pass (§4.1 shortcut) ----
-        for (op, &(key, value)) in uniq.iter().enumerate() {
-            let m = self.module_of(key, 0);
-            self.sys.send(
-                m,
-                Task::Update {
-                    op: op as u32,
-                    key,
-                    value,
-                },
-            );
-        }
-        let replies = self.sys.run_to_quiescence();
+        let replies = self.spanned("upsert/update_pass", |s| {
+            for (op, &(key, value)) in uniq.iter().enumerate() {
+                let m = s.module_of(key, 0);
+                s.sys.send(
+                    m,
+                    Task::Update {
+                        op: op as u32,
+                        key,
+                        value,
+                    },
+                );
+            }
+            s.sys.run_to_quiescence()
+        });
         let mut updated = vec![false; uniq.len()];
         let mut answered = 0usize;
         let mut faulted = 0usize;
@@ -141,6 +148,14 @@ impl PimSkipList {
     /// upper-part nodes are broadcast into shadow-chosen replicated slots.
     /// Returns `tower[j][level]` handles.
     pub(crate) fn allocate_towers(
+        &mut self,
+        inserts: &[(Key, Value)],
+        tops: &[u8],
+    ) -> PimResult<Vec<Vec<Handle>>> {
+        self.spanned("alloc", |s| s.allocate_towers_inner(inserts, tops))
+    }
+
+    fn allocate_towers_inner(
         &mut self,
         inserts: &[(Key, Value)],
         tops: &[u8],
@@ -223,23 +238,29 @@ impl PimSkipList {
 
     /// Recompute the `next_leaf` shortcut of every new upper-part leaf
     /// (broadcast; must run after horizontal linking).
-    pub(crate) fn fix_new_next_leaves(&mut self, tower: &[Vec<Handle>], tops: &[u8]) -> PimResult<()> {
+    pub(crate) fn fix_new_next_leaves(
+        &mut self,
+        tower: &[Vec<Handle>],
+        tops: &[u8],
+    ) -> PimResult<()> {
         let h_low = self.cfg.h_low;
         if h_low == 0 {
             return Ok(());
         }
-        let mut fixed_any = false;
-        for (j, t) in tower.iter().enumerate() {
-            if tops[j] >= h_low {
-                let slot = t[h_low as usize].slot();
-                self.sys.broadcast(|_| Task::FixNextLeaf { slot });
-                fixed_any = true;
+        self.spanned("next_leaf", |s| {
+            let mut fixed_any = false;
+            for (j, t) in tower.iter().enumerate() {
+                if tops[j] >= h_low {
+                    let slot = t[h_low as usize].slot();
+                    s.sys.broadcast(|_| Task::FixNextLeaf { slot });
+                    fixed_any = true;
+                }
             }
-        }
-        if fixed_any {
-            self.quiesce_writes("fix_next_leaf")?;
-        }
-        Ok(())
+            if fixed_any {
+                s.quiesce_writes("fix_next_leaf")?;
+            }
+            Ok(())
+        })
     }
 
     /// Insert a sorted, deduplicated, non-resident batch of pairs.
@@ -267,6 +288,32 @@ impl PimSkipList {
         let results = self.pivoted_search(&reqs)?;
 
         // ---- Algorithm 1: horizontal pointer construction ----
+        self.spanned("link", |s| {
+            s.link_horizontal(inserts, &tops, &tower, &results)
+        })?;
+
+        // ---- Recompute next_leaf for new upper-part leaves ----
+        self.fix_new_next_leaves(&tower, &tops)?;
+
+        // Commit: the batch is structurally complete — journal each new
+        // tower so recovery can re-materialise it handle for handle.
+        for (j, &(key, value)) in inserts.iter().enumerate() {
+            self.journal.record_insert(key, value, tower[j].clone());
+        }
+        self.len += b as u64;
+        Ok(())
+    }
+
+    /// Algorithm 1 (Fig. 4): construct the horizontal pointers of every
+    /// new tower, chaining runs of new nodes that share a `(pred, succ)`
+    /// segment, then quiesce the writes.
+    fn link_horizontal(
+        &mut self,
+        inserts: &[(Key, Value)],
+        tops: &[u8],
+        tower: &[Vec<Handle>],
+        results: &crate::batch::search::SearchResults,
+    ) -> PimResult<()> {
         let max_top = tops.iter().copied().max().unwrap_or(0);
         for level in 0..=max_top {
             // A[level]: new nodes at this level in ascending key order.
@@ -282,9 +329,13 @@ impl PimSkipList {
                 if tops[j] < level {
                     continue;
                 }
-                let (pred, succ, succ_key) = results
-                    .pred_at(j as u32, level)
-                    .ok_or(PimError::Incomplete { op: "batch_upsert", missing: 1 })?;
+                let (pred, succ, succ_key) =
+                    results
+                        .pred_at(j as u32, level)
+                        .ok_or(PimError::Incomplete {
+                            op: "batch_upsert",
+                            missing: 1,
+                        })?;
                 a.push(Entry {
                     cur: tower[j][level as usize],
                     key,
@@ -354,17 +405,6 @@ impl PimSkipList {
                 pim_runtime::ceil_log2(a.len().max(1) as u64).into(),
             );
         }
-        self.quiesce_writes("link")?;
-
-        // ---- Recompute next_leaf for new upper-part leaves ----
-        self.fix_new_next_leaves(&tower, &tops)?;
-
-        // Commit: the batch is structurally complete — journal each new
-        // tower so recovery can re-materialise it handle for handle.
-        for (j, &(key, value)) in inserts.iter().enumerate() {
-            self.journal.record_insert(key, value, tower[j].clone());
-        }
-        self.len += b as u64;
-        Ok(())
+        self.quiesce_writes("link")
     }
 }

@@ -72,7 +72,10 @@ impl PimError {
 
     /// Is this error transient, i.e. worth a recovery-and-retry cycle?
     pub fn is_transient(&self) -> bool {
-        matches!(self, PimError::Incomplete { .. } | PimError::Protocol { .. })
+        matches!(
+            self,
+            PimError::Incomplete { .. } | PimError::Protocol { .. }
+        )
     }
 }
 

@@ -105,11 +105,8 @@ impl Journal {
     /// Snapshot full entries, ascending by key — the `recover_module`
     /// image-reconstruction input.
     pub fn entries_sorted(&self) -> Vec<(Key, JournalEntry)> {
-        let mut v: Vec<(Key, JournalEntry)> = self
-            .entries
-            .iter()
-            .map(|(&k, e)| (k, e.clone()))
-            .collect();
+        let mut v: Vec<(Key, JournalEntry)> =
+            self.entries.iter().map(|(&k, e)| (k, e.clone())).collect();
         v.sort_unstable_by_key(|&(k, _)| k);
         v
     }

@@ -129,6 +129,37 @@ impl PimSkipList {
         self.sys.take_trace()
     }
 
+    /// Like [`PimSkipList::enable_tracing`] but keeping only the `cap`
+    /// most-recent rounds (ring buffer; evictions are counted).
+    pub fn enable_tracing_with_cap(&mut self, cap: usize) {
+        self.sys.enable_tracing_with_cap(cap);
+    }
+
+    /// Start span-based cost attribution: every batch operation from now
+    /// on brackets its phases with spans (see the span taxonomy in
+    /// `docs/MODEL.md`), and every cost accrued is attributed to the
+    /// innermost open span. Zero overhead for the machine's accounting —
+    /// metrics and traces stay bit-identical.
+    pub fn enable_probe(&mut self) {
+        self.sys.enable_probe();
+    }
+
+    /// Stop probing and harvest the span report (`None` if
+    /// [`PimSkipList::enable_probe`] was never called).
+    pub fn take_probe(&mut self) -> Option<pim_runtime::ProbeReport> {
+        self.sys.take_probe()
+    }
+
+    /// Run `f` inside a named span (no-op bracketing when no probe is
+    /// enabled). The span closes when `f` returns, including on `Err`
+    /// propagation from fault-observable attempts.
+    pub(crate) fn spanned<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.sys.span_enter(name);
+        let out = f(self);
+        self.sys.span_exit();
+        out
+    }
+
     /// The replicated root handle.
     pub(crate) fn root(&self) -> Handle {
         Handle::replicated(u32::from(self.cfg.max_level))

@@ -680,10 +680,8 @@ impl SkipModule {
     /// finaliser after a crash. Returns the local work done.
     fn rebuild_local_views(&mut self) -> u64 {
         let mut work = 1u64;
-        self.index = DeamortizedMap::new(
-            64,
-            pim_runtime::hashfn::hash2(0x1d, 0, u64::from(self.id)),
-        );
+        self.index =
+            DeamortizedMap::new(64, pim_runtime::hashfn::hash2(0x1d, 0, u64::from(self.id)));
         let mut leaves: Vec<(Key, u32)> = self
             .lower
             .iter()

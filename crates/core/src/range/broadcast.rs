@@ -87,14 +87,27 @@ impl PimSkipList {
         hi: Key,
         func: RangeFunc,
     ) -> PimResult<RangeResult> {
+        self.spanned("range_broadcast", |s| {
+            s.range_broadcast_attempt_inner(lo, hi, func)
+        })
+    }
+
+    fn range_broadcast_attempt_inner(
+        &mut self,
+        lo: Key,
+        hi: Key,
+        func: RangeFunc,
+    ) -> PimResult<RangeResult> {
         let before = self.sys.metrics();
-        self.sys.broadcast(|_| Task::RangeBroadcast {
-            op: 0,
-            lo,
-            hi,
-            func,
+        let replies = self.spanned("range_broadcast/scan", |s| {
+            s.sys.broadcast(|_| Task::RangeBroadcast {
+                op: 0,
+                lo,
+                hi,
+                func,
+            });
+            s.sys.run_to_quiescence()
         });
-        let replies = self.sys.run_to_quiescence();
 
         let mut out = RangeResult::empty();
         let mut agg_replies = 0u32;
@@ -143,12 +156,14 @@ impl PimSkipList {
             // sort the returned pairs on the CPU side (documented
             // substitution — same `O(K log K)` work the CPU-side variant
             // of §5.2 step 4 performs).
-            let staged = out.items.len() as u64 * 2;
-            self.sys.shared_mem().alloc(staged);
-            par_sort_by_key(&mut out.items, |&(k, _)| k).charge(self.sys.metrics_mut());
-            out.count = out.items.len() as u64;
-            self.sys.sample_shared_mem();
-            self.sys.shared_mem().free(staged);
+            self.spanned("range_broadcast/sort", |s| {
+                let staged = out.items.len() as u64 * 2;
+                s.sys.shared_mem().alloc(staged);
+                par_sort_by_key(&mut out.items, |&(k, _)| k).charge(s.sys.metrics_mut());
+                out.count = out.items.len() as u64;
+                s.sys.sample_shared_mem();
+                s.sys.shared_mem().free(staged);
+            });
         }
         Ok(out)
     }

@@ -111,12 +111,14 @@ impl PimSkipList {
         ranges: &[(Key, Key)],
         func: RangeFunc,
     ) -> PimResult<Vec<RangeResult>> {
-        let staged = ranges.len() as u64 * 4;
-        self.sys.shared_mem().alloc(staged);
-        let out = self.batch_range_attempt_inner(ranges, func);
-        self.sys.sample_shared_mem();
-        self.sys.shared_mem().free(staged);
-        out
+        self.spanned("range_tree", |s| {
+            let staged = ranges.len() as u64 * 4;
+            s.sys.shared_mem().alloc(staged);
+            let out = s.batch_range_attempt_inner(ranges, func);
+            s.sys.sample_shared_mem();
+            s.sys.shared_mem().free(staged);
+            out
+        })
     }
 
     fn batch_range_attempt_inner(
@@ -127,11 +129,14 @@ impl PimSkipList {
         let before = self.sys.metrics();
 
         // ---- Step 1: split into disjoint atomic subranges (CPU sweep) ----
-        let (subranges, op_spans) = split_ranges(ranges);
-        self.sys.metrics_mut().charge_cpu(
-            (ranges.len() as u64 * 2) * pim_runtime::ceil_log2(ranges.len() as u64) as u64,
-            pim_runtime::ceil_log2(ranges.len() as u64).into(),
-        );
+        let (subranges, op_spans) = self.spanned("range_tree/split", |s| {
+            let split = split_ranges(ranges);
+            s.sys.metrics_mut().charge_cpu(
+                (ranges.len() as u64 * 2) * pim_runtime::ceil_log2(ranges.len() as u64) as u64,
+                pim_runtime::ceil_log2(ranges.len() as u64).into(),
+            );
+            split
+        });
 
         // ---- Step 2: pivoted search over subrange left ends → hints ----
         let reqs: Vec<SearchRequest> = subranges
@@ -153,10 +158,12 @@ impl PimSkipList {
             .collect();
 
         // ---- Step 3: counting descent ----
-        let counts = self.descend_counts(&subranges, &starts);
+        let counts = self.spanned("range_tree/count", |s| {
+            s.descend_counts(&subranges, &starts)
+        });
 
         // ---- Step 4: execute ----
-        let results = match func {
+        let results = self.spanned("range_tree/execute", |s| match func {
             RangeFunc::Count | RangeFunc::Sum | RangeFunc::Min | RangeFunc::Max => {
                 // The counting pass already carries the counts; rerun only
                 // when another reduction was requested.
@@ -169,26 +176,28 @@ impl PimSkipList {
                         })
                         .collect()
                 } else {
-                    self.descend_aggregate(&subranges, &starts, func)
+                    s.descend_aggregate(&subranges, &starts, func)
                 }
             }
             RangeFunc::AddInPlace(d) => {
                 // One pass per subrange with the multiplicity folded in.
-                for (i, s) in subranges.iter().enumerate() {
+                for (i, sub) in subranges.iter().enumerate() {
                     let (at, module) = starts[i];
                     let target = module.unwrap_or_else(|| at.module());
-                    self.sys.send(
+                    s.sys.send(
                         target,
                         Task::RangeDescend {
                             op: i as u32,
                             at,
-                            lo: s.lo,
-                            hi: s.hi,
-                            func: RangeFunc::AddInPlace(d.wrapping_mul(u64::from(s.multiplicity))),
+                            lo: sub.lo,
+                            hi: sub.hi,
+                            func: RangeFunc::AddInPlace(
+                                d.wrapping_mul(u64::from(sub.multiplicity)),
+                            ),
                         },
                     );
                 }
-                self.sys.run_to_quiescence();
+                s.sys.run_to_quiescence();
                 counts
                     .iter()
                     .map(|&c| RangeResult {
@@ -198,9 +207,9 @@ impl PimSkipList {
                     .collect()
             }
             RangeFunc::Read | RangeFunc::FetchAdd(_) => {
-                self.grouped_fetch(&subranges, &starts, &counts, func)
+                s.grouped_fetch(&subranges, &starts, &counts, func)
             }
-        };
+        });
 
         // A silently lost descent or write (no reply to count) shows up
         // only in the machine's loss counters: refuse to report results
@@ -213,8 +222,11 @@ impl PimSkipList {
         match func {
             RangeFunc::FetchAdd(d) | RangeFunc::AddInPlace(d) => {
                 for s in &subranges {
-                    self.journal
-                        .add_in_range(s.lo, s.hi, d.wrapping_mul(u64::from(s.multiplicity)));
+                    self.journal.add_in_range(
+                        s.lo,
+                        s.hi,
+                        d.wrapping_mul(u64::from(s.multiplicity)),
+                    );
                 }
             }
             _ => {}

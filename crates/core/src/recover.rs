@@ -40,8 +40,7 @@ impl PimSkipList {
     /// lose nothing, so they do not count as damage.)
     pub(crate) fn damage_since(&self, before: &Metrics) -> bool {
         let now = self.sys.metrics();
-        now.messages_dropped > before.messages_dropped
-            || now.module_crashes > before.module_crashes
+        now.messages_dropped > before.messages_dropped || now.module_crashes > before.module_crashes
     }
 
     /// Run queued write-style traffic to quiescence. Healthy write tasks
@@ -213,16 +212,18 @@ impl PimSkipList {
         if self.cfg.h_low == 0 {
             return self.restore_all();
         }
-        let before = self.sys.metrics();
-        let acknowledged = self.recover_module_attempt(module);
-        let rounds = self.sys.metrics().rounds - before.rounds;
-        self.sys.metrics_mut().recovery_rounds += rounds;
-        let crashed = self.sys.drain_crashed();
-        if acknowledged && crashed.is_empty() && !self.damage_since(&before) {
-            Ok(())
-        } else {
-            self.restore_all()
-        }
+        self.spanned("recover/module", |s| {
+            let before = s.sys.metrics();
+            let acknowledged = s.recover_module_attempt(module);
+            let rounds = s.sys.metrics().rounds - before.rounds;
+            s.sys.metrics_mut().recovery_rounds += rounds;
+            let crashed = s.sys.drain_crashed();
+            if acknowledged && crashed.is_empty() && !s.damage_since(&before) {
+                Ok(())
+            } else {
+                s.restore_all()
+            }
+        })
     }
 
     /// One shot of per-module recovery; returns whether the module
@@ -284,7 +285,11 @@ impl PimSkipList {
                 if !h.is_replicated() && h.module() != module {
                     continue; // a healthy module's node — leave it be
                 }
-                let value = if level == 0 { e.value } else { e.inserted_value };
+                let value = if level == 0 {
+                    e.value
+                } else {
+                    e.inserted_value
+                };
                 let mut n = Node::new(*key, value, level as u8);
                 n.left = if pos == 0 {
                     Handle::replicated(level as u32)
@@ -296,7 +301,11 @@ impl PimSkipList {
                     n.right_key = entries[next].0;
                 }
                 n.up = e.tower.get(level + 1).copied().unwrap_or(Handle::NULL);
-                n.down = if level > 0 { e.tower[level - 1] } else { Handle::NULL };
+                n.down = if level > 0 {
+                    e.tower[level - 1]
+                } else {
+                    Handle::NULL
+                };
                 if level == 0 {
                     n.chain = e.tower[1..].to_vec();
                 }
@@ -323,23 +332,25 @@ impl PimSkipList {
     /// by [`crate::Config::max_retries`] against faults hitting the rebuild
     /// itself.
     pub(crate) fn restore_all(&mut self) -> PimResult<()> {
-        let snapshot = self.journal.items_sorted();
-        let max_retries = self.cfg.max_retries;
-        for _ in 0..=max_retries {
-            let before = self.sys.metrics();
-            self.reset_machine();
-            self.sys.metrics_mut().retries_issued += snapshot.len() as u64;
-            let result = self.bulk_load_attempt(&snapshot);
-            let rounds = self.sys.metrics().rounds - before.rounds;
-            self.sys.metrics_mut().recovery_rounds += rounds;
-            let crashed = self.sys.drain_crashed();
-            if result.is_ok() && crashed.is_empty() && !self.damage_since(&before) {
-                return Ok(());
+        self.spanned("recover/restore", |s| {
+            let snapshot = s.journal.items_sorted();
+            let max_retries = s.cfg.max_retries;
+            for _ in 0..=max_retries {
+                let before = s.sys.metrics();
+                s.reset_machine();
+                s.sys.metrics_mut().retries_issued += snapshot.len() as u64;
+                let result = s.bulk_load_attempt(&snapshot);
+                let rounds = s.sys.metrics().rounds - before.rounds;
+                s.sys.metrics_mut().recovery_rounds += rounds;
+                let crashed = s.sys.drain_crashed();
+                if result.is_ok() && crashed.is_empty() && !s.damage_since(&before) {
+                    return Ok(());
+                }
             }
-        }
-        Err(PimError::RetriesExhausted {
-            op: "restore_all",
-            attempts: max_retries + 1,
+            Err(PimError::RetriesExhausted {
+                op: "restore_all",
+                attempts: max_retries + 1,
+            })
         })
     }
 

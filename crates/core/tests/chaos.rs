@@ -23,7 +23,10 @@ fn adversarial_workload(list: &mut PimSkipList) -> (Vec<bool>, Vec<Option<u64>>)
     let base: Vec<(i64, u64)> = (0..300).map(|i| (i * 4, i as u64)).collect();
     list.bulk_load(&base);
 
-    let inserts: Vec<(i64, u64)> = contiguous_run(401, 120).into_iter().map(|k| (k, 7)).collect();
+    let inserts: Vec<(i64, u64)> = contiguous_run(401, 120)
+        .into_iter()
+        .map(|k| (k, 7))
+        .collect();
     list.batch_upsert(&inserts);
 
     let dels = contiguous_run(400, 160);
@@ -69,7 +72,10 @@ fn crash_at_fixed_round_recovers_and_matches_oracle() {
     let m = chaotic.metrics();
     assert_eq!(m.module_crashes, 1, "the scheduled crash must have struck");
     assert!(m.recovery_rounds > 0, "recovery must have spent rounds");
-    assert_eq!(deleted, dry_deleted, "per-key delete results must survive the crash");
+    assert_eq!(
+        deleted, dry_deleted,
+        "per-key delete results must survive the crash"
+    );
     assert_eq!(got, dry_got, "query results must survive the crash");
     chaotic.validate().expect("recovered structure valid");
     let oracle = adversarial_oracle();
@@ -245,7 +251,9 @@ fn unrecoverable_schedule_surfaces_retries_exhausted() {
     list.set_fault_plan(plan);
 
     let pairs: Vec<(i64, u64)> = (0..50).map(|i| (i, i as u64)).collect();
-    let err = list.try_batch_upsert(&pairs).expect_err("must exhaust retries");
+    let err = list
+        .try_batch_upsert(&pairs)
+        .expect_err("must exhaust retries");
     assert!(
         matches!(err, PimError::RetriesExhausted { .. }),
         "expected RetriesExhausted, got: {err}"
@@ -257,11 +265,19 @@ fn invalid_arguments_are_typed_errors_not_retries() {
     let mut list = PimSkipList::new(Config::new(4, 1 << 8, 23));
     list.bulk_load(&[(1, 1), (2, 2)]);
     let err = list.try_bulk_load(&[(3, 3)]).expect_err("non-empty");
-    assert!(matches!(err, PimError::InvalidArgument { .. }), "got: {err}");
+    assert!(
+        matches!(err, PimError::InvalidArgument { .. }),
+        "got: {err}"
+    );
 
     let mut empty = PimSkipList::new(Config::new(4, 1 << 8, 23));
-    let err = empty.try_bulk_load(&[(2, 2), (1, 1)]).expect_err("unsorted");
-    assert!(matches!(err, PimError::InvalidArgument { .. }), "got: {err}");
+    let err = empty
+        .try_bulk_load(&[(2, 2), (1, 1)])
+        .expect_err("unsorted");
+    assert!(
+        matches!(err, PimError::InvalidArgument { .. }),
+        "got: {err}"
+    );
     assert_eq!(
         list.metrics().retries_issued,
         0,

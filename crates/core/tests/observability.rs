@@ -1,0 +1,209 @@
+//! Observability suite: the span/export layer's three contracts.
+//!
+//! * **Zero overhead when off** — running with the probe and/or round
+//!   trace enabled is bit-identical (metrics and contents) to running
+//!   without them: observation never perturbs the simulation.
+//! * **Conservation** — the exclusive per-span stats sum to the whole
+//!   run's metrics delta for every additive §2.1 counter: no cost is
+//!   double-counted or lost by the attribution.
+//! * **Faithful exports** — a chaos run's JSONL log carries the injected
+//!   [`pim_runtime::FaultRecord`]s on exactly the faulted rounds, and the
+//!   recovery spans own exactly the rounds billed to
+//!   `Metrics::recovery_rounds`.
+
+use pim_core::{Config, FaultPlan, PimSkipList, RangeFunc};
+use pim_runtime::export::parse;
+use pim_runtime::{chrome_trace, rounds_jsonl, ExportBundle, Metrics};
+
+/// A workload touching every instrumented operation family.
+fn workload(list: &mut PimSkipList) {
+    let base: Vec<(i64, u64)> = (0..400).map(|i| (i * 3, i as u64)).collect();
+    list.bulk_load(&base);
+    let ups: Vec<(i64, u64)> = (0..80).map(|i| (i * 3 + 1, 7)).collect();
+    list.batch_upsert(&ups);
+    let gets: Vec<i64> = (0..60).map(|i| i * 5).collect();
+    list.batch_get(&gets);
+    list.batch_update(&[(3, 9), (6, 10)]);
+    let dels: Vec<i64> = (0..40).map(|i| i * 6).collect();
+    list.batch_delete(&dels);
+    list.batch_range(&[(0, 300), (100, 500)], RangeFunc::Sum);
+    list.batch_successor(&[5, 11, 250]);
+    list.range_broadcast(0, 600, RangeFunc::Count);
+}
+
+/// Every additive counter of [`Metrics`] (all but `shared_mem_peak`,
+/// which is a high-water mark).
+fn additive(m: &Metrics) -> [u64; 13] {
+    [
+        m.rounds,
+        m.io_time,
+        m.pim_time,
+        m.total_messages,
+        m.total_pim_work,
+        m.cpu_work,
+        m.cpu_depth,
+        m.faults_injected,
+        m.messages_dropped,
+        m.module_crashes,
+        m.stalled_module_rounds,
+        m.retries_issued,
+        m.recovery_rounds,
+    ]
+}
+
+#[test]
+fn observation_is_bit_identical_to_running_dark() {
+    let run = |probe: bool, trace: bool| {
+        let mut list = PimSkipList::new(Config::new(8, 1 << 10, 21));
+        if probe {
+            list.enable_probe();
+        }
+        if trace {
+            list.enable_tracing();
+        }
+        workload(&mut list);
+        (list.metrics(), list.collect_items())
+    };
+    let dark = run(false, false);
+    assert_eq!(dark, run(true, false), "probe on must not perturb the run");
+    assert_eq!(dark, run(false, true), "trace on must not perturb the run");
+    assert_eq!(dark, run(true, true), "both on must not perturb the run");
+}
+
+#[test]
+fn span_stats_sum_to_whole_run_metrics() {
+    let mut list = PimSkipList::new(Config::new(8, 1 << 10, 22));
+    let before = list.metrics();
+    list.enable_probe();
+    workload(&mut list);
+    let after = list.metrics();
+    let report = list.take_probe().expect("probe was enabled");
+
+    assert!(report.spans.len() > 10, "the workload must open real spans");
+    let delta = after - before;
+    assert_eq!(
+        additive(&report.total()),
+        additive(&delta),
+        "exclusive span stats must sum to the run's metrics delta"
+    );
+    // The high-water mark is attributed as a max, never exceeding the run's.
+    for s in &report.spans {
+        assert!(s.stats.shared_mem_peak <= after.shared_mem_peak);
+    }
+}
+
+#[test]
+fn every_operation_family_gets_a_phase_in_the_export() {
+    let mut list = PimSkipList::new(Config::new(8, 1 << 10, 23));
+    list.enable_tracing();
+    list.enable_probe();
+    workload(&mut list);
+    let report = list.take_probe().expect("probe was enabled");
+    let trace = list.take_trace();
+
+    for name in [
+        "get",
+        "update",
+        "upsert",
+        "delete",
+        "bulk_load",
+        "search",
+        "range_tree",
+        "range_broadcast",
+        "successor",
+    ] {
+        assert!(
+            !report.spans_named(name).is_empty(),
+            "no span named {name:?} in the report"
+        );
+    }
+
+    let bundle = ExportBundle {
+        p: 8,
+        trace: &trace,
+        report: Some(&report),
+    };
+    let jsonl = rounds_jsonl(&bundle);
+    let header = parse(jsonl.lines().next().unwrap()).unwrap();
+    let spans = header.get("spans").unwrap().as_array().unwrap();
+    for name in ["get", "upsert", "delete", "range_tree"] {
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.get("name").and_then(|n| n.as_str()) == Some(name)),
+            "exported span table must carry {name:?}"
+        );
+    }
+    // The Chrome export of the same bundle is one valid JSON document.
+    parse(&chrome_trace(&bundle)).expect("chrome export parses");
+}
+
+#[test]
+fn chaos_export_carries_fault_records_and_recovery_spans_balance() {
+    let mut list = PimSkipList::new(Config::new(4, 1 << 10, 24).with_max_retries(50));
+    list.set_fault_plan(FaultPlan::random(0xFACE, 4, 400, 25));
+    list.enable_tracing();
+    let before = list.metrics();
+    list.enable_probe();
+
+    let base: Vec<(i64, u64)> = (0..300).map(|i| (i * 4, i as u64)).collect();
+    list.try_bulk_load(&base).expect("bulk load under storm");
+    for wave in 0..4i64 {
+        let ups: Vec<(i64, u64)> = (0..40)
+            .map(|i| (wave * 100 + i * 2 + 1, (wave * 1000 + i) as u64))
+            .collect();
+        list.try_batch_upsert(&ups).expect("upsert under storm");
+        let dels: Vec<i64> = (0..25).map(|i| wave * 24 + i * 4).collect();
+        list.try_batch_delete(&dels).expect("delete under storm");
+        let gets: Vec<i64> = (0..50).map(|i| wave * 7 + i * 5).collect();
+        list.try_batch_get(&gets).expect("get under storm");
+    }
+
+    let after = list.metrics();
+    assert!(after.faults_injected > 0, "the storm must strike");
+    let report = list.take_probe().expect("probe was enabled");
+    let trace = list.take_trace();
+
+    // Every recorded round's fault records survive the JSONL round trip.
+    let faulted_rounds = trace.rounds.iter().filter(|r| !r.faults.is_empty()).count();
+    assert!(faulted_rounds > 0, "faults must land on recorded rounds");
+    let bundle = ExportBundle {
+        p: 4,
+        trace: &trace,
+        report: Some(&report),
+    };
+    let jsonl = rounds_jsonl(&bundle);
+    for (line, rt) in jsonl.lines().skip(1).zip(&trace.rounds) {
+        let v = parse(line).unwrap();
+        assert_eq!(v.get("round").unwrap().as_u64(), Some(rt.round));
+        let faults = v.get("faults").unwrap().as_array().unwrap();
+        assert_eq!(
+            faults.len(),
+            rt.faults.len(),
+            "round {} must export its fault records",
+            rt.round
+        );
+        for (fj, fr) in faults.iter().zip(&rt.faults) {
+            assert_eq!(
+                fj.get("module").unwrap().as_u64(),
+                Some(u64::from(fr.module))
+            );
+        }
+    }
+    // The Chrome export marks them as instant fault events.
+    assert!(chrome_trace(&bundle).contains("\"cat\":\"fault\""));
+
+    // The recovery spans own exactly the recovery-attributed rounds.
+    let delta = after - before;
+    assert!(delta.recovery_rounds > 0, "the storm must trigger recovery");
+    let recovered: u64 = report
+        .spans
+        .iter()
+        .filter(|s| s.name == "recover/module" || s.name == "recover/restore")
+        .map(|s| s.stats.recovery_rounds)
+        .sum();
+    assert_eq!(
+        recovered, delta.recovery_rounds,
+        "recovery spans must carry every recovery-billed round"
+    );
+}

@@ -1,0 +1,689 @@
+//! Trace export: Chrome trace-event JSON and a JSONL round log.
+//!
+//! Two machine-readable serialisations of a run, both fully deterministic
+//! (no wall-clock, no hashing order — the time axis is the round index,
+//! one round = 1 µs of trace time):
+//!
+//! * [`chrome_trace`] — the Chrome trace-event format, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Spans
+//!   become complete (`"ph":"X"`) slices with their exclusive §2.1 stats
+//!   in `args`; each round emits counter (`"ph":"C"`) tracks for `h`,
+//!   max work and per-module messages; injected faults become instant
+//!   (`"ph":"i"`) events on the faulted round.
+//! * [`rounds_jsonl`] — one JSON object per line: a header line carrying
+//!   `p`, `dropped_rounds`, the span table and per-module histogram
+//!   summaries, then one line per recorded round with per-module counts
+//!   and fault records. This is the format the `pim-trace` CLI consumes.
+//!
+//! The workspace is dependency-free, so this module carries its own
+//! minimal JSON value, writer and parser ([`Json`]); the parser exists so
+//! the CLI and the schema-checking tests share one implementation.
+
+use crate::fault::{FaultKind, FaultRecord};
+use crate::span::ProbeReport;
+use crate::trace::Trace;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value, writer, parser.
+// ---------------------------------------------------------------------------
+
+/// A JSON value. Objects preserve insertion order (determinism).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key → value list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialise to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{}", n));
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shorthand for an integral [`Json::Num`].
+pub fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+/// Shorthand for a [`Json::Str`].
+pub fn str(v: &str) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document. Returns the value or an error with the byte
+/// offset where parsing failed.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", pos));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number at byte {}", start))
+}
+
+// ---------------------------------------------------------------------------
+// Export bundle and serialisers.
+// ---------------------------------------------------------------------------
+
+/// Everything one export needs: the machine size, the (possibly
+/// ring-capped) per-round trace, and the optional span report.
+#[derive(Debug, Clone, Copy)]
+pub struct ExportBundle<'a> {
+    /// Number of PIM modules.
+    pub p: u32,
+    /// The recorded rounds.
+    pub trace: &'a Trace,
+    /// The span/histogram report, when a probe was enabled.
+    pub report: Option<&'a ProbeReport>,
+}
+
+fn fault_label(f: &FaultRecord) -> String {
+    let tag = match f.kind {
+        FaultKind::Crash => "crash",
+        FaultKind::Stall => "stall",
+        FaultKind::DropTask { .. } => "drop_task",
+        FaultKind::DropReply { .. } => "drop_reply",
+        FaultKind::Slow { .. } => "slow",
+    };
+    format!("{}(m{})", tag, f.module)
+}
+
+fn fault_json(f: &FaultRecord) -> Json {
+    let mut fields = vec![("module".to_string(), num(u64::from(f.module)))];
+    let kind = match f.kind {
+        FaultKind::Crash => "crash",
+        FaultKind::Stall => "stall",
+        FaultKind::DropTask { nth } => {
+            fields.push(("nth".to_string(), num(nth)));
+            "drop_task"
+        }
+        FaultKind::DropReply { nth } => {
+            fields.push(("nth".to_string(), num(nth)));
+            "drop_reply"
+        }
+        FaultKind::Slow { factor } => {
+            fields.push(("factor".to_string(), num(factor)));
+            "slow"
+        }
+    };
+    fields.insert(0, ("kind".to_string(), str(kind)));
+    Json::Obj(fields)
+}
+
+fn stats_fields(m: &crate::metrics::Metrics) -> Vec<(String, Json)> {
+    vec![
+        ("rounds".to_string(), num(m.rounds)),
+        ("io_time".to_string(), num(m.io_time)),
+        ("pim_time".to_string(), num(m.pim_time)),
+        ("messages".to_string(), num(m.total_messages)),
+        ("work".to_string(), num(m.total_pim_work)),
+        ("cpu_work".to_string(), num(m.cpu_work)),
+        ("cpu_depth".to_string(), num(m.cpu_depth)),
+        ("shared_mem_peak".to_string(), num(m.shared_mem_peak)),
+        ("retries".to_string(), num(m.retries_issued)),
+        ("recovery_rounds".to_string(), num(m.recovery_rounds)),
+    ]
+}
+
+/// Serialise the bundle to Chrome trace-event JSON (Perfetto-loadable).
+///
+/// One round is one microsecond of trace time; zero-round spans render
+/// with `dur: 1` so they stay visible (their exact round extent is in
+/// `args`).
+pub fn chrome_trace(bundle: &ExportBundle<'_>) -> String {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(Json::Obj(vec![
+        ("name".to_string(), str("process_name")),
+        ("ph".to_string(), str("M")),
+        ("pid".to_string(), num(0)),
+        ("tid".to_string(), num(0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), str("pim-machine"))]),
+        ),
+    ]));
+    events.push(Json::Obj(vec![
+        ("name".to_string(), str("thread_name")),
+        ("ph".to_string(), str("M")),
+        ("pid".to_string(), num(0)),
+        ("tid".to_string(), num(0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), str("spans"))]),
+        ),
+    ]));
+
+    if let Some(report) = bundle.report {
+        for s in &report.spans {
+            let dur = (s.end_round - s.start_round).max(1);
+            let mut args = stats_fields(&s.stats);
+            args.insert(0, ("path".to_string(), str(&report.path(s.id))));
+            events.push(Json::Obj(vec![
+                ("name".to_string(), str(s.name)),
+                ("cat".to_string(), str("span")),
+                ("ph".to_string(), str("X")),
+                ("pid".to_string(), num(0)),
+                ("tid".to_string(), num(0)),
+                ("ts".to_string(), num(s.start_round)),
+                ("dur".to_string(), num(dur)),
+                ("args".to_string(), Json::Obj(args)),
+            ]));
+        }
+    }
+
+    for r in &bundle.trace.rounds {
+        events.push(Json::Obj(vec![
+            ("name".to_string(), str("round")),
+            ("ph".to_string(), str("C")),
+            ("pid".to_string(), num(0)),
+            ("ts".to_string(), num(r.round)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![
+                    ("h".to_string(), num(r.h)),
+                    ("max_work".to_string(), num(r.max_work)),
+                ]),
+            ),
+        ]));
+        if !r.per_module_messages.is_empty() {
+            let lanes = r
+                .per_module_messages
+                .iter()
+                .enumerate()
+                .map(|(m, &v)| (format!("m{}", m), num(v)))
+                .collect();
+            events.push(Json::Obj(vec![
+                ("name".to_string(), str("module_messages")),
+                ("ph".to_string(), str("C")),
+                ("pid".to_string(), num(0)),
+                ("ts".to_string(), num(r.round)),
+                ("args".to_string(), Json::Obj(lanes)),
+            ]));
+        }
+        for f in &r.faults {
+            events.push(Json::Obj(vec![
+                ("name".to_string(), str(&fault_label(f))),
+                ("cat".to_string(), str("fault")),
+                ("ph".to_string(), str("i")),
+                ("pid".to_string(), num(0)),
+                ("tid".to_string(), num(0)),
+                ("ts".to_string(), num(r.round)),
+                ("s".to_string(), str("g")),
+                ("args".to_string(), fault_json(f)),
+            ]));
+        }
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), str("ms")),
+        (
+            "otherData".to_string(),
+            Json::Obj(vec![
+                ("p".to_string(), num(u64::from(bundle.p))),
+                (
+                    "dropped_rounds".to_string(),
+                    num(bundle.trace.dropped_rounds()),
+                ),
+            ]),
+        ),
+    ])
+    .to_json()
+}
+
+fn histogram_json(h: &crate::histogram::Histogram) -> Json {
+    Json::Obj(vec![
+        ("count".to_string(), num(h.count())),
+        ("sum".to_string(), num(h.sum())),
+        ("max".to_string(), num(h.max())),
+        ("p50".to_string(), num(h.p50())),
+        ("p95".to_string(), num(h.p95())),
+    ])
+}
+
+/// Serialise the bundle to a JSONL round log.
+///
+/// Line 1 is a `"type":"header"` object (machine size, truncation, span
+/// table, per-module histogram summaries); every further line is a
+/// `"type":"round"` object. The `pim-trace` CLI consumes this format.
+pub fn rounds_jsonl(bundle: &ExportBundle<'_>) -> String {
+    let mut header = vec![
+        ("type".to_string(), str("header")),
+        ("version".to_string(), num(1)),
+        ("p".to_string(), num(u64::from(bundle.p))),
+        (
+            "dropped_rounds".to_string(),
+            num(bundle.trace.dropped_rounds()),
+        ),
+        (
+            "recorded_rounds".to_string(),
+            num(bundle.trace.rounds.len() as u64),
+        ),
+    ];
+    if let Some(report) = bundle.report {
+        let spans = report
+            .spans
+            .iter()
+            .map(|s| {
+                let mut fields = vec![
+                    ("id".to_string(), num(u64::from(s.id))),
+                    (
+                        "parent".to_string(),
+                        s.parent.map_or(Json::Null, |p| num(u64::from(p))),
+                    ),
+                    ("name".to_string(), str(s.name)),
+                    ("path".to_string(), str(&report.path(s.id))),
+                    ("depth".to_string(), num(u64::from(s.depth))),
+                    ("start_round".to_string(), num(s.start_round)),
+                    ("end_round".to_string(), num(s.end_round)),
+                ];
+                fields.extend(stats_fields(&s.stats));
+                Json::Obj(fields)
+            })
+            .collect();
+        header.push(("spans".to_string(), Json::Arr(spans)));
+        let modules = (0..report.lanes.p() as usize)
+            .map(|m| {
+                Json::Obj(vec![
+                    ("module".to_string(), num(m as u64)),
+                    (
+                        "messages".to_string(),
+                        histogram_json(&report.lanes.messages[m]),
+                    ),
+                    ("work".to_string(), histogram_json(&report.lanes.work[m])),
+                ])
+            })
+            .collect();
+        header.push(("modules".to_string(), Json::Arr(modules)));
+    }
+
+    let mut out = Json::Obj(header).to_json();
+    out.push('\n');
+    for r in &bundle.trace.rounds {
+        let line = Json::Obj(vec![
+            ("type".to_string(), str("round")),
+            ("round".to_string(), num(r.round)),
+            ("h".to_string(), num(r.h)),
+            ("max_work".to_string(), num(r.max_work)),
+            ("messages".to_string(), num(r.messages)),
+            ("work".to_string(), num(r.work)),
+            (
+                "per_module".to_string(),
+                Json::Arr(r.per_module_messages.iter().map(|&v| num(v)).collect()),
+            ),
+            (
+                "faults".to_string(),
+                Json::Arr(r.faults.iter().map(fault_json).collect()),
+            ),
+        ]);
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultRecord};
+    use crate::trace::RoundTrace;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::default();
+        t.record(RoundTrace {
+            round: 0,
+            h: 3,
+            max_work: 4,
+            messages: 5,
+            work: 6,
+            per_module_messages: vec![3, 2],
+            faults: vec![],
+        });
+        t.record(RoundTrace {
+            round: 1,
+            h: 7,
+            max_work: 7,
+            messages: 7,
+            work: 7,
+            per_module_messages: vec![0, 7],
+            faults: vec![FaultRecord {
+                module: 1,
+                kind: FaultKind::Slow { factor: 3 },
+            }],
+        });
+        t
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = Json::Obj(vec![
+            ("a".to_string(), num(3)),
+            ("b".to_string(), str("x\"y\n")),
+            (
+                "c".to_string(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(1.5)]),
+            ),
+        ]);
+        let text = v.to_json();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let t = sample_trace();
+        let out = chrome_trace(&ExportBundle {
+            p: 2,
+            trace: &t,
+            report: None,
+        });
+        let v = parse(&out).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.len() >= 4); // 2 metadata + 2 round counters
+        assert!(out.contains("slow(m1)"));
+        assert_eq!(
+            v.get("otherData").unwrap().get("p").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn jsonl_header_then_rounds() {
+        let t = sample_trace();
+        let out = rounds_jsonl(&ExportBundle {
+            p: 2,
+            trace: &t,
+            report: None,
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = parse(lines[0]).unwrap();
+        assert_eq!(header.get("type").unwrap().as_str(), Some("header"));
+        assert_eq!(header.get("p").unwrap().as_u64(), Some(2));
+        let round1 = parse(lines[2]).unwrap();
+        assert_eq!(round1.get("h").unwrap().as_u64(), Some(7));
+        let faults = round1.get("faults").unwrap().as_array().unwrap();
+        assert_eq!(faults[0].get("kind").unwrap().as_str(), Some("slow"));
+        assert_eq!(faults[0].get("factor").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let t = sample_trace();
+        let b = ExportBundle {
+            p: 2,
+            trace: &t,
+            report: None,
+        };
+        assert_eq!(chrome_trace(&b), chrome_trace(&b));
+        assert_eq!(rounds_jsonl(&b), rounds_jsonl(&b));
+    }
+}

@@ -164,7 +164,10 @@ impl FaultInjector {
         // by round, then module, then the schedule's own sequence.
         events.sort_by_key(|e| (e.round, e.module));
         for e in events {
-            by_round.entry(e.round).or_default().push((e.module, e.kind));
+            by_round
+                .entry(e.round)
+                .or_default()
+                .push((e.module, e.kind));
         }
         FaultInjector { by_round }
     }
@@ -195,10 +198,7 @@ mod tests {
         assert!(inj.has_pending());
         assert_eq!(
             inj.take_round(2),
-            vec![
-                (0, FaultKind::DropTask { nth: 7 }),
-                (1, FaultKind::Crash)
-            ]
+            vec![(0, FaultKind::DropTask { nth: 7 }), (1, FaultKind::Crash)]
         );
         assert!(inj.take_round(3).is_empty());
         assert_eq!(inj.take_round(5), vec![(3, FaultKind::Stall)]);

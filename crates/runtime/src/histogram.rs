@@ -1,0 +1,230 @@
+//! Streaming per-module load histograms.
+//!
+//! The PIM-balance story of the paper is about *distributions*: skew shows
+//! up as the shape of per-module load, not as a single aggregate ratio
+//! (PIM-tree's per-module load plots make the same point for real
+//! hardware). [`Histogram`] is a dependency-free streaming summary —
+//! count/sum/max plus approximate quantiles from power-of-two buckets — so
+//! the machine can keep one lane per module ([`ModuleLanes`]) at `O(1)`
+//! words per observation and `O(P)` total space, independent of run
+//! length. Everything is integer-exact except the quantiles, which are
+//! upper bounds within 2× (the bucket width), deterministic by
+//! construction.
+
+/// One bucket per power of two: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A streaming histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the `ceil(q·count)`-th smallest observation, clamped
+    /// to the observed maximum — an overestimate by at most 2×.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Approximate 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+}
+
+/// Per-module streaming lanes: one histogram of per-round messages and one
+/// of per-round local work for each of the `P` modules.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleLanes {
+    /// Per-round message counts (in + out), one histogram per module.
+    pub messages: Vec<Histogram>,
+    /// Per-round local work, one histogram per module.
+    pub work: Vec<Histogram>,
+}
+
+impl ModuleLanes {
+    /// Lanes for a machine of `p` modules.
+    pub fn new(p: u32) -> Self {
+        ModuleLanes {
+            messages: vec![Histogram::new(); p as usize],
+            work: vec![Histogram::new(); p as usize],
+        }
+    }
+
+    /// Record one round's per-module `(messages, work)` pairs.
+    pub fn observe_round(&mut self, per_module: &[(u64, u64)]) {
+        debug_assert_eq!(per_module.len(), self.messages.len());
+        for (m, &(msgs, work)) in per_module.iter().enumerate() {
+            self.messages[m].record(msgs);
+            self.work[m].record(work);
+        }
+    }
+
+    /// Number of modules.
+    pub fn p(&self) -> u32 {
+        self.messages.len() as u32
+    }
+
+    /// The module with the largest total message count, with that total
+    /// (ties resolve to the lowest module id; `None` when no module
+    /// exists).
+    pub fn hottest_by_messages(&self) -> Option<(u32, u64)> {
+        let mut best: Option<(u32, u64)> = None;
+        for (m, h) in self.messages.iter().enumerate() {
+            if best.is_none_or(|(_, s)| h.sum() > s) {
+                best = Some((m as u32, h.sum()));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sum_max_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 112);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(4); // bucket [4, 8) → upper bound 7
+        }
+        h.record(1000);
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.quantile(1.0), 1000); // clamped to observed max
+        assert_eq!(h.p95(), 7);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+    }
+
+    #[test]
+    fn zero_values_have_their_own_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        h.record(5);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn lanes_track_per_module_distributions() {
+        let mut lanes = ModuleLanes::new(3);
+        lanes.observe_round(&[(1, 10), (5, 2), (1, 1)]);
+        lanes.observe_round(&[(2, 20), (9, 4), (1, 1)]);
+        assert_eq!(lanes.messages[1].sum(), 14);
+        assert_eq!(lanes.messages[1].max(), 9);
+        assert_eq!(lanes.work[0].sum(), 30);
+        assert_eq!(lanes.hottest_by_messages(), Some((1, 14)));
+    }
+
+    #[test]
+    fn hottest_ties_resolve_to_lowest_module() {
+        let mut lanes = ModuleLanes::new(2);
+        lanes.observe_round(&[(3, 0), (3, 0)]);
+        assert_eq!(lanes.hottest_by_messages(), Some((0, 3)));
+    }
+}

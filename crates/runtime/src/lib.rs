@@ -52,21 +52,27 @@
 #![warn(missing_docs)]
 
 pub mod balls;
+pub mod export;
 pub mod fault;
 pub mod handle;
 pub mod hashfn;
+pub mod histogram;
 pub mod metrics;
 pub mod module;
 pub mod rng;
+pub mod span;
 pub mod system;
 pub mod trace;
 
+pub use export::{chrome_trace, rounds_jsonl, ExportBundle, Json};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use handle::{Arena, Handle, ModuleId};
+pub use histogram::{Histogram, ModuleLanes};
 pub use metrics::{Metrics, SharedMem};
 pub use module::{ModuleCtx, PimModule};
 pub use rng::Rng;
-pub use system::PimSystem;
+pub use span::{ProbeReport, Span, SpanId};
+pub use system::{PimSystem, SpanGuard};
 pub use trace::{RoundTrace, Trace};
 
 /// `ceil(log2 x)` clamped to at least 1 — the convention used for batch

@@ -84,9 +84,10 @@ impl Metrics {
         self.shared_mem_peak = self.shared_mem_peak.max(words);
     }
 
-    /// Synchronisation cost of the rounds, `rounds · ceil(log2 P)`.
+    /// Synchronisation cost of the rounds, `rounds · ceil(log2 P)`
+    /// (`P` is clamped to 2, so the per-round factor is at least 1).
     pub fn sync_cost(&self, p: u32) -> u64 {
-        self.rounds * u64::from(p.max(2).ilog2())
+        self.rounds * u64::from(crate::ceil_log2(u64::from(p.max(2))))
     }
 
     /// The PIM-balance ratio for local work: `pim_time / (W/P)`.
@@ -239,6 +240,17 @@ mod tests {
         m.record_round(1, 1, 1, 1);
         assert_eq!(m.sync_cost(16), 2 * 4);
         assert_eq!(m.sync_cost(1), 2); // clamped to log 2
+    }
+
+    #[test]
+    fn sync_cost_uses_ceil_log_for_non_powers_of_two() {
+        let mut m = Metrics::new();
+        m.record_round(1, 1, 1, 1);
+        // Regression: `ilog2` is floor (P=5 would give 2); the doc promises
+        // `rounds · ceil(log2 P)` = 3 per round.
+        assert_eq!(m.sync_cost(5), 3);
+        assert_eq!(m.sync_cost(9), 4);
+        assert_eq!(m.sync_cost(8), 3);
     }
 
     #[test]

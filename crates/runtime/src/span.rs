@@ -1,0 +1,387 @@
+//! Span-based cost attribution.
+//!
+//! [`crate::metrics::Metrics`] answers "what did the whole run cost";
+//! spans answer "which *phase* spent it". A [`Probe`] keeps a stack of
+//! named spans; every cost the machine accrues — rounds, `h`, messages,
+//! work, CPU charges, shared-memory peaks, fault counters — is attributed
+//! to the innermost span open at the moment it accrues (its *exclusive*
+//! cost). The attribution is snapshot-based: the probe remembers the
+//! metrics at the last span transition and flushes the delta into the open
+//! span at every enter/exit, so instrumented code never threads cost
+//! values around — it only brackets phases.
+//!
+//! Two invariants, both tested:
+//!
+//! * **Zero overhead when disabled.** The system holds `Option<Probe>`;
+//!   with no probe the span calls are a single `None` check and all
+//!   metrics/trace outputs are bit-identical to a build without this
+//!   module.
+//! * **Conservation.** Every additive counter of the whole-run `Metrics`
+//!   delta equals the sum of the same counter over all spans' exclusive
+//!   stats. Cost accrued outside any explicit span lands in the implicit
+//!   root span (id 0, named `"run"`), so nothing is lost.
+//!
+//! There is no wall-clock anywhere: a span's extent is measured in round
+//! indices (`start_round ..= end_round`), which is also the time axis of
+//! the trace export.
+
+use crate::histogram::ModuleLanes;
+use crate::metrics::Metrics;
+
+/// Identifier of a span within one [`ProbeReport`] (dense, 0 = root).
+pub type SpanId = u32;
+
+/// One named phase of a computation, with its exclusive cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Dense id; 0 is the implicit root span.
+    pub id: SpanId,
+    /// Parent span id (`None` only for the root).
+    pub parent: Option<SpanId>,
+    /// Static name, conventionally `op` or `op/phase` (see the span
+    /// taxonomy in `docs/MODEL.md`).
+    pub name: &'static str,
+    /// Nesting depth (root = 0).
+    pub depth: u32,
+    /// Machine round index at which the span was entered.
+    pub start_round: u64,
+    /// Machine round index at which the span was exited.
+    pub end_round: u64,
+    /// Exclusive cost: metrics accrued while this span was innermost.
+    ///
+    /// Additive fields are exact; `shared_mem_peak` is the machine peak
+    /// observed by the time the span closed (peaks are high-water marks,
+    /// not counters, so they max rather than add).
+    pub stats: Metrics,
+}
+
+fn absorb(into: &mut Metrics, delta: Metrics) {
+    into.rounds += delta.rounds;
+    into.io_time += delta.io_time;
+    into.pim_time += delta.pim_time;
+    into.total_messages += delta.total_messages;
+    into.total_pim_work += delta.total_pim_work;
+    into.cpu_work += delta.cpu_work;
+    into.cpu_depth += delta.cpu_depth;
+    into.shared_mem_peak = into.shared_mem_peak.max(delta.shared_mem_peak);
+    into.faults_injected += delta.faults_injected;
+    into.messages_dropped += delta.messages_dropped;
+    into.module_crashes += delta.module_crashes;
+    into.stalled_module_rounds += delta.stalled_module_rounds;
+    into.retries_issued += delta.retries_issued;
+    into.recovery_rounds += delta.recovery_rounds;
+}
+
+/// The recording half of the observability layer.
+///
+/// Owned by the system as `Option<Probe>`; created by
+/// `PimSystem::enable_probe`, harvested by `PimSystem::take_probe`.
+#[derive(Debug)]
+pub struct Probe {
+    spans: Vec<Span>,
+    stack: Vec<SpanId>,
+    last: Metrics,
+    lanes: ModuleLanes,
+}
+
+impl Probe {
+    /// A probe for a `p`-module machine whose metrics currently read `now`.
+    pub(crate) fn new(p: u32, now: Metrics) -> Self {
+        Probe {
+            spans: vec![Span {
+                id: 0,
+                parent: None,
+                name: "run",
+                depth: 0,
+                start_round: now.rounds,
+                end_round: now.rounds,
+                stats: Metrics::default(),
+            }],
+            stack: vec![0],
+            last: now,
+            lanes: ModuleLanes::new(p),
+        }
+    }
+
+    /// Flush the metrics delta since the last transition into the
+    /// innermost open span.
+    fn flush(&mut self, now: Metrics) {
+        let delta = now - self.last;
+        let top = *self.stack.last().expect("root span never pops");
+        absorb(&mut self.spans[top as usize].stats, delta);
+        self.last = now;
+    }
+
+    /// Open a span as a child of the innermost open one.
+    pub(crate) fn enter(&mut self, name: &'static str, now: Metrics) {
+        self.flush(now);
+        let parent = *self.stack.last().expect("root span never pops");
+        let id = self.spans.len() as SpanId;
+        self.spans.push(Span {
+            id,
+            parent: Some(parent),
+            name,
+            depth: self.spans[parent as usize].depth + 1,
+            start_round: now.rounds,
+            end_round: now.rounds,
+            stats: Metrics::default(),
+        });
+        self.stack.push(id);
+    }
+
+    /// Close the innermost open span (no-op at the root).
+    pub(crate) fn exit(&mut self, now: Metrics) {
+        self.flush(now);
+        if self.stack.len() > 1 {
+            let id = self.stack.pop().expect("checked non-root");
+            self.spans[id as usize].end_round = now.rounds;
+        }
+    }
+
+    /// Feed one round's per-module `(messages, work)` into the lanes.
+    pub(crate) fn observe_round(&mut self, per_module: &[(u64, u64)]) {
+        self.lanes.observe_round(per_module);
+    }
+
+    /// Close every open span and produce the report.
+    pub(crate) fn finish(mut self, now: Metrics) -> ProbeReport {
+        self.flush(now);
+        while self.stack.len() > 1 {
+            let id = self.stack.pop().expect("checked non-root");
+            self.spans[id as usize].end_round = now.rounds;
+        }
+        self.spans[0].end_round = now.rounds;
+        ProbeReport {
+            p: self.lanes.p(),
+            spans: self.spans,
+            lanes: self.lanes,
+        }
+    }
+}
+
+/// The harvested result of a probed run.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// Number of PIM modules of the machine that produced the report.
+    pub p: u32,
+    /// All spans in creation order; index equals [`Span::id`], entry 0 is
+    /// the implicit root.
+    pub spans: Vec<Span>,
+    /// Per-module streaming histograms of per-round messages and work.
+    pub lanes: ModuleLanes,
+}
+
+impl ProbeReport {
+    /// Sum of the exclusive stats of *all* spans.
+    ///
+    /// By the conservation invariant this equals the whole-run metrics
+    /// delta over the probed interval, additive counter by additive
+    /// counter (peaks max instead).
+    pub fn total(&self) -> Metrics {
+        let mut t = Metrics::default();
+        for s in &self.spans {
+            absorb(&mut t, s.stats);
+        }
+        t
+    }
+
+    /// Inclusive stats of span `id`: its exclusive stats plus those of
+    /// every descendant.
+    pub fn inclusive(&self, id: SpanId) -> Metrics {
+        let mut t = Metrics::default();
+        for s in &self.spans {
+            if self.has_ancestor_or_self(s.id, id) {
+                absorb(&mut t, s.stats);
+            }
+        }
+        t
+    }
+
+    /// Whether `id` equals `ancestor` or has it on its parent chain.
+    pub fn has_ancestor_or_self(&self, id: SpanId, ancestor: SpanId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.spans[c as usize].parent;
+        }
+        false
+    }
+
+    /// The full path of span `id`: ancestor names joined with `" > "`,
+    /// root omitted (the root itself renders as `"run"`).
+    pub fn path(&self, id: SpanId) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let s = &self.spans[c as usize];
+            if s.parent.is_some() || s.id == id {
+                names.push(s.name);
+            }
+            cur = s.parent;
+        }
+        names.reverse();
+        names.join(" > ")
+    }
+
+    /// Aggregate spans by full path: `(path, depth, occurrences, summed
+    /// exclusive stats)` in first-appearance order.
+    pub fn by_path(&self) -> Vec<(String, u32, u64, Metrics)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: Vec<(u32, u64, Metrics)> = Vec::new();
+        for s in &self.spans {
+            let path = self.path(s.id);
+            match order.iter().position(|p| *p == path) {
+                Some(i) => {
+                    agg[i].1 += 1;
+                    absorb(&mut agg[i].2, s.stats);
+                }
+                None => {
+                    order.push(path);
+                    agg.push((s.depth, 1, s.stats));
+                }
+            }
+        }
+        order
+            .into_iter()
+            .zip(agg)
+            .map(|(p, (d, n, m))| (p, d, n, m))
+            .collect()
+    }
+
+    /// Ids of spans whose name matches `name` exactly.
+    pub fn spans_named(&self, name: &str) -> Vec<SpanId> {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_after(rounds: u64, io: u64, cpu: u64) -> Metrics {
+        let mut m = Metrics::default();
+        for _ in 0..rounds {
+            m.record_round(io, io, io * 2, io * 2);
+        }
+        m.charge_cpu(cpu, cpu);
+        m
+    }
+
+    #[test]
+    fn exclusive_attribution_and_conservation() {
+        let mut m = Metrics::default();
+        let mut p = Probe::new(2, m);
+
+        m.record_round(3, 3, 6, 6); // before any span → root
+        p.enter("get", m);
+        m.record_round(5, 5, 10, 10);
+        p.enter("get/lookup", m);
+        m.record_round(7, 7, 14, 14);
+        m.charge_cpu(100, 10);
+        p.exit(m);
+        m.record_round(1, 1, 2, 2); // back in "get"
+        p.exit(m);
+        let report = p.finish(m);
+
+        assert_eq!(report.spans.len(), 3);
+        let get = &report.spans[report.spans_named("get")[0] as usize];
+        let lookup = &report.spans[report.spans_named("get/lookup")[0] as usize];
+        assert_eq!(get.stats.io_time, 6); // 5 + 1, not the nested 7
+        assert_eq!(lookup.stats.io_time, 7);
+        assert_eq!(lookup.stats.cpu_work, 100);
+        assert_eq!(report.spans[0].stats.io_time, 3);
+
+        let total = report.total();
+        assert_eq!(total.rounds, m.rounds);
+        assert_eq!(total.io_time, m.io_time);
+        assert_eq!(total.total_messages, m.total_messages);
+        assert_eq!(total.cpu_work, m.cpu_work);
+        assert_eq!(total.cpu_depth, m.cpu_depth);
+    }
+
+    #[test]
+    fn inclusive_rolls_up_descendants() {
+        let mut m = Metrics::default();
+        let mut p = Probe::new(2, m);
+        p.enter("upsert", m);
+        m.record_round(2, 2, 4, 4);
+        p.enter("upsert/link", m);
+        m.record_round(3, 3, 6, 6);
+        p.exit(m);
+        p.exit(m);
+        let report = p.finish(m);
+        let upsert = report.spans_named("upsert")[0];
+        assert_eq!(report.inclusive(upsert).io_time, 5);
+        assert_eq!(report.spans[upsert as usize].stats.io_time, 2);
+    }
+
+    #[test]
+    fn unbalanced_spans_are_closed_by_finish() {
+        let mut m = Metrics::default();
+        let mut p = Probe::new(2, m);
+        p.enter("leaky", m);
+        m.record_round(4, 4, 8, 8);
+        let report = p.finish(m);
+        let leaky = &report.spans[report.spans_named("leaky")[0] as usize];
+        assert_eq!(leaky.end_round, m.rounds);
+        assert_eq!(report.total().io_time, 4);
+    }
+
+    #[test]
+    fn exit_at_root_is_a_no_op() {
+        let mut m = Metrics::default();
+        let mut p = Probe::new(2, m);
+        p.exit(m);
+        p.exit(m);
+        m.record_round(1, 1, 2, 2);
+        let report = p.finish(m);
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.total().rounds, 1);
+    }
+
+    #[test]
+    fn span_rounds_mark_extent() {
+        let mut m = metrics_after(3, 1, 0);
+        let mut p = Probe::new(2, m);
+        p.enter("op", m);
+        m.record_round(1, 1, 2, 2);
+        m.record_round(1, 1, 2, 2);
+        p.exit(m);
+        let report = p.finish(m);
+        let op = &report.spans[report.spans_named("op")[0] as usize];
+        assert_eq!(op.start_round, 3);
+        assert_eq!(op.end_round, 5);
+        assert_eq!(op.stats.rounds, 2);
+    }
+
+    #[test]
+    fn paths_and_aggregation() {
+        let mut m = Metrics::default();
+        let mut p = Probe::new(2, m);
+        for _ in 0..2 {
+            p.enter("get", m);
+            m.record_round(1, 1, 2, 2);
+            p.enter("get/lookup", m);
+            m.record_round(2, 2, 4, 4);
+            p.exit(m);
+            p.exit(m);
+        }
+        let report = p.finish(m);
+        let rows = report.by_path();
+        assert_eq!(rows.len(), 3); // run, get, get > get/lookup
+        let (path, depth, n, stats) = &rows[2];
+        assert_eq!(path, "get > get/lookup");
+        assert_eq!(*depth, 2);
+        assert_eq!(*n, 2);
+        assert_eq!(stats.io_time, 4);
+        let (_, _, n_get, get_stats) = &rows[1];
+        assert_eq!(*n_get, 2);
+        assert_eq!(get_stats.io_time, 2);
+    }
+}

@@ -25,6 +25,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 use crate::handle::ModuleId;
 use crate::metrics::{Metrics, SharedMem};
 use crate::module::{ModuleCtx, PimModule};
+use crate::span::{Probe, ProbeReport};
 use crate::trace::{RoundTrace, Trace};
 
 /// The simulated PIM machine.
@@ -35,6 +36,9 @@ pub struct PimSystem<M: PimModule> {
     metrics: Metrics,
     shared_mem: SharedMem,
     trace: Option<Trace>,
+    /// Span-attribution probe, if enabled (`None` costs one branch per
+    /// span call and nothing per round).
+    probe: Option<Probe>,
     /// Installed fault schedule, if any (`None` is the fault-free machine,
     /// with zero per-round overhead).
     injector: Option<FaultInjector>,
@@ -61,6 +65,7 @@ impl<M: PimModule> PimSystem<M> {
             metrics: Metrics::new(),
             shared_mem: SharedMem::new(),
             trace: None,
+            probe: None,
             injector: None,
             crashed: Vec::new(),
         }
@@ -101,9 +106,71 @@ impl<M: PimModule> PimSystem<M> {
         }
     }
 
-    /// Stop tracing and take what was recorded.
+    /// Like [`PimSystem::enable_tracing`] but keeping only the `cap`
+    /// most-recent rounds (ring buffer); evictions are counted in
+    /// [`Trace::dropped_rounds`] so exports can state truncation.
+    pub fn enable_tracing_with_cap(&mut self, cap: usize) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::with_cap(cap));
+        }
+    }
+
+    /// Stop tracing and take what was recorded (oldest round first).
     pub fn take_trace(&mut self) -> Trace {
-        self.trace.take().unwrap_or_default()
+        let mut t = self.trace.take().unwrap_or_default();
+        t.finalize();
+        t
+    }
+
+    /// Start span-based cost attribution (see [`crate::span`]). Costs
+    /// accrued from now on are attributed to the innermost open span;
+    /// until one is opened they land in the implicit root span.
+    pub fn enable_probe(&mut self) {
+        if self.probe.is_none() {
+            self.probe = Some(Probe::new(self.p(), self.metrics));
+        }
+    }
+
+    /// Whether a probe is currently recording.
+    pub fn probe_enabled(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// Open a span; costs accrue to it until [`PimSystem::span_exit`].
+    /// A no-op (one branch) when no probe is enabled.
+    pub fn span_enter(&mut self, name: &'static str) {
+        let now = self.metrics;
+        if let Some(p) = self.probe.as_mut() {
+            p.enter(name, now);
+        }
+    }
+
+    /// Close the innermost open span. A no-op when no probe is enabled
+    /// (and at the root span).
+    pub fn span_exit(&mut self) {
+        let now = self.metrics;
+        if let Some(p) = self.probe.as_mut() {
+            p.exit(now);
+        }
+    }
+
+    /// Open a span and return an RAII guard that closes it on drop; the
+    /// guard derefs to the system so the bracketed code reads naturally:
+    ///
+    /// ```ignore
+    /// let mut sys = sys.span("upsert/link");
+    /// sys.run_to_quiescence();
+    /// ```
+    pub fn span(&mut self, name: &'static str) -> SpanGuard<'_, M> {
+        self.span_enter(name);
+        SpanGuard { sys: self }
+    }
+
+    /// Stop probing and harvest the report (spans + per-module lanes).
+    /// Returns `None` when no probe was enabled.
+    pub fn take_probe(&mut self) -> Option<ProbeReport> {
+        let now = self.metrics;
+        self.probe.take().map(|p| p.finish(now))
     }
 
     /// Number of PIM modules, `P`.
@@ -226,6 +293,7 @@ impl<M: PimModule> PimSystem<M> {
         let mut work_total = 0u64;
         let mut replies_all = Vec::new();
         let mut per_module = self.trace.is_some().then(|| Vec::with_capacity(outs.len()));
+        let mut lane_rows = self.probe.is_some().then(|| Vec::with_capacity(outs.len()));
 
         // Per-module message count this round: delivered (in) + replies (out)
         // + cross sends (out). `delivered` already includes both CPU sends
@@ -239,9 +307,12 @@ impl<M: PimModule> PimSystem<M> {
             if let Some(pm) = per_module.as_mut() {
                 pm.push(msgs);
             }
+            if let Some(lr) = lane_rows.as_mut() {
+                lr.push((msgs, out.work));
+            }
         }
         if let (Some(trace), Some(per_module_messages)) = (self.trace.as_mut(), per_module) {
-            trace.rounds.push(RoundTrace {
+            trace.record(RoundTrace {
                 round,
                 h,
                 max_work,
@@ -253,6 +324,9 @@ impl<M: PimModule> PimSystem<M> {
                     .map(|&(module, kind)| FaultRecord { module, kind })
                     .collect(),
             });
+        }
+        if let (Some(probe), Some(rows)) = (self.probe.as_mut(), lane_rows) {
+            probe.observe_round(&rows);
         }
 
         // Reply drops happen on the PIM→CPU leg: the reply was transmitted
@@ -329,6 +403,33 @@ impl<M: PimModule> PimSystem<M> {
     /// round barrier).
     pub fn sample_shared_mem(&mut self) {
         self.metrics.observe_shared_mem(self.shared_mem.peak());
+    }
+}
+
+/// RAII guard for one open span: created by [`PimSystem::span`], closes
+/// the span when dropped. Derefs to the system, so bracketed code uses it
+/// exactly like the machine itself.
+pub struct SpanGuard<'a, M: PimModule> {
+    sys: &'a mut PimSystem<M>,
+}
+
+impl<M: PimModule> std::ops::Deref for SpanGuard<'_, M> {
+    type Target = PimSystem<M>;
+
+    fn deref(&self) -> &PimSystem<M> {
+        self.sys
+    }
+}
+
+impl<M: PimModule> std::ops::DerefMut for SpanGuard<'_, M> {
+    fn deref_mut(&mut self) -> &mut PimSystem<M> {
+        self.sys
+    }
+}
+
+impl<M: PimModule> Drop for SpanGuard<'_, M> {
+    fn drop(&mut self) {
+        self.sys.span_exit();
     }
 }
 
@@ -646,6 +747,114 @@ mod tests {
         assert!(sys.has_pending());
         sys.purge_pending();
         assert!(!sys.has_pending());
+    }
+
+    #[test]
+    fn no_probe_is_bit_identical_to_probe_free_machine() {
+        let run = |with_probe: bool| {
+            let mut sys = machine();
+            if with_probe {
+                sys.enable_probe();
+            }
+            sys.enable_tracing();
+            for i in 0..32u64 {
+                sys.send(
+                    (i % 4) as ModuleId,
+                    EchoTask::Forward {
+                        hops: (i % 3) as u32,
+                        payload: i,
+                    },
+                );
+            }
+            let replies = sys.run_to_quiescence();
+            (replies, sys.metrics(), sys.take_trace().rounds)
+        };
+        // Probe enabled but no spans opened: results, metrics and trace
+        // must be bit-identical (the probe only *reads* the metrics).
+        let (r1, m1, t1) = run(false);
+        let (r2, m2, t2) = run(true);
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn span_calls_without_probe_are_no_ops() {
+        let mut sys = machine();
+        sys.span_enter("phantom");
+        sys.send(0, EchoTask::Ping(1));
+        {
+            let mut guarded = sys.span("also-phantom");
+            guarded.run_round();
+        }
+        sys.span_exit();
+        assert!(sys.take_probe().is_none());
+        assert_eq!(sys.metrics().rounds, 1);
+    }
+
+    #[test]
+    fn probe_attributes_rounds_to_spans_and_conserves_totals() {
+        let mut sys = machine();
+        sys.enable_probe();
+        let before = sys.metrics();
+
+        sys.send(0, EchoTask::Ping(1));
+        sys.run_round(); // unattributed → root
+
+        sys.span_enter("op");
+        sys.send(1, EchoTask::Ping(2));
+        sys.run_round();
+        {
+            let mut inner = sys.span("op/phase");
+            inner.send(
+                2,
+                EchoTask::Forward {
+                    hops: 1,
+                    payload: 3,
+                },
+            );
+            inner.run_to_quiescence();
+        }
+        sys.span_exit();
+
+        let report = sys.take_probe().expect("probe was enabled");
+        let after = sys.metrics();
+        let delta = after - before;
+
+        let names: Vec<&str> = report.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["run", "op", "op/phase"]);
+        assert_eq!(report.spans[0].stats.rounds, 1);
+        assert_eq!(report.spans[1].stats.rounds, 1);
+        assert_eq!(report.spans[2].stats.rounds, 2);
+
+        // Conservation: every additive counter sums back to the delta.
+        let total = report.total();
+        assert_eq!(total.rounds, delta.rounds);
+        assert_eq!(total.io_time, delta.io_time);
+        assert_eq!(total.pim_time, delta.pim_time);
+        assert_eq!(total.total_messages, delta.total_messages);
+        assert_eq!(total.total_pim_work, delta.total_pim_work);
+        assert_eq!(total.cpu_work, delta.cpu_work);
+        assert_eq!(total.cpu_depth, delta.cpu_depth);
+
+        // Lanes saw every round for every module.
+        assert_eq!(report.lanes.p(), 4);
+        assert_eq!(report.lanes.messages[0].count(), after.rounds);
+    }
+
+    #[test]
+    fn capped_tracing_drops_oldest_rounds() {
+        let mut sys = machine();
+        sys.enable_tracing_with_cap(2);
+        for _ in 0..5 {
+            sys.send(0, EchoTask::Ping(1));
+            sys.run_round();
+        }
+        let trace = sys.take_trace();
+        assert_eq!(trace.rounds.len(), 2);
+        assert_eq!(trace.dropped_rounds(), 3);
+        let kept: Vec<u64> = trace.rounds.iter().map(|r| r.round).collect();
+        assert_eq!(kept, vec![3, 4]);
     }
 
     #[test]

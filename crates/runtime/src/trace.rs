@@ -31,13 +31,17 @@ pub struct RoundTrace {
 
 impl RoundTrace {
     /// Which module realised the round's `h`.
-    pub fn hottest_module(&self) -> ModuleId {
-        self.per_module_messages
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &m)| m)
-            .map(|(i, _)| i as ModuleId)
-            .unwrap_or(0)
+    ///
+    /// Ties resolve to the lowest module id; `None` when no per-module
+    /// counts were recorded (rather than silently blaming module 0).
+    pub fn hottest_module(&self) -> Option<ModuleId> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, &m) in self.per_module_messages.iter().enumerate() {
+            if best.is_none_or(|(_, bm)| m > bm) {
+                best = Some((i, m));
+            }
+        }
+        best.map(|(i, _)| i as ModuleId)
     }
 
     /// Messages of the busiest module divided by the mean — the round's
@@ -53,13 +57,65 @@ impl RoundTrace {
 }
 
 /// A sequence of round traces with summary helpers.
+///
+/// Memory can be bounded with [`Trace::with_cap`]: once `cap` rounds are
+/// held the buffer becomes a ring — each new round overwrites the oldest
+/// and bumps [`Trace::dropped_rounds`], so exports can state truncation
+/// explicitly instead of silently growing without limit on long chaos
+/// runs. [`Trace::finalize`] rotates the ring back to oldest-first order;
+/// the system calls it when the trace is taken.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    /// The recorded rounds, oldest first.
+    /// The recorded rounds, oldest first (after [`Trace::finalize`]).
     pub rounds: Vec<RoundTrace>,
+    cap: Option<usize>,
+    dropped: u64,
+    ring_start: usize,
 }
 
 impl Trace {
+    /// An unbounded trace (every round kept).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A trace keeping at most `cap` most-recent rounds (`cap ≥ 1`).
+    pub fn with_cap(cap: usize) -> Self {
+        Trace {
+            cap: Some(cap.max(1)),
+            ..Trace::default()
+        }
+    }
+
+    /// Record one round, evicting the oldest when at capacity.
+    pub fn record(&mut self, rt: RoundTrace) {
+        match self.cap {
+            Some(cap) if self.rounds.len() >= cap => {
+                self.rounds[self.ring_start] = rt;
+                self.ring_start = (self.ring_start + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.rounds.push(rt),
+        }
+    }
+
+    /// Rounds evicted by the ring cap (0 when unbounded or under cap).
+    pub fn dropped_rounds(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured cap, if any.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Restore oldest-first order after ring wrap-around.
+    pub fn finalize(&mut self) {
+        if self.ring_start > 0 {
+            self.rounds.rotate_left(self.ring_start);
+            self.ring_start = 0;
+        }
+    }
     /// Rounds whose `h` is at least `threshold` (hot rounds).
     pub fn hot_rounds(&self, threshold: u64) -> Vec<&RoundTrace> {
         self.rounds.iter().filter(|r| r.h >= threshold).collect()
@@ -119,8 +175,22 @@ mod tests {
     #[test]
     fn hottest_module_and_imbalance() {
         let r = rt(0, vec![1, 5, 2, 0]);
-        assert_eq!(r.hottest_module(), 1);
+        assert_eq!(r.hottest_module(), Some(1));
         assert!((r.imbalance() - 5.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hottest_module_ties_resolve_to_lowest_id() {
+        let r = rt(0, vec![2, 5, 5, 1]);
+        assert_eq!(r.hottest_module(), Some(1));
+        let all_equal = rt(0, vec![3, 3, 3]);
+        assert_eq!(all_equal.hottest_module(), Some(0));
+    }
+
+    #[test]
+    fn hottest_module_of_empty_is_none() {
+        let r = rt(0, vec![]);
+        assert_eq!(r.hottest_module(), None);
     }
 
     #[test]
@@ -133,6 +203,7 @@ mod tests {
     fn trace_summaries() {
         let t = Trace {
             rounds: vec![rt(0, vec![1, 1]), rt(1, vec![9, 0]), rt(2, vec![2, 3])],
+            ..Trace::default()
         };
         assert_eq!(t.max_h(), 9);
         assert_eq!(t.hot_rounds(4).len(), 1);
@@ -160,6 +231,7 @@ mod tests {
         });
         let t = Trace {
             rounds: vec![rt(0, vec![1, 1]), crashed, stalled],
+            ..Trace::default()
         };
         let profile = t.h_profile();
         let lines: Vec<&str> = profile.lines().collect();
@@ -167,5 +239,52 @@ mod tests {
         assert!(lines[1].contains("!crash(1)"));
         assert!(lines[1].contains("!slow(0)"));
         assert!(lines[2].contains("!stall(0)"));
+    }
+
+    #[test]
+    fn unbounded_trace_keeps_everything() {
+        let mut t = Trace::new();
+        for i in 0..100 {
+            t.record(rt(i, vec![1, 1]));
+        }
+        assert_eq!(t.rounds.len(), 100);
+        assert_eq!(t.dropped_rounds(), 0);
+        assert_eq!(t.cap(), None);
+    }
+
+    #[test]
+    fn ring_cap_evicts_oldest_and_counts_drops() {
+        let mut t = Trace::with_cap(3);
+        for i in 0..7 {
+            t.record(rt(i, vec![i, 0]));
+        }
+        assert_eq!(t.rounds.len(), 3);
+        assert_eq!(t.dropped_rounds(), 4);
+        t.finalize();
+        let kept: Vec<u64> = t.rounds.iter().map(|r| r.round).collect();
+        assert_eq!(kept, vec![4, 5, 6], "the most recent rounds survive");
+    }
+
+    #[test]
+    fn finalize_under_cap_is_identity() {
+        let mut t = Trace::with_cap(10);
+        for i in 0..4 {
+            t.record(rt(i, vec![1]));
+        }
+        t.finalize();
+        let kept: Vec<u64> = t.rounds.iter().map(|r| r.round).collect();
+        assert_eq!(kept, vec![0, 1, 2, 3]);
+        assert_eq!(t.dropped_rounds(), 0);
+    }
+
+    #[test]
+    fn cap_of_zero_is_clamped_to_one() {
+        let mut t = Trace::with_cap(0);
+        t.record(rt(0, vec![1]));
+        t.record(rt(1, vec![1]));
+        t.finalize();
+        assert_eq!(t.rounds.len(), 1);
+        assert_eq!(t.rounds[0].round, 1);
+        assert_eq!(t.dropped_rounds(), 1);
     }
 }

@@ -1,0 +1,588 @@
+//! Reader and renderers behind the `pim-trace` binary.
+//!
+//! The input formats are produced by `pim_runtime::export`:
+//!
+//! * the JSONL round log (`rounds_jsonl`) — a `"type":"header"` line with
+//!   the span table and per-module histogram summaries, then one
+//!   `"type":"round"` line per recorded round;
+//! * the Chrome trace-event JSON (`chrome_trace`) — validated here too, so
+//!   CI can schema-check both artefacts with one tool.
+//!
+//! Parsing reuses [`pim_runtime::export::parse`] — the exporter and this
+//! consumer share a single JSON implementation, so a schema drift breaks
+//! tests instead of silently mis-rendering.
+
+#![warn(missing_docs)]
+
+use pim_runtime::export::{parse, Json};
+
+// ---------------------------------------------------------------------------
+// Document model.
+// ---------------------------------------------------------------------------
+
+/// One span row from the JSONL header.
+#[derive(Debug, Clone)]
+pub struct SpanRow {
+    /// Span id (0 is the implicit root).
+    pub id: u64,
+    /// Parent span id (`None` for the root).
+    pub parent: Option<u64>,
+    /// Leaf name, e.g. `"upsert"` or `"alloc"`.
+    pub name: String,
+    /// Full ancestry path, e.g. `"run > upsert > alloc"`.
+    pub path: String,
+    /// Nesting depth (root = 0).
+    pub depth: u64,
+    /// First round covered by the span.
+    pub start_round: u64,
+    /// Round at which the span closed.
+    pub end_round: u64,
+    /// Exclusive §2.1 stats: `(label, value)` in export order.
+    pub stats: Vec<(String, u64)>,
+}
+
+impl SpanRow {
+    /// Look up one exclusive stat by its export label (`"io_time"`, …).
+    pub fn stat(&self, label: &str) -> u64 {
+        self.stats
+            .iter()
+            .find(|(k, _)| k == label)
+            .map_or(0, |&(_, v)| v)
+    }
+}
+
+/// Per-module histogram summary (messages or work) from the header.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneSummary {
+    /// Rounds observed.
+    pub count: u64,
+    /// Total over all rounds.
+    pub sum: u64,
+    /// Per-round maximum.
+    pub max: u64,
+    /// Median per-round value (log-bucket upper bound).
+    pub p50: u64,
+    /// 95th-percentile per-round value (log-bucket upper bound).
+    pub p95: u64,
+}
+
+/// One module's histogram summaries from the header.
+#[derive(Debug, Clone, Copy)]
+pub struct ModuleRow {
+    /// Module id.
+    pub module: u64,
+    /// Messages-per-round summary.
+    pub messages: LaneSummary,
+    /// Work-per-round summary.
+    pub work: LaneSummary,
+}
+
+/// One recorded round.
+#[derive(Debug, Clone)]
+pub struct RoundRow {
+    /// Global round index.
+    pub round: u64,
+    /// The round's h (max messages through one module).
+    pub h: u64,
+    /// The round's maximum per-module work.
+    pub max_work: u64,
+    /// Total messages delivered this round.
+    pub messages: u64,
+    /// Total work done this round.
+    pub work: u64,
+    /// Messages per module.
+    pub per_module: Vec<u64>,
+    /// Fault kinds injected this round (render labels).
+    pub faults: Vec<String>,
+}
+
+/// A parsed JSONL trace document.
+#[derive(Debug, Clone)]
+pub struct TraceDoc {
+    /// Number of PIM modules.
+    pub p: u64,
+    /// Rounds lost to the ring-buffer cap.
+    pub dropped_rounds: u64,
+    /// Spans from the header (empty when the run had no probe).
+    pub spans: Vec<SpanRow>,
+    /// Per-module summaries from the header (empty without a probe).
+    pub modules: Vec<ModuleRow>,
+    /// The recorded rounds.
+    pub rounds: Vec<RoundRow>,
+}
+
+fn req_u64(v: &Json, key: &str, what: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: missing or non-integer field {key:?}"))
+}
+
+fn req_str(v: &Json, key: &str, what: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: missing or non-string field {key:?}"))
+}
+
+fn lane_summary(v: &Json, what: &str) -> Result<LaneSummary, String> {
+    Ok(LaneSummary {
+        count: req_u64(v, "count", what)?,
+        sum: req_u64(v, "sum", what)?,
+        max: req_u64(v, "max", what)?,
+        p50: req_u64(v, "p50", what)?,
+        p95: req_u64(v, "p95", what)?,
+    })
+}
+
+/// The exclusive-stat labels every span row must carry, in table order.
+pub const STAT_LABELS: [&str; 10] = [
+    "rounds",
+    "io_time",
+    "pim_time",
+    "messages",
+    "work",
+    "cpu_work",
+    "cpu_depth",
+    "shared_mem_peak",
+    "retries",
+    "recovery_rounds",
+];
+
+/// Parse a JSONL round log into a [`TraceDoc`]. Errors carry the line
+/// number (1-based) and what was wrong — this is also the schema check
+/// behind `pim-trace validate`.
+pub fn parse_jsonl(input: &str) -> Result<TraceDoc, String> {
+    let mut lines = input.lines().enumerate().filter(|(_, l)| !l.is_empty());
+    let (_, first) = lines.next().ok_or("empty input")?;
+    let header = parse(first).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("header") {
+        return Err("line 1: expected a \"type\":\"header\" object".into());
+    }
+    let version = req_u64(&header, "version", "header")?;
+    if version != 1 {
+        return Err(format!("header: unsupported version {version}"));
+    }
+    let p = req_u64(&header, "p", "header")?;
+    let dropped_rounds = req_u64(&header, "dropped_rounds", "header")?;
+    let recorded = req_u64(&header, "recorded_rounds", "header")?;
+
+    let mut spans = Vec::new();
+    if let Some(arr) = header.get("spans").and_then(Json::as_array) {
+        for (i, s) in arr.iter().enumerate() {
+            let what = format!("header span #{i}");
+            let stats = STAT_LABELS
+                .iter()
+                .map(|&label| Ok((label.to_string(), req_u64(s, label, &what)?)))
+                .collect::<Result<Vec<_>, String>>()?;
+            spans.push(SpanRow {
+                id: req_u64(s, "id", &what)?,
+                parent: s.get("parent").and_then(Json::as_u64),
+                name: req_str(s, "name", &what)?,
+                path: req_str(s, "path", &what)?,
+                depth: req_u64(s, "depth", &what)?,
+                start_round: req_u64(s, "start_round", &what)?,
+                end_round: req_u64(s, "end_round", &what)?,
+                stats,
+            });
+        }
+    }
+
+    let mut modules = Vec::new();
+    if let Some(arr) = header.get("modules").and_then(Json::as_array) {
+        for (i, m) in arr.iter().enumerate() {
+            let what = format!("header module #{i}");
+            let msgs = m
+                .get("messages")
+                .ok_or_else(|| format!("{what}: missing field \"messages\""))?;
+            let work = m
+                .get("work")
+                .ok_or_else(|| format!("{what}: missing field \"work\""))?;
+            modules.push(ModuleRow {
+                module: req_u64(m, "module", &what)?,
+                messages: lane_summary(msgs, &what)?,
+                work: lane_summary(work, &what)?,
+            });
+        }
+        if modules.len() as u64 != p {
+            return Err(format!(
+                "header: {} module summaries for p = {p}",
+                modules.len()
+            ));
+        }
+    }
+
+    let mut rounds = Vec::new();
+    for (lineno, line) in lines {
+        let what = format!("line {}", lineno + 1);
+        let v = parse(line).map_err(|e| format!("{what}: {e}"))?;
+        if v.get("type").and_then(Json::as_str) != Some("round") {
+            return Err(format!("{what}: expected a \"type\":\"round\" object"));
+        }
+        let per_module = v
+            .get("per_module")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{what}: missing array field \"per_module\""))?
+            .iter()
+            .map(|x| x.as_u64().ok_or_else(|| format!("{what}: bad lane value")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let faults = v
+            .get("faults")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{what}: missing array field \"faults\""))?
+            .iter()
+            .map(|f| {
+                let kind = req_str(f, "kind", &what)?;
+                let module = req_u64(f, "module", &what)?;
+                Ok(format!("{kind}(m{module})"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        rounds.push(RoundRow {
+            round: req_u64(&v, "round", &what)?,
+            h: req_u64(&v, "h", &what)?,
+            max_work: req_u64(&v, "max_work", &what)?,
+            messages: req_u64(&v, "messages", &what)?,
+            work: req_u64(&v, "work", &what)?,
+            per_module,
+            faults,
+        });
+    }
+    if rounds.len() as u64 != recorded {
+        return Err(format!(
+            "header says recorded_rounds = {recorded} but {} round lines follow",
+            rounds.len()
+        ));
+    }
+    Ok(TraceDoc {
+        p,
+        dropped_rounds,
+        spans,
+        modules,
+        rounds,
+    })
+}
+
+/// Schema-check a Chrome trace-event export: one JSON object with a
+/// `traceEvents` array whose entries all carry `ph`, plus `otherData.p`.
+pub fn validate_chrome(input: &str) -> Result<(), String> {
+    let v = parse(input)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event #{i}: missing \"ph\""))?;
+        if !matches!(ph, "X" | "C" | "i" | "M") {
+            return Err(format!("event #{i}: unexpected phase {ph:?}"));
+        }
+        if ph == "X" && (e.get("ts").is_none() || e.get("dur").is_none()) {
+            return Err(format!("event #{i}: complete event without ts/dur"));
+        }
+    }
+    v.get("otherData")
+        .and_then(|o| o.get("p"))
+        .and_then(Json::as_u64)
+        .ok_or("missing otherData.p")?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Renderers. All return plain text tables; all are deterministic.
+// ---------------------------------------------------------------------------
+
+fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                // Left-align the label column.
+                out.push_str(&format!("{:<w$}", cell, w = widths[i]));
+            } else {
+                out.push_str(&format!("{:>w$}", cell, w = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    fmt_row(&header_cells, &widths, &mut out);
+    let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    fmt_row(&rule, &widths, &mut out);
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Per-phase cost breakdown: spans aggregated by full path (exclusive
+/// stats summed, invocations counted), in first-appearance order.
+pub fn render_phases(doc: &TraceDoc) -> String {
+    if doc.spans.is_empty() {
+        return "no spans in trace (probe was not enabled)\n".to_string();
+    }
+    let mut order: Vec<&str> = Vec::new();
+    let mut agg: Vec<(u64, Vec<u64>)> = Vec::new(); // (count, stats by label)
+    for s in &doc.spans {
+        let idx = match order.iter().position(|&pth| pth == s.path) {
+            Some(i) => i,
+            None => {
+                order.push(&s.path);
+                agg.push((0, vec![0; STAT_LABELS.len()]));
+                order.len() - 1
+            }
+        };
+        agg[idx].0 += 1;
+        for (j, &label) in STAT_LABELS.iter().enumerate() {
+            if label == "shared_mem_peak" {
+                agg[idx].1[j] = agg[idx].1[j].max(s.stat(label));
+            } else {
+                agg[idx].1[j] += s.stat(label);
+            }
+        }
+    }
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .zip(&agg)
+        .map(|(path, (count, stats))| {
+            let mut row = vec![path.to_string(), count.to_string()];
+            row.extend(stats.iter().map(u64::to_string));
+            row
+        })
+        .collect();
+    let mut headers = vec!["phase", "calls"];
+    headers.extend([
+        "rounds", "io", "pim", "msgs", "work", "cpu_w", "cpu_d", "shmem", "retry", "recov",
+    ]);
+    let mut out = render_table(&headers, &rows);
+    out.push_str(
+        "\n(stats are exclusive: each row owns only the cost not claimed by a nested phase)\n",
+    );
+    out
+}
+
+/// h-profile: distribution of per-round h in powers of two, with total
+/// IO time (Σh) and the share contributed by each bucket.
+pub fn render_hprofile(doc: &TraceDoc) -> String {
+    if doc.rounds.is_empty() {
+        return "no rounds recorded\n".to_string();
+    }
+    // Bucket i holds h in [2^(i-1), 2^i); bucket 0 holds h = 0.
+    let mut counts = [0u64; 65];
+    let mut sums = [0u64; 65];
+    for r in &doc.rounds {
+        let b = if r.h == 0 {
+            0
+        } else {
+            64 - u64::leading_zeros(r.h) as usize + 1
+        };
+        counts[b] += 1;
+        sums[b] += r.h;
+    }
+    let total_io: u64 = sums.iter().sum();
+    let max_count = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut rows = Vec::new();
+    for (b, (&c, &s)) in counts.iter().zip(&sums).enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let label = if b == 0 {
+            "0".to_string()
+        } else {
+            format!("{}..{}", 1u64 << (b - 1), (1u64 << b) - 1)
+        };
+        let bar = "#".repeat(((c * 40).div_ceil(max_count)) as usize);
+        let share = (s * 100).checked_div(total_io).unwrap_or(0);
+        rows.push(vec![
+            label,
+            c.to_string(),
+            s.to_string(),
+            format!("{share}%"),
+            bar,
+        ]);
+    }
+    let mut out = render_table(&["h", "rounds", "sum(h)", "io%", ""], &rows);
+    out.push_str(&format!(
+        "\n{} recorded rounds, io_time = {} ({} dropped by ring cap)\n",
+        doc.rounds.len(),
+        total_io,
+        doc.dropped_rounds
+    ));
+    out
+}
+
+/// Module-imbalance heatmap: modules down, time (round buckets) across,
+/// cell brightness = messages relative to the hottest cell; followed by
+/// the per-module histogram summary table from the header.
+pub fn render_heatmap(doc: &TraceDoc) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    const COLS: usize = 48;
+    let p = doc.p as usize;
+    if p == 0 {
+        return "p = 0\n".to_string();
+    }
+    let mut out = String::new();
+    if doc.rounds.is_empty() {
+        out.push_str("no rounds recorded; heatmap unavailable\n");
+    } else {
+        let n = doc.rounds.len();
+        let cols = COLS.min(n);
+        let mut cells = vec![vec![0u64; cols]; p];
+        for (i, r) in doc.rounds.iter().enumerate() {
+            let c = i * cols / n;
+            for (m, &v) in r.per_module.iter().enumerate().take(p) {
+                cells[m][c] += v;
+            }
+        }
+        let hottest = cells
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        out.push_str(&format!(
+            "messages per module over {} rounds ({} columns, hottest cell = {})\n",
+            n, cols, hottest
+        ));
+        for (m, row) in cells.iter().enumerate() {
+            out.push_str(&format!("m{:<3} |", m));
+            for &v in row {
+                let shade = if v == 0 {
+                    0
+                } else {
+                    // Scale 1..=max onto the non-blank shades.
+                    1 + (v - 1) as usize * (SHADES.len() - 2) / hottest as usize
+                };
+                out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+            }
+            out.push_str("|\n");
+        }
+    }
+    if !doc.modules.is_empty() {
+        let rows: Vec<Vec<String>> = doc
+            .modules
+            .iter()
+            .map(|m| {
+                vec![
+                    format!("m{}", m.module),
+                    m.messages.sum.to_string(),
+                    m.messages.max.to_string(),
+                    m.messages.p50.to_string(),
+                    m.messages.p95.to_string(),
+                    m.work.sum.to_string(),
+                    m.work.max.to_string(),
+                    m.work.p50.to_string(),
+                    m.work.p95.to_string(),
+                ]
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&render_table(
+            &[
+                "module", "msgs", "msg_max", "msg_p50", "msg_p95", "work", "work_max", "work_p50",
+                "work_p95",
+            ],
+            &rows,
+        ));
+        let sums: Vec<u64> = doc.modules.iter().map(|m| m.messages.sum).collect();
+        let hot = sums.iter().copied().max().unwrap_or(0);
+        let avg = sums.iter().sum::<u64>() / sums.len().max(1) as u64;
+        out.push_str(&format!(
+            "\nimbalance: hottest module carries {hot} messages vs mean {avg} ({}x)\n",
+            if avg == 0 { 0 } else { hot.div_ceil(avg) }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_jsonl() -> String {
+        concat!(
+            r#"{"type":"header","version":1,"p":2,"dropped_rounds":0,"recorded_rounds":2,"#,
+            r#""spans":[{"id":0,"parent":null,"name":"run","path":"run","depth":0,"start_round":0,"end_round":2,"rounds":1,"io_time":1,"pim_time":1,"messages":1,"work":1,"cpu_work":0,"cpu_depth":0,"shared_mem_peak":4,"retries":0,"recovery_rounds":0},"#,
+            r#"{"id":1,"parent":0,"name":"get","path":"run > get","depth":1,"start_round":0,"end_round":1,"rounds":1,"io_time":3,"pim_time":2,"messages":5,"work":4,"cpu_work":7,"cpu_depth":2,"shared_mem_peak":8,"retries":0,"recovery_rounds":0}],"#,
+            r#""modules":[{"module":0,"messages":{"count":2,"sum":3,"max":2,"p50":1,"p95":2},"work":{"count":2,"sum":4,"max":3,"p50":1,"p95":3}},"#,
+            r#"{"module":1,"messages":{"count":2,"sum":5,"max":4,"p50":1,"p95":4},"work":{"count":2,"sum":2,"max":1,"p50":1,"p95":1}}]}"#,
+            "\n",
+            r#"{"type":"round","round":0,"h":2,"max_work":3,"messages":3,"work":4,"per_module":[2,1],"faults":[]}"#,
+            "\n",
+            r#"{"type":"round","round":1,"h":4,"max_work":1,"messages":5,"work":2,"per_module":[1,4],"faults":[{"kind":"slow","module":1,"factor":3}]}"#,
+            "\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn parses_sample_document() {
+        let doc = parse_jsonl(&sample_jsonl()).unwrap();
+        assert_eq!(doc.p, 2);
+        assert_eq!(doc.spans.len(), 2);
+        assert_eq!(doc.spans[1].path, "run > get");
+        assert_eq!(doc.spans[1].stat("io_time"), 3);
+        assert_eq!(doc.rounds.len(), 2);
+        assert_eq!(doc.rounds[1].faults, vec!["slow(m1)".to_string()]);
+        assert_eq!(doc.modules[1].messages.sum, 5);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(parse_jsonl("").is_err());
+        assert!(parse_jsonl("{\"type\":\"round\"}\n").is_err());
+        // Header round count must match the body.
+        let short = sample_jsonl()
+            .lines()
+            .take(2)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(parse_jsonl(&short).is_err());
+        // A span missing a stat field is a schema error.
+        let broken = sample_jsonl().replace("\"io_time\":3,", "");
+        assert!(parse_jsonl(&broken).is_err());
+    }
+
+    #[test]
+    fn phases_table_lists_each_path_once() {
+        let doc = parse_jsonl(&sample_jsonl()).unwrap();
+        let out = render_phases(&doc);
+        assert!(out.contains("run > get"));
+        assert_eq!(out.matches("run > get").count(), 1);
+        assert!(out.contains("phase"));
+    }
+
+    #[test]
+    fn hprofile_covers_all_rounds() {
+        let doc = parse_jsonl(&sample_jsonl()).unwrap();
+        let out = render_hprofile(&doc);
+        assert!(out.contains("2 recorded rounds"));
+        assert!(out.contains("io_time = 6"));
+    }
+
+    #[test]
+    fn heatmap_has_one_row_per_module() {
+        let doc = parse_jsonl(&sample_jsonl()).unwrap();
+        let out = render_heatmap(&doc);
+        assert!(out.contains("m0"));
+        assert!(out.contains("m1"));
+        assert!(out.contains("imbalance"));
+    }
+
+    #[test]
+    fn chrome_validation() {
+        assert!(validate_chrome(r#"{"traceEvents":[{"ph":"M"}],"otherData":{"p":4}}"#).is_ok());
+        assert!(validate_chrome(r#"{"traceEvents":[{"ph":"Q"}],"otherData":{"p":4}}"#).is_err());
+        assert!(validate_chrome(r#"{"traceEvents":[]}"#).is_err());
+        assert!(validate_chrome("not json").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! `pim-trace`: inspect exported PIM traces.
+//!
+//! ```text
+//! pim-trace phases  <rounds.jsonl>     per-phase cost breakdown
+//! pim-trace hprofile <rounds.jsonl>    distribution of per-round h
+//! pim-trace heatmap <rounds.jsonl>     module-imbalance heatmap
+//! pim-trace all     <rounds.jsonl>     all of the above
+//! pim-trace validate <file>...         schema-check exports (JSONL or Chrome JSON)
+//! ```
+//!
+//! Exit codes: 0 ok, 1 validation failure, 2 usage or IO error.
+
+use std::process::ExitCode;
+
+use pim_trace_cli::{parse_jsonl, render_heatmap, render_hprofile, render_phases, validate_chrome};
+
+const USAGE: &str = "usage: pim-trace <phases|hprofile|heatmap|all|validate> <file>...";
+
+fn load(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, files) = args.split_first().ok_or(USAGE)?;
+    if files.is_empty() {
+        return Err(USAGE.into());
+    }
+    match cmd.as_str() {
+        "phases" | "hprofile" | "heatmap" | "all" => {
+            for path in files {
+                let doc = parse_jsonl(&load(path)?).map_err(|e| format!("{path}: {e}"))?;
+                if files.len() > 1 {
+                    println!("== {path} ==");
+                }
+                if cmd == "phases" || cmd == "all" {
+                    print!("{}", render_phases(&doc));
+                }
+                if cmd == "hprofile" || cmd == "all" {
+                    if cmd == "all" {
+                        println!();
+                    }
+                    print!("{}", render_hprofile(&doc));
+                }
+                if cmd == "heatmap" || cmd == "all" {
+                    if cmd == "all" {
+                        println!();
+                    }
+                    print!("{}", render_heatmap(&doc));
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "validate" => {
+            let mut failed = false;
+            for path in files {
+                let text = load(path)?;
+                // Chrome exports are one JSON document with traceEvents;
+                // everything else must be a valid JSONL round log.
+                let result = if text.trim_start().starts_with('{')
+                    && text.trim_start()[1..]
+                        .trim_start()
+                        .starts_with("\"traceEvents\"")
+                {
+                    validate_chrome(&text)
+                } else {
+                    parse_jsonl(&text).map(|_| ())
+                };
+                match result {
+                    Ok(()) => println!("{path}: ok"),
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Ok(if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -28,7 +28,12 @@ fn main() {
     let mut clean = PimSkipList::new(Config::new(8, 1 << 12, 0xBEEF));
     let clean_items = run(&mut clean);
     let cm = clean.metrics();
-    println!("fault-free : {} keys, {} rounds, io {}", clean.len(), cm.rounds, cm.io_time);
+    println!(
+        "fault-free : {} keys, {} rounds, io {}",
+        clean.len(),
+        cm.rounds,
+        cm.io_time
+    );
 
     // ---- Chaos run: same workload, same seed, plus a fault plan ----
     // 30 random faults over the first 400 rounds (drops, stalls,
@@ -43,8 +48,13 @@ fn main() {
     let chaotic_items = run(&mut chaotic);
 
     // ---- The recovery contract ----
-    assert_eq!(chaotic_items, clean_items, "contents must match the fault-free run");
-    chaotic.validate().expect("structural invariants hold after recovery");
+    assert_eq!(
+        chaotic_items, clean_items,
+        "contents must match the fault-free run"
+    );
+    chaotic
+        .validate()
+        .expect("structural invariants hold after recovery");
     let oracle: BTreeMap<i64, u64> = clean_items.iter().copied().collect();
     println!(
         "chaos run  : {} keys, all equal to the fault-free oracle ({} spot-checked)",
@@ -60,7 +70,10 @@ fn main() {
     println!("module crashes        : {}", m.module_crashes);
     println!("stalled module-rounds : {}", m.stalled_module_rounds);
     println!("batch slots re-issued : {}", m.retries_issued);
-    println!("recovery rounds       : {} (of {} total)", m.recovery_rounds, m.rounds);
+    println!(
+        "recovery rounds       : {} (of {} total)",
+        m.recovery_rounds, m.rounds
+    );
     println!(
         "round overhead        : {:.1}% vs fault-free",
         (m.rounds as f64 / cm.rounds as f64 - 1.0) * 100.0
