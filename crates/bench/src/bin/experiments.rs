@@ -4,12 +4,23 @@
 //! cargo run --release -p pim-bench --bin experiments -- <which> [--quick]
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
-//!           baselines, ablation, hprofile, paths, trace-export, all }
+//!           baselines, ablation, hprofile, paths, trace-export,
+//!           wallclock, perf-gate, all }
 //!
 //! `trace-export [--quick] [--out DIR]` runs an instrumented session and
 //! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
 //! `DIR/rounds.jsonl` (the `pim-trace` CLI's input); DIR defaults to
 //! `target/trace-export`.
+//!
+//! `wallclock [--quick] [--out PATH]` sweeps every Table-1 op over
+//! PIM_THREADS ∈ {1, 2, 4, 8} and writes a `pim-wallclock/1` JSON report
+//! (default `target/BENCH_PR3.json`). Unlike every other subcommand this
+//! one measures *elapsed time*, the only observable the executor's thread
+//! count is allowed to change.
+//!
+//! `perf-gate CURRENT BASELINE [TOLERANCE] [--raw]` compares two reports
+//! (calibration-normalised unless `--raw`) and exits 1 when any (op,
+//! threads) point regressed beyond TOLERANCE (default 0.25).
 //! ```
 //!
 //! Every table prints *model metrics* (IO time, PIM time, CPU work/depth,
@@ -47,12 +58,45 @@ fn main() {
     let run_ablation = || exp::print_ablation(16, n, seed);
     let run_hprofile = || exp::print_hprofile(if quick { 16 } else { 32 }, seed);
     let run_paths = || exp::print_path_split(seed);
-    let run_trace_export = || {
-        let flag = |name: &str| {
-            args.iter()
-                .position(|a| a == name)
-                .and_then(|i| args.get(i + 1))
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let run_wallclock = || {
+        let out = flag("--out")
+            .map(String::as_str)
+            .unwrap_or("target/BENCH_PR3.json");
+        if let Err(e) = pim_bench::wallclock::run_wallclock(quick, out, seed) {
+            eprintln!("wallclock: {e}");
+            std::process::exit(1);
+        }
+    };
+    let run_perf_gate = || {
+        // Positional args after the subcommand: CURRENT BASELINE [TOL].
+        let pos: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+        let (current, baseline) = match (pos.first(), pos.get(1)) {
+            (Some(c), Some(b)) => (c.as_str(), b.as_str()),
+            _ => {
+                eprintln!("usage: experiments -- perf-gate CURRENT BASELINE [TOLERANCE] [--raw]");
+                std::process::exit(2);
+            }
         };
+        let tolerance: f64 = pos.get(2).and_then(|t| t.parse().ok()).unwrap_or(0.25);
+        let raw = args.iter().any(|a| a == "--raw");
+        match pim_bench::wallclock::perf_gate(current, baseline, tolerance, raw) {
+            Ok(true) => println!("perf gate: PASS"),
+            Ok(false) => {
+                eprintln!("perf gate: FAIL (regression beyond {tolerance:.2} tolerance)");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("perf gate: ERROR: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let run_trace_export = || {
         let out_dir = flag("--out")
             .map(String::as_str)
             .unwrap_or("target/trace-export");
@@ -77,6 +121,8 @@ fn main() {
         "hprofile" => run_hprofile(),
         "paths" => run_paths(),
         "trace-export" => run_trace_export(),
+        "wallclock" => run_wallclock(),
+        "perf-gate" => run_perf_gate(),
         "all" => {
             run_table1();
             println!();
@@ -100,7 +146,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export wallclock perf-gate all");
             std::process::exit(2);
         }
     }

@@ -18,5 +18,6 @@
 
 pub mod experiments;
 pub mod measure;
+pub mod wallclock;
 
 pub use measure::{build_loaded_list, BatchCosts};

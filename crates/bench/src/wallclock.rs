@@ -1,0 +1,632 @@
+//! Wall-clock benchmark harness and CI perf gate.
+//!
+//! The model metrics the rest of this crate prints are thread-count
+//! invariant by design (the determinism contract of `pim-pool`,
+//! [`pim_runtime::pool`]). This module measures the one thing that *is*
+//! allowed to change with `PIM_THREADS`: real elapsed time. It sweeps the
+//! executor over a fixed thread ladder, times every Table-1 batch
+//! operation, and emits a deterministic-schema JSON report
+//! (`pim-wallclock/1`, conventionally `BENCH_PR3.json`) that CI diffs
+//! against a committed baseline with [`perf_gate`].
+//!
+//! Cross-machine comparability: raw batches/sec on a laptop and on a CI
+//! runner are not comparable, so every run also times a fixed scalar
+//! busy-loop ([`calibrate`]) and records its throughput as
+//! `calibration_mops`. The gate compares *calibration-normalised*
+//! throughput (batches/sec per calibration Mop/s) by default, which
+//! cancels single-core speed differences between the machine that
+//! produced the baseline and the machine running the gate; `raw = true`
+//! compares unnormalised numbers for same-machine A/B runs.
+
+use std::time::Instant;
+
+use pim_core::{Key, PimSkipList, Value};
+use pim_runtime::export::{num, str as jstr, Json};
+use pim_runtime::pool::{self, ExecConfig};
+use pim_workloads::PointGen;
+
+use crate::measure::build_loaded_list;
+
+/// Schema tag written into every report.
+pub const SCHEMA: &str = "pim-wallclock/1";
+
+/// Thread ladder every run sweeps. Fixed (not host-derived) so the report
+/// schema is identical on every machine.
+pub const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// The Table-1 operations the harness times, in report order.
+pub const OPS: [&str; 6] = [
+    "Get",
+    "Update",
+    "Successor",
+    "Predecessor",
+    "Upsert",
+    "Delete",
+];
+
+/// Sizing and repetition knobs for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct WallclockParams {
+    /// Modules.
+    pub p: u32,
+    /// Resident keys.
+    pub n: usize,
+    /// Untimed warmup batches per (op, threads) point.
+    pub warmup: usize,
+    /// Minimum timed batches per (op, threads) point.
+    pub reps: usize,
+    /// Minimum accumulated timed seconds per point: fast ops keep
+    /// repeating past `reps` until this much measured time has elapsed,
+    /// which is what makes microsecond-scale batches stable enough for a
+    /// 25%-tolerance CI gate.
+    pub min_secs: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl WallclockParams {
+    /// CI-sized run (`--quick`).
+    pub fn quick(seed: u64) -> Self {
+        WallclockParams {
+            p: 16,
+            n: 4_000,
+            warmup: 1,
+            reps: 3,
+            min_secs: 0.05,
+            seed,
+        }
+    }
+
+    /// Full-sized run.
+    pub fn full(seed: u64) -> Self {
+        WallclockParams {
+            p: 32,
+            n: 16_000,
+            warmup: 2,
+            reps: 5,
+            min_secs: 0.2,
+            seed,
+        }
+    }
+}
+
+/// One timed point: an operation at one thread count.
+#[derive(Debug, Clone)]
+pub struct OpTiming {
+    /// Operation name (one of [`OPS`]).
+    pub op: &'static str,
+    /// Worker threads the pool was configured with.
+    pub threads: usize,
+    /// Operations per batch.
+    pub batch: usize,
+    /// Timed batches per second (mean over the reps).
+    pub batches_per_sec: f64,
+}
+
+/// Calibration busy-loop: a fixed amount of scalar integer work, timed.
+/// Returns its throughput in Mop/s. This is the unit the perf gate
+/// normalises by, so it must not depend on the thread ladder or on any
+/// simulator state — it is a pure single-core speed probe.
+pub fn calibrate() -> f64 {
+    const ITERS: u64 = 40_000_000;
+    let start = Instant::now();
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..ITERS {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    ITERS as f64 / secs / 1e6
+}
+
+/// The per-op workloads, generated once and reused across thread counts so
+/// every timed point does identical model work.
+struct OpWorkloads {
+    small: usize,
+    large: usize,
+    get_batch: Vec<Key>,
+    update_pairs: Vec<(Key, Value)>,
+    succ_batch: Vec<Key>,
+    pred_batch: Vec<Key>,
+    fresh_pairs: Vec<(Key, Value)>,
+    delete_keys: Vec<Key>,
+}
+
+impl OpWorkloads {
+    fn build(params: &WallclockParams, keys: &[Key]) -> Self {
+        let lg = u64::from(pim_runtime::ceil_log2(u64::from(params.p)));
+        let small = (u64::from(params.p) * lg) as usize;
+        let large = (u64::from(params.p) * lg * lg) as usize;
+        let mut gen = PointGen::new(params.seed ^ 0x0A11, 0, (params.n as i64) * 64);
+        let get_batch = gen.from_existing(keys, small);
+        let update_pairs: Vec<(Key, Value)> = gen
+            .from_existing(keys, small)
+            .into_iter()
+            .map(|k| (k, 1))
+            .collect();
+        let succ_batch = gen.uniform(large);
+        let pred_batch = gen.uniform(large);
+        let fresh_pairs: Vec<(Key, Value)> = gen
+            .distinct_uniform(large)
+            .into_iter()
+            .map(|k| (k + (params.n as i64) * 128, k as u64))
+            .collect();
+        let delete_keys = gen.distinct_from_existing(keys, large.min(keys.len()));
+        OpWorkloads {
+            small,
+            large,
+            get_batch,
+            update_pairs,
+            succ_batch,
+            pred_batch,
+            fresh_pairs,
+            delete_keys,
+        }
+    }
+
+    fn batch_size(&self, op: &str) -> usize {
+        match op {
+            "Get" | "Update" => self.small,
+            "Delete" => self.delete_keys.len(),
+            _ => self.large,
+        }
+    }
+
+    /// Run `op` once, timed, returning elapsed seconds. Mutating ops are
+    /// followed by an *untimed* restore so every rep sees the same
+    /// resident set.
+    fn run_once(&self, op: &str, list: &mut PimSkipList) -> f64 {
+        match op {
+            "Get" => {
+                let t = Instant::now();
+                std::hint::black_box(list.batch_get(&self.get_batch));
+                t.elapsed().as_secs_f64()
+            }
+            "Update" => {
+                let t = Instant::now();
+                list.batch_update(&self.update_pairs);
+                t.elapsed().as_secs_f64()
+            }
+            "Successor" => {
+                let t = Instant::now();
+                std::hint::black_box(list.batch_successor(&self.succ_batch));
+                t.elapsed().as_secs_f64()
+            }
+            "Predecessor" => {
+                let t = Instant::now();
+                std::hint::black_box(list.batch_predecessor(&self.pred_batch));
+                t.elapsed().as_secs_f64()
+            }
+            "Upsert" => {
+                let t = Instant::now();
+                list.batch_upsert(&self.fresh_pairs);
+                let secs = t.elapsed().as_secs_f64();
+                // Untimed restore: remove the fresh keys again.
+                let fresh_keys: Vec<Key> = self.fresh_pairs.iter().map(|&(k, _)| k).collect();
+                list.batch_delete(&fresh_keys);
+                secs
+            }
+            "Delete" => {
+                let t = Instant::now();
+                list.batch_delete(&self.delete_keys);
+                let secs = t.elapsed().as_secs_f64();
+                // Untimed restore: put the deleted keys back.
+                let pairs: Vec<(Key, Value)> =
+                    self.delete_keys.iter().map(|&k| (k, k as u64)).collect();
+                list.batch_upsert(&pairs);
+                secs
+            }
+            other => unreachable!("unknown op {other}"),
+        }
+    }
+}
+
+/// Run the full sweep: every op in [`OPS`] at every thread count in
+/// [`THREAD_LADDER`]. Leaves the global pool configured with the last
+/// ladder entry; callers that care should reconfigure afterwards.
+pub fn run_sweep(params: &WallclockParams) -> Vec<OpTiming> {
+    let mut timings = Vec::new();
+    for &threads in &THREAD_LADDER {
+        pool::configure(ExecConfig::with_threads(threads));
+        let (mut list, keys) = build_loaded_list(params.p, params.n, params.seed);
+        let workloads = OpWorkloads::build(params, &keys);
+        for op in OPS {
+            for _ in 0..params.warmup {
+                workloads.run_once(op, &mut list);
+            }
+            // Best of three trials: external interference only ever slows
+            // a trial down, so the fastest observed rate is the most
+            // repeatable statistic on shared CI runners.
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let mut total = 0.0f64;
+                let mut count = 0usize;
+                while count < params.reps || total < params.min_secs {
+                    total += workloads.run_once(op, &mut list);
+                    count += 1;
+                }
+                best = best.max(count as f64 / total);
+            }
+            timings.push(OpTiming {
+                op,
+                threads,
+                batch: workloads.batch_size(op),
+                batches_per_sec: best,
+            });
+        }
+    }
+    timings
+}
+
+/// Assemble the `pim-wallclock/1` report. The key order and structure are
+/// fixed; only the measured values vary run to run.
+pub fn report_json(
+    params: &WallclockParams,
+    quick: bool,
+    calibration_mops: f64,
+    timings: &[OpTiming],
+) -> Json {
+    let mut ops_arr = Vec::new();
+    for op in OPS {
+        let per_op: Vec<&OpTiming> = timings.iter().filter(|t| t.op == op).collect();
+        let batch = per_op.first().map_or(0, |t| t.batch);
+        let threads_arr: Vec<Json> = per_op
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("threads".into(), num(t.threads as u64)),
+                    ("batches_per_sec".into(), Json::Num(t.batches_per_sec)),
+                ])
+            })
+            .collect();
+        ops_arr.push(Json::Obj(vec![
+            ("op".into(), jstr(op)),
+            ("batch".into(), num(batch as u64)),
+            ("threads".into(), Json::Arr(threads_arr)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("schema".into(), jstr(SCHEMA)),
+        ("quick".into(), Json::Bool(quick)),
+        ("p".into(), num(u64::from(params.p))),
+        ("n".into(), num(params.n as u64)),
+        ("warmup".into(), num(params.warmup as u64)),
+        ("reps".into(), num(params.reps as u64)),
+        ("seed".into(), num(params.seed)),
+        (
+            "host_cpus".into(),
+            num(std::thread::available_parallelism().map_or(1, |c| c.get() as u64)),
+        ),
+        ("calibration_mops".into(), Json::Num(calibration_mops)),
+        ("ops".into(), Json::Arr(ops_arr)),
+    ])
+}
+
+/// Run the whole harness and write the report to `out_path`. Prints a
+/// human-readable table (batches/sec and speedup vs 1 thread) to stdout.
+pub fn run_wallclock(quick: bool, out_path: &str, seed: u64) -> std::io::Result<()> {
+    let params = if quick {
+        WallclockParams::quick(seed)
+    } else {
+        WallclockParams::full(seed)
+    };
+    println!(
+        "== Wall-clock sweep: Table-1 ops × PIM_THREADS ∈ {:?} (P = {}, n = {}) ==",
+        THREAD_LADDER, params.p, params.n
+    );
+    let calibration_mops = calibrate();
+    let timings = run_sweep(&params);
+    // Restore the environment-selected configuration for any later work in
+    // this process.
+    pool::configure(ExecConfig::from_env());
+
+    println!(
+        "{:<12} {:>8} {:>9} {:>14} {:>12}",
+        "op", "threads", "batch", "batches/sec", "vs 1 thread"
+    );
+    for op in OPS {
+        let base = timings
+            .iter()
+            .find(|t| t.op == op && t.threads == 1)
+            .map_or(0.0, |t| t.batches_per_sec);
+        for t in timings.iter().filter(|t| t.op == op) {
+            println!(
+                "{:<12} {:>8} {:>9} {:>14.2} {:>11.2}x",
+                t.op,
+                t.threads,
+                t.batch,
+                t.batches_per_sec,
+                if base > 0.0 {
+                    t.batches_per_sec / base
+                } else {
+                    0.0
+                }
+            );
+        }
+    }
+    println!("(calibration: {calibration_mops:.0} Mop/s scalar busy-loop; model metrics are identical at every thread count)");
+
+    let report = report_json(&params, quick, calibration_mops, &timings);
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(out_path, report.to_json() + "\n")?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+/// One gate comparison row.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Operation name.
+    pub op: String,
+    /// Thread count.
+    pub threads: u64,
+    /// Baseline (normalised) throughput.
+    pub baseline: f64,
+    /// Current (normalised) throughput.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether this row regressed beyond the tolerance.
+    pub failed: bool,
+}
+
+fn normalised_points(doc: &Json, raw: bool) -> Result<Vec<(String, u64, f64)>, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("not a {SCHEMA} document"));
+    }
+    let cal = doc
+        .get("calibration_mops")
+        .and_then(Json::as_f64)
+        .ok_or("missing calibration_mops")?;
+    if cal <= 0.0 {
+        return Err("calibration_mops must be positive".into());
+    }
+    let scale = if raw { 1.0 } else { 1.0 / cal };
+    let mut out = Vec::new();
+    for op in doc
+        .get("ops")
+        .and_then(Json::as_array)
+        .ok_or("missing ops array")?
+    {
+        let name = op
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("op entry missing name")?;
+        for t in op
+            .get("threads")
+            .and_then(Json::as_array)
+            .ok_or("op entry missing threads array")?
+        {
+            let threads = t
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or("thread entry missing count")?;
+            let bps = t
+                .get("batches_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or("thread entry missing batches_per_sec")?;
+            out.push((name.to_string(), threads, bps * scale));
+        }
+    }
+    Ok(out)
+}
+
+/// Compare two parsed reports. A row fails when the current (normalised)
+/// throughput drops below `baseline × (1 − tolerance)`. Every (op,
+/// threads) point present in the *baseline* must exist in the current
+/// report — a missing point is an error, so a schema change cannot
+/// silently disable the gate.
+pub fn gate_compare(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+    raw: bool,
+) -> Result<Vec<GateRow>, String> {
+    assert!((0.0..1.0).contains(&tolerance));
+    let cur = normalised_points(current, raw).map_err(|e| format!("current: {e}"))?;
+    let base = normalised_points(baseline, raw).map_err(|e| format!("baseline: {e}"))?;
+    let mut rows = Vec::new();
+    for (op, threads, b) in base {
+        let c = cur
+            .iter()
+            .find(|(o, t, _)| *o == op && *t == threads)
+            .map(|&(_, _, v)| v)
+            .ok_or_else(|| format!("current report is missing {op} @ {threads} threads"))?;
+        let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+        rows.push(GateRow {
+            op,
+            threads,
+            baseline: b,
+            current: c,
+            ratio,
+            failed: c < b * (1.0 - tolerance),
+        });
+    }
+    Ok(rows)
+}
+
+/// CLI entry: load both reports, compare, print the table, and return
+/// whether the gate passed. Errors (unreadable/ill-formed reports) are
+/// gate failures — the gate must never pass vacuously.
+pub fn perf_gate(
+    current_path: &str,
+    baseline_path: &str,
+    tolerance: f64,
+    raw: bool,
+) -> Result<bool, String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        pim_runtime::export::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = load(current_path)?;
+    let baseline = load(baseline_path)?;
+    let rows = gate_compare(&current, &baseline, tolerance, raw)?;
+    let unit = if raw { "batches/s" } else { "norm" };
+    println!(
+        "== perf gate: {current_path} vs {baseline_path} (tolerance {:.0}%, {unit}) ==",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<12} {:>8} {:>14} {:>14} {:>8} {:>6}",
+        "op", "threads", "baseline", "current", "ratio", "gate"
+    );
+    let mut pass = true;
+    for r in &rows {
+        println!(
+            "{:<12} {:>8} {:>14.4} {:>14.4} {:>8.2} {:>6}",
+            r.op,
+            r.threads,
+            r.baseline,
+            r.current,
+            r.ratio,
+            if r.failed { "FAIL" } else { "ok" }
+        );
+        pass &= !r.failed;
+    }
+    Ok(pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_report(bps: f64, cal: f64) -> Json {
+        let params = WallclockParams {
+            p: 16,
+            n: 4_000,
+            warmup: 0,
+            reps: 1,
+            min_secs: 0.0,
+            seed: 1,
+        };
+        let timings: Vec<OpTiming> = OPS
+            .iter()
+            .flat_map(|&op| {
+                THREAD_LADDER.iter().map(move |&threads| OpTiming {
+                    op,
+                    threads,
+                    batch: 64,
+                    batches_per_sec: bps,
+                })
+            })
+            .collect();
+        report_json(&params, true, cal, &timings)
+    }
+
+    #[test]
+    fn gate_fails_on_doubled_baseline() {
+        // The acceptance check for the gate itself: a baseline claiming 2×
+        // the current throughput must fail at 25% tolerance.
+        let current = synthetic_report(100.0, 1000.0);
+        let doubled = synthetic_report(200.0, 1000.0);
+        let rows = gate_compare(&current, &doubled, 0.25, false).unwrap();
+        assert!(!rows.is_empty());
+        assert!(
+            rows.iter().all(|r| r.failed),
+            "every row must fail against a 2x baseline"
+        );
+        // And the same comparison the right way round passes.
+        let rows = gate_compare(&doubled, &current, 0.25, false).unwrap();
+        assert!(rows.iter().all(|r| !r.failed));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let current = synthetic_report(80.0, 1000.0);
+        let baseline = synthetic_report(100.0, 1000.0);
+        // 20% down, 25% tolerance: pass.
+        let rows = gate_compare(&current, &baseline, 0.25, false).unwrap();
+        assert!(rows.iter().all(|r| !r.failed));
+        // 20% down, 10% tolerance: fail.
+        let rows = gate_compare(&current, &baseline, 0.10, false).unwrap();
+        assert!(rows.iter().all(|r| r.failed));
+    }
+
+    #[test]
+    fn gate_normalises_by_calibration() {
+        // Same machine-relative speed: current ran on a machine measured
+        // 2x slower (half the calibration Mop/s, half the throughput) —
+        // normalisation cancels and the gate passes.
+        let current = synthetic_report(50.0, 500.0);
+        let baseline = synthetic_report(100.0, 1000.0);
+        let rows = gate_compare(&current, &baseline, 0.25, false).unwrap();
+        assert!(rows.iter().all(|r| !r.failed));
+        // Raw mode sees the 2x drop and fails.
+        let rows = gate_compare(&current, &baseline, 0.25, true).unwrap();
+        assert!(rows.iter().all(|r| r.failed));
+    }
+
+    #[test]
+    fn gate_errors_on_missing_points() {
+        let current = synthetic_report(100.0, 1000.0);
+        let baseline = synthetic_report(100.0, 1000.0);
+        // Strip one op from the current report.
+        let mut cur = match current {
+            Json::Obj(fields) => fields,
+            _ => unreachable!(),
+        };
+        for (k, v) in &mut cur {
+            if k == "ops" {
+                if let Json::Arr(arr) = v {
+                    arr.pop();
+                }
+            }
+        }
+        let err = gate_compare(&Json::Obj(cur), &baseline, 0.25, false).unwrap_err();
+        assert!(err.contains("missing"), "got: {err}");
+    }
+
+    #[test]
+    fn gate_rejects_wrong_schema() {
+        let good = synthetic_report(1.0, 1.0);
+        let bad = Json::Obj(vec![("schema".into(), jstr("something-else"))]);
+        assert!(gate_compare(&good, &bad, 0.25, false).is_err());
+        assert!(gate_compare(&bad, &good, 0.25, false).is_err());
+    }
+
+    #[test]
+    fn report_schema_is_deterministic() {
+        // Two reports with different values must have identical key
+        // structure (the committed baseline diff relies on it).
+        let strip = |j: &Json| -> String {
+            // Key skeleton: serialise with all numbers zeroed.
+            fn zero(j: &Json) -> Json {
+                match j {
+                    Json::Num(_) => Json::Num(0.0),
+                    Json::Arr(a) => Json::Arr(a.iter().map(zero).collect()),
+                    Json::Obj(f) => {
+                        Json::Obj(f.iter().map(|(k, v)| (k.clone(), zero(v))).collect())
+                    }
+                    other => other.clone(),
+                }
+            }
+            zero(j).to_json()
+        };
+        assert_eq!(
+            strip(&synthetic_report(1.0, 2.0)),
+            strip(&synthetic_report(9.0, 7.0))
+        );
+    }
+
+    #[test]
+    fn sweep_smoke() {
+        // Tiny run: every op × thread point produces a positive rate.
+        let params = WallclockParams {
+            p: 4,
+            n: 300,
+            warmup: 0,
+            reps: 1,
+            min_secs: 0.0,
+            seed: 3,
+        };
+        let timings = run_sweep(&params);
+        pool::configure(ExecConfig::from_env());
+        assert_eq!(timings.len(), OPS.len() * THREAD_LADDER.len());
+        assert!(timings.iter().all(|t| t.batches_per_sec > 0.0));
+        assert!(timings.iter().all(|t| t.batch > 0));
+    }
+}

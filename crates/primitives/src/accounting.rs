@@ -3,7 +3,7 @@
 //! The PIM model analyses the CPU side with standard work–depth metrics
 //! (§2.1): "CPU work (total work summed over all the CPU cores) and CPU
 //! depth (sum of the work on the critical path)". Because the simulator's
-//! CPU side runs on a real work-stealing scheduler (rayon), wall clock would
+//! CPU side runs on a real parallel executor (`pim_runtime::pool`), wall clock would
 //! conflate machine effects with algorithmic cost, so every primitive
 //! *charges* its asymptotic work and depth analytically, exactly as the
 //! paper's proofs do (e.g. "Semisorting the batch takes `O(P log P)`

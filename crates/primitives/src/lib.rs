@@ -15,7 +15,8 @@
 //! * [`paths`] — search-path LCA hints for the pivot divide-and-conquer
 //!   (§4.2).
 //!
-//! Every routine *executes* in parallel (rayon) and *charges* its
+//! Every routine *executes* in parallel (on the `pim-pool` executor,
+//! [`pim_runtime::pool`]) and *charges* its
 //! model-level work/depth through [`accounting::CpuCost`], keeping the
 //! simulator's CPU metrics aligned with the paper's analysis.
 

@@ -15,8 +15,7 @@
 //! per round, giving `O(R)` work and `O(log R)` depth whp for `R` marked
 //! nodes — the costs charged here.
 
-use rayon::prelude::*;
-
+use pim_runtime::pool;
 use pim_runtime::Rng;
 
 use crate::accounting::{log2c, CpuCost};
@@ -81,9 +80,21 @@ pub fn contract(lists: &mut LinkedLists, removed: &[bool], rng: &mut Rng) -> Cpu
         let is_blocked = |me: usize, nb: usize| -> bool {
             nb != NONE && priority[nb] != u32::MAX && priority[nb] < priority[me]
         };
-        let (splice, keep): (Vec<usize>, Vec<usize>) = alive
-            .par_iter()
-            .partition(|&&i| !is_blocked(i, lists.prev[i]) && !is_blocked(i, lists.next[i]));
+        // Local-minimum test in parallel (pure reads), then an O(|alive|)
+        // sequential split that preserves `alive` order — the same output
+        // `Iterator::partition` produced.
+        let splice_flags: Vec<bool> = pool::par_map_indexed(alive.len(), alive.len(), |idx| {
+            let i = alive[idx];
+            !is_blocked(i, lists.prev[i]) && !is_blocked(i, lists.next[i])
+        });
+        let (mut splice, mut keep) = (Vec::new(), Vec::new());
+        for (idx, &i) in alive.iter().enumerate() {
+            if splice_flags[idx] {
+                splice.push(i);
+            } else {
+                keep.push(i);
+            }
+        }
 
         debug_assert!(!splice.is_empty(), "contraction made no progress");
         // The splice set is independent: apply sequentially (cheap) —

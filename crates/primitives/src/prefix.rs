@@ -3,12 +3,18 @@
 //! Used by the range-operation pipeline (§5.2 step 4: "We compute the prefix
 //! sum of the subrange sizes in ascending order, and partition the subranges
 //! into groups") and by assorted batch bookkeeping. Work `O(n)`, depth
-//! `O(log n)` — the textbook two-pass blocked scan, actually executed in
-//! parallel with rayon.
+//! `O(log n)` — the textbook two-pass blocked scan, executed in parallel on
+//! the `pim-pool` executor ([`pim_runtime::pool`]).
 
-use rayon::prelude::*;
+use pim_runtime::pool;
 
 use crate::accounting::{log2c, CpuCost};
+
+/// Scan block size. Fixed (not derived from the worker count) so the block
+/// structure — and with it every intermediate the scan could ever expose —
+/// is a function of the input alone; `PIM_THREADS` only changes which
+/// worker sums which block.
+const SCAN_BLOCK: usize = 4096;
 
 /// Exclusive prefix sums: `out[i] = Σ_{j<i} xs[j]`; returns `(out, total,
 /// cost)`.
@@ -17,9 +23,12 @@ pub fn exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64, CpuCost) {
     if n == 0 {
         return (Vec::new(), 0, CpuCost::new(0, 1));
     }
-    let chunk = (n / rayon::current_num_threads().max(1)).max(1024);
+    let chunk = SCAN_BLOCK;
     // Pass 1: per-block sums.
-    let block_sums: Vec<u64> = xs.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    let n_blocks = n.div_ceil(chunk);
+    let block_sums: Vec<u64> = pool::par_map_indexed(n_blocks, n, |b| {
+        xs[b * chunk..((b + 1) * chunk).min(n)].iter().sum()
+    });
     // Sequential scan over the (few) block sums.
     let mut block_offsets = Vec::with_capacity(block_sums.len());
     let mut acc = 0u64;
@@ -29,24 +38,23 @@ pub fn exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64, CpuCost) {
     }
     // Pass 2: per-block exclusive scan with offset.
     let mut out = vec![0u64; n];
-    out.par_chunks_mut(chunk)
-        .zip(xs.par_chunks(chunk))
-        .zip(block_offsets.par_iter())
-        .for_each(|((o, c), &off)| {
-            let mut run = off;
-            for (oi, &ci) in o.iter_mut().zip(c) {
-                *oi = run;
-                run += ci;
-            }
-        });
+    pool::par_chunks_mut(&mut out, chunk, n, |b, o| {
+        let mut run = block_offsets[b];
+        for (oi, &ci) in o.iter_mut().zip(&xs[b * chunk..]) {
+            *oi = run;
+            run += ci;
+        }
+    });
     (out, acc, CpuCost::new(n as u64, log2c(n as u64)))
 }
 
 /// Inclusive prefix sums: `out[i] = Σ_{j<=i} xs[j]`.
 pub fn inclusive_scan(xs: &[u64]) -> (Vec<u64>, u64, CpuCost) {
     let (mut out, total, cost) = exclusive_scan(xs);
-    out.par_iter_mut().zip(xs.par_iter()).for_each(|(o, &x)| {
-        *o += x;
+    pool::par_chunks_mut(&mut out, SCAN_BLOCK, xs.len(), |b, o| {
+        for (oi, &xi) in o.iter_mut().zip(&xs[b * SCAN_BLOCK..]) {
+            *oi += xi;
+        }
     });
     (out, total, cost)
 }

@@ -13,9 +13,8 @@
 //! equal keys are contiguous in the output but the global order is the
 //! (random) hash order, not the key order.
 
-use rayon::prelude::*;
-
 use pim_runtime::hashfn::hash1;
+use pim_runtime::pool;
 
 use crate::accounting::{log2c, CpuCost};
 
@@ -38,8 +37,10 @@ where
         slots[b].push(item);
     }
     // Group equal keys within each bucket (buckets are small in
-    // expectation; sort each by hashed key for contiguity).
-    slots.par_iter_mut().for_each(|bucket| {
+    // expectation; sort each by hashed key for contiguity). Buckets are
+    // independent, so the pool sweeps them in parallel; each bucket's
+    // stable std sort keeps the output thread-count-invariant.
+    pool::par_for_each_mut(&mut slots, n as usize, |_, bucket| {
         bucket.sort_by_key(|it| hash1(seed, key(it)));
     });
     let out: Vec<T> = slots.into_iter().flatten().collect();

@@ -3,27 +3,30 @@
 //! The paper's batch operations begin by sorting the batch on the CPU side
 //! ("The keys in the batch are first sorted on the CPU side", §4.2), citing
 //! binary-forking-model sorting [9] with `O(n log n)` work and `O(log n)`
-//! whp depth. The execution here uses rayon's parallel merge/quick sort,
-//! and charges the cited costs.
+//! whp depth. The execution here uses `pim-pool`'s parallel stable merge
+//! sort ([`pim_runtime::pool`]), and charges the cited costs. Stability
+//! matters for the runtime's determinism contract: a stable sort's output
+//! permutation is canonical, so `PIM_THREADS=1` and `PIM_THREADS=N`
+//! produce identical bytes even on key-tied inputs.
 
-use rayon::prelude::*;
+use pim_runtime::pool;
 
 use crate::accounting::{log2c, CpuCost};
 
 /// Parallel comparison sort: `O(n log n)` work, `O(log n)` depth whp.
-pub fn par_sort<T: Ord + Send>(items: &mut [T]) -> CpuCost {
-    items.par_sort_unstable();
+pub fn par_sort<T: Ord + Copy + Send + Sync>(items: &mut [T]) -> CpuCost {
+    pool::par_sort(items);
     sort_cost(items.len() as u64)
 }
 
 /// Parallel sort by key extraction.
 pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F) -> CpuCost
 where
-    T: Send,
+    T: Copy + Send + Sync,
     K: Ord,
     F: Fn(&T) -> K + Sync,
 {
-    items.par_sort_unstable_by_key(key);
+    pool::par_sort_by_key(items, key);
     sort_cost(items.len() as u64)
 }
 

@@ -5,8 +5,8 @@
 //! §2.1:
 //!
 //! * a **CPU side** of parallel cores with a small shared memory of `M`
-//!   words (realised by the caller's rayon-parallel driver code plus the
-//!   [`metrics::SharedMem`] tracker),
+//!   words (realised by driver code running on the [`pool`] executor plus
+//!   the [`metrics::SharedMem`] tracker),
 //! * a **PIM side** of `P` modules, each a core with `Θ(n/P)` words of
 //!   local memory (the [`module::PimModule`] trait), and
 //! * a **network** operating in bulk-synchronous rounds, with `TaskSend`
@@ -59,6 +59,7 @@ pub mod hashfn;
 pub mod histogram;
 pub mod metrics;
 pub mod module;
+pub mod pool;
 pub mod rng;
 pub mod span;
 pub mod system;
@@ -70,6 +71,7 @@ pub use handle::{Arena, Handle, ModuleId};
 pub use histogram::{Histogram, ModuleLanes};
 pub use metrics::{Metrics, SharedMem};
 pub use module::{ModuleCtx, PimModule};
+pub use pool::ExecConfig;
 pub use rng::Rng;
 pub use span::{ProbeReport, Span, SpanId};
 pub use system::{PimSystem, SpanGuard};

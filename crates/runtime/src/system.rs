@@ -14,12 +14,13 @@
 //!   model's "offload via shared memory" route.
 //!
 //! The round's `h` is the max per-module total; IO time is `Σ h` (see
-//! [`Metrics`]). Modules execute their queues in parallel via rayon — the
-//! simulation stays deterministic because messages are only visible at the
-//! next barrier and per-receiver delivery order is fixed (CPU sends first,
-//! then forwarded sends in sender-id order).
-
-use rayon::prelude::*;
+//! [`Metrics`]). Modules execute their queues in parallel on the
+//! [`crate::pool`] executor (workers claim contiguous module ranges; the
+//! per-module outputs are merged back in module-id order) — the simulation
+//! stays deterministic because messages are only visible at the next
+//! barrier and per-receiver delivery order is fixed (CPU sends first, then
+//! forwarded sends in sender-id order). `PIM_THREADS` changes only the
+//! wall-clock time of a round, never its metrics, replies or traces.
 
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 use crate::handle::ModuleId;
@@ -253,12 +254,15 @@ impl<M: PimModule> PimSystem<M> {
             }
         }
 
-        let mut outs: Vec<RoundOut<M::Task, M::Reply>> = self
-            .modules
-            .par_iter_mut()
-            .zip(inboxes.into_par_iter())
-            .enumerate()
-            .map(|(id, (module, inbox))| {
+        // The weight hint is the number of delivered tasks: control rounds
+        // (a handful of messages) stay on the calling thread, while
+        // data-proportional rounds fan out across the pool's workers.
+        let delivered_total: usize = inboxes.iter().map(Vec::len).sum();
+        let mut outs: Vec<RoundOut<M::Task, M::Reply>> = crate::pool::par_zip_map_mut(
+            &mut self.modules,
+            inboxes,
+            delivered_total,
+            |id, module, inbox| {
                 let mut sends = Vec::new();
                 let mut replies = Vec::new();
                 let mut work = 0u64;
@@ -274,8 +278,8 @@ impl<M: PimModule> PimSystem<M> {
                     work,
                     delivered,
                 }
-            })
-            .collect();
+            },
+        );
 
         // A slow module's local work is inflated before the barrier maxima
         // are taken (the round waits for its slowest core).

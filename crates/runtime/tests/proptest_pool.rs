@@ -1,0 +1,97 @@
+//! Property-based testing of the `pim-pool` executor.
+//!
+//! The pool's contract is that its results are a pure function of the
+//! input — never of the thread count, chunk boundaries, or scheduling
+//! order. Random inputs are run at several forced thread counts (explicit
+//! [`ExecConfig`]s with zero thresholds, so even tiny inputs actually
+//! fork) and must agree with each other and with the std reference.
+
+use proptest::prelude::*;
+
+use pim_runtime::pool::{self, ExecConfig};
+
+/// A config that forks at the given width no matter how small the input.
+fn forced(threads: usize) -> ExecConfig {
+    ExecConfig {
+        threads,
+        par_threshold: 0,
+        sort_threshold: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn par_sort_matches_std_stable_sort(
+        v in prop::collection::vec((0u8..8, any::<u32>()), 0..600),
+        threads in 1usize..9,
+    ) {
+        // Keys collide constantly (u8 % 8): this is a tie-heavy input, so
+        // agreement with the *stable* std sort pins the exact output
+        // permutation, not just sortedness.
+        let mut ours = v.clone();
+        pool::par_sort_by_with(&forced(threads), &mut ours, |a, b| a.0.cmp(&b.0));
+        let mut expect = v;
+        expect.sort_by_key(|a| a.0);
+        prop_assert_eq!(ours, expect);
+    }
+
+    #[test]
+    fn par_sort_matches_sort_unstable_on_total_orders(
+        v in prop::collection::vec(any::<i64>(), 0..600),
+        threads in 1usize..9,
+    ) {
+        // Under a total order stability is unobservable, so the parallel
+        // merge sort and pdqsort must produce identical slices.
+        let mut ours = v.clone();
+        pool::par_sort_by_with(&forced(threads), &mut ours, |a, b| a.cmp(b));
+        let mut expect = v;
+        expect.sort_unstable();
+        prop_assert_eq!(ours, expect);
+    }
+
+    #[test]
+    fn par_sort_is_thread_count_invariant(
+        v in prop::collection::vec((0u8..4, any::<u16>()), 0..400),
+    ) {
+        let mut at1 = v.clone();
+        pool::par_sort_by_with(&forced(1), &mut at1, |a, b| a.0.cmp(&b.0));
+        for threads in [2usize, 3, 5, 8] {
+            let mut atn = v.clone();
+            pool::par_sort_by_with(&forced(threads), &mut atn, |a, b| a.0.cmp(&b.0));
+            prop_assert_eq!(&atn, &at1, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn par_map_is_thread_count_invariant(
+        n in 0usize..500,
+        salt in any::<u64>(),
+    ) {
+        let f = |i: usize| (i as u64).wrapping_mul(salt).rotate_left(7);
+        let at1: Vec<u64> = pool::par_map_indexed_with(&forced(1), n, usize::MAX, f);
+        for threads in [2usize, 4, 8] {
+            let atn: Vec<u64> = pool::par_map_indexed_with(&forced(threads), n, usize::MAX, f);
+            prop_assert_eq!(&atn, &at1, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn par_chunks_is_chunk_boundary_faithful(
+        n in 1usize..500,
+        chunk in 1usize..64,
+        threads in 1usize..9,
+    ) {
+        // Every element must be visited exactly once, by the chunk index
+        // that owns it.
+        let mut v = vec![0u64; n];
+        pool::par_chunks_mut_with(&forced(threads), &mut v, chunk, usize::MAX, |ci, c| {
+            for (off, x) in c.iter_mut().enumerate() {
+                *x = (ci * chunk + off) as u64 + 1;
+            }
+        });
+        let expect: Vec<u64> = (1..=n as u64).collect();
+        prop_assert_eq!(v, expect);
+    }
+}

@@ -1,16 +1,28 @@
 //! Vendored stand-in for `rayon`, providing the exact API surface this
-//! workspace uses, backed by sequential `std` iterators.
+//! workspace uses.
 //!
 //! The build environment is hermetic (no crates.io access), so the real
-//! data-parallel executor cannot be pulled in. Everything here preserves
-//! semantics — `par_iter` is `iter`, `par_sort_unstable` is
-//! `sort_unstable` — only the wall-clock parallelism is gone, which the
-//! simulator's *model* cost accounting (rounds, h-relations, CPU
-//! work/depth) never depended on.
+//! work-stealing executor cannot be pulled in. Since PR 3 the workspace's
+//! own deterministic executor — `pim-pool`, [`pim_runtime::pool`] — does
+//! the actual parallel execution, and this facade delegates to it:
+//!
+//! * [`current_num_threads`] reports the pool's configured worker count
+//!   (`PIM_THREADS` / [`pim_runtime::ExecConfig`]), so any caller that
+//!   sizes chunks or records a worker count sees the true value instead
+//!   of the old hardcoded `1`;
+//! * the `par_sort*` methods run the pool's parallel stable merge sort
+//!   for `Copy` payloads (all of this workspace's sort traffic) and fall
+//!   back to the std stable sort otherwise — both produce the canonical
+//!   stable permutation, preserving the byte-for-byte determinism
+//!   contract across thread counts;
+//! * the `par_iter`-family adapters remain sequential std iterators: the
+//!   workspace's hot paths now call `pim_runtime::pool` directly, and a
+//!   faithful lazy parallel-iterator engine is not worth hand-rolling for
+//!   a compatibility facade.
 
-/// Number of worker threads in the (sequential) pool.
+/// Number of worker threads in the pool (delegates to `pim-pool`).
 pub fn current_num_threads() -> usize {
-    1
+    pim_runtime::pool::current_num_threads()
 }
 
 pub mod prelude {
@@ -33,21 +45,26 @@ pub mod prelude {
         }
     }
 
-    /// Mutable counterparts plus the parallel sorts.
+    /// Mutable counterparts plus the parallel sorts. The sorts execute on
+    /// `pim-pool` (stable merge sort); the `Copy + Sync` bounds are what
+    /// the pool's safe ping-pong merge needs, and every type this
+    /// workspace ever sorted through rayon satisfies them.
     pub trait ParallelSliceMut<T> {
         fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
         fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
         fn par_sort_unstable(&mut self)
         where
-            T: Ord;
+            T: Ord + Copy + Send + Sync;
         fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
         where
+            T: Copy + Send + Sync,
             K: Ord,
-            F: FnMut(&T) -> K;
+            F: Fn(&T) -> K + Sync;
         fn par_sort_by_key<K, F>(&mut self, key: F)
         where
+            T: Copy + Send + Sync,
             K: Ord,
-            F: FnMut(&T) -> K;
+            F: Fn(&T) -> K + Sync;
     }
 
     impl<T> ParallelSliceMut<T> for [T] {
@@ -62,25 +79,27 @@ pub mod prelude {
         #[inline]
         fn par_sort_unstable(&mut self)
         where
-            T: Ord,
+            T: Ord + Copy + Send + Sync,
         {
-            self.sort_unstable();
+            pim_runtime::pool::par_sort(self);
         }
         #[inline]
         fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
         where
+            T: Copy + Send + Sync,
             K: Ord,
-            F: FnMut(&T) -> K,
+            F: Fn(&T) -> K + Sync,
         {
-            self.sort_unstable_by_key(key);
+            pim_runtime::pool::par_sort_by_key(self, key);
         }
         #[inline]
         fn par_sort_by_key<K, F>(&mut self, key: F)
         where
+            T: Copy + Send + Sync,
             K: Ord,
-            F: FnMut(&T) -> K,
+            F: Fn(&T) -> K + Sync,
         {
-            self.sort_by_key(key);
+            pim_runtime::pool::par_sort_by_key(self, key);
         }
     }
 
@@ -125,6 +144,25 @@ mod tests {
         assert_eq!(v, [2, 3, 4]);
         let chunks: Vec<usize> = v.par_chunks(2).map(|c| c.len()).collect();
         assert_eq!(chunks, [2, 1]);
-        assert_eq!(super::current_num_threads(), 1);
+    }
+
+    #[test]
+    fn num_threads_delegates_to_the_pool() {
+        // The old facade hardcoded 1; the delegation must report whatever
+        // the pool is configured with.
+        assert_eq!(
+            super::current_num_threads(),
+            pim_runtime::pool::current_num_threads()
+        );
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn sorts_route_through_the_pool_and_stay_stable() {
+        let mut v: Vec<(u8, u32)> = (0..1000u32).map(|i| ((i % 5) as u8, i)).collect();
+        let mut expect = v.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        v.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(v, expect);
     }
 }
