@@ -5,12 +5,20 @@
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
 //!           baselines, ablation, hprofile, paths, trace-export,
-//!           wallclock, perf-gate, all }
+//!           service, wallclock, perf-gate, all }
 //!
 //! `trace-export [--quick] [--out DIR]` runs an instrumented session and
 //! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
 //! `DIR/rounds.jsonl` (the `pim-trace` CLI's input); DIR defaults to
 //! `target/trace-export`.
+//!
+//! `service [--quick] [--out DIR]` sweeps the `pim-service` coalescing
+//! policy (max batch × max linger) over a deterministic open-loop mixed
+//! stream and prints sustained throughput (ops/round, ops/sec) and
+//! p50/p95/p99 request latency. With `--out DIR` it additionally runs one
+//! instrumented service session and writes `DIR/trace.json` /
+//! `DIR/rounds.jsonl` (byte-identical at every `PIM_THREADS`; the CI
+//! determinism job diffs them).
 //!
 //! `wallclock [--quick] [--out PATH]` sweeps every Table-1 op over
 //! PIM_THREADS ∈ {1, 2, 4, 8} and writes a `pim-wallclock/1` JSON report
@@ -96,6 +104,16 @@ fn main() {
             }
         }
     };
+    let run_service = || {
+        pim_bench::service::run_service(quick, seed);
+        if let Some(out_dir) = flag("--out") {
+            let (sp, sn) = if quick { (16, 4_000) } else { (32, 16_000) };
+            if let Err(e) = pim_bench::service::service_trace_export(out_dir, sp, sn, seed) {
+                eprintln!("service trace export: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
     let run_trace_export = || {
         let out_dir = flag("--out")
             .map(String::as_str)
@@ -121,6 +139,7 @@ fn main() {
         "hprofile" => run_hprofile(),
         "paths" => run_paths(),
         "trace-export" => run_trace_export(),
+        "service" => run_service(),
         "wallclock" => run_wallclock(),
         "perf-gate" => run_perf_gate(),
         "all" => {
@@ -146,7 +165,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export wallclock perf-gate all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock perf-gate all");
             std::process::exit(2);
         }
     }

@@ -18,6 +18,7 @@
 
 pub mod experiments;
 pub mod measure;
+pub mod service;
 pub mod wallclock;
 
 pub use measure::{build_loaded_list, BatchCosts};

@@ -20,12 +20,14 @@
 
 use std::time::Instant;
 
-use pim_core::{Key, PimSkipList, Value};
+use pim_core::{Key, Op, PimSkipList, Value};
 use pim_runtime::export::{num, str as jstr, Json};
 use pim_runtime::pool::{self, ExecConfig};
-use pim_workloads::PointGen;
+use pim_service::{PimService, ServiceConfig};
+use pim_workloads::{ArrivalGen, OpMix, PointGen};
 
 use crate::measure::build_loaded_list;
+use crate::service::to_op;
 
 /// Schema tag written into every report.
 pub const SCHEMA: &str = "pim-wallclock/1";
@@ -34,14 +36,18 @@ pub const SCHEMA: &str = "pim-wallclock/1";
 /// schema is identical on every machine.
 pub const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
 
-/// The Table-1 operations the harness times, in report order.
-pub const OPS: [&str; 6] = [
+/// The operations the harness times, in report order: the Table-1 batch
+/// family plus one `Service` episode (a fixed open-loop schedule pushed
+/// through the `pim-service` coalescing front-end — the end-to-end path a
+/// real client exercises).
+pub const OPS: [&str; 7] = [
     "Get",
     "Update",
     "Successor",
     "Predecessor",
     "Upsert",
     "Delete",
+    "Service",
 ];
 
 /// Sizing and repetition knobs for one run.
@@ -130,6 +136,10 @@ struct OpWorkloads {
     pred_batch: Vec<Key>,
     fresh_pairs: Vec<(Key, Value)>,
     delete_keys: Vec<Key>,
+    /// Open-loop schedule for the `Service` episode: `(tick, op)` pairs,
+    /// reads and in-place updates only so the resident set is unchanged
+    /// and every rep does identical work.
+    service_sched: Vec<(u64, Op)>,
 }
 
 impl OpWorkloads {
@@ -152,6 +162,17 @@ impl OpWorkloads {
             .map(|k| (k + (params.n as i64) * 128, k as u64))
             .collect();
         let delete_keys = gen.distinct_from_existing(keys, large.min(keys.len()));
+        let service_sched: Vec<(u64, Op)> = ArrivalGen::new(
+            params.seed ^ 0x5E12,
+            keys.to_vec(),
+            0.8,
+            small as f64,
+            OpMix::read_heavy(),
+        )
+        .schedule(8)
+        .into_iter()
+        .map(|e| (e.tick, to_op(e.op)))
+        .collect();
         OpWorkloads {
             small,
             large,
@@ -161,6 +182,7 @@ impl OpWorkloads {
             pred_batch,
             fresh_pairs,
             delete_keys,
+            service_sched,
         }
     }
 
@@ -168,6 +190,7 @@ impl OpWorkloads {
         match op {
             "Get" | "Update" => self.small,
             "Delete" => self.delete_keys.len(),
+            "Service" => self.service_sched.len(),
             _ => self.large,
         }
     }
@@ -214,6 +237,34 @@ impl OpWorkloads {
                 let pairs: Vec<(Key, Value)> =
                     self.delete_keys.iter().map(|&k| (k, k as u64)).collect();
                 list.batch_upsert(&pairs);
+                secs
+            }
+            "Service" => {
+                // One open-loop episode through the pim-service front-end.
+                // The service temporarily owns the structure; a throwaway
+                // placeholder stands in until it is returned. The queue is
+                // sized to the whole schedule so nothing is rejected and
+                // every rep completes identical work.
+                let placeholder = PimSkipList::new(pim_core::Config::new(1, 16, 0));
+                let owned = std::mem::replace(list, placeholder);
+                let cfg = ServiceConfig::new(self.small)
+                    .with_max_linger(2)
+                    .with_max_queue(self.service_sched.len().max(self.small));
+                let mut svc = PimService::new(owned, cfg);
+                let t = Instant::now();
+                let mut i = 0;
+                let last_tick = self.service_sched.last().map_or(0, |e| e.0);
+                for tick in 0..=last_tick {
+                    while i < self.service_sched.len() && self.service_sched[i].0 == tick {
+                        svc.submit(self.service_sched[i].1)
+                            .expect("queue sized for the whole schedule");
+                        i += 1;
+                    }
+                    std::hint::black_box(svc.tick());
+                }
+                std::hint::black_box(svc.flush());
+                let secs = t.elapsed().as_secs_f64();
+                *list = svc.into_list();
                 secs
             }
             other => unreachable!("unknown op {other}"),

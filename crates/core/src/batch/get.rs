@@ -164,38 +164,73 @@ impl PimSkipList {
 }
 
 impl PimSkipList {
-    /// Dereference a batch of node handles (e.g. the pointers returned by
-    /// [`PimSkipList::batch_successor`]): one message to each owning
-    /// module, `(key, value)` back — `O(1)` messages and PIM work per
-    /// handle, PIM-balanced whenever the handles are (they were placed by
-    /// the secret hash).
+    /// Dereference a batch of node handles (e.g. the pointers carried by
+    /// [`crate::Reply::Entry`] answers from [`PimSkipList::batch_successor`]):
+    /// one message to each owning module, `(key, value)` back — `O(1)`
+    /// messages and PIM work per handle, PIM-balanced whenever the handles
+    /// are (they were placed by the secret hash).
     /// Handles must be non-null and live (e.g. just returned by a search
     /// in the same quiescent period); dereferencing a stale or null handle
     /// panics, as any wild `RemoteRead` on the machine would.
     pub fn batch_read(&mut self, handles: &[pim_runtime::Handle]) -> Vec<(Key, Value)> {
-        for (op, &h) in handles.iter().enumerate() {
-            assert!(h.is_some(), "batch_read: null handle at position {op}");
-            let target = if h.is_replicated() {
-                self.random_module()
-            } else {
-                h.module()
-            };
-            self.sys.send(
-                target,
-                Task::ReadNode {
-                    op: op as u32,
-                    node: h,
-                },
-            );
+        self.try_batch_read(handles)
+            .unwrap_or_else(|e| panic!("batch_read: {e}"))
+    }
+
+    /// Fault-tolerant handle dereference; see [`PimSkipList::batch_read`].
+    /// Idempotent, so lost messages or module crashes are retried through
+    /// the read-side recovery loop like every other read.
+    pub fn try_batch_read(
+        &mut self,
+        handles: &[pim_runtime::Handle],
+    ) -> PimResult<Vec<(Key, Value)>> {
+        if handles.is_empty() {
+            return Ok(Vec::new());
         }
-        let replies = self.sys.run_to_quiescence();
-        let mut out = vec![(0, 0); handles.len()];
-        for r in replies {
-            match r {
-                Reply::NodeValue { op, key, value } => out[op as usize] = (key, value),
-                other => unreachable!("unexpected reply in batch_read: {other:?}"),
+        self.retry_read("batch_read", handles.len(), |s| s.read_attempt(handles))
+    }
+
+    /// One fault-observable attempt of [`PimSkipList::batch_read`].
+    pub(crate) fn read_attempt(
+        &mut self,
+        handles: &[pim_runtime::Handle],
+    ) -> PimResult<Vec<(Key, Value)>> {
+        self.spanned("read", |s| {
+            for (op, &h) in handles.iter().enumerate() {
+                assert!(h.is_some(), "batch_read: null handle at position {op}");
+                let target = if h.is_replicated() {
+                    s.random_module()
+                } else {
+                    h.module()
+                };
+                s.sys.send(
+                    target,
+                    Task::ReadNode {
+                        op: op as u32,
+                        node: h,
+                    },
+                );
             }
-        }
-        out
+            let replies = s.sys.run_to_quiescence();
+            let mut out = vec![None; handles.len()];
+            let mut faulted = 0usize;
+            for r in replies {
+                match r {
+                    Reply::NodeValue { op, key, value } => {
+                        let slot = out
+                            .get_mut(op as usize)
+                            .ok_or_else(|| PimError::protocol("batch_read", op))?;
+                        *slot = Some((key, value));
+                    }
+                    Reply::Faulted { .. } => faulted += 1,
+                    other => return Err(PimError::protocol("batch_read", other)),
+                }
+            }
+            if faulted > 0 || out.iter().any(Option::is_none) {
+                let missing = out.iter().filter(|o| o.is_none()).count();
+                return Err(PimError::incomplete("batch_read", faulted + missing));
+            }
+            Ok(out.into_iter().map(Option::unwrap).collect())
+        })
     }
 }

@@ -504,8 +504,12 @@ impl PimSkipList {
     /// Correct, but **not PIM-balanced**: under the same-successor
     /// adversary every search path converges on the same lower-part nodes
     /// and the per-round `h` grows to the batch size (the paper's
-    /// "completely eliminating parallelism"). Kept as a baseline for the
-    /// FIG3 experiment; real callers use [`PimSkipList::batch_successor`].
+    /// "completely eliminating parallelism"). Kept **only** as a baseline
+    /// for the FIG3 experiment and the bench harness — it is not part of
+    /// the supported API surface (hence hidden from docs); real callers use
+    /// [`PimSkipList::batch_successor`] or the [`PimSkipList::execute`]
+    /// mixed-stream entry point.
+    #[doc(hidden)]
     pub fn batch_successor_naive(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
         let mut uniq: Vec<Key> = keys.to_vec();
         par_sort(&mut uniq).charge(self.sys.metrics_mut());

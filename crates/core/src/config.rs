@@ -39,6 +39,13 @@ pub struct Config {
     /// [`crate::error::PimError::RetriesExhausted`]. Irrelevant on a
     /// fault-free machine. Default 3.
     pub max_retries: u32,
+    /// Record every committed [`crate::Op`] run of
+    /// [`crate::list::PimSkipList::try_execute`] in the journal's op log
+    /// (host-DRAM bookkeeping, unmetered). Off by default: the log grows
+    /// with the op stream, which long soaks don't want. With it on, a
+    /// recovered structure provably equals a fresh one replaying the log
+    /// through `execute` (see the chaos suite).
+    pub record_op_log: bool,
 }
 
 impl Config {
@@ -53,6 +60,7 @@ impl Config {
             max_level,
             track_contention: false,
             max_retries: 3,
+            record_op_log: false,
         }
     }
 
@@ -72,6 +80,12 @@ impl Config {
     /// Enable Lemma 4.2 contention instrumentation.
     pub fn with_contention_tracking(mut self) -> Self {
         self.track_contention = true;
+        self
+    }
+
+    /// Enable the journal op log (see [`Config::record_op_log`]).
+    pub fn with_op_log(mut self) -> Self {
+        self.record_op_log = true;
         self
     }
 

@@ -26,6 +26,7 @@
 //! | Delete | [`PimSkipList::batch_delete`] |
 //! | RangeOperation (broadcast) | [`PimSkipList::range_broadcast`] |
 //! | RangeOperation (tree) | [`PimSkipList::batch_range`] |
+//! | mixed stream (service layer) | [`PimSkipList::execute`] |
 //!
 //! Every operation runs on the simulated PIM machine of `pim-runtime` and
 //! is fully metered (IO time, PIM time, rounds, CPU work/depth, shared
@@ -42,6 +43,7 @@ mod journal;
 pub mod list;
 pub mod module;
 pub mod node;
+pub mod op;
 pub mod range;
 mod recover;
 pub mod tasks;
@@ -50,6 +52,7 @@ pub use batch::UpsertOutcome;
 pub use config::{Config, Key, Value, NEG_INF, POS_INF};
 pub use error::{PimError, PimResult};
 pub use list::PimSkipList;
+pub use op::{Op, OpKind, Reply};
 pub use pim_runtime::{FaultKind, FaultPlan};
 pub use range::RangeResult;
 pub use tasks::RangeFunc;

@@ -160,6 +160,27 @@ impl PimSkipList {
         out
     }
 
+    /// Open a named probe span (no-op when no probe is enabled). Layered
+    /// front-ends — the `pim-service` scheduler — bracket their own phases
+    /// (`service/coalesce`, `service/dispatch`, `service/reply`) around
+    /// the batch entry points with this; every span opened must be closed
+    /// with [`PimSkipList::span_exit`] before the probe is harvested.
+    pub fn span_enter(&mut self, name: &'static str) {
+        self.sys.span_enter(name);
+    }
+
+    /// Close the innermost span opened with [`PimSkipList::span_enter`].
+    pub fn span_exit(&mut self) {
+        self.sys.span_exit();
+    }
+
+    /// The committed [`crate::Op`] stream recorded by
+    /// [`PimSkipList::try_execute`] (empty unless
+    /// [`Config::record_op_log`] is set).
+    pub fn op_log(&self) -> &[crate::op::Op] {
+        self.journal.op_log()
+    }
+
     /// The replicated root handle.
     pub(crate) fn root(&self) -> Handle {
         Handle::replicated(u32::from(self.cfg.max_level))

@@ -67,46 +67,32 @@ impl PimSkipList {
     }
 
     /// Fault-tolerant batched range operation; see
-    /// [`PimSkipList::batch_range`]. Read-only functions retry with
-    /// per-module recovery; mutating ones restore from the journal on any
-    /// damaged attempt so a partial pass is never applied twice.
+    /// [`PimSkipList::batch_range`]. A thin shim over
+    /// [`PimSkipList::try_execute`] (where validation and the retry
+    /// discipline live): read-only functions retry with per-module
+    /// recovery; mutating ones restore from the journal on any damaged
+    /// attempt so a partial pass is never applied twice.
     pub fn try_batch_range(
         &mut self,
         ranges: &[(Key, Key)],
         func: RangeFunc,
     ) -> PimResult<Vec<RangeResult>> {
-        if ranges.is_empty() {
-            return Ok(Vec::new());
-        }
-        for &(lo, hi) in ranges {
-            if lo > hi {
-                return Err(PimError::InvalidArgument {
-                    op: "batch_range",
-                    reason: format!("inverted range [{lo}, {hi}]"),
-                });
-            }
-        }
-        let mutating = matches!(func, RangeFunc::FetchAdd(_) | RangeFunc::AddInPlace(_));
-        if mutating && self.cfg.h_low == 0 {
-            return Err(PimError::InvalidArgument {
-                op: "batch_range",
-                reason: "mutating range functions require a distributed lower part (h_low > 0)"
-                    .into(),
-            });
-        }
-        if mutating {
-            self.retry_structural("batch_range", ranges.len(), |s| {
-                s.batch_range_attempt(ranges, func)
+        let ops: Vec<crate::Op> = ranges
+            .iter()
+            .map(|&(lo, hi)| crate::Op::Range { lo, hi, func })
+            .collect();
+        let replies = self.try_execute(&ops)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                crate::Reply::Range(res) => res,
+                other => unreachable!("Range run answered {other:?}"),
             })
-        } else {
-            self.retry_read("batch_range", ranges.len(), |s| {
-                s.batch_range_attempt(ranges, func)
-            })
-        }
+            .collect())
     }
 
     /// One fault-observable attempt of [`PimSkipList::batch_range`].
-    fn batch_range_attempt(
+    pub(crate) fn batch_range_attempt(
         &mut self,
         ranges: &[(Key, Key)],
         func: RangeFunc,

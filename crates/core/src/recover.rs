@@ -32,7 +32,8 @@ use crate::error::{PimError, PimResult};
 use crate::list::PimSkipList;
 use crate::module::SkipModule;
 use crate::node::Node;
-use crate::tasks::{Reply, Task};
+use crate::op::{Op, Reply};
+use crate::tasks::{Reply as ModuleReply, Task};
 
 impl PimSkipList {
     /// Did the machine record new message loss or module crashes since the
@@ -52,7 +53,7 @@ impl PimSkipList {
         let mut faulted = 0usize;
         for r in replies {
             match r {
-                Reply::Faulted { .. } => faulted += 1,
+                ModuleReply::Faulted { .. } => faulted += 1,
                 other => return Err(PimError::protocol(op, other)),
             }
         }
@@ -148,39 +149,97 @@ impl PimSkipList {
         })
     }
 
-    /// Fault-tolerant batched Get; see [`PimSkipList::batch_get`]. Retries
-    /// with module recovery under an installed fault plan.
+    /// Fault-tolerant batched Get; see [`PimSkipList::batch_get`]. A thin
+    /// shim over [`PimSkipList::try_execute`], where the retry/recovery
+    /// surface of every batch family is defined once.
     pub fn try_batch_get(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
-        self.retry_read("batch_get", keys.len(), |s| s.get_attempt(keys))
+        let ops: Vec<Op> = keys.iter().map(|&key| Op::Get { key }).collect();
+        let replies = self.try_execute(&ops)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Value(v) => v,
+                other => unreachable!("Get run answered {other:?}"),
+            })
+            .collect())
     }
 
     /// Fault-tolerant batched Update; see [`PimSkipList::batch_update`].
+    /// Shim over [`PimSkipList::try_execute`].
     pub fn try_batch_update(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
-        self.retry_read("batch_update", pairs.len(), |s| s.update_attempt(pairs))
+        let ops: Vec<Op> = pairs
+            .iter()
+            .map(|&(key, value)| Op::Update { key, value })
+            .collect();
+        let replies = self.try_execute(&ops)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Updated(found) => found,
+                other => unreachable!("Update run answered {other:?}"),
+            })
+            .collect())
     }
 
     /// Fault-tolerant batched Successor; see
-    /// [`PimSkipList::batch_successor`].
+    /// [`PimSkipList::batch_successor`]. Shim over
+    /// [`PimSkipList::try_execute`].
     pub fn try_batch_successor(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
-        self.retry_read("batch_successor", keys.len(), |s| s.successor_attempt(keys))
+        let ops: Vec<Op> = keys.iter().map(|&key| Op::Successor { key }).collect();
+        let replies = self.try_execute(&ops)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Entry(e) => e,
+                other => unreachable!("Successor run answered {other:?}"),
+            })
+            .collect())
     }
 
     /// Fault-tolerant batched Predecessor; see
-    /// [`PimSkipList::batch_predecessor`].
+    /// [`PimSkipList::batch_predecessor`]. Shim over
+    /// [`PimSkipList::try_execute`].
     pub fn try_batch_predecessor(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
-        self.retry_read("batch_predecessor", keys.len(), |s| {
-            s.predecessor_attempt(keys)
-        })
+        let ops: Vec<Op> = keys.iter().map(|&key| Op::Predecessor { key }).collect();
+        let replies = self.try_execute(&ops)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Entry(e) => e,
+                other => unreachable!("Predecessor run answered {other:?}"),
+            })
+            .collect())
     }
 
     /// Fault-tolerant batched Upsert; see [`PimSkipList::batch_upsert`].
+    /// Shim over [`PimSkipList::try_execute`].
     pub fn try_batch_upsert(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
-        self.retry_structural("batch_upsert", pairs.len(), |s| s.upsert_attempt(pairs))
+        let ops: Vec<Op> = pairs
+            .iter()
+            .map(|&(key, value)| Op::Upsert { key, value })
+            .collect();
+        let replies = self.try_execute(&ops)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Upserted(outcome) => outcome,
+                other => unreachable!("Upsert run answered {other:?}"),
+            })
+            .collect())
     }
 
     /// Fault-tolerant batched Delete; see [`PimSkipList::batch_delete`].
+    /// Shim over [`PimSkipList::try_execute`].
     pub fn try_batch_delete(&mut self, keys: &[Key]) -> PimResult<Vec<bool>> {
-        self.retry_structural("batch_delete", keys.len(), |s| s.delete_attempt(keys))
+        let ops: Vec<Op> = keys.iter().map(|&key| Op::Delete { key }).collect();
+        let replies = self.try_execute(&ops)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Deleted(found) => found,
+                other => unreachable!("Delete run answered {other:?}"),
+            })
+            .collect())
     }
 
     /// Fault-tolerant bulk construction; see [`PimSkipList::bulk_load`].
@@ -237,7 +296,7 @@ impl PimSkipList {
         let replies = self.sys.run_to_quiescence();
         replies
             .iter()
-            .any(|r| matches!(r, Reply::Recovered { module: m } if *m == module))
+            .any(|r| matches!(r, ModuleReply::Recovered { module: m } if *m == module))
     }
 
     /// Reconstruct every node image the crashed module must hold, from the

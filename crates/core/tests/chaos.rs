@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use pim_core::{Config, FaultKind, FaultPlan, PimError, PimSkipList, RangeFunc};
+use pim_core::{Config, FaultKind, FaultPlan, Op, PimError, PimSkipList, RangeFunc};
 use pim_workloads::adversary::{contiguous_run, same_successor_flood};
 
 /// The adversarial upsert/delete workload shared by several tests:
@@ -237,6 +237,101 @@ fn crash_during_mutating_range_applies_add_exactly_once() {
     );
     list.validate().expect("recovered structure valid");
     assert_eq!(list.metrics().module_crashes, 1);
+}
+
+/// A mixed [`Op`] stream with short runs of every family, so the unified
+/// entry point crosses many read/write epoch boundaries.
+fn mixed_stream() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..150i64 {
+        ops.push(Op::Upsert {
+            key: i * 3,
+            value: i as u64,
+        });
+    }
+    for i in 0..40i64 {
+        ops.push(Op::Get { key: i * 5 });
+        ops.push(Op::Delete { key: i * 6 });
+        ops.push(Op::Upsert {
+            key: 1_000 + i,
+            value: (i * 7) as u64,
+        });
+        ops.push(Op::Successor { key: i * 4 - 10 });
+        ops.push(Op::Range {
+            lo: i * 2,
+            hi: i * 2 + 60,
+            func: RangeFunc::Sum,
+        });
+    }
+    for i in 0..30i64 {
+        ops.push(Op::Update {
+            key: i * 3,
+            value: 9_000 + i as u64,
+        });
+        ops.push(Op::Predecessor { key: i * 8 });
+    }
+    ops
+}
+
+/// Reply equality up to node handles: recovery rebuilds crashed modules,
+/// so `Entry` handles are physically relocated — the *keys* are the
+/// logical answer and must match exactly.
+fn assert_logically_eq(got: &[pim_core::Reply], want: &[pim_core::Reply]) {
+    assert_eq!(got.len(), want.len(), "reply counts diverge");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        match (g, w) {
+            (pim_core::Reply::Entry(ge), pim_core::Reply::Entry(we)) => assert_eq!(
+                ge.map(|e| e.0),
+                we.map(|e| e.0),
+                "entry key diverges at op {i}"
+            ),
+            _ => assert_eq!(g, w, "reply diverges at op {i}"),
+        }
+    }
+}
+
+#[test]
+fn crash_mid_mixed_stream_recovers_and_op_log_replays_identically() {
+    // Dry run: fault-free replies and the round budget of the stream.
+    let cfg = || {
+        Config::new(4, 1 << 10, 91)
+            .with_op_log()
+            .with_max_retries(50)
+    };
+    let ops = mixed_stream();
+    let mut dry = PimSkipList::new(cfg());
+    let dry_replies = dry.try_execute(&ops).expect("fault-free stream");
+
+    // Chaos run: crash module 1 halfway through the stream. Execution is
+    // deterministic, so the crash lands inside some mid-stream run.
+    let crash_round = dry.metrics().rounds / 2;
+    let mut chaotic = PimSkipList::new(cfg());
+    chaotic.set_fault_plan(FaultPlan::new().at(crash_round, 1, FaultKind::Crash));
+    let replies = chaotic.try_execute(&ops).expect("recovers mid-stream");
+
+    let m = chaotic.metrics();
+    assert_eq!(m.module_crashes, 1, "the scheduled crash must have struck");
+    assert!(m.recovery_rounds > 0, "recovery must have spent rounds");
+    assert_logically_eq(&replies, &dry_replies);
+    chaotic.validate().expect("recovered structure valid");
+    assert_eq!(chaotic.collect_items(), dry.collect_items());
+
+    // Exactly-once journalling: despite the retried run, every op is
+    // logged once, in arrival order.
+    assert_eq!(chaotic.op_log(), &ops[..], "op log = committed stream");
+
+    // The journal is a complete recipe: replaying it through `execute` on
+    // a fresh list reproduces both the answers and the final contents.
+    let logged = chaotic.op_log().to_vec();
+    let mut replay = PimSkipList::new(Config::new(4, 1 << 10, 91));
+    let replay_replies = replay.execute(&logged);
+    assert_eq!(replay_replies, dry_replies, "replayed answers match");
+    assert_eq!(
+        replay.collect_items(),
+        chaotic.collect_items(),
+        "replaying the op log rebuilds the recovered state"
+    );
+    replay.validate().expect("replayed structure valid");
 }
 
 #[test]

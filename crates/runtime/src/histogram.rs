@@ -115,6 +115,12 @@ impl Histogram {
     pub fn p95(&self) -> u64 {
         self.quantile(0.95)
     }
+
+    /// Approximate 99th percentile (tail-latency reporting in the service
+    /// layer's sustained-throughput benchmarks).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Per-module streaming lanes: one histogram of per-round messages and one
@@ -190,6 +196,20 @@ mod tests {
         assert_eq!(h.p50(), 7);
         assert_eq!(h.quantile(1.0), 1000); // clamped to observed max
         assert_eq!(h.p95(), 7);
+        assert_eq!(h.p99(), 7);
+    }
+
+    #[test]
+    fn p99_lands_in_the_tail_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..98 {
+            h.record(4);
+        }
+        for _ in 0..2 {
+            h.record(1000); // bucket [512, 1024) → upper bound 1023→1000
+        }
+        assert_eq!(h.p95(), 7);
+        assert_eq!(h.p99(), 1000);
     }
 
     #[test]

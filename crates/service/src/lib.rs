@@ -1,0 +1,539 @@
+//! `pim-service` — a deterministic request-scheduling front-end for the
+//! PIM skip list.
+//!
+//! The paper's data structure consumes *homogeneous batches*; real clients
+//! produce an *open stream* of mixed point and range requests. This crate
+//! is the bridge: a [`PimService`] accepts typed [`Op`] requests one at a
+//! time (each stamped with a request id and an arrival tick), coalesces
+//! them under a policy ([`ServiceConfig`]: max batch size, max linger,
+//! bounded queue with backpressure), and periodically dispatches the
+//! queue's head through the structure's mixed-stream entry point
+//! ([`pim_core::PimSkipList::execute`]). Replies are routed back to their
+//! request ids as [`Completion`]s carrying per-request latency in both
+//! *ticks* (service clock, arrival → reply) and *rounds* (machine clock).
+//!
+//! # Ordering semantics
+//!
+//! Dispatch preserves the **read/write epoch order** of arrivals: the
+//! batch is split at every boundary between mutating and non-mutating
+//! operations (see [`Op::is_write`]), epochs execute in arrival order, and
+//! only *within a read epoch* are operations re-grouped by kind (reads
+//! commute, so grouping them widens the model-legal runs the structure
+//! can batch). A `Get` therefore never observes an `Upsert` that arrived
+//! after it, and always observes every earlier one. Write epochs run in
+//! strict arrival order — mutations on the same key do not commute.
+//!
+//! # Determinism
+//!
+//! The service owns no clock but its tick counter and no randomness at
+//! all: the same `ServiceConfig`, the same arrival sequence (ops + the
+//! tick pattern of `submit`/`tick` calls) produce byte-identical
+//! completions, metrics, and traces — at any `PIM_THREADS`, because the
+//! underlying executor is deterministic by construction.
+//!
+//! ```
+//! use pim_core::{Config, Op, PimSkipList, Reply};
+//! use pim_service::{PimService, ServiceConfig};
+//!
+//! let list = PimSkipList::new(Config::new(4, 1 << 10, 42));
+//! let mut svc = PimService::new(list, ServiceConfig::new(4).with_max_linger(2));
+//! svc.submit(Op::Upsert { key: 7, value: 70 }).unwrap();
+//! svc.submit(Op::Get { key: 7 }).unwrap();
+//! let mut done = Vec::new();
+//! while done.len() < 2 {
+//!     done.extend(svc.tick());
+//! }
+//! assert_eq!(done[1].reply, Reply::Value(Some(70)));
+//! assert!(done[1].latency_ticks <= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use pim_core::{Op, OpKind, PimSkipList, Reply};
+use pim_runtime::Histogram;
+
+/// Coalescing policy of a [`PimService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Dispatch as soon as this many requests are queued (and never put
+    /// more than this many in one batch). The paper's preferred batch
+    /// size is [`pim_core::Config::batch_large`] — see
+    /// [`ServiceConfig::for_list`].
+    pub max_batch: usize,
+    /// Dispatch when the *oldest* queued request has waited this many
+    /// ticks, even if the batch is not full. `0` dispatches every tick.
+    pub max_linger: u64,
+    /// Bound on the number of queued requests; beyond it
+    /// [`PimService::submit`] refuses (backpressure). Defaults to
+    /// `4 × max_batch`.
+    pub max_queue: usize,
+}
+
+impl ServiceConfig {
+    /// A policy dispatching at `max_batch` requests, lingering at most 8
+    /// ticks, with a `4 × max_batch` queue bound.
+    pub fn new(max_batch: usize) -> Self {
+        let max_batch = max_batch.max(1);
+        ServiceConfig {
+            max_batch,
+            max_linger: 8,
+            max_queue: 4 * max_batch,
+        }
+    }
+
+    /// The paper-recommended policy for `list`: batches of
+    /// [`pim_core::Config::batch_large`] (`P log² P`).
+    pub fn for_list(list: &PimSkipList) -> Self {
+        ServiceConfig::new(list.config().batch_large())
+    }
+
+    /// Override the linger bound.
+    pub fn with_max_linger(mut self, ticks: u64) -> Self {
+        self.max_linger = ticks;
+        self
+    }
+
+    /// Override the queue bound (clamped to at least `max_batch`).
+    pub fn with_max_queue(mut self, cap: usize) -> Self {
+        self.max_queue = cap.max(self.max_batch);
+        self
+    }
+}
+
+/// Identifier assigned by [`PimService::submit`], echoed on the matching
+/// [`Completion`]. Sequential from 0.
+pub type RequestId = u64;
+
+/// Why [`PimService::submit`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The queue is at [`ServiceConfig::max_queue`]; retry after a tick
+    /// has drained a batch.
+    QueueFull,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "service queue full (backpressure)"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The id [`PimService::submit`] assigned.
+    pub id: RequestId,
+    /// The typed answer.
+    pub reply: Reply,
+    /// Tick the request was submitted on.
+    pub arrival: u64,
+    /// Tick the request's batch dispatched (== the completion tick; reply
+    /// routing is same-tick).
+    pub dispatched: u64,
+    /// Service-clock latency, arrival → reply, in ticks.
+    pub latency_ticks: u64,
+    /// Machine-clock latency: rounds the machine ran between this
+    /// request's arrival and its reply (includes rounds spent on batches
+    /// dispatched ahead of it).
+    pub latency_rounds: u64,
+}
+
+/// Streaming service statistics (deterministic; all integer-exact except
+/// histogram quantiles, which are deterministic bucket upper bounds).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Requests accepted by [`PimService::submit`].
+    pub submitted: u64,
+    /// Requests refused with [`Rejected::QueueFull`].
+    pub rejected: u64,
+    /// Completions delivered.
+    pub completed: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Per-completion latency in ticks.
+    pub latency_ticks: Histogram,
+    /// Per-completion latency in machine rounds.
+    pub latency_rounds: Histogram,
+    /// Queue depth sampled at the start of every tick.
+    pub queue_depth: Histogram,
+    /// Requests per dispatched batch.
+    pub batch_occupancy: Histogram,
+}
+
+/// A pending request in the FIFO queue.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: RequestId,
+    op: Op,
+    arrival: u64,
+    rounds_at_arrival: u64,
+}
+
+/// The batch-coalescing request scheduler. Owns the [`PimSkipList`] it
+/// fronts; reclaim it with [`PimService::into_list`].
+pub struct PimService {
+    list: PimSkipList,
+    cfg: ServiceConfig,
+    queue: std::collections::VecDeque<Pending>,
+    now: u64,
+    next_id: RequestId,
+    stats: ServiceStats,
+}
+
+impl PimService {
+    /// Front `list` with the given coalescing policy.
+    pub fn new(list: PimSkipList, cfg: ServiceConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            cfg.max_queue >= cfg.max_batch,
+            "max_queue must admit at least one full batch"
+        );
+        PimService {
+            list,
+            cfg,
+            queue: std::collections::VecDeque::new(),
+            now: 0,
+            next_id: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The current service tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The coalescing policy.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Streaming statistics so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The fronted structure (read-only; mutate only through the service
+    /// while requests are in flight, or ordering guarantees are void).
+    pub fn list(&self) -> &PimSkipList {
+        &self.list
+    }
+
+    /// Mutable access to the fronted structure — for instrumentation
+    /// (`enable_probe`, `enable_tracing`, `set_fault_plan`), not for
+    /// concurrent mutation.
+    pub fn list_mut(&mut self) -> &mut PimSkipList {
+        &mut self.list
+    }
+
+    /// Tear down the service (dropping any still-queued requests) and
+    /// return the structure.
+    pub fn into_list(self) -> PimSkipList {
+        self.list
+    }
+
+    /// Enqueue one request at the current tick. Refuses with
+    /// [`Rejected::QueueFull`] when the queue is at
+    /// [`ServiceConfig::max_queue`].
+    pub fn submit(&mut self, op: Op) -> Result<RequestId, Rejected> {
+        if self.queue.len() >= self.cfg.max_queue {
+            self.stats.rejected += 1;
+            return Err(Rejected::QueueFull);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.submitted += 1;
+        self.queue.push_back(Pending {
+            id,
+            op,
+            arrival: self.now,
+            rounds_at_arrival: self.list.metrics().rounds,
+        });
+        Ok(id)
+    }
+
+    /// Advance the service clock one tick and dispatch every batch the
+    /// policy calls for: while the queue holds a full
+    /// [`ServiceConfig::max_batch`], or its oldest request has lingered
+    /// [`ServiceConfig::max_linger`] ticks, the head of the queue goes to
+    /// the machine. Returns the completions, in arrival order.
+    ///
+    /// Panics if the machine exhausts its fault-recovery retries (see
+    /// [`pim_core::PimSkipList::try_execute`]); on a fault-free machine it
+    /// never panics.
+    pub fn tick(&mut self) -> Vec<Completion> {
+        self.now += 1;
+        self.stats.queue_depth.record(self.queue.len() as u64);
+        let mut out = Vec::new();
+        while self.should_dispatch() {
+            out.extend(self.dispatch());
+        }
+        out
+    }
+
+    /// Dispatch everything still queued, ignoring batch-size and linger
+    /// thresholds (end-of-run drain). Does not advance the tick.
+    pub fn flush(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            out.extend(self.dispatch());
+        }
+        out
+    }
+
+    fn should_dispatch(&self) -> bool {
+        match self.queue.front() {
+            None => false,
+            Some(oldest) => {
+                self.queue.len() >= self.cfg.max_batch
+                    || self.now.saturating_sub(oldest.arrival) >= self.cfg.max_linger
+            }
+        }
+    }
+
+    /// Take the head of the queue (at most one `max_batch`), execute it,
+    /// and route replies. The three phases are bracketed with probe spans
+    /// (`service/coalesce`, `service/dispatch`, `service/reply`) so span
+    /// reports attribute machine cost to the layer that caused it.
+    fn dispatch(&mut self) -> Vec<Completion> {
+        let n = self.queue.len().min(self.cfg.max_batch);
+        let pend: Vec<Pending> = self.queue.drain(..n).collect();
+        self.stats.batches += 1;
+        self.stats.batch_occupancy.record(n as u64);
+
+        self.list.span_enter("service/coalesce");
+        let order = plan_order(&pend);
+        let ops: Vec<Op> = order.iter().map(|&i| pend[i].op).collect();
+        self.list.span_exit();
+
+        self.list.span_enter("service/dispatch");
+        let replies = self.list.execute(&ops);
+        self.list.span_exit();
+
+        self.list.span_enter("service/reply");
+        let rounds_now = self.list.metrics().rounds;
+        let mut slots: Vec<Option<Reply>> = vec![None; n];
+        for (&i, reply) in order.iter().zip(replies) {
+            slots[i] = Some(reply);
+        }
+        let out: Vec<Completion> = pend
+            .into_iter()
+            .zip(slots)
+            .map(|(p, reply)| {
+                let latency_ticks = self.now.saturating_sub(p.arrival);
+                let latency_rounds = rounds_now.saturating_sub(p.rounds_at_arrival);
+                self.stats.completed += 1;
+                self.stats.latency_ticks.record(latency_ticks);
+                self.stats.latency_rounds.record(latency_rounds);
+                Completion {
+                    id: p.id,
+                    reply: reply.expect("every dispatched op answered"),
+                    arrival: p.arrival,
+                    dispatched: self.now,
+                    latency_ticks,
+                    latency_rounds,
+                }
+            })
+            .collect();
+        self.list.span_exit();
+        out
+    }
+}
+
+/// The dispatch permutation: positions of `pend` in execution order.
+/// Read/write epochs stay in arrival order; within a read epoch,
+/// operations are stably grouped by kind (reads commute, and grouping
+/// widens the coalescible runs `execute` can batch).
+fn plan_order(pend: &[Pending]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(pend.len());
+    let mut i = 0;
+    while i < pend.len() {
+        let write = pend[i].op.is_write();
+        let mut j = i + 1;
+        while j < pend.len() && pend[j].op.is_write() == write {
+            j += 1;
+        }
+        let mut epoch: Vec<usize> = (i..j).collect();
+        if !write {
+            epoch.sort_by_key(|&k| read_group(pend[k].op.kind()));
+        }
+        order.extend(epoch);
+        i = j;
+    }
+    order
+}
+
+/// Grouping rank of a read-only operation kind (stable sort key; ties
+/// keep arrival order, and `execute` further splits range runs by
+/// function).
+fn read_group(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::Get => 0,
+        OpKind::Predecessor => 1,
+        OpKind::Successor => 2,
+        OpKind::Range => 3,
+        // Writes never reach here (epochs are class-pure), but the match
+        // must be total.
+        OpKind::Update => 4,
+        OpKind::Upsert => 5,
+        OpKind::Delete => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::Config;
+
+    fn small_list(seed: u64) -> PimSkipList {
+        PimSkipList::new(Config::new(4, 1 << 10, seed))
+    }
+
+    #[test]
+    fn batch_threshold_triggers_dispatch() {
+        let mut svc = PimService::new(small_list(1), ServiceConfig::new(4).with_max_linger(100));
+        for k in 0..3 {
+            svc.submit(Op::Upsert { key: k, value: 1 }).unwrap();
+        }
+        assert!(svc.tick().is_empty(), "3 < max_batch and linger not hit");
+        svc.submit(Op::Upsert { key: 9, value: 1 }).unwrap();
+        let done = svc.tick();
+        assert_eq!(done.len(), 4);
+        assert_eq!(svc.queue_len(), 0);
+        assert_eq!(svc.stats().batches, 1);
+    }
+
+    #[test]
+    fn linger_bounds_queue_wait() {
+        let mut svc = PimService::new(small_list(2), ServiceConfig::new(64).with_max_linger(3));
+        svc.submit(Op::Upsert { key: 1, value: 10 }).unwrap();
+        assert!(svc.tick().is_empty()); // waited 1
+        assert!(svc.tick().is_empty()); // waited 2
+        let done = svc.tick(); // waited 3 == max_linger
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency_ticks, 3);
+    }
+
+    #[test]
+    fn replies_route_by_request_id_in_arrival_order() {
+        let mut svc = PimService::new(small_list(3), ServiceConfig::new(8).with_max_linger(0));
+        let a = svc.submit(Op::Upsert { key: 1, value: 11 }).unwrap();
+        let b = svc.submit(Op::Upsert { key: 2, value: 22 }).unwrap();
+        let c = svc.submit(Op::Get { key: 1 }).unwrap();
+        let d = svc.submit(Op::Get { key: 2 }).unwrap();
+        let done = svc.tick();
+        assert_eq!(
+            done.iter().map(|c| c.id).collect::<Vec<_>>(),
+            vec![a, b, c, d]
+        );
+        assert_eq!(done[2].reply, Reply::Value(Some(11)));
+        assert_eq!(done[3].reply, Reply::Value(Some(22)));
+    }
+
+    #[test]
+    fn read_never_observes_later_write() {
+        // Get{5} arrives BEFORE Upsert{5}: must answer None even though
+        // both dispatch in the same batch.
+        let mut svc = PimService::new(small_list(4), ServiceConfig::new(8).with_max_linger(0));
+        svc.submit(Op::Get { key: 5 }).unwrap();
+        svc.submit(Op::Upsert { key: 5, value: 50 }).unwrap();
+        svc.submit(Op::Get { key: 5 }).unwrap();
+        let done = svc.tick();
+        assert_eq!(
+            done[0].reply,
+            Reply::Value(None),
+            "earlier Get sees no later Upsert"
+        );
+        assert_eq!(
+            done[2].reply,
+            Reply::Value(Some(50)),
+            "later Get sees earlier Upsert"
+        );
+    }
+
+    #[test]
+    fn reads_regroup_within_epoch_for_coalescing() {
+        // G S G S → plan groups the Gets then the Successors (2 runs
+        // instead of 4), with replies still landing at arrival positions.
+        let mut svc = PimService::new(small_list(5), ServiceConfig::new(8).with_max_linger(0));
+        svc.submit(Op::Upsert { key: 10, value: 1 }).unwrap();
+        svc.tick();
+        svc.submit(Op::Get { key: 10 }).unwrap();
+        svc.submit(Op::Successor { key: 0 }).unwrap();
+        svc.submit(Op::Get { key: 11 }).unwrap();
+        svc.submit(Op::Successor { key: 11 }).unwrap();
+        let done = svc.flush();
+        assert_eq!(done[0].reply, Reply::Value(Some(1)));
+        assert_eq!(done[1].reply.as_entry().unwrap().unwrap().0, 10);
+        assert_eq!(done[2].reply, Reply::Value(None));
+        assert!(done[3].reply.as_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn backpressure_rejects_past_queue_bound() {
+        let cfg = ServiceConfig::new(2).with_max_queue(2).with_max_linger(100);
+        let mut svc = PimService::new(small_list(6), cfg);
+        svc.submit(Op::Get { key: 1 }).unwrap();
+        svc.submit(Op::Get { key: 2 }).unwrap();
+        assert_eq!(svc.submit(Op::Get { key: 3 }), Err(Rejected::QueueFull));
+        assert_eq!(svc.stats().rejected, 1);
+        svc.tick(); // drains the full batch
+        assert!(svc.submit(Op::Get { key: 3 }).is_ok());
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut svc = PimService::new(small_list(7), ServiceConfig::new(64).with_max_linger(100));
+        for k in 0..5 {
+            svc.submit(Op::Upsert {
+                key: k,
+                value: k as u64,
+            })
+            .unwrap();
+        }
+        let done = svc.flush();
+        assert_eq!(done.len(), 5);
+        assert_eq!(svc.queue_len(), 0);
+        assert_eq!(svc.into_list().len(), 5);
+    }
+
+    #[test]
+    fn latency_rounds_counts_machine_rounds_since_arrival() {
+        let mut svc = PimService::new(small_list(8), ServiceConfig::new(1).with_max_linger(0));
+        svc.submit(Op::Upsert { key: 1, value: 1 }).unwrap();
+        let done = svc.tick();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].latency_rounds > 0, "an upsert runs machine rounds");
+        assert_eq!(
+            done[0].latency_rounds,
+            svc.list().metrics().rounds,
+            "first request arrived at round 0"
+        );
+    }
+
+    #[test]
+    fn stats_histograms_accumulate() {
+        let mut svc = PimService::new(small_list(9), ServiceConfig::new(2).with_max_linger(0));
+        for k in 0..6 {
+            svc.submit(Op::Upsert { key: k, value: 1 }).unwrap();
+        }
+        let done = svc.tick();
+        assert_eq!(done.len(), 6);
+        let s = svc.stats();
+        assert_eq!(s.submitted, 6);
+        assert_eq!(s.completed, 6);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batch_occupancy.max(), 2);
+        assert_eq!(s.latency_ticks.count(), 6);
+        assert_eq!(s.latency_rounds.count(), 6);
+    }
+}

@@ -1,0 +1,309 @@
+//! Integration suite for the service layer: the scheduler against a
+//! sequential `BTreeMap` oracle, coalescing-policy equivalence on final
+//! contents, bit-exact determinism, and span-sum conservation with the
+//! `service/*` spans in the report.
+
+use std::collections::BTreeMap;
+
+use pim_core::{Config, Op, PimSkipList, RangeFunc, Reply, UpsertOutcome};
+use pim_runtime::Metrics;
+use pim_service::{Completion, PimService, ServiceConfig};
+use pim_workloads::{value_for, ArrivalGen, ArrivalOp, OpMix};
+
+fn to_op(a: ArrivalOp) -> Op {
+    match a {
+        ArrivalOp::Get(key) => Op::Get { key },
+        ArrivalOp::Update(key, value) => Op::Update { key, value },
+        ArrivalOp::Upsert(key, value) => Op::Upsert { key, value },
+        ArrivalOp::Delete(key) => Op::Delete { key },
+        ArrivalOp::Predecessor(key) => Op::Predecessor { key },
+        ArrivalOp::Successor(key) => Op::Successor { key },
+        ArrivalOp::RangeSum(lo, hi) => Op::Range {
+            lo,
+            hi,
+            func: RangeFunc::Sum,
+        },
+    }
+}
+
+/// The shared arrival schedule: Zipf(0.8) keys over the resident set,
+/// mixed op families, Poisson arrivals — as `(tick, op)` pairs.
+fn schedule(seed: u64, resident: &[i64], rate: f64, ticks: u64) -> Vec<(u64, Op)> {
+    ArrivalGen::new(seed, resident.to_vec(), 0.8, rate, OpMix::mixed())
+        .with_range_span(600)
+        .schedule(ticks)
+        .into_iter()
+        .map(|e| (e.tick, to_op(e.op)))
+        .collect()
+}
+
+/// The preloaded structure every test starts from, plus its oracle image.
+fn loaded_list(seed: u64) -> (PimSkipList, BTreeMap<i64, u64>, Vec<i64>) {
+    let pairs: Vec<(i64, u64)> = (0..300).map(|i| (i * 4, i as u64 * 10 + 1)).collect();
+    let mut list = PimSkipList::new(Config::new(4, 1 << 10, seed));
+    list.bulk_load(&pairs);
+    let oracle: BTreeMap<i64, u64> = pairs.iter().copied().collect();
+    let resident: Vec<i64> = pairs.iter().map(|&(k, _)| k).collect();
+    (list, oracle, resident)
+}
+
+/// Submit the schedule tick by tick, collecting completions through
+/// `tick()` and a final `flush()`. The queue is sized so nothing rejects.
+fn drive(svc: &mut PimService, sched: &[(u64, Op)]) -> Vec<Completion> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let last_tick = sched.last().map_or(0, |e| e.0);
+    for tick in 0..=last_tick {
+        while i < sched.len() && sched[i].0 == tick {
+            svc.submit(sched[i].1)
+                .expect("queue sized for the schedule");
+            i += 1;
+        }
+        out.extend(svc.tick());
+    }
+    out.extend(svc.flush());
+    out
+}
+
+/// Apply `op` to the oracle and check `reply` against it. `Entry` replies
+/// are compared by key (the oracle cannot know node handles).
+fn check_against_oracle(oracle: &mut BTreeMap<i64, u64>, op: Op, reply: &Reply) {
+    match op {
+        Op::Get { key } => {
+            assert_eq!(
+                *reply,
+                Reply::Value(oracle.get(&key).copied()),
+                "Get({key})"
+            );
+        }
+        Op::Update { key, value } => {
+            let hit = oracle.contains_key(&key);
+            if hit {
+                oracle.insert(key, value);
+            }
+            assert_eq!(*reply, Reply::Updated(hit), "Update({key})");
+        }
+        Op::Upsert { key, value } => {
+            let want = if oracle.insert(key, value).is_some() {
+                UpsertOutcome::Updated
+            } else {
+                UpsertOutcome::Inserted
+            };
+            assert_eq!(*reply, Reply::Upserted(want), "Upsert({key})");
+        }
+        Op::Delete { key } => {
+            assert_eq!(
+                *reply,
+                Reply::Deleted(oracle.remove(&key).is_some()),
+                "Delete({key})"
+            );
+        }
+        Op::Predecessor { key } => {
+            let want = oracle.range(..=key).next_back().map(|(k, _)| *k);
+            assert_eq!(
+                reply.as_entry().expect("Entry reply").map(|e| e.0),
+                want,
+                "Predecessor({key})"
+            );
+        }
+        Op::Successor { key } => {
+            let want = oracle.range(key..).next().map(|(k, _)| *k);
+            assert_eq!(
+                reply.as_entry().expect("Entry reply").map(|e| e.0),
+                want,
+                "Successor({key})"
+            );
+        }
+        Op::Range { lo, hi, .. } => {
+            let mut count = 0u64;
+            let mut sum = 0u64;
+            for (_, v) in oracle.range(lo..=hi) {
+                count += 1;
+                sum = sum.wrapping_add(*v);
+            }
+            match reply {
+                Reply::Range(r) => {
+                    assert_eq!(r.count, count, "Range({lo}, {hi}) count");
+                    assert_eq!(r.sum, sum, "Range({lo}, {hi}) sum");
+                }
+                other => panic!("Range({lo}, {hi}) answered {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn open_stream_matches_sequential_oracle() {
+    // max_batch = 1: every request is its own batch, so the service is an
+    // exact sequential machine and the BTreeMap oracle applies verbatim.
+    let (list, mut oracle, resident) = loaded_list(21);
+    let sched = schedule(0xA11CE, &resident, 10.0, 20);
+    let cfg = ServiceConfig::new(1)
+        .with_max_linger(0)
+        .with_max_queue(sched.len() + 1);
+    let mut svc = PimService::new(list, cfg);
+    let done = drive(&mut svc, &sched);
+
+    assert_eq!(done.len(), sched.len(), "every request completes");
+    for (i, c) in done.iter().enumerate() {
+        assert_eq!(c.id, i as u64, "completions arrive in request-id order");
+        check_against_oracle(&mut oracle, sched[i].1, &c.reply);
+    }
+    let list = svc.into_list();
+    assert_eq!(
+        list.collect_items(),
+        oracle.into_iter().collect::<Vec<_>>(),
+        "final contents equal the oracle"
+    );
+    list.validate().expect("structure valid after the stream");
+}
+
+#[test]
+fn coalesced_contents_match_sequential_oracle() {
+    // Key-derived write values make duplicate writes within a coalesced
+    // run order-insensitive, so any policy must converge to the contents
+    // of the sequential application.
+    let fix = |op: Op| match op {
+        Op::Update { key, .. } => Op::Update {
+            key,
+            value: value_for(key),
+        },
+        Op::Upsert { key, .. } => Op::Upsert {
+            key,
+            value: value_for(key),
+        },
+        other => other,
+    };
+    let (_, _, resident) = loaded_list(22);
+    let sched: Vec<(u64, Op)> = schedule(0xB0B, &resident, 24.0, 16)
+        .into_iter()
+        .map(|(t, op)| (t, fix(op)))
+        .collect();
+
+    let mut oracle: BTreeMap<i64, u64> = loaded_list(22).1;
+    for &(_, op) in &sched {
+        match op {
+            Op::Update { key, value } if oracle.contains_key(&key) => {
+                oracle.insert(key, value);
+            }
+            Op::Upsert { key, value } => {
+                oracle.insert(key, value);
+            }
+            Op::Delete { key } => {
+                oracle.remove(&key);
+            }
+            _ => {}
+        }
+    }
+    let expected: Vec<(i64, u64)> = oracle.into_iter().collect();
+
+    for (max_batch, max_linger) in [(8, 1), (48, 4), (256, 16)] {
+        let (list, _, _) = loaded_list(22);
+        let cfg = ServiceConfig::new(max_batch)
+            .with_max_linger(max_linger)
+            .with_max_queue(sched.len() + 1);
+        let mut svc = PimService::new(list, cfg);
+        let done = drive(&mut svc, &sched);
+        assert_eq!(done.len(), sched.len());
+        let list = svc.into_list();
+        assert_eq!(
+            list.collect_items(),
+            expected,
+            "policy ({max_batch}, {max_linger}) diverged from sequential contents"
+        );
+        list.validate().expect("valid under coalescing policy");
+    }
+}
+
+#[test]
+fn completions_and_stats_are_deterministic() {
+    let run = || {
+        let (list, _, resident) = loaded_list(23);
+        let sched = schedule(0xD0_0D, &resident, 18.0, 12);
+        let cfg = ServiceConfig::new(32)
+            .with_max_linger(3)
+            .with_max_queue(sched.len() + 1);
+        let mut svc = PimService::new(list, cfg);
+        let done = drive(&mut svc, &sched);
+        let stats = svc.stats().clone();
+        let list = svc.into_list();
+        (done, stats, list.metrics(), list.collect_items())
+    };
+    let (d1, s1, m1, items1) = run();
+    let (d2, s2, m2, items2) = run();
+    assert_eq!(d1, d2, "identical completion streams");
+    assert_eq!(m1, m2, "identical machine metrics");
+    assert_eq!(items1, items2);
+    assert_eq!(
+        (s1.submitted, s1.rejected, s1.completed, s1.batches),
+        (s2.submitted, s2.rejected, s2.completed, s2.batches)
+    );
+    assert_eq!(
+        (s1.latency_ticks.p99(), s1.latency_rounds.p99()),
+        (s2.latency_ticks.p99(), s2.latency_rounds.p99())
+    );
+    assert!(s1.batches > 1, "the schedule must exercise several batches");
+}
+
+/// Every additive counter of [`Metrics`] (all but `shared_mem_peak`,
+/// which is a high-water mark).
+fn additive(m: &Metrics) -> [u64; 13] {
+    [
+        m.rounds,
+        m.io_time,
+        m.pim_time,
+        m.total_messages,
+        m.total_pim_work,
+        m.cpu_work,
+        m.cpu_depth,
+        m.faults_injected,
+        m.messages_dropped,
+        m.module_crashes,
+        m.stalled_module_rounds,
+        m.retries_issued,
+        m.recovery_rounds,
+    ]
+}
+
+#[test]
+fn service_spans_conserve_and_attribute() {
+    let (list, _, resident) = loaded_list(24);
+    let sched = schedule(0x5AA5, &resident, 20.0, 10);
+    let cfg = ServiceConfig::new(24)
+        .with_max_linger(2)
+        .with_max_queue(sched.len() + 1);
+    let mut svc = PimService::new(list, cfg);
+    let before = svc.list().metrics();
+    svc.list_mut().enable_probe();
+    drive(&mut svc, &sched);
+    let mut list = svc.into_list();
+    let after = list.metrics();
+    let report = list.take_probe().expect("probe was enabled");
+
+    // Conservation: the exclusive per-span stats — now including the
+    // service/* spans — sum to the run's metrics delta.
+    let delta = after - before;
+    assert_eq!(
+        additive(&report.total()),
+        additive(&delta),
+        "span sums must conserve every additive counter"
+    );
+
+    // Attribution: the three scheduler phases appear as top-level spans,
+    // and the structure's own spans nest under service/dispatch.
+    let paths: Vec<String> = report
+        .by_path()
+        .into_iter()
+        .map(|(path, _, _, _)| path)
+        .collect();
+    for phase in ["service/coalesce", "service/dispatch", "service/reply"] {
+        assert!(
+            paths.iter().any(|p| p == phase),
+            "missing top-level span {phase}; got {paths:?}"
+        );
+    }
+    assert!(
+        paths.iter().any(|p| p.starts_with("service/dispatch > ")),
+        "structure spans must nest under service/dispatch; got {paths:?}"
+    );
+}

@@ -1,0 +1,320 @@
+//! Open-loop arrival processes for the service layer.
+//!
+//! Closed-loop benchmarks (issue a batch, wait, repeat) measure the data
+//! structure; *open-loop* benchmarks measure the system: requests arrive
+//! on their own clock whether or not the service keeps up, which is what
+//! exposes queueing delay and backpressure. This module generates
+//! deterministic open-loop schedules: per-tick arrival counts follow a
+//! Poisson(λ) law (Knuth's product-of-uniforms sampler over a seeded
+//! RNG — reproducible, no wall clock anywhere), operation types follow a
+//! weighted [`OpMix`], and keys follow Zipf(θ) ranks over a resident key
+//! set, the standard skew family for key-value benchmarks.
+//!
+//! This crate deliberately does not depend on the data structure, so
+//! events carry their own [`ArrivalOp`] tag; front-ends map it onto their
+//! typed operation enum (`pim_core::Op` has a 1:1 correspondence).
+
+use rand::{Rng as _, SeedableRng};
+
+use crate::point::{value_for, Key};
+use crate::zipf::Zipf;
+
+/// One requested operation, in workload terms (mapped by the caller onto
+/// the structure's typed op; values are derived from keys via
+/// [`value_for`] so oracles can verify round-trips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOp {
+    /// Point read of a resident-set key.
+    Get(Key),
+    /// In-place write of a resident-set key.
+    Update(Key, u64),
+    /// Insert-or-update (key drawn from the whole domain, so it may or
+    /// may not be resident).
+    Upsert(Key, u64),
+    /// Delete of a resident-set key.
+    Delete(Key),
+    /// Predecessor query at a resident-set key.
+    Predecessor(Key),
+    /// Successor query at a resident-set key.
+    Successor(Key),
+    /// Aggregate read over `[lo, hi]`.
+    RangeSum(Key, Key),
+}
+
+/// One scheduled request of an open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalEvent {
+    /// Tick the request arrives on (non-decreasing across a schedule).
+    pub tick: u64,
+    /// What it asks for.
+    pub op: ArrivalOp,
+}
+
+/// Relative operation-type frequencies of an arrival process.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Weight of [`ArrivalOp::Get`].
+    pub get: u32,
+    /// Weight of [`ArrivalOp::Update`].
+    pub update: u32,
+    /// Weight of [`ArrivalOp::Upsert`].
+    pub upsert: u32,
+    /// Weight of [`ArrivalOp::Delete`].
+    pub delete: u32,
+    /// Weight of [`ArrivalOp::Predecessor`].
+    pub predecessor: u32,
+    /// Weight of [`ArrivalOp::Successor`].
+    pub successor: u32,
+    /// Weight of [`ArrivalOp::RangeSum`].
+    pub range: u32,
+}
+
+impl OpMix {
+    /// YCSB-C-like: reads only.
+    pub fn read_only() -> Self {
+        OpMix {
+            get: 1,
+            update: 0,
+            upsert: 0,
+            delete: 0,
+            predecessor: 0,
+            successor: 0,
+            range: 0,
+        }
+    }
+
+    /// YCSB-B-like: 95% Get, 5% Update. Leaves the resident set intact,
+    /// so sustained runs don't drift.
+    pub fn read_heavy() -> Self {
+        OpMix {
+            get: 95,
+            update: 5,
+            upsert: 0,
+            delete: 0,
+            predecessor: 0,
+            successor: 0,
+            range: 0,
+        }
+    }
+
+    /// A full mixed stream exercising every family: 40% Get, 20% Update,
+    /// 10% Upsert, 10% Delete, 10% Successor, 5% Predecessor, 5% RangeSum.
+    pub fn mixed() -> Self {
+        OpMix {
+            get: 40,
+            update: 20,
+            upsert: 10,
+            delete: 10,
+            predecessor: 5,
+            successor: 10,
+            range: 5,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.get
+            + self.update
+            + self.upsert
+            + self.delete
+            + self.predecessor
+            + self.successor
+            + self.range
+    }
+}
+
+/// A deterministic open-loop arrival generator.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    rng: rand::rngs::StdRng,
+    zipf: Zipf,
+    resident: Vec<Key>,
+    mix: OpMix,
+    /// Mean arrivals per tick (Poisson λ).
+    pub rate: f64,
+    /// Half-width of [`ArrivalOp::RangeSum`] windows around their anchor.
+    pub range_span: Key,
+}
+
+impl ArrivalGen {
+    /// A generator drawing keys Zipf(θ)-ranked over `resident` (which
+    /// must be non-empty and is taken in the given order: index = rank,
+    /// so pre-shuffle it to decorrelate popularity from key order), with
+    /// mean `rate` arrivals per tick.
+    pub fn new(seed: u64, resident: Vec<Key>, theta: f64, rate: f64, mix: OpMix) -> Self {
+        assert!(!resident.is_empty(), "resident set must be non-empty");
+        assert!(rate > 0.0, "arrival rate must be positive");
+        assert!(mix.total() > 0, "op mix must have positive total weight");
+        let zipf = Zipf::new(resident.len() as u64, theta);
+        ArrivalGen {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            zipf,
+            resident,
+            mix,
+            rate,
+            range_span: 1 << 10,
+        }
+    }
+
+    /// Override the range-query window half-width.
+    pub fn with_range_span(mut self, span: Key) -> Self {
+        assert!(span >= 0);
+        self.range_span = span;
+        self
+    }
+
+    /// Poisson(λ) arrival count for one tick (Knuth's product-of-uniforms
+    /// sampler: exact, O(λ) expected time — fine for the λ ≤ a few
+    /// thousand these schedules use).
+    fn poisson_count(&mut self) -> u64 {
+        let l = (-self.rate).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= self.rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// A Zipf-ranked resident key.
+    fn resident_key(&mut self) -> Key {
+        self.resident[self.zipf.sample(&mut self.rng) as usize]
+    }
+
+    /// One operation per the mix's weights.
+    fn sample_op(&mut self, tick: u64) -> ArrivalOp {
+        let r = self.rng.gen_range(0..self.mix.total());
+        let k = self.resident_key();
+        let mut acc = self.mix.get;
+        if r < acc {
+            return ArrivalOp::Get(k);
+        }
+        acc += self.mix.update;
+        if r < acc {
+            return ArrivalOp::Update(k, value_for(k) ^ tick);
+        }
+        acc += self.mix.upsert;
+        if r < acc {
+            return ArrivalOp::Upsert(k, value_for(k) ^ tick);
+        }
+        acc += self.mix.delete;
+        if r < acc {
+            return ArrivalOp::Delete(k);
+        }
+        acc += self.mix.predecessor;
+        if r < acc {
+            return ArrivalOp::Predecessor(k);
+        }
+        acc += self.mix.successor;
+        if r < acc {
+            return ArrivalOp::Successor(k);
+        }
+        ArrivalOp::RangeSum(k, k.saturating_add(self.range_span))
+    }
+
+    /// The full schedule for `ticks` ticks: events in tick order (ties in
+    /// generation order), expected length ≈ `rate × ticks`.
+    pub fn schedule(&mut self, ticks: u64) -> Vec<ArrivalEvent> {
+        let mut out = Vec::with_capacity((self.rate * ticks as f64) as usize + ticks as usize);
+        for tick in 0..ticks {
+            let n = self.poisson_count();
+            for _ in 0..n {
+                let op = self.sample_op(tick);
+                out.push(ArrivalEvent { tick, op });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resident() -> Vec<Key> {
+        (0..1000).map(|i| i * 7 + 3).collect()
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_seed() {
+        let a = ArrivalGen::new(9, resident(), 0.8, 4.0, OpMix::mixed()).schedule(100);
+        let b = ArrivalGen::new(9, resident(), 0.8, 4.0, OpMix::mixed()).schedule(100);
+        assert_eq!(a, b);
+        let c = ArrivalGen::new(10, resident(), 0.8, 4.0, OpMix::mixed()).schedule(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ticks_are_nondecreasing_and_bounded() {
+        let ev = ArrivalGen::new(1, resident(), 0.8, 2.0, OpMix::mixed()).schedule(50);
+        assert!(ev.windows(2).all(|w| w[0].tick <= w[1].tick));
+        assert!(ev.iter().all(|e| e.tick < 50));
+    }
+
+    #[test]
+    fn arrival_count_tracks_rate() {
+        let ev = ArrivalGen::new(2, resident(), 0.8, 8.0, OpMix::read_heavy()).schedule(1000);
+        let mean = ev.len() as f64 / 1000.0;
+        assert!((mean - 8.0).abs() < 1.0, "mean arrivals/tick {mean}");
+    }
+
+    #[test]
+    fn read_only_mix_emits_only_gets() {
+        let ev = ArrivalGen::new(3, resident(), 0.0, 4.0, OpMix::read_only()).schedule(100);
+        assert!(!ev.is_empty());
+        assert!(ev.iter().all(|e| matches!(e.op, ArrivalOp::Get(_))));
+    }
+
+    #[test]
+    fn mixed_stream_covers_every_family() {
+        let ev = ArrivalGen::new(4, resident(), 0.5, 16.0, OpMix::mixed()).schedule(500);
+        let mut seen = [false; 7];
+        for e in &ev {
+            let i = match e.op {
+                ArrivalOp::Get(_) => 0,
+                ArrivalOp::Update(..) => 1,
+                ArrivalOp::Upsert(..) => 2,
+                ArrivalOp::Delete(_) => 3,
+                ArrivalOp::Predecessor(_) => 4,
+                ArrivalOp::Successor(_) => 5,
+                ArrivalOp::RangeSum(..) => 6,
+            };
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "families seen: {seen:?}");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_ranks() {
+        let res = resident();
+        let hot = res[0];
+        let ev = ArrivalGen::new(5, res, 1.1, 8.0, OpMix::read_only()).schedule(500);
+        let hot_frac = ev
+            .iter()
+            .filter(|e| matches!(e.op, ArrivalOp::Get(k) if k == hot))
+            .count() as f64
+            / ev.len() as f64;
+        assert!(hot_frac > 0.05, "rank-0 fraction {hot_frac}");
+    }
+
+    #[test]
+    fn range_events_are_well_formed() {
+        let ev = ArrivalGen::new(
+            6,
+            resident(),
+            0.8,
+            8.0,
+            OpMix {
+                range: 1,
+                ..OpMix::read_only()
+            },
+        )
+        .with_range_span(100)
+        .schedule(200);
+        assert!(ev
+            .iter()
+            .all(|e| !matches!(e.op, ArrivalOp::RangeSum(lo, hi) if lo > hi)));
+    }
+}
