@@ -1,0 +1,136 @@
+//! Heap-allocation accounting for the wallclock harness.
+//!
+//! With the `alloc-stats` cargo feature, this module installs a counting
+//! [`GlobalAlloc`](std::alloc::GlobalAlloc) that forwards to the system
+//! allocator and tallies every allocation (count and requested bytes) in
+//! two relaxed atomics. The wallclock harness snapshots the counters
+//! around a fixed number of batches at `threads == 1` — the sequential
+//! path is fully deterministic, so the per-batch counts are *exact and
+//! reproducible across machines* — and the CI `alloc-gate` diffs them
+//! against the committed baseline, which is how the steady-state
+//! allocation contract of `docs/MODEL.md` is enforced.
+//!
+//! Thread counts above 1 are never measured: the pool's dynamic chunk
+//! claiming makes *which worker allocates* race-dependent (the totals
+//! drift by scheduling), while at one thread the engine's recycled
+//! buffers make the counts a stable fingerprint of the hot path.
+//!
+//! Without the feature the module compiles to a no-op ([`enabled`]
+//! returns `false`, snapshots are all-zero) so the harness needs no
+//! `cfg` at its call sites.
+
+/// Counter state at one instant. Differences of two snapshots bracket a
+/// region's allocation cost; deallocations are deliberately not tracked
+/// (the contract is about allocator pressure, not live bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocations (including reallocations and zeroed allocations).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counters accumulated since `earlier` (saturating, so a disabled
+    /// build's all-zero snapshots stay all-zero).
+    pub fn since(&self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+#[cfg(feature = "alloc-stats")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Forwards to [`System`], counting on every acquisition path.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// Whether this build counts allocations (the `alloc-stats` feature).
+pub fn enabled() -> bool {
+    cfg!(feature = "alloc-stats")
+}
+
+/// Read the counters (all-zero when [`enabled`] is false).
+pub fn snapshot() -> AllocSnapshot {
+    #[cfg(feature = "alloc-stats")]
+    {
+        use std::sync::atomic::Ordering;
+        AllocSnapshot {
+            allocs: counting::ALLOCS.load(Ordering::Relaxed),
+            bytes: counting::BYTES.load(Ordering::Relaxed),
+        }
+    }
+    #[cfg(not(feature = "alloc-stats"))]
+    AllocSnapshot::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_is_saturating() {
+        let a = AllocSnapshot {
+            allocs: 10,
+            bytes: 100,
+        };
+        let b = AllocSnapshot {
+            allocs: 4,
+            bytes: 40,
+        };
+        assert_eq!(
+            a.since(b),
+            AllocSnapshot {
+                allocs: 6,
+                bytes: 60
+            }
+        );
+        assert_eq!(b.since(a), AllocSnapshot::default());
+    }
+
+    #[cfg(feature = "alloc-stats")]
+    #[test]
+    fn counting_sees_a_vec_allocation() {
+        let before = snapshot();
+        let v: Vec<u64> = Vec::with_capacity(1 << 12);
+        std::hint::black_box(&v);
+        let d = snapshot().since(before);
+        assert!(d.allocs >= 1, "allocation was counted");
+        assert!(d.bytes >= (1 << 12) * 8, "bytes were counted");
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
 //!           baselines, ablation, hprofile, paths, trace-export,
-//!           service, wallclock, perf-gate, all }
+//!           service, wallclock, perf-gate, alloc-gate, all }
 //!
 //! `trace-export [--quick] [--out DIR]` runs an instrumented session and
 //! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
@@ -22,13 +22,18 @@
 //!
 //! `wallclock [--quick] [--out PATH]` sweeps every Table-1 op over
 //! PIM_THREADS ∈ {1, 2, 4, 8} and writes a `pim-wallclock/1` JSON report
-//! (default `target/BENCH_PR3.json`). Unlike every other subcommand this
+//! (default `target/BENCH_PR5.json`). Unlike every other subcommand this
 //! one measures *elapsed time*, the only observable the executor's thread
 //! count is allowed to change.
 //!
 //! `perf-gate CURRENT BASELINE [TOLERANCE] [--raw]` compares two reports
 //! (calibration-normalised unless `--raw`) and exits 1 when any (op,
 //! threads) point regressed beyond TOLERANCE (default 0.25).
+//!
+//! `alloc-gate CURRENT BASELINE [TOLERANCE]` compares steady-state
+//! allocations per round (1-thread, deterministic; present only in
+//! reports produced with `--features alloc-stats`) and exits 1 when any
+//! op allocates beyond TOLERANCE (default 0.10) more than the baseline.
 //! ```
 //!
 //! Every table prints *model metrics* (IO time, PIM time, CPU work/depth,
@@ -74,7 +79,7 @@ fn main() {
     let run_wallclock = || {
         let out = flag("--out")
             .map(String::as_str)
-            .unwrap_or("target/BENCH_PR3.json");
+            .unwrap_or("target/BENCH_PR5.json");
         if let Err(e) = pim_bench::wallclock::run_wallclock(quick, out, seed) {
             eprintln!("wallclock: {e}");
             std::process::exit(1);
@@ -100,6 +105,28 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("perf gate: ERROR: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let run_alloc_gate = || {
+        let pos: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+        let (current, baseline) = match (pos.first(), pos.get(1)) {
+            (Some(c), Some(b)) => (c.as_str(), b.as_str()),
+            _ => {
+                eprintln!("usage: experiments -- alloc-gate CURRENT BASELINE [TOLERANCE]");
+                std::process::exit(2);
+            }
+        };
+        let tolerance: f64 = pos.get(2).and_then(|t| t.parse().ok()).unwrap_or(0.10);
+        match pim_bench::wallclock::alloc_gate(current, baseline, tolerance) {
+            Ok(true) => println!("alloc gate: PASS"),
+            Ok(false) => {
+                eprintln!("alloc gate: FAIL (allocation growth beyond {tolerance:.2} tolerance)");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("alloc gate: ERROR: {e}");
                 std::process::exit(1);
             }
         }
@@ -142,6 +169,7 @@ fn main() {
         "service" => run_service(),
         "wallclock" => run_wallclock(),
         "perf-gate" => run_perf_gate(),
+        "alloc-gate" => run_alloc_gate(),
         "all" => {
             run_table1();
             println!();
@@ -165,7 +193,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock perf-gate all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock perf-gate alloc-gate all");
             std::process::exit(2);
         }
     }

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod allocs;
 pub mod experiments;
 pub mod measure;
 pub mod service;

@@ -8,7 +8,7 @@
 //! [`PimService`] at a sweep of coalescing policies (max batch ×
 //! max linger), and each point reports sustained throughput in both
 //! clocks — ops per machine round (deterministic) and ops per wall-clock
-//! second (the only thread-count-sensitive column) — plus p50/p95/p99
+//! second (the only thread-count-sensitive column) — plus p50/p95/p99/p999
 //! request latency in service ticks and machine rounds, queue depth, and
 //! backpressure rejections.
 //!
@@ -61,10 +61,12 @@ pub struct ServicePoint {
     pub ops_per_round: f64,
     /// Completed ops per wall-clock second (thread-count sensitive).
     pub ops_per_sec: f64,
-    /// p50/p95/p99 request latency in service ticks.
-    pub latency_ticks: [u64; 3],
-    /// p50/p95/p99 request latency in machine rounds.
-    pub latency_rounds: [u64; 3],
+    /// p50/p95/p99/p999 request latency in service ticks.
+    pub latency_ticks: [u64; 4],
+    /// p50/p95/p99/p999 request latency in machine rounds (p999 exposes
+    /// the one-in-a-thousand straggler a coalescing policy parks behind a
+    /// full queue — invisible at p99 on these sweep sizes).
+    pub latency_rounds: [u64; 4],
     /// Largest queue depth observed at a tick boundary.
     pub max_queue_depth: u64,
     /// Mean requests per dispatched batch.
@@ -116,11 +118,13 @@ pub fn run_service_point(
             stats.latency_ticks.p50(),
             stats.latency_ticks.p95(),
             stats.latency_ticks.p99(),
+            stats.latency_ticks.p999(),
         ],
         latency_rounds: [
             stats.latency_rounds.p50(),
             stats.latency_rounds.p95(),
             stats.latency_rounds.p99(),
+            stats.latency_rounds.p999(),
         ],
         max_queue_depth: stats.queue_depth.max(),
         mean_occupancy: stats.batch_occupancy.mean(),
@@ -160,7 +164,7 @@ pub fn run_service(quick: bool, seed: u64) {
         schedule.len()
     );
     println!(
-        "{:>6} {:>7} {:>9} {:>7} {:>8} {:>8} {:>10} {:>12} {:>17} {:>20} {:>7} {:>7}",
+        "{:>6} {:>7} {:>9} {:>7} {:>8} {:>8} {:>10} {:>12} {:>22} {:>25} {:>7} {:>7}",
         "batch",
         "linger",
         "completed",
@@ -169,8 +173,8 @@ pub fn run_service(quick: bool, seed: u64) {
         "rounds",
         "ops/round",
         "ops/sec",
-        "lat ticks 50/95/99",
-        "lat rounds 50/95/99",
+        "lat ticks 50/95/99/999",
+        "lat rounds 50/95/99/999",
         "maxQ",
         "occ"
     );
@@ -178,7 +182,7 @@ pub fn run_service(quick: bool, seed: u64) {
         for &max_linger in &[1u64, 4, 16] {
             let pt = run_service_point(p, n, seed, &schedule, max_batch, max_linger);
             println!(
-                "{:>6} {:>7} {:>9} {:>7} {:>8} {:>8} {:>10.2} {:>12.0} {:>7}/{:>4}/{:>4} {:>10}/{:>4}/{:>4} {:>7} {:>7.1}",
+                "{:>6} {:>7} {:>9} {:>7} {:>8} {:>8} {:>10.2} {:>12.0} {:>7}/{:>4}/{:>4}/{:>4} {:>10}/{:>4}/{:>4}/{:>4} {:>7} {:>7.1}",
                 pt.max_batch,
                 pt.max_linger,
                 pt.completed,
@@ -190,9 +194,11 @@ pub fn run_service(quick: bool, seed: u64) {
                 pt.latency_ticks[0],
                 pt.latency_ticks[1],
                 pt.latency_ticks[2],
+                pt.latency_ticks[3],
                 pt.latency_rounds[0],
                 pt.latency_rounds[1],
                 pt.latency_rounds[2],
+                pt.latency_rounds[3],
                 pt.max_queue_depth,
                 pt.mean_occupancy,
             );

@@ -6,7 +6,7 @@
 //! allowed to change with `PIM_THREADS`: real elapsed time. It sweeps the
 //! executor over a fixed thread ladder, times every Table-1 batch
 //! operation, and emits a deterministic-schema JSON report
-//! (`pim-wallclock/1`, conventionally `BENCH_PR3.json`) that CI diffs
+//! (`pim-wallclock/1`, conventionally `BENCH_PR5.json`) that CI diffs
 //! against a committed baseline with [`perf_gate`].
 //!
 //! Cross-machine comparability: raw batches/sec on a laptop and on a CI
@@ -107,6 +107,60 @@ pub struct OpTiming {
     pub batch: usize,
     /// Timed batches per second (mean over the reps).
     pub batches_per_sec: f64,
+}
+
+/// Steady-state allocation profile of one op, measured at `threads == 1`
+/// (the only thread count where the counts are deterministic — see
+/// [`crate::allocs`]).
+#[derive(Debug, Clone)]
+pub struct AllocPoint {
+    /// Operation name (one of [`OPS`]).
+    pub op: &'static str,
+    /// Heap allocations per batch, averaged over the measured reps.
+    pub allocs_per_batch: f64,
+    /// Bytes requested per batch.
+    pub bytes_per_batch: f64,
+    /// Machine rounds per batch (deterministic; the denominator the CI
+    /// alloc gate uses to express allocations per round).
+    pub rounds_per_batch: f64,
+}
+
+/// Measured batches per [`AllocPoint`].
+const ALLOC_REPS: usize = 3;
+
+/// Measure the steady-state allocation profile of every op in [`OPS`] at
+/// one thread. Returns `None` unless the build counts allocations (the
+/// `alloc-stats` feature). Warmup batches run first so the engine's
+/// recycled buffers (`pim_runtime::buffers`, `pim-core`'s scratch) reach
+/// their steady capacity before counting starts. Leaves the global pool
+/// configured for one thread.
+pub fn measure_allocs(params: &WallclockParams) -> Option<Vec<AllocPoint>> {
+    if !crate::allocs::enabled() {
+        return None;
+    }
+    pool::configure(ExecConfig::with_threads(1));
+    let (mut list, keys) = build_loaded_list(params.p, params.n, params.seed);
+    let workloads = OpWorkloads::build(params, &keys);
+    let mut out = Vec::new();
+    for op in OPS {
+        for _ in 0..params.warmup.max(2) {
+            workloads.run_once(op, &mut list);
+        }
+        let rounds_before = list.metrics().rounds;
+        let before = crate::allocs::snapshot();
+        for _ in 0..ALLOC_REPS {
+            workloads.run_once(op, &mut list);
+        }
+        let d = crate::allocs::snapshot().since(before);
+        let rounds = list.metrics().rounds - rounds_before;
+        out.push(AllocPoint {
+            op,
+            allocs_per_batch: d.allocs as f64 / ALLOC_REPS as f64,
+            bytes_per_batch: d.bytes as f64 / ALLOC_REPS as f64,
+            rounds_per_batch: rounds as f64 / ALLOC_REPS as f64,
+        });
+    }
+    Some(out)
 }
 
 /// Calibration busy-loop: a fixed amount of scalar integer work, timed.
@@ -316,6 +370,7 @@ pub fn report_json(
     quick: bool,
     calibration_mops: f64,
     timings: &[OpTiming],
+    allocs: Option<&[AllocPoint]>,
 ) -> Json {
     let mut ops_arr = Vec::new();
     for op in OPS {
@@ -330,11 +385,17 @@ pub fn report_json(
                 ])
             })
             .collect();
-        ops_arr.push(Json::Obj(vec![
+        let mut fields = vec![
             ("op".into(), jstr(op)),
             ("batch".into(), num(batch as u64)),
             ("threads".into(), Json::Arr(threads_arr)),
-        ]));
+        ];
+        if let Some(a) = allocs.and_then(|pts| pts.iter().find(|a| a.op == op)) {
+            fields.push(("allocs_per_batch".into(), Json::Num(a.allocs_per_batch)));
+            fields.push(("bytes_per_batch".into(), Json::Num(a.bytes_per_batch)));
+            fields.push(("rounds_per_batch".into(), Json::Num(a.rounds_per_batch)));
+        }
+        ops_arr.push(Json::Obj(fields));
     }
     Json::Obj(vec![
         ("schema".into(), jstr(SCHEMA)),
@@ -367,6 +428,7 @@ pub fn run_wallclock(quick: bool, out_path: &str, seed: u64) -> std::io::Result<
     );
     let calibration_mops = calibrate();
     let timings = run_sweep(&params);
+    let allocs = measure_allocs(&params);
     // Restore the environment-selected configuration for any later work in
     // this process.
     pool::configure(ExecConfig::from_env());
@@ -397,7 +459,25 @@ pub fn run_wallclock(quick: bool, out_path: &str, seed: u64) -> std::io::Result<
     }
     println!("(calibration: {calibration_mops:.0} Mop/s scalar busy-loop; model metrics are identical at every thread count)");
 
-    let report = report_json(&params, quick, calibration_mops, &timings);
+    if let Some(pts) = &allocs {
+        println!("-- steady-state allocations (1 thread, mean of {ALLOC_REPS} batches) --");
+        println!(
+            "{:<12} {:>15} {:>15} {:>13} {:>14}",
+            "op", "allocs/batch", "bytes/batch", "rounds/batch", "allocs/round"
+        );
+        for a in pts {
+            println!(
+                "{:<12} {:>15.1} {:>15.0} {:>13.1} {:>14.2}",
+                a.op,
+                a.allocs_per_batch,
+                a.bytes_per_batch,
+                a.rounds_per_batch,
+                a.allocs_per_batch / a.rounds_per_batch.max(1.0),
+            );
+        }
+    }
+
+    let report = report_json(&params, quick, calibration_mops, &timings, allocs.as_deref());
     if let Some(dir) = std::path::Path::new(out_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
@@ -541,6 +621,111 @@ pub fn perf_gate(
     Ok(pass)
 }
 
+/// Per-op allocation points of a report: `(op, allocs_per_batch,
+/// rounds_per_batch)`. Ops without allocation fields (reports produced
+/// without `alloc-stats`) are skipped.
+fn report_alloc_points(doc: &Json) -> Result<Vec<(String, f64, f64)>, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("not a {SCHEMA} document"));
+    }
+    let mut out = Vec::new();
+    for op in doc
+        .get("ops")
+        .and_then(Json::as_array)
+        .ok_or("missing ops array")?
+    {
+        let name = op
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("op entry missing name")?;
+        let allocs = op.get("allocs_per_batch").and_then(Json::as_f64);
+        let rounds = op.get("rounds_per_batch").and_then(Json::as_f64);
+        if let (Some(a), Some(r)) = (allocs, rounds) {
+            out.push((name.to_string(), a, r));
+        }
+    }
+    Ok(out)
+}
+
+/// Compare steady-state allocations per round against a baseline. A row
+/// fails when the current rate exceeds `baseline × (1 + tolerance)`;
+/// improvements always pass. Every baseline op with allocation data must
+/// exist in the current report, and a baseline with *no* allocation data
+/// is an error (the gate must never pass vacuously — regenerate the
+/// baseline with `--features alloc-stats`).
+pub fn alloc_gate_compare(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<GateRow>, String> {
+    assert!(tolerance >= 0.0);
+    let cur = report_alloc_points(current).map_err(|e| format!("current: {e}"))?;
+    let base = report_alloc_points(baseline).map_err(|e| format!("baseline: {e}"))?;
+    if base.is_empty() {
+        return Err(
+            "baseline has no allocation data; regenerate it with --features alloc-stats".into(),
+        );
+    }
+    let per_round = |a: f64, r: f64| a / r.max(1.0);
+    let mut rows = Vec::new();
+    for (op, a, r) in base {
+        let b = per_round(a, r);
+        let c = cur
+            .iter()
+            .find(|(o, _, _)| *o == op)
+            .map(|&(_, a, r)| per_round(a, r))
+            .ok_or_else(|| format!("current report has no allocation data for {op}"))?;
+        let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+        rows.push(GateRow {
+            op,
+            threads: 1,
+            baseline: b,
+            current: c,
+            ratio,
+            failed: c > b * (1.0 + tolerance),
+        });
+    }
+    Ok(rows)
+}
+
+/// CLI entry for the allocation gate: load both reports, compare
+/// allocations per round, print the table, and return whether the gate
+/// passed. Errors are gate failures.
+pub fn alloc_gate(
+    current_path: &str,
+    baseline_path: &str,
+    tolerance: f64,
+) -> Result<bool, String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        pim_runtime::export::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = load(current_path)?;
+    let baseline = load(baseline_path)?;
+    let rows = alloc_gate_compare(&current, &baseline, tolerance)?;
+    println!(
+        "== alloc gate: {current_path} vs {baseline_path} (tolerance {:.0}%, allocs/round @ 1 thread) ==",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>8} {:>6}",
+        "op", "baseline", "current", "ratio", "gate"
+    );
+    let mut pass = true;
+    for r in &rows {
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>8.2} {:>6}",
+            r.op,
+            r.baseline,
+            r.current,
+            r.ratio,
+            if r.failed { "FAIL" } else { "ok" }
+        );
+        pass &= !r.failed;
+    }
+    Ok(pass)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -565,7 +750,37 @@ mod tests {
                 })
             })
             .collect();
-        report_json(&params, true, cal, &timings)
+        report_json(&params, true, cal, &timings, None)
+    }
+
+    fn synthetic_alloc_report(allocs_per_batch: f64) -> Json {
+        let params = WallclockParams {
+            p: 16,
+            n: 4_000,
+            warmup: 0,
+            reps: 1,
+            min_secs: 0.0,
+            seed: 1,
+        };
+        let timings: Vec<OpTiming> = OPS
+            .iter()
+            .map(|&op| OpTiming {
+                op,
+                threads: 1,
+                batch: 64,
+                batches_per_sec: 100.0,
+            })
+            .collect();
+        let allocs: Vec<AllocPoint> = OPS
+            .iter()
+            .map(|&op| AllocPoint {
+                op,
+                allocs_per_batch,
+                bytes_per_batch: allocs_per_batch * 64.0,
+                rounds_per_batch: 10.0,
+            })
+            .collect();
+        report_json(&params, true, 1000.0, &timings, Some(&allocs))
     }
 
     #[test]
@@ -661,6 +876,35 @@ mod tests {
             strip(&synthetic_report(1.0, 2.0)),
             strip(&synthetic_report(9.0, 7.0))
         );
+    }
+
+    #[test]
+    fn alloc_gate_fails_on_regression_only() {
+        let lean = synthetic_alloc_report(100.0);
+        let bloated = synthetic_alloc_report(1000.0);
+        // 10x more allocations than baseline: every row fails.
+        let rows = alloc_gate_compare(&bloated, &lean, 0.10).unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.failed));
+        // An improvement of any size passes.
+        let rows = alloc_gate_compare(&lean, &bloated, 0.10).unwrap();
+        assert!(rows.iter().all(|r| !r.failed));
+        // Within tolerance passes.
+        let rows =
+            alloc_gate_compare(&synthetic_alloc_report(105.0), &lean, 0.10).unwrap();
+        assert!(rows.iter().all(|r| !r.failed));
+    }
+
+    #[test]
+    fn alloc_gate_never_passes_vacuously() {
+        let with_data = synthetic_alloc_report(100.0);
+        let without = synthetic_report(100.0, 1000.0);
+        // Baseline lacking allocation data is an error, not a pass.
+        let err = alloc_gate_compare(&with_data, &without, 0.10).unwrap_err();
+        assert!(err.contains("alloc"), "got: {err}");
+        // Current lacking data for a baseline op is an error too.
+        let err = alloc_gate_compare(&without, &with_data, 0.10).unwrap_err();
+        assert!(err.contains("no allocation data"), "got: {err}");
     }
 
     #[test]

@@ -59,7 +59,8 @@ impl PimSkipList {
         let tops: Vec<u8> = (0..pairs.len())
             .map(|_| self.rng.skiplist_height(self.cfg.max_level - 1))
             .collect();
-        let tower = self.allocate_towers(pairs, &tops)?;
+        let mut tower = crate::batch::upsert::Towers::default();
+        self.allocate_towers(pairs, &tops, &mut tower)?;
 
         // Horizontal links, level by level: the nodes at each level in key
         // order form a single chain headed by the −∞ sentinel of that
@@ -73,7 +74,7 @@ impl PimSkipList {
                 }
                 let inf = Handle::replicated(u32::from(level));
                 // −∞ → first.
-                let first = tower[at_level[0]][level as usize];
+                let first = tower.get(at_level[0])[level as usize];
                 s.send_write(
                     inf,
                     Task::WriteRight {
@@ -92,7 +93,7 @@ impl PimSkipList {
                 // node_j → node_{j+1}.
                 for w in at_level.windows(2) {
                     let (a, b) = (w[0], w[1]);
-                    let (ha, hb) = (tower[a][level as usize], tower[b][level as usize]);
+                    let (ha, hb) = (tower.get(a)[level as usize], tower.get(b)[level as usize]);
                     s.send_write(
                         ha,
                         Task::WriteRight {
@@ -104,7 +105,7 @@ impl PimSkipList {
                     s.send_write(hb, Task::WriteLeft { node: hb, to: ha });
                 }
                 // last → null.
-                let last = tower[*at_level.last().expect("non-empty")][level as usize];
+                let last = tower.get(*at_level.last().expect("non-empty"))[level as usize];
                 s.send_write(
                     last,
                     Task::WriteRight {
@@ -123,7 +124,7 @@ impl PimSkipList {
 
         // Commit: every pair is now part of the logical contents.
         for (j, &(key, value)) in pairs.iter().enumerate() {
-            self.journal.record_insert(key, value, tower[j].clone());
+            self.journal.record_insert(key, value, tower.get(j));
         }
         self.len = pairs.len() as u64;
         Ok(())

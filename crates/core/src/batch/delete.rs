@@ -16,8 +16,8 @@
 
 use std::collections::HashMap;
 
-use pim_primitives::list_contraction::{contract, LinkedLists, NONE};
-use pim_primitives::semisort::dedup_by_key;
+use pim_primitives::list_contraction::{contract_in, ContractScratch, LinkedLists, NONE};
+use pim_primitives::semisort::{dedup_by_key_into, dedup_cost};
 use pim_runtime::Handle;
 
 use crate::config::{Key, POS_INF};
@@ -32,6 +32,20 @@ struct MarkedRec {
     left: Handle,
     right: Handle,
     right_key: Key,
+}
+
+/// Working storage for [`PimSkipList::splice_level`], reused (cleared)
+/// across the levels of one delete batch.
+#[derive(Debug, Default)]
+struct SpliceBufs {
+    idx_of: HashMap<u64, usize>,
+    handles: Vec<Handle>,
+    key_of: Vec<Key>,
+    lists: LinkedLists,
+    boundary_left: Vec<usize>,
+    boundary_right: Vec<usize>,
+    removed: Vec<bool>,
+    contract: ContractScratch,
 }
 
 impl PimSkipList {
@@ -61,9 +75,29 @@ impl PimSkipList {
         keys: &[Key],
         extra_staged: &mut u64,
     ) -> PimResult<Vec<bool>> {
+        let mut uniq = self.scratch.take_uniq_keys();
+        let mut tags = self.scratch.take_dedup_tags();
+        dedup_by_key_into(keys, |&k| k as u64, &mut tags, &mut uniq);
+        self.scratch.give_dedup_tags(tags);
+        dedup_cost(keys.len(), uniq.len()).charge(self.sys.metrics_mut());
+        let mut found = self.scratch.take_flags();
+        let mut answered = self.scratch.take_flags2();
+        let out = self.delete_resolve(keys, &uniq, &mut found, &mut answered, extra_staged);
+        self.scratch.give_flags2(answered);
+        self.scratch.give_flags(found);
+        self.scratch.give_uniq_keys(uniq);
+        out
+    }
+
+    fn delete_resolve(
+        &mut self,
+        keys: &[Key],
+        uniq: &[Key],
+        found: &mut Vec<bool>,
+        answered: &mut Vec<bool>,
+        extra_staged: &mut u64,
+    ) -> PimResult<Vec<bool>> {
         let before = self.sys.metrics();
-        let (uniq, cost) = dedup_by_key(keys.to_vec(), self.cfg.seed ^ 0xDD, |&k| k as u64);
-        cost.charge(self.sys.metrics_mut());
 
         // ---- Stage 1: mark leaves + towers via the hash shortcut ----
         let replies = self.spanned("delete/mark", |s| {
@@ -74,11 +108,11 @@ impl PimSkipList {
             s.sys.run_to_quiescence()
         });
 
-        let mut found = vec![false; uniq.len()];
-        let mut answered = vec![false; uniq.len()];
+        found.resize(uniq.len(), false);
+        answered.resize(uniq.len(), false);
         let mut faulted = 0usize;
         let mut marked_by_level: HashMap<u8, Vec<MarkedRec>> = HashMap::new();
-        let mut upper_slots: Vec<u32> = Vec::new();
+        let mut upper_slots = self.scratch.take_slots();
         let mut marked_words = 0u64;
         for r in replies {
             match r {
@@ -113,7 +147,10 @@ impl PimSkipList {
                     answered[op as usize] = true;
                 }
                 Reply::Faulted { .. } => faulted += 1,
-                other => return Err(PimError::protocol("batch_delete", other)),
+                other => {
+                    self.scratch.give_slots(upper_slots);
+                    return Err(PimError::protocol("batch_delete", other));
+                }
             }
         }
         self.sys.shared_mem().alloc(marked_words);
@@ -124,23 +161,25 @@ impl PimSkipList {
         // signal aborts the attempt before the splice consumes the data.
         let missing = answered.iter().filter(|&&a| !a).count();
         if faulted > 0 || missing > 0 || self.damage_since(&before) {
+            self.scratch.give_slots(upper_slots);
             return Err(PimError::incomplete("batch_delete", faulted + missing));
         }
 
         // ---- Stage 2: CPU-side list contraction per level, then splice ----
         let mut levels: Vec<u8> = marked_by_level.keys().copied().collect();
         levels.sort_unstable();
+        let mut bufs = SpliceBufs::default();
         self.spanned("delete/contract", |s| {
             for &level in &levels {
                 let records = &marked_by_level[&level];
-                s.splice_level(records);
+                s.splice_level(records, &mut bufs);
             }
         });
 
         // ---- Free marked lower nodes; unlink upper replicas ----
         // (level order: deterministic message order keeps `nth`-counted
         // drop faults replayable)
-        self.spanned("delete/unlink", |s| {
+        let unlinked = self.spanned("delete/unlink", |s| {
             for &level in &levels {
                 for rec in &marked_by_level[&level] {
                     s.sys
@@ -157,28 +196,42 @@ impl PimSkipList {
                 }
             }
             s.quiesce_writes("batch_delete")
-        })?;
+        });
+        self.scratch.give_slots(upper_slots);
+        unlinked?;
 
         self.len -= found.iter().filter(|&&f| f).count() as u64;
         // Commit removals to the journal.
-        for (&k, &f) in uniq.iter().zip(&found) {
+        for (&k, &f) in uniq.iter().zip(found.iter()) {
             if f {
                 self.journal.remove(k);
             }
         }
 
         // ---- Map back to input order ----
-        let by_key: HashMap<Key, bool> = uniq.iter().zip(&found).map(|(&k, &f)| (k, f)).collect();
+        let by_key: HashMap<Key, bool> = uniq.iter().zip(found.iter()).map(|(&k, &f)| (k, f)).collect();
         Ok(keys.iter().map(|k| by_key[k]).collect())
     }
 
     /// Contract one level's marked nodes in shared memory and write the
-    /// surviving boundary links back.
-    fn splice_level(&mut self, records: &[MarkedRec]) {
+    /// surviving boundary links back. `bufs` is recycled working storage.
+    fn splice_level(&mut self, records: &[MarkedRec], bufs: &mut SpliceBufs) {
         // Local mirror: marked nodes + boundary nodes.
-        let mut idx_of: HashMap<u64, usize> = HashMap::new();
-        let mut handles: Vec<Handle> = Vec::new();
-        let mut key_of: Vec<Key> = Vec::new(); // POS_INF when unknown
+        let SpliceBufs {
+            idx_of,
+            handles,
+            key_of, // POS_INF when unknown
+            lists,
+            boundary_left,
+            boundary_right,
+            removed,
+            contract,
+        } = bufs;
+        idx_of.clear();
+        handles.clear();
+        key_of.clear();
+        boundary_left.clear();
+        boundary_right.clear();
         let intern = |h: Handle,
                       idx_of: &mut HashMap<u64, usize>,
                       handles: &mut Vec<Handle>,
@@ -193,17 +246,15 @@ impl PimSkipList {
 
         // First pass: intern all marked nodes.
         for rec in records {
-            intern(rec.node, &mut idx_of, &mut handles, &mut key_of);
+            intern(rec.node, idx_of, handles, key_of);
         }
         let marked_count = handles.len();
 
         // Second pass: links + boundary nodes.
-        let mut lists = LinkedLists {
-            prev: vec![NONE; marked_count],
-            next: vec![NONE; marked_count],
-        };
-        let mut boundary_left: Vec<usize> = Vec::new();
-        let mut boundary_right: Vec<usize> = Vec::new();
+        lists.prev.clear();
+        lists.next.clear();
+        lists.prev.resize(marked_count, NONE);
+        lists.next.resize(marked_count, NONE);
         for rec in records {
             let me = idx_of[&rec.node.to_bits()];
             // Left neighbour.
@@ -212,7 +263,7 @@ impl PimSkipList {
             let l = match idx_of.get(&lbits) {
                 Some(&i) if i < marked_count => i,
                 _ => {
-                    let i = intern(rec.left, &mut idx_of, &mut handles, &mut key_of);
+                    let i = intern(rec.left, idx_of, handles, key_of);
                     if i >= lists.prev.len() {
                         lists.prev.resize(i + 1, NONE);
                         lists.next.resize(i + 1, NONE);
@@ -229,7 +280,7 @@ impl PimSkipList {
                 let r = match idx_of.get(&rbits) {
                     Some(&i) if i < marked_count => i,
                     _ => {
-                        let i = intern(rec.right, &mut idx_of, &mut handles, &mut key_of);
+                        let i = intern(rec.right, idx_of, handles, key_of);
                         if i >= lists.prev.len() {
                             lists.prev.resize(i + 1, NONE);
                             lists.next.resize(i + 1, NONE);
@@ -248,11 +299,12 @@ impl PimSkipList {
         }
 
         let n = handles.len();
-        let removed: Vec<bool> = (0..n).map(|i| i < marked_count).collect();
-        contract(&mut lists, &removed, &mut self.rng).charge(self.sys.metrics_mut());
+        removed.clear();
+        removed.extend((0..n).map(|i| i < marked_count));
+        contract_in(lists, removed, &mut self.rng, contract).charge(self.sys.metrics_mut());
 
         // Write back the boundary links.
-        for &l in &boundary_left {
+        for &l in boundary_left.iter() {
             let r = lists.next[l];
             let (to, to_key) = if r == NONE {
                 (Handle::NULL, POS_INF)
@@ -268,7 +320,7 @@ impl PimSkipList {
                 },
             );
         }
-        for &r in &boundary_right {
+        for &r in boundary_right.iter() {
             let l = lists.prev[r];
             debug_assert!(l != NONE, "right boundary lost its left link");
             self.send_write(

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use pim_primitives::semisort::dedup_by_key;
+use pim_primitives::semisort::{dedup_by_key_into, dedup_cost};
 
 use crate::config::{Key, Value};
 use crate::error::{PimError, PimResult};
@@ -41,12 +41,19 @@ impl PimSkipList {
     }
 
     fn get_attempt_inner(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
-        let uniq = self.spanned("get/dedup", |s| {
-            let (uniq, cost) = dedup_by_key(keys.to_vec(), s.cfg.seed ^ 0xDE, |&k| k as u64);
-            cost.charge(s.sys.metrics_mut());
-            uniq
+        let mut uniq = self.scratch.take_uniq_keys();
+        self.spanned("get/dedup", |s| {
+            let mut tags = s.scratch.take_dedup_tags();
+            dedup_by_key_into(keys, |&k| k as u64, &mut tags, &mut uniq);
+            s.scratch.give_dedup_tags(tags);
+            dedup_cost(keys.len(), uniq.len()).charge(s.sys.metrics_mut());
         });
+        let out = self.get_resolve(keys, &uniq);
+        self.scratch.give_uniq_keys(uniq);
+        out
+    }
 
+    fn get_resolve(&mut self, keys: &[Key], uniq: &[Key]) -> PimResult<Vec<Option<Value>>> {
         let replies = self.spanned("get/lookup", |s| {
             for (op, &key) in uniq.iter().enumerate() {
                 let m = s.module_of(key, 0);
@@ -106,12 +113,19 @@ impl PimSkipList {
     }
 
     fn update_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
-        let uniq = self.spanned("update/dedup", |s| {
-            let (uniq, cost) = dedup_by_key(pairs.to_vec(), s.cfg.seed ^ 0xDF, |&(k, _)| k as u64);
-            cost.charge(s.sys.metrics_mut());
-            uniq
+        let mut uniq = self.scratch.take_uniq_pairs();
+        self.spanned("update/dedup", |s| {
+            let mut tags = s.scratch.take_dedup_tags();
+            dedup_by_key_into(pairs, |&(k, _)| k as u64, &mut tags, &mut uniq);
+            s.scratch.give_dedup_tags(tags);
+            dedup_cost(pairs.len(), uniq.len()).charge(s.sys.metrics_mut());
         });
+        let out = self.update_resolve(pairs, &uniq);
+        self.scratch.give_uniq_pairs(uniq);
+        out
+    }
 
+    fn update_resolve(&mut self, pairs: &[(Key, Value)], uniq: &[(Key, Value)]) -> PimResult<Vec<bool>> {
         let replies = self.spanned("update/lookup", |s| {
             for (op, &(key, value)) in uniq.iter().enumerate() {
                 let m = s.module_of(key, 0);
@@ -154,7 +168,7 @@ impl PimSkipList {
         }
         // Commit to the journal: these writes are now part of the logical
         // contents and any subsequent recovery must reproduce them.
-        for &(k, v) in &uniq {
+        for &(k, v) in uniq {
             if by_key[&k] {
                 self.journal.record_update(k, v);
             }

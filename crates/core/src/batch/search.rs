@@ -52,10 +52,10 @@ pub(crate) struct DoneRec {
     pub succ_key: Key,
 }
 
-/// Per-level predecessor report (insert support).
+/// Per-level predecessor report (insert support); the level is the map key
+/// in [`SearchResults::preds`].
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PredRec {
-    pub level: u8,
     pub pred: Handle,
     pub succ: Handle,
     pub succ_key: Key,
@@ -65,7 +65,10 @@ pub(crate) struct PredRec {
 #[derive(Default)]
 pub(crate) struct SearchResults {
     pub done: HashMap<u32, DoneRec>,
-    pub preds: HashMap<u32, Vec<PredRec>>,
+    /// Per-`(op, level)` predecessor reports — one flat map instead of one
+    /// heap `Vec` per op, so a search allocates O(1) containers however
+    /// many towers it serves.
+    pub preds: HashMap<(u32, u8), PredRec>,
     /// The start hint each op was executed with (reused by the
     /// tree-structure range operations as their descent start, §5.2).
     pub hints: HashMap<u32, Hint>,
@@ -78,37 +81,40 @@ impl SearchResults {
             return self.done.get(&op).map(|d| (d.pred, d.succ, d.succ_key));
         }
         self.preds
-            .get(&op)?
-            .iter()
-            .find(|p| p.level == level)
+            .get(&(op, level))
             .map(|p| (p.pred, p.succ, p.succ_key))
     }
 }
 
-/// Compute the start hint *and* the shared path prefix (up to and including
-/// the LCA) for a key bracketed by the owners of `a` and `b`.
-fn hint_and_prefix(a: &[Handle], b: &[Handle]) -> (Hint, Vec<Handle>, CpuCost) {
+/// Compute the start hint and the shared path-prefix *length* (up to and
+/// including the LCA) for a key bracketed by the owners of `a` and `b`.
+/// Allocation-free: the prefix itself is materialised only for pivots that
+/// record paths ([`PimSkipList::run_wave`] slices it out of the source
+/// op's recorded path).
+fn hint_and_prefix(a: &[Handle], b: &[Handle]) -> (Hint, usize, CpuCost) {
     let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
     let cost = CpuCost::new(
         (common as u64).max(1),
         log2c(a.len().max(b.len()).max(1) as u64),
     );
     if common == 0 {
-        (Hint::Root, Vec::new(), cost)
+        (Hint::Root, 0, cost)
     } else if common == a.len() && common == b.len() {
-        (Hint::SharedLeaf(a[common - 1]), a.to_vec(), cost)
+        (Hint::SharedLeaf(a[common - 1]), common, cost)
     } else {
-        (Hint::Start(a[common - 1]), a[..common].to_vec(), cost)
+        (Hint::Start(a[common - 1]), common, cost)
     }
 }
 
-/// A wave item: request index, its start hint, and the path prefix to
-/// prepend when reconstructing its full lower-part path.
+/// A wave item: request index, its start hint, and the length of the path
+/// prefix (shared with `stitch_from`'s recorded path) to prepend when
+/// reconstructing its full lower-part path.
 struct WaveItem {
     idx: usize,
     hint: Hint,
-    prefix: Vec<Handle>,
-    /// Stitch per-level predecessors above the hint from this op.
+    prefix_len: usize,
+    /// Stitch per-level predecessors above the hint from this op; also the
+    /// owner of the shared path prefix.
     stitch_from: Option<u32>,
 }
 
@@ -160,17 +166,17 @@ impl PimSkipList {
         let mut paths: HashMap<u32, Vec<Handle>> = HashMap::new();
 
         // ---- Stage 1, phase 0: the extremes, from the root. ----
-        let mut phase0 = vec![WaveItem {
+        let mut items = vec![WaveItem {
             idx: pivots[0],
             hint: Hint::Root,
-            prefix: Vec::new(),
+            prefix_len: 0,
             stitch_from: None,
         }];
         if m > 1 {
-            phase0.push(WaveItem {
+            items.push(WaveItem {
                 idx: pivots[m - 1],
                 hint: Hint::Root,
-                prefix: Vec::new(),
+                prefix_len: 0,
                 stitch_from: None,
             });
         }
@@ -178,14 +184,15 @@ impl PimSkipList {
         // segments (pivot divide and conquer). ----
         self.spanned("search/stage1", |s| -> PimResult<()> {
             *staged_words +=
-                s.run_wave(&phase0, reqs, Some(max_top), true, &mut results, &mut paths)?;
+                s.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths)?;
             s.record_phase_contention();
 
             let mut segments: Vec<(usize, usize)> =
                 if m > 1 { vec![(0, m - 1)] } else { Vec::new() };
+            let mut next_segments: Vec<(usize, usize)> = Vec::new();
             while segments.iter().any(|&(l, r)| r - l > 1) {
-                let mut items = Vec::new();
-                let mut next_segments = Vec::new();
+                items.clear();
+                next_segments.clear();
                 let mut hint_cost = CpuCost::ZERO;
                 for &(l, r) in &segments {
                     if r - l <= 1 {
@@ -203,12 +210,12 @@ impl PimSkipList {
                             missing: 1,
                         })?,
                     );
-                    let (hint, prefix, cost) = hint_and_prefix(path_l, path_r);
+                    let (hint, prefix_len, cost) = hint_and_prefix(path_l, path_r);
                     hint_cost = hint_cost.beside(cost);
                     items.push(WaveItem {
                         idx: pivots[med],
                         hint,
-                        prefix,
+                        prefix_len,
                         stitch_from: Some(op_l),
                     });
                     next_segments.push((l, med));
@@ -218,18 +225,18 @@ impl PimSkipList {
                 *staged_words +=
                     s.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths)?;
                 s.record_phase_contention();
-                segments = next_segments;
+                std::mem::swap(&mut segments, &mut next_segments);
             }
             Ok(())
         })?;
 
         // ---- Stage 2: everything else, hinted by bracketing pivots. ----
         self.spanned("search/stage2", |s| -> PimResult<()> {
-            let mut items = Vec::new();
+            items.clear();
             let mut hint_cost = CpuCost::ZERO;
-            let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
             for i in 0..b {
-                if pivot_set.contains(&i) {
+                // `pivots` is ascending by construction.
+                if pivots.binary_search(&i).is_ok() {
                     continue;
                 }
                 let pos = pivots.partition_point(|&p| p < i);
@@ -245,12 +252,12 @@ impl PimSkipList {
                         missing: 1,
                     })?,
                 );
-                let (hint, prefix, cost) = hint_and_prefix(path_l, path_r);
+                let (hint, prefix_len, cost) = hint_and_prefix(path_l, path_r);
                 hint_cost = hint_cost.beside(cost);
                 items.push(WaveItem {
                     idx: i,
                     hint,
-                    prefix,
+                    prefix_len,
                     stitch_from: Some(op_l),
                 });
             }
@@ -313,7 +320,17 @@ impl PimSkipList {
                 Hint::Start(h) => {
                     debug_assert!(!h.is_replicated(), "recorded paths hold lower-part nodes");
                     if record {
-                        paths.insert(req.op, item.prefix.clone());
+                        // Materialise the shared prefix from the source
+                        // op's recorded path (one allocation, pivots only).
+                        let src = item.stitch_from.expect("hinted search has a source");
+                        let prefix = paths
+                            .get(&src)
+                            .ok_or(PimError::Incomplete {
+                                op: "search",
+                                missing: 1,
+                            })?[..item.prefix_len]
+                            .to_vec();
+                        paths.insert(req.op, prefix);
                     }
                     self.sys.send(
                         h.module(),
@@ -358,12 +375,14 @@ impl PimSkipList {
                     succ,
                     succ_key,
                 } => {
-                    results.preds.entry(op).or_default().push(PredRec {
-                        level,
-                        pred,
-                        succ,
-                        succ_key,
-                    });
+                    results.preds.insert(
+                        (op, level),
+                        PredRec {
+                            pred,
+                            succ,
+                            succ_key,
+                        },
+                    );
                 }
                 Reply::PathNode { op, node } => {
                     paths.entry(op).or_default().push(node);
@@ -378,14 +397,17 @@ impl PimSkipList {
         }
 
         // Resolve SharedLeaf copies (results and paths identical to src).
+        let max_level = self.cfg.max_level;
         for (dst, src) in copies {
             let d = *results.done.get(&src).ok_or(PimError::Incomplete {
                 op: "search",
                 missing: 1,
             })?;
             results.done.insert(dst, d);
-            if let Some(p) = results.preds.get(&src).cloned() {
-                results.preds.insert(dst, p);
+            for level in 1..=max_level {
+                if let Some(&p) = results.preds.get(&(src, level)) {
+                    results.preds.insert((dst, level), p);
+                }
             }
             if record {
                 if let Some(p) = paths.get(&src).cloned() {
@@ -401,27 +423,14 @@ impl PimSkipList {
                 continue;
             };
             let req = reqs[item.idx];
-            let top = forced_top.unwrap_or(req.top).min(self.cfg.max_level);
-            if top == 0 {
-                continue;
-            }
-            let have: std::collections::HashSet<u8> = results
-                .preds
-                .get(&req.op)
-                .map(|v| v.iter().map(|p| p.level).collect())
-                .unwrap_or_default();
-            let missing: Vec<PredRec> = results
-                .preds
-                .get(&src)
-                .map(|v| {
-                    v.iter()
-                        .filter(|p| p.level <= top && !have.contains(&p.level))
-                        .copied()
-                        .collect()
-                })
-                .unwrap_or_default();
-            if !missing.is_empty() {
-                results.preds.entry(req.op).or_default().extend(missing);
+            let top = forced_top.unwrap_or(req.top).min(max_level);
+            for level in 1..=top {
+                if results.preds.contains_key(&(req.op, level)) {
+                    continue;
+                }
+                if let Some(&p) = results.preds.get(&(src, level)) {
+                    results.preds.insert((req.op, level), p);
+                }
             }
         }
 
@@ -565,25 +574,33 @@ impl PimSkipList {
     /// Sort + dedup the keys, run the pivoted search in point mode, and
     /// return per-key terminal records.
     fn point_search_unique(&mut self, keys: &[Key]) -> PimResult<HashMap<Key, DoneRec>> {
-        let mut uniq: Vec<Key> = keys.to_vec();
+        let mut uniq = self.scratch.take_sorted_keys();
+        uniq.extend_from_slice(keys);
         par_sort(&mut uniq).charge(self.sys.metrics_mut());
         uniq.dedup();
-        let reqs: Vec<SearchRequest> = uniq
-            .iter()
-            .enumerate()
-            .map(|(i, &key)| SearchRequest {
-                op: i as u32,
-                key,
-                top: 0,
-            })
-            .collect();
-        let results = self.pivoted_search(&reqs)?;
+        let mut reqs = self.scratch.take_reqs();
+        reqs.extend(uniq.iter().enumerate().map(|(i, &key)| SearchRequest {
+            op: i as u32,
+            key,
+            top: 0,
+        }));
+        let results = self.pivoted_search(&reqs);
+        self.scratch.give_reqs(reqs);
+        let results = match results {
+            Ok(r) => r,
+            Err(e) => {
+                self.scratch.give_sorted_keys(uniq);
+                return Err(e);
+            }
+        };
         // `pivoted_search` checked completeness: indexing is safe.
-        Ok(uniq
+        let out = uniq
             .iter()
             .enumerate()
             .map(|(i, &k)| (k, results.done[&(i as u32)]))
-            .collect())
+            .collect();
+        self.scratch.give_sorted_keys(uniq);
+        Ok(out)
     }
 }
 

@@ -16,7 +16,7 @@
 //!    of new nodes that share a `(pred, succ)` segment (Fig. 4);
 //! 7. recompute `next_leaf` shortcuts of any new upper-part leaves.
 
-use pim_primitives::semisort::dedup_by_key;
+use pim_primitives::semisort::{dedup_by_key_into, dedup_cost};
 use pim_primitives::sort::par_sort_by_key;
 use pim_runtime::Handle;
 
@@ -33,6 +33,39 @@ pub enum UpsertOutcome {
     Updated,
     /// The key was inserted.
     Inserted,
+}
+
+/// Flattened per-insert towers: tower `j` occupies
+/// `handles[offsets[j]..offsets[j + 1]]`, indexed by level. Two buffers
+/// per batch (recyclable through [`crate::scratch::Scratch`]) instead of
+/// one heap `Vec` per inserted key.
+#[derive(Debug, Default)]
+pub(crate) struct Towers {
+    pub(crate) handles: Vec<Handle>,
+    pub(crate) offsets: Vec<u32>,
+}
+
+impl Towers {
+    /// Size each tower from its height and null-fill the handle slots.
+    fn reset(&mut self, tops: &[u8]) {
+        self.handles.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        for &top in tops {
+            let end = self.handles.len() + top as usize + 1;
+            self.handles.resize(end, Handle::NULL);
+            self.offsets.push(end as u32);
+        }
+    }
+
+    /// Tower `j`'s handles, indexed by level.
+    pub(crate) fn get(&self, j: usize) -> &[Handle] {
+        &self.handles[self.offsets[j] as usize..self.offsets[j + 1] as usize]
+    }
+
+    fn get_mut(&mut self, j: usize) -> &mut [Handle] {
+        &mut self.handles[self.offsets[j] as usize..self.offsets[j + 1] as usize]
+    }
 }
 
 impl PimSkipList {
@@ -62,9 +95,21 @@ impl PimSkipList {
     }
 
     fn upsert_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
-        let (uniq, cost) = dedup_by_key(pairs.to_vec(), self.cfg.seed ^ 0xAB, |&(k, _)| k as u64);
-        cost.charge(self.sys.metrics_mut());
+        let mut uniq = self.scratch.take_uniq_pairs();
+        let mut tags = self.scratch.take_dedup_tags();
+        dedup_by_key_into(pairs, |&(k, _)| k as u64, &mut tags, &mut uniq);
+        self.scratch.give_dedup_tags(tags);
+        dedup_cost(pairs.len(), uniq.len()).charge(self.sys.metrics_mut());
+        let out = self.upsert_resolve(pairs, &uniq);
+        self.scratch.give_uniq_pairs(uniq);
+        out
+    }
 
+    fn upsert_resolve(
+        &mut self,
+        pairs: &[(Key, Value)],
+        uniq: &[(Key, Value)],
+    ) -> PimResult<Vec<UpsertOutcome>> {
         // ---- Update pass (§4.1 shortcut) ----
         let replies = self.spanned("upsert/update_pass", |s| {
             for (op, &(key, value)) in uniq.iter().enumerate() {
@@ -80,7 +125,8 @@ impl PimSkipList {
             }
             s.sys.run_to_quiescence()
         });
-        let mut updated = vec![false; uniq.len()];
+        let mut updated = self.scratch.take_flags();
+        updated.resize(uniq.len(), false);
         let mut answered = 0usize;
         let mut faulted = 0usize;
         for r in replies {
@@ -90,7 +136,10 @@ impl PimSkipList {
                     answered += 1;
                 }
                 Reply::Faulted { .. } => faulted += 1,
-                other => return Err(PimError::protocol("batch_upsert", other)),
+                other => {
+                    self.scratch.give_flags(updated);
+                    return Err(PimError::protocol("batch_upsert", other));
+                }
             }
         }
         // Every update task answers exactly once on a healthy machine; a
@@ -98,6 +147,7 @@ impl PimSkipList {
         // a `found = false` derived from silence must never reach the
         // insert path (it would duplicate the key).
         if faulted > 0 || answered < uniq.len() {
+            self.scratch.give_flags(updated);
             return Err(PimError::incomplete(
                 "batch_upsert",
                 faulted + (uniq.len() - answered),
@@ -105,16 +155,24 @@ impl PimSkipList {
         }
 
         // ---- Insert set, sorted by key ----
-        let mut inserts: Vec<(Key, Value)> = uniq
-            .iter()
-            .zip(&updated)
-            .filter(|(_, &u)| !u)
-            .map(|(&kv, _)| kv)
-            .collect();
+        let mut inserts = self.scratch.take_inserts();
+        inserts.extend(
+            uniq.iter()
+                .zip(&updated)
+                .filter(|(_, &u)| !u)
+                .map(|(&kv, _)| kv),
+        );
         par_sort_by_key(&mut inserts, |&(k, _)| k).charge(self.sys.metrics_mut());
 
-        if !inserts.is_empty() {
-            self.insert_sorted(&inserts)?;
+        let inserted = if inserts.is_empty() {
+            Ok(())
+        } else {
+            self.insert_sorted(&inserts)
+        };
+        self.scratch.give_inserts(inserts);
+        if let Err(e) = inserted {
+            self.scratch.give_flags(updated);
+            return Err(e);
         }
 
         // The inserts are journaled by `insert_sorted`; commit the updates.
@@ -139,6 +197,7 @@ impl PimSkipList {
                 )
             })
             .collect();
+        self.scratch.give_flags(updated);
         Ok(pairs.iter().map(|(k, _)| outcome_by_key[k]).collect())
     }
 
@@ -146,24 +205,24 @@ impl PimSkipList {
     /// keys (Insert steps 1–5): lower-part nodes go to their hashed
     /// modules (entering local index + local leaf list on arrival),
     /// upper-part nodes are broadcast into shadow-chosen replicated slots.
-    /// Returns `tower[j][level]` handles.
+    /// Fills `towers` with the `tower[j][level]` handles.
     pub(crate) fn allocate_towers(
         &mut self,
         inserts: &[(Key, Value)],
         tops: &[u8],
-    ) -> PimResult<Vec<Vec<Handle>>> {
-        self.spanned("alloc", |s| s.allocate_towers_inner(inserts, tops))
+        towers: &mut Towers,
+    ) -> PimResult<()> {
+        self.spanned("alloc", |s| s.allocate_towers_inner(inserts, tops, towers))
     }
 
     fn allocate_towers_inner(
         &mut self,
         inserts: &[(Key, Value)],
         tops: &[u8],
-    ) -> PimResult<Vec<Vec<Handle>>> {
+        towers: &mut Towers,
+    ) -> PimResult<()> {
         let h_low = self.cfg.h_low;
-        let mut tower: Vec<Vec<Handle>> = (0..inserts.len())
-            .map(|j| vec![Handle::NULL; tops[j] as usize + 1])
-            .collect();
+        towers.reset(&tops[..inserts.len()]);
         for (j, &(key, value)) in inserts.iter().enumerate() {
             let top = tops[j];
             if h_low > 0 {
@@ -183,7 +242,7 @@ impl PimSkipList {
             if top >= h_low {
                 for level in h_low..=top {
                     let slot = self.shadow.alloc();
-                    tower[j][level as usize] = Handle::replicated(slot);
+                    towers.get_mut(j)[level as usize] = Handle::replicated(slot);
                     self.sys.broadcast(|_| Task::AllocUpper {
                         slot,
                         key,
@@ -198,23 +257,20 @@ impl PimSkipList {
         for r in replies {
             match r {
                 Reply::Alloced { op, level, node } => {
-                    tower[op as usize][level as usize] = node;
+                    towers.get_mut(op as usize)[level as usize] = node;
                 }
                 Reply::Faulted { .. } => faulted += 1,
                 other => return Err(PimError::protocol("alloc", other)),
             }
         }
-        let missing = tower
-            .iter()
-            .flat_map(|t| t.iter())
-            .filter(|h| h.is_null())
-            .count();
+        let missing = towers.handles.iter().filter(|h| h.is_null()).count();
         if faulted > 0 || missing > 0 {
             return Err(PimError::incomplete("alloc", faulted + missing));
         }
 
         // ---- Vertical wiring + leaf chains (Insert steps 4–5) ----
-        for t in &tower {
+        for j in 0..inserts.len() {
+            let t = towers.get(j);
             for (l, &h) in t.iter().enumerate() {
                 let up = t.get(l + 1).copied().unwrap_or(Handle::NULL);
                 let down = if l > 0 { t[l - 1] } else { Handle::NULL };
@@ -223,24 +279,20 @@ impl PimSkipList {
                 }
             }
             if t.len() > 1 {
-                self.send_write(
-                    t[0],
-                    Task::SetLeafChain {
-                        leaf: t[0],
-                        chain: t[1..].to_vec(),
-                    },
-                );
+                // The chain is a real message payload, not staging — each
+                // receiving leaf owns its copy.
+                let (leaf, chain) = (t[0], t[1..].to_vec());
+                self.send_write(leaf, Task::SetLeafChain { leaf, chain });
             }
         }
-        self.quiesce_writes("wire")?;
-        Ok(tower)
+        self.quiesce_writes("wire")
     }
 
     /// Recompute the `next_leaf` shortcut of every new upper-part leaf
     /// (broadcast; must run after horizontal linking).
     pub(crate) fn fix_new_next_leaves(
         &mut self,
-        tower: &[Vec<Handle>],
+        towers: &Towers,
         tops: &[u8],
     ) -> PimResult<()> {
         let h_low = self.cfg.h_low;
@@ -249,9 +301,9 @@ impl PimSkipList {
         }
         self.spanned("next_leaf", |s| {
             let mut fixed_any = false;
-            for (j, t) in tower.iter().enumerate() {
-                if tops[j] >= h_low {
-                    let slot = t[h_low as usize].slot();
+            for (j, &top) in tops.iter().enumerate() {
+                if top >= h_low {
+                    let slot = towers.get(j)[h_low as usize].slot();
                     s.sys.broadcast(|_| Task::FixNextLeaf { slot });
                     fixed_any = true;
                 }
@@ -264,43 +316,55 @@ impl PimSkipList {
     }
 
     /// Insert a sorted, deduplicated, non-resident batch of pairs.
+    /// Leasing shell around [`PimSkipList::insert_towers`]: heights and
+    /// tower storage come from scratch and go back on every exit path.
     fn insert_sorted(&mut self, inserts: &[(Key, Value)]) -> PimResult<()> {
-        let b = inserts.len();
-
         // ---- Heights (CPU-side secret coins, drawn in key order) ----
-        let tops: Vec<u8> = (0..b)
-            .map(|_| self.rng.skiplist_height(self.cfg.max_level - 1))
-            .collect();
+        let mut tops = self.scratch.take_tops();
+        tops.extend((0..inserts.len()).map(|_| self.rng.skiplist_height(self.cfg.max_level - 1)));
+        let mut towers = Towers {
+            handles: self.scratch.take_tower_handles(),
+            offsets: self.scratch.take_tower_offsets(),
+        };
+        let out = self.insert_towers(inserts, &tops, &mut towers);
+        self.scratch.give_tower_handles(towers.handles);
+        self.scratch.give_tower_offsets(towers.offsets);
+        self.scratch.give_tops(tops);
+        out
+    }
 
+    fn insert_towers(
+        &mut self,
+        inserts: &[(Key, Value)],
+        tops: &[u8],
+        towers: &mut Towers,
+    ) -> PimResult<()> {
         // ---- Allocation + vertical wiring rounds (Insert steps 1–5) ----
-        let tower = self.allocate_towers(inserts, &tops)?;
+        self.allocate_towers(inserts, tops, towers)?;
 
         // ---- Batched Predecessor with per-level reports (§4.2) ----
-        let reqs: Vec<SearchRequest> = inserts
-            .iter()
-            .enumerate()
-            .map(|(j, &(key, _))| SearchRequest {
-                op: j as u32,
-                key,
-                top: tops[j],
-            })
-            .collect();
-        let results = self.pivoted_search(&reqs)?;
+        let mut reqs = self.scratch.take_reqs();
+        reqs.extend(inserts.iter().enumerate().map(|(j, &(key, _))| SearchRequest {
+            op: j as u32,
+            key,
+            top: tops[j],
+        }));
+        let results = self.pivoted_search(&reqs);
+        self.scratch.give_reqs(reqs);
+        let results = results?;
 
         // ---- Algorithm 1: horizontal pointer construction ----
-        self.spanned("link", |s| {
-            s.link_horizontal(inserts, &tops, &tower, &results)
-        })?;
+        self.spanned("link", |s| s.link_horizontal(inserts, tops, towers, &results))?;
 
         // ---- Recompute next_leaf for new upper-part leaves ----
-        self.fix_new_next_leaves(&tower, &tops)?;
+        self.fix_new_next_leaves(towers, tops)?;
 
         // Commit: the batch is structurally complete — journal each new
         // tower so recovery can re-materialise it handle for handle.
         for (j, &(key, value)) in inserts.iter().enumerate() {
-            self.journal.record_insert(key, value, tower[j].clone());
+            self.journal.record_insert(key, value, towers.get(j));
         }
-        self.len += b as u64;
+        self.len += inserts.len() as u64;
         Ok(())
     }
 
@@ -311,20 +375,22 @@ impl PimSkipList {
         &mut self,
         inserts: &[(Key, Value)],
         tops: &[u8],
-        tower: &[Vec<Handle>],
+        towers: &Towers,
         results: &crate::batch::search::SearchResults,
     ) -> PimResult<()> {
+        struct Entry {
+            cur: Handle,
+            key: Key,
+            pred: Handle,
+            succ: Handle,
+            succ_key: Key,
+        }
+        // A[level] staging, reused (cleared) across levels.
+        let mut a: Vec<Entry> = Vec::new();
         let max_top = tops.iter().copied().max().unwrap_or(0);
         for level in 0..=max_top {
             // A[level]: new nodes at this level in ascending key order.
-            struct Entry {
-                cur: Handle,
-                key: Key,
-                pred: Handle,
-                succ: Handle,
-                succ_key: Key,
-            }
-            let mut a: Vec<Entry> = Vec::new();
+            a.clear();
             for (j, &(key, _)) in inserts.iter().enumerate() {
                 if tops[j] < level {
                     continue;
@@ -337,7 +403,7 @@ impl PimSkipList {
                             missing: 1,
                         })?;
                 a.push(Entry {
-                    cur: tower[j][level as usize],
+                    cur: towers.get(j)[level as usize],
                     key,
                     pred,
                     succ,

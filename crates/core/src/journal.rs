@@ -30,6 +30,50 @@ use pim_runtime::Handle;
 use crate::config::{Key, Value};
 use crate::op::Op;
 
+/// How many tower levels a [`Tower`] stores inline. Heights are geometric
+/// (`P(height > 4) = 2⁻⁴`), so ~94% of towers never touch the heap — which
+/// keeps steady-state journal maintenance out of the allocator (the
+/// journal half of the allocation contract in `docs/MODEL.md`).
+const TOWER_INLINE: usize = 4;
+
+/// A tower's handles, bottom-up: `tower[0]` is the leaf, `tower[j]` the
+/// level-`j` node. Short towers live inline; tall ones spill to the heap.
+/// Derefs to `[Handle]`, so reads look like the plain `Vec` it replaced.
+#[derive(Debug, Clone)]
+pub(crate) enum Tower {
+    Inline {
+        len: u8,
+        slots: [Handle; TOWER_INLINE],
+    },
+    Heap(Vec<Handle>),
+}
+
+impl From<&[Handle]> for Tower {
+    fn from(t: &[Handle]) -> Self {
+        if t.len() <= TOWER_INLINE {
+            let mut slots = [Handle::NULL; TOWER_INLINE];
+            slots[..t.len()].copy_from_slice(t);
+            Tower::Inline {
+                len: t.len() as u8,
+                slots,
+            }
+        } else {
+            Tower::Heap(t.to_vec())
+        }
+    }
+}
+
+impl std::ops::Deref for Tower {
+    type Target = [Handle];
+
+    fn deref(&self) -> &[Handle] {
+        match self {
+            Tower::Inline { len, slots } => &slots[..*len as usize],
+            Tower::Heap(v) => v,
+        }
+    }
+}
+
 /// Per-key journal record.
 #[derive(Debug, Clone)]
 pub(crate) struct JournalEntry {
@@ -38,9 +82,8 @@ pub(crate) struct JournalEntry {
     /// Value at insert time — what every upper-part replica of this tower
     /// stores (updates never rewrite replicas).
     pub inserted_value: Value,
-    /// The tower's handles, bottom-up: `tower[0]` is the leaf,
-    /// `tower[j]` the level-`j` node.
-    pub tower: Vec<Handle>,
+    /// The tower's handles (see [`Tower`]).
+    pub tower: Tower,
 }
 
 /// The driver's journal of live keys.
@@ -63,13 +106,13 @@ impl Journal {
     /// Record a committed insert (also used when a rebuild re-towers a key:
     /// the rebuilt replicas carry the then-current value uniformly, so
     /// `inserted_value` resets alongside).
-    pub fn record_insert(&mut self, key: Key, value: Value, tower: Vec<Handle>) {
+    pub fn record_insert(&mut self, key: Key, value: Value, tower: &[Handle]) {
         self.entries.insert(
             key,
             JournalEntry {
                 value,
                 inserted_value: value,
-                tower,
+                tower: Tower::from(tower),
             },
         );
     }
@@ -137,8 +180,8 @@ mod tests {
     #[test]
     fn journal_lifecycle() {
         let mut j = Journal::new();
-        j.record_insert(5, 50, vec![Handle::local(1, 0)]);
-        j.record_insert(2, 20, vec![Handle::local(0, 3), Handle::replicated(9)]);
+        j.record_insert(5, 50, &[Handle::local(1, 0)]);
+        j.record_insert(2, 20, &[Handle::local(0, 3), Handle::replicated(9)]);
         assert_eq!(j.len(), 2);
         j.record_update(5, 55);
         j.record_update(99, 1); // absent: no-op

@@ -46,6 +46,7 @@ pub mod node;
 pub mod op;
 pub mod range;
 mod recover;
+mod scratch;
 pub mod tasks;
 
 pub use batch::UpsertOutcome;

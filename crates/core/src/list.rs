@@ -40,6 +40,9 @@ pub struct PimSkipList {
     /// batch (Lemma 4.2 instrumentation; populated only when
     /// [`Config::track_contention`] is set).
     pub last_phase_contention: Vec<u32>,
+    /// Reusable CPU-side staging buffers (capacity recycled across
+    /// batches; see [`crate::scratch`]).
+    pub(crate) scratch: crate::scratch::Scratch,
 }
 
 impl PimSkipList {
@@ -66,6 +69,7 @@ impl PimSkipList {
             len: 0,
             journal: Journal::new(),
             last_phase_contention: Vec::new(),
+            scratch: crate::scratch::Scratch::default(),
         }
     }
 

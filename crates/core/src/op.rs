@@ -245,55 +245,72 @@ impl PimSkipList {
     /// with the family's retry discipline (idempotent reads re-issue after
     /// per-module recovery; structural writes restore from the journal).
     fn execute_run(&mut self, run: &[Op]) -> PimResult<Vec<Reply>> {
+        // The run's keys/pairs/ranges are staged in leased scratch buffers
+        // (returned before the `?` propagates), so a service front-end
+        // executing batches continuously reuses staging capacity instead
+        // of allocating it per dispatch.
         match run[0].kind() {
             OpKind::Get => {
-                let keys: Vec<Key> = run.iter().map(op_key).collect();
-                let out = self.retry_read("batch_get", keys.len(), |s| s.get_attempt(&keys))?;
-                Ok(out.into_iter().map(Reply::Value).collect())
+                let mut keys = self.scratch.take_keys();
+                keys.extend(run.iter().map(op_key));
+                let out = self.retry_read("batch_get", keys.len(), |s| s.get_attempt(&keys));
+                self.scratch.give_keys(keys);
+                Ok(out?.into_iter().map(Reply::Value).collect())
             }
             OpKind::Update => {
-                let pairs: Vec<(Key, Value)> = run.iter().map(op_pair).collect();
+                let mut pairs = self.scratch.take_pairs();
+                pairs.extend(run.iter().map(op_pair));
                 let out =
-                    self.retry_read("batch_update", pairs.len(), |s| s.update_attempt(&pairs))?;
-                Ok(out.into_iter().map(Reply::Updated).collect())
+                    self.retry_read("batch_update", pairs.len(), |s| s.update_attempt(&pairs));
+                self.scratch.give_pairs(pairs);
+                Ok(out?.into_iter().map(Reply::Updated).collect())
             }
             OpKind::Upsert => {
-                let pairs: Vec<(Key, Value)> = run.iter().map(op_pair).collect();
+                let mut pairs = self.scratch.take_pairs();
+                pairs.extend(run.iter().map(op_pair));
                 let out = self
-                    .retry_structural("batch_upsert", pairs.len(), |s| s.upsert_attempt(&pairs))?;
-                Ok(out.into_iter().map(Reply::Upserted).collect())
+                    .retry_structural("batch_upsert", pairs.len(), |s| s.upsert_attempt(&pairs));
+                self.scratch.give_pairs(pairs);
+                Ok(out?.into_iter().map(Reply::Upserted).collect())
             }
             OpKind::Delete => {
-                let keys: Vec<Key> = run.iter().map(op_key).collect();
+                let mut keys = self.scratch.take_keys();
+                keys.extend(run.iter().map(op_key));
                 let out =
-                    self.retry_structural("batch_delete", keys.len(), |s| s.delete_attempt(&keys))?;
-                Ok(out.into_iter().map(Reply::Deleted).collect())
+                    self.retry_structural("batch_delete", keys.len(), |s| s.delete_attempt(&keys));
+                self.scratch.give_keys(keys);
+                Ok(out?.into_iter().map(Reply::Deleted).collect())
             }
             OpKind::Predecessor => {
-                let keys: Vec<Key> = run.iter().map(op_key).collect();
+                let mut keys = self.scratch.take_keys();
+                keys.extend(run.iter().map(op_key));
                 let out = self.retry_read("batch_predecessor", keys.len(), |s| {
                     s.predecessor_attempt(&keys)
-                })?;
-                Ok(out.into_iter().map(Reply::Entry).collect())
+                });
+                self.scratch.give_keys(keys);
+                Ok(out?.into_iter().map(Reply::Entry).collect())
             }
             OpKind::Successor => {
-                let keys: Vec<Key> = run.iter().map(op_key).collect();
+                let mut keys = self.scratch.take_keys();
+                keys.extend(run.iter().map(op_key));
                 let out = self.retry_read("batch_successor", keys.len(), |s| {
                     s.successor_attempt(&keys)
-                })?;
-                Ok(out.into_iter().map(Reply::Entry).collect())
+                });
+                self.scratch.give_keys(keys);
+                Ok(out?.into_iter().map(Reply::Entry).collect())
             }
             OpKind::Range => {
                 let func = match run[0] {
                     Op::Range { func, .. } => func,
                     _ => unreachable!("run starts with a Range"),
                 };
-                let mut ranges = Vec::with_capacity(run.len());
+                let mut ranges = self.scratch.take_ranges();
                 for op in run {
                     let Op::Range { lo, hi, .. } = *op else {
                         unreachable!("mixed run");
                     };
                     if lo > hi {
+                        self.scratch.give_ranges(ranges);
                         return Err(PimError::InvalidArgument {
                             op: "batch_range",
                             reason: format!("inverted range [{lo}, {hi}]"),
@@ -303,6 +320,7 @@ impl PimSkipList {
                 }
                 let mutating = matches!(func, RangeFunc::FetchAdd(_) | RangeFunc::AddInPlace(_));
                 if mutating && self.cfg.h_low == 0 {
+                    self.scratch.give_ranges(ranges);
                     return Err(PimError::InvalidArgument {
                         op: "batch_range",
                         reason:
@@ -313,13 +331,14 @@ impl PimSkipList {
                 let out = if mutating {
                     self.retry_structural("batch_range", ranges.len(), |s| {
                         s.batch_range_attempt(&ranges, func)
-                    })?
+                    })
                 } else {
                     self.retry_read("batch_range", ranges.len(), |s| {
                         s.batch_range_attempt(&ranges, func)
-                    })?
+                    })
                 };
-                Ok(out.into_iter().map(Reply::Range).collect())
+                self.scratch.give_ranges(ranges);
+                Ok(out?.into_iter().map(Reply::Range).collect())
             }
         }
     }

@@ -116,7 +116,9 @@ impl PimSkipList {
 
         // ---- Step 1: split into disjoint atomic subranges (CPU sweep) ----
         let (subranges, op_spans) = self.spanned("range_tree/split", |s| {
-            let split = split_ranges(ranges);
+            let mut cuts = s.scratch.take_cuts();
+            let split = split_ranges(ranges, &mut cuts);
+            s.scratch.give_cuts(cuts);
             s.sys.metrics_mut().charge_cpu(
                 (ranges.len() as u64 * 2) * pim_runtime::ceil_log2(ranges.len() as u64) as u64,
                 pim_runtime::ceil_log2(ranges.len() as u64).into(),
@@ -125,16 +127,15 @@ impl PimSkipList {
         });
 
         // ---- Step 2: pivoted search over subrange left ends → hints ----
-        let reqs: Vec<SearchRequest> = subranges
-            .iter()
-            .enumerate()
-            .map(|(i, s)| SearchRequest {
-                op: i as u32,
-                key: s.lo,
-                top: 0,
-            })
-            .collect();
-        let search = self.pivoted_search(&reqs)?;
+        let mut reqs = self.scratch.take_reqs();
+        reqs.extend(subranges.iter().enumerate().map(|(i, s)| SearchRequest {
+            op: i as u32,
+            key: s.lo,
+            top: 0,
+        }));
+        let search = self.pivoted_search(&reqs);
+        self.scratch.give_reqs(reqs);
+        let search = search?;
 
         let starts: Vec<(Handle, Option<u32>)> = (0..subranges.len())
             .map(|i| match search.hints.get(&(i as u32)) {
@@ -376,15 +377,20 @@ impl PimSkipList {
 
 /// Cut overlapping ranges into disjoint atomic subranges; returns the
 /// subranges (ascending) and, per input op, the half-open span of subrange
-/// indices it covers.
-fn split_ranges(ranges: &[(Key, Key)]) -> (Vec<Subrange>, Vec<(usize, usize)>) {
+/// indices it covers. `cuts` is caller-provided staging (recycled across
+/// batches via [`crate::scratch::Scratch`]); any contents are discarded.
+fn split_ranges(
+    ranges: &[(Key, Key)],
+    cuts: &mut Vec<Key>,
+) -> (Vec<Subrange>, Vec<(usize, usize)>) {
     // Cut points: every lo and every hi+1.
-    let mut cuts: Vec<Key> = Vec::with_capacity(ranges.len() * 2);
+    cuts.clear();
+    cuts.reserve(ranges.len() * 2);
     for &(lo, hi) in ranges {
         cuts.push(lo);
         cuts.push(hi.saturating_add(1));
     }
-    par_sort(&mut cuts);
+    par_sort(cuts);
     cuts.dedup();
 
     // Coverage sweep over cut cells.
@@ -464,9 +470,13 @@ impl PimSkipList {
 mod tests {
     use super::*;
 
+    fn split_ranges_t(ranges: &[(Key, Key)]) -> (Vec<Subrange>, Vec<(usize, usize)>) {
+        split_ranges(ranges, &mut Vec::new())
+    }
+
     #[test]
     fn split_disjoint_ranges_passthrough() {
-        let (subs, spans) = split_ranges(&[(0, 5), (10, 15)]);
+        let (subs, spans) = split_ranges_t(&[(0, 5), (10, 15)]);
         assert_eq!(subs.len(), 2);
         assert_eq!((subs[0].lo, subs[0].hi, subs[0].multiplicity), (0, 5, 1));
         assert_eq!((subs[1].lo, subs[1].hi, subs[1].multiplicity), (10, 15, 1));
@@ -475,7 +485,7 @@ mod tests {
 
     #[test]
     fn split_overlapping_ranges() {
-        let (subs, spans) = split_ranges(&[(0, 10), (5, 15)]);
+        let (subs, spans) = split_ranges_t(&[(0, 10), (5, 15)]);
         let triples: Vec<(Key, Key, u32)> =
             subs.iter().map(|s| (s.lo, s.hi, s.multiplicity)).collect();
         assert_eq!(triples, vec![(0, 4, 1), (5, 10, 2), (11, 15, 1)]);
@@ -484,7 +494,7 @@ mod tests {
 
     #[test]
     fn split_nested_ranges() {
-        let (subs, spans) = split_ranges(&[(0, 100), (40, 60)]);
+        let (subs, spans) = split_ranges_t(&[(0, 100), (40, 60)]);
         let triples: Vec<(Key, Key, u32)> =
             subs.iter().map(|s| (s.lo, s.hi, s.multiplicity)).collect();
         assert_eq!(triples, vec![(0, 39, 1), (40, 60, 2), (61, 100, 1)]);
@@ -493,7 +503,7 @@ mod tests {
 
     #[test]
     fn split_identical_ranges() {
-        let (subs, spans) = split_ranges(&[(3, 9), (3, 9), (3, 9)]);
+        let (subs, spans) = split_ranges_t(&[(3, 9), (3, 9), (3, 9)]);
         assert_eq!(subs.len(), 1);
         assert_eq!(subs[0].multiplicity, 3);
         assert_eq!(spans, vec![(0, 1); 3]);
@@ -501,14 +511,14 @@ mod tests {
 
     #[test]
     fn split_touching_ranges() {
-        let (subs, spans) = split_ranges(&[(0, 4), (5, 9)]);
+        let (subs, spans) = split_ranges_t(&[(0, 4), (5, 9)]);
         assert_eq!(subs.len(), 2);
         assert_eq!(spans, vec![(0, 1), (1, 2)]);
     }
 
     #[test]
     fn split_single_key_range() {
-        let (subs, _) = split_ranges(&[(7, 7)]);
+        let (subs, _) = split_ranges_t(&[(7, 7)]);
         assert_eq!(subs.len(), 1);
         assert_eq!((subs[0].lo, subs[0].hi), (7, 7));
     }

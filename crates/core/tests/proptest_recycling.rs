@@ -1,0 +1,113 @@
+//! Property-based contract of buffer recycling: warm pools are
+//! observation-free.
+//!
+//! The zero-allocation round engine recycles message buffers, route
+//! buffers, batch scratch, and service staging across batches. None of
+//! that reuse may be observable in the model: a structure whose pools sit
+//! at their high-water marks must answer a mixed op stream with replies,
+//! machine metrics, and round traces *byte-identical* to a freshly
+//! constructed (cold) structure in the same logical state.
+//!
+//! Two comparisons per case:
+//!
+//! 1. **cold vs pre-warmed** — the warm structure first executes a
+//!    stream of point Gets (they mutate nothing and draw no randomness,
+//!    so both structures enter the measured pass in identical logical and
+//!    rng state, differing only in allocator history);
+//! 2. **second pass vs second pass** — the same mixed stream runs *twice*
+//!    through each structure, and the warm side's second pass (every pool
+//!    recycled at least once) must match the cold side's second pass.
+
+use proptest::prelude::*;
+
+use pim_core::{Config, Op, PimSkipList, RangeFunc, Reply};
+use pim_runtime::{Metrics, RoundTrace};
+
+fn key_strategy() -> impl Strategy<Value = i64> {
+    // Small domain: collisions, duplicate keys, overlapping ranges.
+    -40i64..200
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), any::<u64>())
+            .prop_map(|(key, value)| Op::Upsert { key, value }),
+        2 => key_strategy().prop_map(|key| Op::Delete { key }),
+        2 => key_strategy().prop_map(|key| Op::Get { key }),
+        1 => (key_strategy(), any::<u64>())
+            .prop_map(|(key, value)| Op::Update { key, value }),
+        1 => key_strategy().prop_map(|key| Op::Successor { key }),
+        1 => key_strategy().prop_map(|key| Op::Predecessor { key }),
+        1 => (key_strategy(), key_strategy())
+            .prop_map(|(a, b)| Op::Range { lo: a.min(b), hi: a.max(b), func: RangeFunc::Sum }),
+        1 => (key_strategy(), key_strategy())
+            .prop_map(|(a, b)| Op::Range { lo: a.min(b), hi: a.max(b), func: RangeFunc::Read }),
+    ]
+}
+
+/// Warm-up ops: point Gets route through the hash shortcut, so they warm
+/// the message pools, route buffers, and batch scratch without touching
+/// structure state or consuming randomness. (Successor/Predecessor/Range
+/// would draw random search entry modules and desync the rng streams.)
+fn read_op_strategy() -> impl Strategy<Value = Op> {
+    key_strategy().prop_map(|key| Op::Get { key })
+}
+
+/// Execute `ops` and capture everything the model is allowed to observe:
+/// replies, the metrics delta, and the per-round trace.
+fn measured(list: &mut PimSkipList, ops: &[Op]) -> (Vec<Reply>, Metrics, Vec<RoundTrace>) {
+    list.enable_tracing();
+    let before = list.metrics();
+    let replies = list.execute(ops);
+    let mut delta = list.metrics() - before;
+    // The one non-additive metric: a lifetime high-water mark, so its
+    // *delta* legitimately depends on traffic before the measured pass.
+    delta.shared_mem_peak = 0;
+    let mut rounds = list.take_trace().rounds;
+    for r in &mut rounds {
+        // Lifetime round index — the only trace field that reflects
+        // history rather than the measured pass's own work.
+        r.round = 0;
+    }
+    (replies, delta, rounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn warm_pools_replay_identically_to_cold(
+        seed in 0u64..1_000_000,
+        p in 1u32..9,
+        warmup in prop::collection::vec(read_op_strategy(), 0..160),
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut warm = PimSkipList::new(Config::new(p, 1 << 10, seed));
+        let mut cold = PimSkipList::new(Config::new(p, 1 << 10, seed));
+
+        // Drive the warm structure's pools to their high-water marks.
+        // Point Gets draw no randomness and mutate nothing, so both
+        // structures face `ops` from identical logical + rng state.
+        warm.execute(&warmup);
+
+        let warm_pass1 = measured(&mut warm, &ops);
+        let cold_pass1 = measured(&mut cold, &ops);
+        prop_assert_eq!(&warm_pass1.0, &cold_pass1.0, "pass-1 replies differ");
+        prop_assert_eq!(&warm_pass1.1, &cold_pass1.1, "pass-1 metrics differ");
+        prop_assert_eq!(&warm_pass1.2, &cold_pass1.2, "pass-1 traces differ");
+
+        // Second pass through each System: by now every recyclable buffer
+        // on the warm side has been leased and returned at least once.
+        let warm_pass2 = measured(&mut warm, &ops);
+        let cold_pass2 = measured(&mut cold, &ops);
+        prop_assert_eq!(&warm_pass2.0, &cold_pass2.0, "pass-2 replies differ");
+        prop_assert_eq!(&warm_pass2.1, &cold_pass2.1, "pass-2 metrics differ");
+        prop_assert_eq!(&warm_pass2.2, &cold_pass2.2, "pass-2 traces differ");
+
+        prop_assert_eq!(warm.collect_items(), cold.collect_items(),
+            "final contents must match");
+        if let Err(e) = warm.validate() {
+            return Err(TestCaseError::fail(format!("invariant violated: {e}")));
+        }
+    }
+}

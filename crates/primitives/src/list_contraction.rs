@@ -25,7 +25,7 @@ pub const NONE: usize = usize::MAX;
 
 /// A doubly-linked list (or disjoint union of lists) over nodes `0..n`,
 /// encoded as neighbour indices. `NONE` terminates a list.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkedLists {
     /// `prev[i]`: left neighbour of node `i`.
     pub prev: Vec<usize>,
@@ -49,29 +49,55 @@ impl LinkedLists {
     }
 }
 
+/// Reusable working storage for [`contract_in`] — hold one per call site
+/// and repeated contractions stop allocating.
+#[derive(Debug, Default)]
+pub struct ContractScratch {
+    alive: Vec<usize>,
+    priority: Vec<u32>,
+    order: Vec<u32>,
+    flags: Vec<bool>,
+}
+
 /// Splice every node with `removed[i] == true` out of its list, in parallel.
 ///
 /// On return, `lists` links only the surviving nodes; removed nodes' own
 /// `prev`/`next` entries are left in an unspecified state and must not be
 /// read. Returns the contraction cost (`O(R)` work, `O(log R)` depth whp).
 pub fn contract(lists: &mut LinkedLists, removed: &[bool], rng: &mut Rng) -> CpuCost {
+    contract_in(lists, removed, rng, &mut ContractScratch::default())
+}
+
+/// [`contract`] with caller-provided working storage: identical splice
+/// order, rng consumption, and cost — only the allocations differ.
+pub fn contract_in(
+    lists: &mut LinkedLists,
+    removed: &[bool],
+    rng: &mut Rng,
+    scratch: &mut ContractScratch,
+) -> CpuCost {
     lists.check();
     assert_eq!(removed.len(), lists.prev.len());
-    let marked: Vec<usize> = (0..removed.len()).filter(|&i| removed[i]).collect();
-    let r = marked.len();
+    let alive = &mut scratch.alive;
+    alive.clear();
+    alive.extend((0..removed.len()).filter(|&i| removed[i]));
+    let r = alive.len();
     if r == 0 {
         return CpuCost::new(1, 1);
     }
 
     // Random priorities: a random permutation of 0..r scattered to nodes.
-    let mut order: Vec<u32> = (0..r as u32).collect();
-    rng.shuffle(&mut order);
-    let mut priority = vec![u32::MAX; removed.len()];
-    for (rank, &node) in marked.iter().enumerate() {
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..r as u32);
+    rng.shuffle(order);
+    let priority = &mut scratch.priority;
+    priority.clear();
+    priority.resize(removed.len(), u32::MAX);
+    for (rank, &node) in alive.iter().enumerate() {
         priority[node] = order[rank];
     }
 
-    let mut alive: Vec<usize> = marked;
     let mut rounds = 0u64;
     while !alive.is_empty() {
         rounds += 1;
@@ -81,35 +107,36 @@ pub fn contract(lists: &mut LinkedLists, removed: &[bool], rng: &mut Rng) -> Cpu
             nb != NONE && priority[nb] != u32::MAX && priority[nb] < priority[me]
         };
         // Local-minimum test in parallel (pure reads), then an O(|alive|)
-        // sequential split that preserves `alive` order — the same output
-        // `Iterator::partition` produced.
-        let splice_flags: Vec<bool> = pool::par_map_indexed(alive.len(), alive.len(), |idx| {
+        // sequential compaction that keeps the survivors in `alive` order.
+        let flags = &mut scratch.flags;
+        flags.clear();
+        flags.resize(alive.len(), false);
+        pool::par_for_each_mut(flags, alive.len(), |idx, f| {
             let i = alive[idx];
-            !is_blocked(i, lists.prev[i]) && !is_blocked(i, lists.next[i])
+            *f = !is_blocked(i, lists.prev[i]) && !is_blocked(i, lists.next[i]);
         });
-        let (mut splice, mut keep) = (Vec::new(), Vec::new());
-        for (idx, &i) in alive.iter().enumerate() {
-            if splice_flags[idx] {
-                splice.push(i);
-            } else {
-                keep.push(i);
-            }
-        }
 
-        debug_assert!(!splice.is_empty(), "contraction made no progress");
+        debug_assert!(flags.iter().any(|&f| f), "contraction made no progress");
         // The splice set is independent: apply sequentially (cheap) —
         // correctness does not depend on order within the set.
-        for &i in &splice {
-            let (p, nx) = (lists.prev[i], lists.next[i]);
-            if p != NONE {
-                lists.next[p] = nx;
+        let mut w = 0;
+        for idx in 0..alive.len() {
+            let i = alive[idx];
+            if flags[idx] {
+                let (p, nx) = (lists.prev[i], lists.next[i]);
+                if p != NONE {
+                    lists.next[p] = nx;
+                }
+                if nx != NONE {
+                    lists.prev[nx] = p;
+                }
+                priority[i] = u32::MAX; // no longer blocks anyone
+            } else {
+                alive[w] = i;
+                w += 1;
             }
-            if nx != NONE {
-                lists.prev[nx] = p;
-            }
-            priority[i] = u32::MAX; // no longer blocks anyone
         }
-        alive = keep;
+        alive.truncate(w);
     }
 
     CpuCost::new(r as u64 * 2, log2c(r as u64).max(rounds))

@@ -87,6 +87,61 @@ where
     (out.into_iter().map(|(_, it)| it).collect(), final_cost)
 }
 
+/// Allocation-free [`dedup_by_key`] for copyable items: identical output
+/// (first occurrence of each key, in input order — a result the hash order
+/// of the semisort provably cannot influence) and the identically charged
+/// cost, staged entirely in the caller's buffers. `tags` and `out` are
+/// recycled staging (any contents are discarded); both in-place sorts are
+/// `sort_unstable` (no heap).
+///
+/// The semisort in [`dedup_by_key`] is the *accounting model* — the
+/// paper's §4.1 algorithm whose `O(n)` work / `O(log n)` depth we charge.
+/// Its survivors are re-sorted back to input order before returning, so
+/// the output is a pure function of `(keys, input order)`; this variant
+/// computes the same function with two in-place sorts and charges the same
+/// [`CpuCost`], which keeps every metric and trace byte-identical.
+pub fn dedup_by_key_into<T, F>(items: &[T], key: F, tags: &mut Vec<(u64, u32)>, out: &mut Vec<T>)
+where
+    T: Copy,
+    F: Fn(&T) -> u64,
+{
+    out.clear();
+    if items.len() <= 1 {
+        out.extend_from_slice(items);
+        return;
+    }
+    tags.clear();
+    tags.extend(
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| (key(it), i as u32)),
+    );
+    // Ascending (key, index): the first entry of each key run is its first
+    // occurrence.
+    tags.sort_unstable();
+    let mut w = 0;
+    for r in 0..tags.len() {
+        if r == 0 || tags[r].0 != tags[r - 1].0 {
+            tags[w] = tags[r];
+            w += 1;
+        }
+    }
+    tags.truncate(w);
+    // Survivors back to input order (dedup_by_key's documented output).
+    tags.sort_unstable_by_key(|&(_, i)| i);
+    out.extend(tags.iter().map(|&(_, i)| items[i as usize]));
+}
+
+/// The cost [`dedup_by_key`] charges for an input of `n` items deduplicated
+/// to `m` — shared so [`dedup_by_key_into`] callers charge identically.
+pub fn dedup_cost(n: usize, m: usize) -> CpuCost {
+    if n <= 1 {
+        return CpuCost::new(n as u64, 1);
+    }
+    CpuCost::new(n as u64, log2c(n as u64)).then(CpuCost::new(m as u64, log2c(m as u64)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +206,30 @@ mod tests {
         assert!(out.is_empty());
         let (out, _) = dedup_by_key(vec![9u64], 1, |&x| x);
         assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn into_variant_matches_dedup_by_key_exactly() {
+        // Output AND charged cost must be indistinguishable from the
+        // allocating path for every input shape (the byte-identical
+        // metrics contract depends on it).
+        let cases: Vec<Vec<(u64, u32)>> = vec![
+            vec![],
+            vec![(9, 0)],
+            vec![(5, 0), (3, 1), (5, 2), (3, 3), (7, 4)],
+            (0..1000).map(|i| (i % 37, i as u32)).collect(),
+            (0..10_000).map(|i| (42, i as u32)).collect(),
+            (0..100).rev().map(|i| (i, i as u32)).collect(),
+        ];
+        for items in cases {
+            let (want, want_cost) = dedup_by_key(items.clone(), 0xAB, |&(k, _)| k);
+            let mut tags = Vec::new();
+            let mut got = Vec::new();
+            dedup_by_key_into(&items, |&(k, _)| k, &mut tags, &mut got);
+            let got_cost = dedup_cost(items.len(), got.len());
+            assert_eq!(got, want);
+            assert_eq!((got_cost.work, got_cost.depth), (want_cost.work, want_cost.depth));
+        }
     }
 
     #[test]

@@ -121,6 +121,14 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Approximate 99.9th percentile — the deep tail. A p99 column alone
+    /// hides one-in-a-thousand stragglers, which is exactly where
+    /// coalescing-policy pathologies (a request lingering behind many full
+    /// batches) surface first.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 /// Per-module streaming lanes: one histogram of per-round messages and one
@@ -210,6 +218,21 @@ mod tests {
         }
         assert_eq!(h.p95(), 7);
         assert_eq!(h.p99(), 1000);
+    }
+
+    #[test]
+    fn p999_sees_the_one_in_a_thousand_straggler() {
+        let mut h = Histogram::new();
+        for _ in 0..999 {
+            h.record(4);
+        }
+        h.record(100_000);
+        assert_eq!(h.p99(), 7, "p99 hides the straggler");
+        assert_eq!(h.p999(), 7, "rank 999 of 1000 is still the bulk");
+        assert_eq!(h.quantile(1.0), 100_000);
+        // With two stragglers in 1000, p999 reaches the tail bucket.
+        h.record(100_000);
+        assert_eq!(h.p999(), 100_000);
     }
 
     #[test]

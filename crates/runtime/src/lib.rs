@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod balls;
+pub mod buffers;
 pub mod export;
 pub mod fault;
 pub mod handle;
@@ -65,6 +66,7 @@ pub mod span;
 pub mod system;
 pub mod trace;
 
+pub use buffers::{BufferPool, RouteBuffer};
 pub use export::{chrome_trace, rounds_jsonl, ExportBundle, Json};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use handle::{Arena, Handle, ModuleId};

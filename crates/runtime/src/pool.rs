@@ -292,6 +292,79 @@ where
     merge_outboxes(outboxes.into_inner().expect("pool outbox poisoned"), n)
 }
 
+/// Zip a mutable slice with two mutable companion slices and sweep in
+/// parallel: `f(i, &mut items[i], &mut a[i], &mut b[i])`.
+///
+/// This is the *recycled* round-engine shape: `items` are the `P` modules,
+/// `a` their inboxes (drained in place, capacity retained), `b` their
+/// persistent per-module outboxes. Because every output is written into
+/// its own indexed slot of `b`, the index-ordered "merge" of worker
+/// results is free — there are no per-worker outboxes to collect, sort or
+/// concatenate, so the parallel bracket allocates only its work-unit list.
+/// The sequential path (threads ≤ 1 or weight below the threshold)
+/// allocates nothing at all.
+pub fn par_zip2_for_each_mut<T, A, B, F>(items: &mut [T], a: &mut [A], b: &mut [B], weight: usize, f: F)
+where
+    T: Send,
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut T, &mut A, &mut B) + Sync,
+{
+    par_zip2_for_each_mut_with(&current(), items, a, b, weight, f)
+}
+
+/// [`par_zip2_for_each_mut`] with an explicit config (benchmarks, tests).
+pub fn par_zip2_for_each_mut_with<T, A, B, F>(
+    cfg: &ExecConfig,
+    items: &mut [T],
+    a: &mut [A],
+    b: &mut [B],
+    weight: usize,
+    f: F,
+) where
+    T: Send,
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut T, &mut A, &mut B) + Sync,
+{
+    assert_eq!(items.len(), a.len(), "zip length mismatch");
+    assert_eq!(items.len(), b.len(), "zip length mismatch");
+    let n = items.len();
+    let threads = cfg.threads.min(n);
+    if threads <= 1 || weight < cfg.par_threshold {
+        for (i, ((t, ai), bi)) in items.iter_mut().zip(a.iter_mut()).zip(b.iter_mut()).enumerate() {
+            f(i, t, ai, bi);
+        }
+        return;
+    }
+    // Pre-split all three slices into matching disjoint chunks; the borrow
+    // checker sees disjoint `&mut` regions, so no unsafe is needed.
+    type Unit<'u, T, A, B> = (usize, &'u mut [T], &'u mut [A], &'u mut [B]);
+    let chunk = chunk_size(n, threads);
+    let mut units: Vec<Unit<T, A, B>> = Vec::with_capacity(n.div_ceil(chunk));
+    {
+        let (mut rt, mut ra, mut rb) = (items, a, b);
+        let mut base = 0usize;
+        while !rt.is_empty() {
+            let take = chunk.min(rt.len());
+            let (ht, tt) = rt.split_at_mut(take);
+            let (ha, ta) = ra.split_at_mut(take);
+            let (hb, tb) = rb.split_at_mut(take);
+            units.push((base, ht, ha, hb));
+            (rt, ra, rb) = (tt, ta, tb);
+            base += take;
+        }
+    }
+    let queue = Mutex::new(units);
+    fork_join(threads, |_| loop {
+        let unit = queue.lock().expect("pool queue poisoned").pop();
+        let Some((base, ts, asl, bsl)) = unit else { break };
+        for (j, ((t, ai), bi)) in ts.iter_mut().zip(asl.iter_mut()).zip(bsl.iter_mut()).enumerate() {
+            f(base + j, t, ai, bi);
+        }
+    });
+}
+
 /// Apply `f(i, &mut items[i])` to every element in parallel.
 pub fn par_for_each_mut<T, F>(items: &mut [T], weight: usize, f: F)
 where
@@ -514,6 +587,22 @@ mod tests {
                 "threads = {threads}"
             );
             assert_eq!(out, (0..500u64).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zip2_for_each_matches_sequential_for_every_thread_count() {
+        for threads in [1, 3, 8] {
+            let mut items: Vec<u64> = vec![0; 333];
+            let mut a: Vec<u64> = (0..333u64).collect();
+            let mut b: Vec<u64> = vec![0; 333];
+            par_zip2_for_each_mut_with(&cfg(threads), &mut items, &mut a, &mut b, 333, |i, t, ai, bi| {
+                *t = *ai * 2;
+                *bi = i as u64 + *ai;
+            });
+            assert_eq!(items, (0..333u64).map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(b, (0..333u64).map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(a, (0..333u64).collect::<Vec<_>>(), "threads = {threads}");
         }
     }
 

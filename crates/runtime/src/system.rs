@@ -22,6 +22,7 @@
 //! forwarded sends in sender-id order). `PIM_THREADS` changes only the
 //! wall-clock time of a round, never its metrics, replies or traces.
 
+use crate::buffers::RouteBuffer;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord};
 use crate::handle::ModuleId;
 use crate::metrics::{Metrics, SharedMem};
@@ -34,6 +35,16 @@ pub struct PimSystem<M: PimModule> {
     modules: Vec<M>,
     /// Tasks queued for delivery at the next round, per receiving module.
     inboxes: Vec<Vec<M::Task>>,
+    /// Last round's drained inboxes, capacity retained: swapped with
+    /// `inboxes` at every round start so delivery buffers are recycled
+    /// instead of rebuilt (the steady-state allocation contract — see
+    /// `docs/MODEL.md` and [`crate::buffers`]).
+    spare_inboxes: Vec<Vec<M::Task>>,
+    /// Persistent per-module round outputs: drained at the barrier,
+    /// capacity retained across rounds.
+    outs: Vec<RoundOut<M::Task, M::Reply>>,
+    /// Two-pass bucketed routing scratch (counts retained across rounds).
+    route: RouteBuffer,
     metrics: Metrics,
     shared_mem: SharedMem,
     trace: Option<Trace>,
@@ -47,12 +58,25 @@ pub struct PimSystem<M: PimModule> {
     crashed: Vec<ModuleId>,
 }
 
-/// Per-module output of one round, merged at the barrier.
+/// Per-module output of one round. One lives per module for the lifetime
+/// of the machine; the executor writes it in place (index-ordered, so no
+/// merge step exists) and the barrier drains it back to empty.
 struct RoundOut<T, R> {
     sends: Vec<(ModuleId, T)>,
     replies: Vec<R>,
     work: u64,
     delivered: u64,
+}
+
+impl<T, R> RoundOut<T, R> {
+    fn new() -> Self {
+        RoundOut {
+            sends: Vec::new(),
+            replies: Vec::new(),
+            work: 0,
+            delivered: 0,
+        }
+    }
 }
 
 impl<M: PimModule> PimSystem<M> {
@@ -62,6 +86,9 @@ impl<M: PimModule> PimSystem<M> {
         let modules: Vec<M> = (0..p).map(&mut make).collect();
         PimSystem {
             inboxes: (0..p).map(|_| Vec::new()).collect(),
+            spare_inboxes: (0..p).map(|_| Vec::new()).collect(),
+            outs: (0..p).map(|_| RoundOut::new()).collect(),
+            route: RouteBuffer::new(),
             modules,
             metrics: Metrics::new(),
             shared_mem: SharedMem::new(),
@@ -210,8 +237,13 @@ impl<M: PimModule> PimSystem<M> {
     /// CPU shared memory, in deterministic (module-id, issue) order.
     pub fn run_round(&mut self) -> Vec<M::Reply> {
         let round = self.metrics.rounds;
-        let mut inboxes = std::mem::take(&mut self.inboxes);
-        self.inboxes = (0..self.p()).map(|_| Vec::new()).collect();
+        // Recycle, don't rebuild: this round's deliveries move into the
+        // spare set (drained in place below), and last round's drained
+        // buffers — empty, capacity retained — become the next round's
+        // inboxes. In steady state no round allocates delivery storage.
+        std::mem::swap(&mut self.inboxes, &mut self.spare_inboxes);
+        debug_assert!(self.inboxes.iter().all(Vec::is_empty));
+        let inboxes = &mut self.spare_inboxes;
 
         // Apply this round's scheduled faults. Pre-delivery kinds (crash,
         // stall, task drop) strike now; post-execution kinds (slow, reply
@@ -235,16 +267,24 @@ impl<M: PimModule> PimSystem<M> {
                     self.crashed.push(m);
                 }
                 FaultKind::Stall => {
-                    // Defer the whole inbox to the next round; the fresh
+                    // Defer the whole inbox to the next round; the
                     // next-round inbox is still empty at this point, so the
-                    // carried-over tasks stay ahead of new traffic.
-                    self.inboxes[mi] = std::mem::take(&mut inboxes[mi]);
+                    // carried-over tasks stay ahead of new traffic (the
+                    // swap also keeps both buffers' capacity pooled).
+                    std::mem::swap(&mut self.inboxes[mi], &mut inboxes[mi]);
                     self.metrics.stalled_module_rounds += 1;
                 }
                 FaultKind::DropTask { nth } => {
+                    // O(1) removal: the chosen slot is backfilled with the
+                    // *last* queued task, then the queue shrinks by one.
+                    // Deterministic (a pure function of `nth` and the queue
+                    // length); the backfilled task executes at the dropped
+                    // task's position, everything before it keeps its
+                    // order. `drop_task_backfills_from_the_end` pins these
+                    // semantics.
                     if !inboxes[mi].is_empty() {
                         let idx = (nth % inboxes[mi].len() as u64) as usize;
-                        inboxes[mi].remove(idx);
+                        inboxes[mi].swap_remove(idx);
                         self.metrics.messages_dropped += 1;
                     }
                 }
@@ -257,29 +297,32 @@ impl<M: PimModule> PimSystem<M> {
         // The weight hint is the number of delivered tasks: control rounds
         // (a handful of messages) stay on the calling thread, while
         // data-proportional rounds fan out across the pool's workers.
+        // Inboxes are drained in place (capacity retained for the next
+        // swap) and each module's persistent `RoundOut` is written in its
+        // own indexed slot, so the executor's index-ordered merge is free.
         let delivered_total: usize = inboxes.iter().map(Vec::len).sum();
-        let mut outs: Vec<RoundOut<M::Task, M::Reply>> = crate::pool::par_zip_map_mut(
+        crate::pool::par_zip2_for_each_mut(
             &mut self.modules,
             inboxes,
+            &mut self.outs,
             delivered_total,
-            |id, module, inbox| {
-                let mut sends = Vec::new();
-                let mut replies = Vec::new();
-                let mut work = 0u64;
-                let delivered = inbox.len() as u64;
-                for task in inbox {
-                    let mut ctx =
-                        ModuleCtx::new(id as ModuleId, round, &mut sends, &mut replies, &mut work);
+            |id, module, inbox, out| {
+                debug_assert!(out.sends.is_empty() && out.replies.is_empty());
+                out.work = 0;
+                out.delivered = inbox.len() as u64;
+                for task in inbox.drain(..) {
+                    let mut ctx = ModuleCtx::new(
+                        id as ModuleId,
+                        round,
+                        &mut out.sends,
+                        &mut out.replies,
+                        &mut out.work,
+                    );
                     module.execute(task, &mut ctx);
-                }
-                RoundOut {
-                    sends,
-                    replies,
-                    work,
-                    delivered,
                 }
             },
         );
+        let outs = &mut self.outs;
 
         // A slow module's local work is inflated before the barrier maxima
         // are taken (the round waits for its slowest core).
@@ -295,14 +338,17 @@ impl<M: PimModule> PimSystem<M> {
         let mut max_work = 0u64;
         let mut messages = 0u64;
         let mut work_total = 0u64;
-        let mut replies_all = Vec::new();
+        // The replies leave the machine (the caller owns them), so this is
+        // the one unavoidable allocation per round — sized exactly once.
+        let mut replies_all =
+            Vec::with_capacity(outs.iter().map(|o| o.replies.len()).sum::<usize>());
         let mut per_module = self.trace.is_some().then(|| Vec::with_capacity(outs.len()));
         let mut lane_rows = self.probe.is_some().then(|| Vec::with_capacity(outs.len()));
 
         // Per-module message count this round: delivered (in) + replies (out)
         // + cross sends (out). `delivered` already includes both CPU sends
         // and last round's forwarded sends.
-        for out in &outs {
+        for out in &*outs {
             let msgs = out.delivered + out.replies.len() as u64 + out.sends.len() as u64;
             h = h.max(msgs);
             messages += msgs;
@@ -346,11 +392,23 @@ impl<M: PimModule> PimSystem<M> {
             }
         }
 
-        for out in outs {
-            for (to, task) in out.sends {
+        // Two-pass bucketed routing (see [`RouteBuffer`]): tally every
+        // destination, reserve each next-round inbox exactly once, then
+        // drain the outboxes in module-id order. Delivery order is
+        // unchanged from the old push-per-task loop; reallocation inside
+        // the fill loop is impossible.
+        self.route.begin(self.inboxes.len());
+        for out in &*outs {
+            for &(to, _) in &out.sends {
+                self.route.count(to as usize);
+            }
+        }
+        self.route.reserve_into(&mut self.inboxes);
+        for out in outs.iter_mut() {
+            for (to, task) in out.sends.drain(..) {
                 self.inboxes[to as usize].push(task);
             }
-            replies_all.extend(out.replies);
+            replies_all.append(&mut out.replies);
         }
 
         self.metrics.record_round(h, max_work, messages, work_total);
@@ -640,6 +698,62 @@ mod tests {
         replies.sort_unstable();
         assert_eq!(replies.len(), 1);
         assert_eq!(sys.metrics().messages_dropped, 1);
+    }
+
+    #[test]
+    fn drop_task_backfills_from_the_end() {
+        // The documented DropTask semantics: the chosen slot is backfilled
+        // with the last queued task (O(1) swap-to-end + truncate), so the
+        // survivor from the end executes at the dropped slot's position.
+        let mut sys = machine();
+        // len 4, nth 1 → drop index 1; task 3 backfills slot 1.
+        sys.set_fault_plan(FaultPlan::new().at(0, 2, FaultKind::DropTask { nth: 1 }));
+        for payload in 0..4 {
+            sys.send(2, EchoTask::Ping(payload));
+        }
+        let replies = sys.run_round();
+        assert_eq!(replies, vec![(2, 0), (2, 3), (2, 2)]);
+        assert_eq!(sys.metrics().messages_dropped, 1);
+    }
+
+    #[test]
+    fn warm_engine_replays_identically_to_cold() {
+        // Buffer recycling must be observation-free: a second pass of the
+        // same traffic through a *warm* machine (pools at their high-water
+        // marks) produces byte-identical replies, metrics deltas and
+        // traces to the first (cold) pass.
+        let stream = |sys: &mut PimSystem<Echo>| {
+            sys.enable_tracing();
+            for i in 0..48u64 {
+                sys.send(
+                    (i % 4) as ModuleId,
+                    EchoTask::Forward {
+                        hops: (i % 4) as u32,
+                        payload: i,
+                    },
+                );
+            }
+            let replies = sys.run_to_quiescence();
+            (replies, sys.take_trace().rounds)
+        };
+        let mut sys = machine();
+        let before_cold = sys.metrics();
+        let (cold_replies, cold_trace) = stream(&mut sys);
+        let cold_metrics = sys.metrics() - before_cold;
+        let before_warm = sys.metrics();
+        let (warm_replies, warm_trace) = stream(&mut sys);
+        let warm_metrics = sys.metrics() - before_warm;
+        assert_eq!(cold_replies, warm_replies);
+        assert_eq!(cold_metrics, warm_metrics);
+        let strip_round = |rs: Vec<RoundTrace>| -> Vec<RoundTrace> {
+            rs.into_iter()
+                .map(|mut r| {
+                    r.round = 0;
+                    r
+                })
+                .collect()
+        };
+        assert_eq!(strip_round(cold_trace), strip_round(warm_trace));
     }
 
     #[test]

@@ -182,6 +182,14 @@ pub struct PimService {
     now: u64,
     next_id: RequestId,
     stats: ServiceStats,
+    // Recycled dispatch staging: drained and refilled every batch, so a
+    // steady-state service allocates only the `Completion` vector it hands
+    // back (the service-side half of the steady-state allocation contract
+    // in `docs/MODEL.md`).
+    pend: Vec<Pending>,
+    order: Vec<usize>,
+    ops: Vec<Op>,
+    slots: Vec<Option<Reply>>,
 }
 
 impl PimService {
@@ -199,6 +207,10 @@ impl PimService {
             now: 0,
             next_id: 0,
             stats: ServiceStats::default(),
+            pend: Vec::new(),
+            order: Vec::new(),
+            ops: Vec::new(),
+            slots: Vec::new(),
         }
     }
 
@@ -306,55 +318,55 @@ impl PimService {
     /// reports attribute machine cost to the layer that caused it.
     fn dispatch(&mut self) -> Vec<Completion> {
         let n = self.queue.len().min(self.cfg.max_batch);
-        let pend: Vec<Pending> = self.queue.drain(..n).collect();
+        self.pend.clear();
+        self.pend.extend(self.queue.drain(..n));
         self.stats.batches += 1;
         self.stats.batch_occupancy.record(n as u64);
 
         self.list.span_enter("service/coalesce");
-        let order = plan_order(&pend);
-        let ops: Vec<Op> = order.iter().map(|&i| pend[i].op).collect();
+        plan_order_into(&self.pend, &mut self.order);
+        self.ops.clear();
+        self.ops.extend(self.order.iter().map(|&i| self.pend[i].op));
         self.list.span_exit();
 
         self.list.span_enter("service/dispatch");
-        let replies = self.list.execute(&ops);
+        let replies = self.list.execute(&self.ops);
         self.list.span_exit();
 
         self.list.span_enter("service/reply");
         let rounds_now = self.list.metrics().rounds;
-        let mut slots: Vec<Option<Reply>> = vec![None; n];
-        for (&i, reply) in order.iter().zip(replies) {
-            slots[i] = Some(reply);
+        self.slots.clear();
+        self.slots.resize(n, None);
+        for (&i, reply) in self.order.iter().zip(replies) {
+            self.slots[i] = Some(reply);
         }
-        let out: Vec<Completion> = pend
-            .into_iter()
-            .zip(slots)
-            .map(|(p, reply)| {
-                let latency_ticks = self.now.saturating_sub(p.arrival);
-                let latency_rounds = rounds_now.saturating_sub(p.rounds_at_arrival);
-                self.stats.completed += 1;
-                self.stats.latency_ticks.record(latency_ticks);
-                self.stats.latency_rounds.record(latency_rounds);
-                Completion {
-                    id: p.id,
-                    reply: reply.expect("every dispatched op answered"),
-                    arrival: p.arrival,
-                    dispatched: self.now,
-                    latency_ticks,
-                    latency_rounds,
-                }
-            })
-            .collect();
+        let mut out = Vec::with_capacity(n);
+        for (p, reply) in self.pend.drain(..).zip(self.slots.drain(..)) {
+            let latency_ticks = self.now.saturating_sub(p.arrival);
+            let latency_rounds = rounds_now.saturating_sub(p.rounds_at_arrival);
+            self.stats.completed += 1;
+            self.stats.latency_ticks.record(latency_ticks);
+            self.stats.latency_rounds.record(latency_rounds);
+            out.push(Completion {
+                id: p.id,
+                reply: reply.expect("every dispatched op answered"),
+                arrival: p.arrival,
+                dispatched: self.now,
+                latency_ticks,
+                latency_rounds,
+            });
+        }
         self.list.span_exit();
         out
     }
 }
 
-/// The dispatch permutation: positions of `pend` in execution order.
-/// Read/write epochs stay in arrival order; within a read epoch,
-/// operations are stably grouped by kind (reads commute, and grouping
-/// widens the coalescible runs `execute` can batch).
-fn plan_order(pend: &[Pending]) -> Vec<usize> {
-    let mut order = Vec::with_capacity(pend.len());
+/// The dispatch permutation, written into `order`: positions of `pend` in
+/// execution order. Read/write epochs stay in arrival order; within a read
+/// epoch, operations are stably grouped by kind (reads commute, and
+/// grouping widens the coalescible runs `execute` can batch).
+fn plan_order_into(pend: &[Pending], order: &mut Vec<usize>) {
+    order.clear();
     let mut i = 0;
     while i < pend.len() {
         let write = pend[i].op.is_write();
@@ -362,14 +374,13 @@ fn plan_order(pend: &[Pending]) -> Vec<usize> {
         while j < pend.len() && pend[j].op.is_write() == write {
             j += 1;
         }
-        let mut epoch: Vec<usize> = (i..j).collect();
+        let start = order.len();
+        order.extend(i..j);
         if !write {
-            epoch.sort_by_key(|&k| read_group(pend[k].op.kind()));
+            order[start..].sort_by_key(|&k| read_group(pend[k].op.kind()));
         }
-        order.extend(epoch);
         i = j;
     }
-    order
 }
 
 /// Grouping rank of a read-only operation kind (stable sort key; ties

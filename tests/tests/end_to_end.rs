@@ -74,7 +74,7 @@ fn range_results_agree_between_flavours_and_baseline() {
     let mut rp = RangePartitionedList::new(p, 0, n as i64 * 8, 6);
     rp.batch_upsert(&pairs);
 
-    let mut sorted = keys.clone();
+    let mut sorted = keys;
     sorted.sort_unstable();
     for (i, window) in [(100usize, 400usize), (0, 50), (1500, 1999)]
         .iter()
