@@ -5,7 +5,7 @@
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
 //!           baselines, ablation, hprofile, paths, trace-export,
-//!           service, wallclock, perf-gate, alloc-gate, all }
+//!           service, wallclock, recovery, perf-gate, alloc-gate, all }
 //!
 //! `trace-export [--quick] [--out DIR]` runs an instrumented session and
 //! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
@@ -25,6 +25,11 @@
 //! (default `target/BENCH_PR5.json`). Unlike every other subcommand this
 //! one measures *elapsed time*, the only observable the executor's thread
 //! count is allowed to change.
+//!
+//! `recovery [--quick]` persists one mixed op stream under several
+//! snapshot cadences and times `PimSkipList::recover_from_dir` on each
+//! resulting directory — the snapshot-interval / recovery-time trade-off.
+//! Like `wallclock`, this measures elapsed time.
 //!
 //! `perf-gate CURRENT BASELINE [TOLERANCE] [--raw]` compares two reports
 //! (calibration-normalised unless `--raw`) and exits 1 when any (op,
@@ -141,6 +146,7 @@ fn main() {
             }
         }
     };
+    let run_recovery = || pim_bench::recovery::run_recovery(quick, seed);
     let run_trace_export = || {
         let out_dir = flag("--out")
             .map(String::as_str)
@@ -168,6 +174,7 @@ fn main() {
         "trace-export" => run_trace_export(),
         "service" => run_service(),
         "wallclock" => run_wallclock(),
+        "recovery" => run_recovery(),
         "perf-gate" => run_perf_gate(),
         "alloc-gate" => run_alloc_gate(),
         "all" => {
@@ -193,7 +200,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock perf-gate alloc-gate all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock recovery perf-gate alloc-gate all");
             std::process::exit(2);
         }
     }

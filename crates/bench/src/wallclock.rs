@@ -477,7 +477,13 @@ pub fn run_wallclock(quick: bool, out_path: &str, seed: u64) -> std::io::Result<
         }
     }
 
-    let report = report_json(&params, quick, calibration_mops, &timings, allocs.as_deref());
+    let report = report_json(
+        &params,
+        quick,
+        calibration_mops,
+        &timings,
+        allocs.as_deref(),
+    );
     if let Some(dir) = std::path::Path::new(out_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
@@ -691,11 +697,7 @@ pub fn alloc_gate_compare(
 /// CLI entry for the allocation gate: load both reports, compare
 /// allocations per round, print the table, and return whether the gate
 /// passed. Errors are gate failures.
-pub fn alloc_gate(
-    current_path: &str,
-    baseline_path: &str,
-    tolerance: f64,
-) -> Result<bool, String> {
+pub fn alloc_gate(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<bool, String> {
     let load = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         pim_runtime::export::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -890,8 +892,7 @@ mod tests {
         let rows = alloc_gate_compare(&lean, &bloated, 0.10).unwrap();
         assert!(rows.iter().all(|r| !r.failed));
         // Within tolerance passes.
-        let rows =
-            alloc_gate_compare(&synthetic_alloc_report(105.0), &lean, 0.10).unwrap();
+        let rows = alloc_gate_compare(&synthetic_alloc_report(105.0), &lean, 0.10).unwrap();
         assert!(rows.iter().all(|r| !r.failed));
     }
 

@@ -209,7 +209,11 @@ impl PimSkipList {
         }
 
         // ---- Map back to input order ----
-        let by_key: HashMap<Key, bool> = uniq.iter().zip(found.iter()).map(|(&k, &f)| (k, f)).collect();
+        let by_key: HashMap<Key, bool> = uniq
+            .iter()
+            .zip(found.iter())
+            .map(|(&k, &f)| (k, f))
+            .collect();
         Ok(keys.iter().map(|k| by_key[k]).collect())
     }
 

@@ -125,7 +125,11 @@ impl PimSkipList {
         out
     }
 
-    fn update_resolve(&mut self, pairs: &[(Key, Value)], uniq: &[(Key, Value)]) -> PimResult<Vec<bool>> {
+    fn update_resolve(
+        &mut self,
+        pairs: &[(Key, Value)],
+        uniq: &[(Key, Value)],
+    ) -> PimResult<Vec<bool>> {
         let replies = self.spanned("update/lookup", |s| {
             for (op, &(key, value)) in uniq.iter().enumerate() {
                 let m = s.module_of(key, 0);

@@ -323,12 +323,10 @@ impl PimSkipList {
                         // Materialise the shared prefix from the source
                         // op's recorded path (one allocation, pivots only).
                         let src = item.stitch_from.expect("hinted search has a source");
-                        let prefix = paths
-                            .get(&src)
-                            .ok_or(PimError::Incomplete {
-                                op: "search",
-                                missing: 1,
-                            })?[..item.prefix_len]
+                        let prefix = paths.get(&src).ok_or(PimError::Incomplete {
+                            op: "search",
+                            missing: 1,
+                        })?[..item.prefix_len]
                             .to_vec();
                         paths.insert(req.op, prefix);
                     }

@@ -290,11 +290,7 @@ impl PimSkipList {
 
     /// Recompute the `next_leaf` shortcut of every new upper-part leaf
     /// (broadcast; must run after horizontal linking).
-    pub(crate) fn fix_new_next_leaves(
-        &mut self,
-        towers: &Towers,
-        tops: &[u8],
-    ) -> PimResult<()> {
+    pub(crate) fn fix_new_next_leaves(&mut self, towers: &Towers, tops: &[u8]) -> PimResult<()> {
         let h_low = self.cfg.h_low;
         if h_low == 0 {
             return Ok(());
@@ -344,17 +340,24 @@ impl PimSkipList {
 
         // ---- Batched Predecessor with per-level reports (§4.2) ----
         let mut reqs = self.scratch.take_reqs();
-        reqs.extend(inserts.iter().enumerate().map(|(j, &(key, _))| SearchRequest {
-            op: j as u32,
-            key,
-            top: tops[j],
-        }));
+        reqs.extend(
+            inserts
+                .iter()
+                .enumerate()
+                .map(|(j, &(key, _))| SearchRequest {
+                    op: j as u32,
+                    key,
+                    top: tops[j],
+                }),
+        );
         let results = self.pivoted_search(&reqs);
         self.scratch.give_reqs(reqs);
         let results = results?;
 
         // ---- Algorithm 1: horizontal pointer construction ----
-        self.spanned("link", |s| s.link_horizontal(inserts, tops, towers, &results))?;
+        self.spanned("link", |s| {
+            s.link_horizontal(inserts, tops, towers, &results)
+        })?;
 
         // ---- Recompute next_leaf for new upper-part leaves ----
         self.fix_new_next_leaves(towers, tops)?;

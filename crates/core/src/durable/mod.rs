@@ -1,0 +1,771 @@
+//! Durable persistence: a checksummed write-ahead log plus compacted
+//! snapshots, with crash recovery back into a [`PimSkipList`].
+//!
+//! The simulated PIM machine is volatile — what survives a process crash
+//! is this module's on-disk state, in one directory:
+//!
+//! * `wal-<seq>.log` — append-only segments of checksummed frames, one
+//!   frame per *committed coalescible run* of [`crate::Op`]s (exactly the
+//!   unit [`PimSkipList::try_execute`] commits);
+//! * `snapshot-<seq>.snap` — the full key/value contents at stream
+//!   position `seq`, written atomically;
+//! * `MANIFEST` — which snapshot is live and which segments exist.
+//!
+//! ## Recovery contract (two tiers)
+//!
+//! **Tier 1 — WAL-only replay is bit-identical.** When recovery starts
+//! from an empty base (no snapshot, or a snapshot taken at a
+//! [`PimSkipList::bulk_load`] boundary) and replays every frame through
+//! [`PimSkipList::execute`], the recovered structure is *bit-identical*
+//! to an uninterrupted process: same tower heights, same handles, same
+//! [`pim_runtime::Metrics`], same replies to any subsequent stream. This
+//! holds because the structure is a pure function of `(Config, committed
+//! op runs)` and frames are exactly the committed runs.
+//!
+//! **Tier 2 — snapshot-compacted recovery is logically identical and
+//! deterministic.** Recovery through a mid-stream snapshot rebuilds the
+//! contents via [`PimSkipList::bulk_load`] and replays the WAL suffix:
+//! contents, `len`, `validate()` and the *logical* replies of any
+//! subsequent stream all match the oracle, and recovering twice from the
+//! same directory is byte-identical — but tower heights (and therefore
+//! raw metrics) may differ from the uninterrupted process, because the
+//! random draws that shaped the original towers are not replayed.
+//!
+//! A torn tail (the frame being appended when the process died) is
+//! truncated at the last valid frame; corruption that loses *committed*
+//! history (an interior frame, a live snapshot whose WAL was compacted
+//! away) is a hard [`PimError::Corruption`] carrying file, offset and
+//! both checksums.
+
+pub(crate) mod codec;
+pub(crate) mod manifest;
+pub(crate) mod snapshot;
+pub(crate) mod wal;
+
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, Key, Value};
+use crate::error::{PimError, PimResult};
+use crate::list::PimSkipList;
+use crate::op::Op;
+
+use manifest::Manifest;
+use snapshot::snapshot_name;
+use wal::{segment_name, WalWriter};
+
+/// When the WAL is fsynced relative to op commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every committed run — every acknowledged op is durable.
+    /// Safest, slowest.
+    EveryFrame,
+    /// Fsync once at least this many ops are unsynced (group commit).
+    EveryOps(u64),
+    /// Only on explicit [`PimSkipList::durable_sync`] (and at snapshots) —
+    /// a front-end such as the `pim-service` tick clock drives cadence.
+    Manual,
+}
+
+/// Configuration of the durability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Group-commit cadence.
+    pub fsync: FsyncPolicy,
+    /// Write a compacted snapshot (and drop covered WAL segments) every
+    /// this many ops; `None` disables automatic snapshots
+    /// ([`PimSkipList::snapshot_now`] still works).
+    pub snapshot_every: Option<u64>,
+    /// How many snapshots to retain (the WAL is only compacted up to the
+    /// *oldest* retained one, so an older snapshot stays usable if the
+    /// newest is ever damaged). Clamped to at least 1.
+    pub keep_snapshots: usize,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy {
+            fsync: FsyncPolicy::EveryFrame,
+            snapshot_every: None,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+impl DurabilityPolicy {
+    /// Set the fsync cadence.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Snapshot (and compact) every `ops` committed operations.
+    pub fn with_snapshot_every(mut self, ops: u64) -> Self {
+        self.snapshot_every = Some(ops);
+        self
+    }
+
+    /// Retain `n` snapshots (min 1).
+    pub fn with_keep_snapshots(mut self, n: usize) -> Self {
+        self.keep_snapshots = n;
+        self
+    }
+}
+
+/// What [`PimSkipList::recover_from_dir`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Stream position of the snapshot recovery started from (`None`:
+    /// replayed the full WAL from an empty structure — tier-1
+    /// bit-identical recovery).
+    pub snapshot_seq: Option<u64>,
+    /// WAL frames replayed after the base.
+    pub frames_replayed: u64,
+    /// Operations replayed after the base.
+    pub ops_replayed: u64,
+    /// Torn-tail bytes truncated from the last segment (0 on a clean
+    /// shutdown).
+    pub truncated_bytes: u64,
+    /// The recovered structure's next op stream index.
+    pub next_seq: u64,
+    /// Whether a valid `MANIFEST` drove recovery (`false`: directory-scan
+    /// fallback).
+    pub used_manifest: bool,
+}
+
+/// Live durability state attached to a [`PimSkipList`].
+pub(crate) struct Durability {
+    dir: PathBuf,
+    policy: DurabilityPolicy,
+    config_fp: u64,
+    /// Next op stream index (== ops committed since the beginning).
+    pub(crate) seq: u64,
+    /// Ops known durable (covered by the last fsync).
+    pub(crate) synced_seq: u64,
+    unsynced_ops: u64,
+    last_snapshot_seq: u64,
+    /// Retained snapshot seqs, newest first.
+    snapshots: Vec<u64>,
+    /// Live segment start seqs, ascending.
+    segments: Vec<u64>,
+    writer: WalWriter,
+}
+
+impl Durability {
+    /// Initialise an empty durable directory (refusing one that already
+    /// holds state — that is [`PimSkipList::recover_from_dir`]'s job).
+    fn open_fresh(dir: &Path, policy: DurabilityPolicy, cfg: &Config) -> PimResult<Self> {
+        std::fs::create_dir_all(dir).map_err(|e| PimError::io("durable_open", dir, &e))?;
+        let fp = codec::config_fingerprint(cfg);
+        let existing = manifest::scan_dir(dir)?;
+        if dir.join(manifest::MANIFEST_NAME).exists()
+            || !existing.snapshots.is_empty()
+            || !existing.segments.is_empty()
+        {
+            return Err(PimError::InvalidArgument {
+                op: "enable_durability",
+                reason: format!(
+                    "{} already holds durable state; use PimSkipList::recover_from_dir",
+                    dir.display()
+                ),
+            });
+        }
+        let writer = WalWriter::create(dir, fp, 0)?;
+        let d = Durability {
+            dir: dir.to_path_buf(),
+            policy,
+            config_fp: fp,
+            seq: 0,
+            synced_seq: 0,
+            unsynced_ops: 0,
+            last_snapshot_seq: 0,
+            snapshots: Vec::new(),
+            segments: vec![0],
+            writer,
+        };
+        d.write_manifest()?;
+        Ok(d)
+    }
+
+    fn write_manifest(&self) -> PimResult<()> {
+        manifest::write_manifest(
+            &self.dir,
+            self.config_fp,
+            &Manifest {
+                snapshots: self.snapshots.clone(),
+                segments: self.segments.clone(),
+            },
+        )
+    }
+
+    /// Append one committed run and apply the fsync policy.
+    fn append_run(&mut self, ops: &[Op]) -> PimResult<()> {
+        self.writer.append(self.seq, ops)?;
+        self.seq += ops.len() as u64;
+        self.unsynced_ops += ops.len() as u64;
+        match self.policy.fsync {
+            FsyncPolicy::EveryFrame => self.sync(),
+            FsyncPolicy::EveryOps(n) => {
+                if self.unsynced_ops >= n.max(1) {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Manual => Ok(()),
+        }
+    }
+
+    /// Fsync the WAL: every committed op is durable when this returns.
+    fn sync(&mut self) -> PimResult<()> {
+        if self.synced_seq < self.seq {
+            self.writer.sync()?;
+            self.synced_seq = self.seq;
+            self.unsynced_ops = 0;
+        }
+        Ok(())
+    }
+
+    /// Is an automatic snapshot due?
+    fn wants_snapshot(&self) -> bool {
+        self.policy
+            .snapshot_every
+            .is_some_and(|n| self.seq - self.last_snapshot_seq >= n.max(1))
+    }
+
+    /// Write a snapshot of `items` at the current stream position, rotate
+    /// to a fresh segment, update the manifest, and drop snapshots/segments
+    /// no retained snapshot needs. Crash-ordering: the manifest is
+    /// rewritten *before* any file is deleted, and the fresh segment is
+    /// created *before* the manifest names it — every intermediate state
+    /// recovers.
+    fn snapshot(&mut self, items: &[(Key, Value)]) -> PimResult<()> {
+        self.sync()?;
+        snapshot::write_snapshot(&self.dir, self.config_fp, self.seq, items)?;
+        if self.writer.start_seq != self.seq {
+            self.writer = WalWriter::create(&self.dir, self.config_fp, self.seq)?;
+            self.segments.push(self.seq);
+            self.segments.sort_unstable();
+        }
+        self.snapshots.insert(0, self.seq);
+        self.snapshots.dedup();
+        let keep = self.policy.keep_snapshots.max(1).min(self.snapshots.len());
+        let dropped_snaps = self.snapshots.split_off(keep);
+        let min_keep = *self.snapshots.last().expect("at least the new snapshot");
+        let (keep_segs, dropped_segs): (Vec<u64>, Vec<u64>) =
+            self.segments.iter().copied().partition(|&s| s >= min_keep);
+        self.segments = keep_segs;
+        self.write_manifest()?;
+        for s in dropped_snaps {
+            let _ = std::fs::remove_file(self.dir.join(snapshot_name(s)));
+        }
+        for s in dropped_segs {
+            let _ = std::fs::remove_file(self.dir.join(segment_name(s)));
+        }
+        self.last_snapshot_seq = self.seq;
+        Ok(())
+    }
+}
+
+impl PimSkipList {
+    /// Turn on durable persistence into `dir` (which must not already hold
+    /// durable state — restart from existing state with
+    /// [`PimSkipList::recover_from_dir`]). If the structure is non-empty,
+    /// an initial snapshot of its current contents is written immediately,
+    /// so the directory alone is always sufficient to recover.
+    pub fn enable_durability(
+        &mut self,
+        dir: impl AsRef<Path>,
+        policy: DurabilityPolicy,
+    ) -> PimResult<()> {
+        if self.durable.is_some() {
+            return Err(PimError::InvalidArgument {
+                op: "enable_durability",
+                reason: "durability is already enabled".into(),
+            });
+        }
+        let mut d = Durability::open_fresh(dir.as_ref(), policy, &self.cfg)?;
+        if !self.is_empty() {
+            d.snapshot(&self.journal.items_sorted())?;
+        }
+        self.durable = Some(Box::new(d));
+        Ok(())
+    }
+
+    /// Is durable persistence enabled?
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Next op stream index of the durability layer (`None` when not
+    /// durable).
+    pub fn durable_seq(&self) -> Option<u64> {
+        self.durable.as_deref().map(|d| d.seq)
+    }
+
+    /// Ops covered by the last fsync (`None` when not durable). Equal to
+    /// [`PimSkipList::durable_seq`] exactly when nothing is pending.
+    pub fn durable_synced_seq(&self) -> Option<u64> {
+        self.durable.as_deref().map(|d| d.synced_seq)
+    }
+
+    /// Fsync pending WAL frames now (no-op without durability — callers
+    /// like the service tier can invoke it unconditionally).
+    pub fn durable_sync(&mut self) -> PimResult<()> {
+        match self.durable.as_deref_mut() {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a compacted snapshot of the current contents now and drop WAL
+    /// segments no retained snapshot needs.
+    pub fn snapshot_now(&mut self) -> PimResult<()> {
+        let Some(d) = self.durable.as_deref_mut() else {
+            return Err(PimError::InvalidArgument {
+                op: "snapshot_now",
+                reason: "durability is not enabled".into(),
+            });
+        };
+        let items = self.journal.items_sorted();
+        d.snapshot(&items)
+    }
+
+    /// WAL hook called by [`PimSkipList::try_execute`] for each committed
+    /// run (no-op without durability).
+    pub(crate) fn durable_record_run(&mut self, run: &[Op]) -> PimResult<()> {
+        let Some(d) = self.durable.as_deref_mut() else {
+            return Ok(());
+        };
+        d.append_run(run)?;
+        if d.wants_snapshot() {
+            let items = self.journal.items_sorted();
+            d.snapshot(&items)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a structure from a durable directory: load the newest valid
+    /// snapshot (falling back to an older retained one, or to full-WAL
+    /// replay, if it is damaged), replay every complete WAL frame after it
+    /// through the normal [`PimSkipList::execute`] path, truncate any torn
+    /// tail at the last valid frame, and re-attach the durability layer so
+    /// the recovered structure continues appending where the crashed
+    /// process stopped. See the module docs for the two-tier identity
+    /// contract.
+    pub fn recover_from_dir(
+        cfg: Config,
+        dir: impl AsRef<Path>,
+        policy: DurabilityPolicy,
+    ) -> PimResult<(PimSkipList, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let fp = codec::config_fingerprint(&cfg);
+        let loaded = manifest::read_manifest(dir, fp)?;
+        let used_manifest = loaded.is_some();
+        let m = match loaded {
+            Some(m) => m,
+            None => manifest::scan_dir(dir)?,
+        };
+        let mut snaps = m.snapshots;
+        snaps.sort_unstable_by(|a, b| b.cmp(a));
+        snaps.dedup();
+        let mut segs = m.segments;
+        segs.sort_unstable();
+        segs.dedup();
+        if snaps.is_empty() && segs.is_empty() {
+            return Err(PimError::InvalidArgument {
+                op: "recover_from_dir",
+                reason: format!("no durable state in {}", dir.display()),
+            });
+        }
+
+        // A base at seq `s` is usable when the segment chain resumes
+        // exactly at `s` — or when every segment predates it (a snapshot
+        // taken at the very tip, crash before the rotation landed).
+        let covered = |segs: &[u64], s: u64| segs.contains(&s) || segs.iter().all(|&x| x < s);
+
+        // Newest usable snapshot first; full-WAL replay as the fallback.
+        let mut base: Option<(u64, codec::Items)> = None;
+        let mut first_err: Option<PimError> = None;
+        for &s in &snaps {
+            if !covered(&segs, s) {
+                continue;
+            }
+            match snapshot::read_snapshot(&dir.join(snapshot_name(s)), fp) {
+                Ok((seq, items)) if seq == s => {
+                    base = Some((s, items));
+                    break;
+                }
+                Ok((seq, _)) => {
+                    first_err.get_or_insert_with(|| {
+                        codec::corrupt(
+                            &dir.join(snapshot_name(s)),
+                            20,
+                            s as u32,
+                            seq as u32,
+                            "snapshot sequence",
+                        )
+                    });
+                }
+                Err(e @ PimError::InvalidArgument { .. }) => return Err(e),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        let (base_seq, base_items) = match base {
+            Some(b) => b,
+            None if covered(&segs, 0) && segs.contains(&0) => (0, Vec::new()),
+            None => {
+                return Err(first_err.unwrap_or_else(|| PimError::InvalidArgument {
+                    op: "recover_from_dir",
+                    reason: format!(
+                        "no usable snapshot and no wal chain from op 0 in {}",
+                        dir.display()
+                    ),
+                }))
+            }
+        };
+
+        // Scan the segment chain from the base, enforcing continuity; a
+        // torn tail is legal only in the final segment.
+        let replay_segs: Vec<u64> = segs.iter().copied().filter(|&s| s >= base_seq).collect();
+        let mut frames = Vec::new();
+        let mut expected = base_seq;
+        let mut truncated_bytes = 0u64;
+        let mut last_seg: Option<(u64, u64)> = None;
+        for (i, &s) in replay_segs.iter().enumerate() {
+            let path = dir.join(segment_name(s));
+            let sr = wal::read_segment(&path, fp)?;
+            if sr.start_seq != s || sr.start_seq != expected {
+                return Err(PimError::InvalidArgument {
+                    op: "recover_from_dir",
+                    reason: format!(
+                        "wal chain broken at {}: segment starts at op {} but op {} was next",
+                        path.display(),
+                        sr.start_seq,
+                        expected
+                    ),
+                });
+            }
+            let is_last = i + 1 == replay_segs.len();
+            if let Some(t) = sr.torn {
+                if !is_last {
+                    return Err(codec::corrupt(
+                        &path,
+                        t.offset,
+                        t.expected,
+                        t.found,
+                        "interior wal frame",
+                    ));
+                }
+                let file_len = std::fs::metadata(&path)
+                    .map_err(|e| PimError::io("wal_read", &path, &e))?
+                    .len();
+                truncated_bytes = file_len - sr.valid_len;
+            }
+            for f in &sr.frames {
+                expected = f.seq + f.ops.len() as u64;
+            }
+            last_seg = Some((s, sr.valid_len));
+            frames.extend(sr.frames);
+        }
+        let next_seq = expected;
+
+        // Rebuild: bulk-load the snapshot contents (if any), then replay
+        // every frame through the normal execute path.
+        let mut list = PimSkipList::new(cfg);
+        if !base_items.is_empty() {
+            list.try_bulk_load(&base_items)?;
+        }
+        let mut ops_replayed = 0u64;
+        let frames_replayed = frames.len() as u64;
+        for f in &frames {
+            ops_replayed += f.ops.len() as u64;
+            list.try_execute(&f.ops)?;
+        }
+
+        // Re-attach the durability layer at the recovered position. The
+        // reopen physically truncates any torn tail.
+        let mut segments = segs;
+        let writer = match last_seg {
+            Some((s, valid_len)) => WalWriter::reopen(dir, s, valid_len)?,
+            None => {
+                let w = WalWriter::create(dir, fp, next_seq)?;
+                segments.push(next_seq);
+                segments.sort_unstable();
+                w
+            }
+        };
+        let d = Durability {
+            dir: dir.to_path_buf(),
+            policy,
+            config_fp: fp,
+            seq: next_seq,
+            synced_seq: next_seq,
+            unsynced_ops: 0,
+            last_snapshot_seq: base_seq,
+            snapshots: snaps,
+            segments,
+            writer,
+        };
+        d.write_manifest()?;
+        let report = RecoveryReport {
+            snapshot_seq: if base_items.is_empty() && base_seq == 0 {
+                None
+            } else {
+                Some(base_seq)
+            },
+            frames_replayed,
+            ops_replayed,
+            truncated_bytes,
+            next_seq,
+            used_manifest,
+        };
+        list.durable = Some(Box::new(d));
+        Ok((list, report))
+    }
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+#[cfg(test)]
+pub(crate) fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pim-durable-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn cfg() -> Config {
+        Config::new(4, 1 << 10, 42)
+    }
+
+    fn ops(lo: i64, n: i64) -> Vec<Op> {
+        (lo..lo + n)
+            .map(|k| Op::Upsert {
+                key: k * 3,
+                value: (k * 7) as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wal_only_recovery_is_bit_identical() {
+        let dir = test_dir("mod-bitident");
+        let mut live = PimSkipList::new(cfg());
+        live.enable_durability(&dir, DurabilityPolicy::default())
+            .unwrap();
+        let mut oracle = PimSkipList::new(cfg());
+        for round in 0..4 {
+            let batch = ops(round * 10, 10);
+            let a = live.execute(&batch);
+            let b = oracle.execute(&batch);
+            assert_eq!(a, b);
+        }
+        drop(live);
+
+        let (mut rec, report) =
+            PimSkipList::recover_from_dir(cfg(), &dir, DurabilityPolicy::default()).unwrap();
+        assert_eq!(report.snapshot_seq, None, "tier-1 recovery path");
+        assert_eq!(report.ops_replayed, 40);
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(report.used_manifest);
+        // Bit-identity: metrics, contents, and future replies all match.
+        assert_eq!(rec.metrics(), oracle.metrics());
+        assert_eq!(rec.collect_items(), oracle.collect_items());
+        rec.validate().unwrap();
+        let probe = ops(-5, 20)
+            .into_iter()
+            .chain((0..30).map(|k| Op::Get { key: k }))
+            .collect::<Vec<_>>();
+        assert_eq!(rec.execute(&probe), oracle.execute(&probe));
+        assert_eq!(rec.metrics(), oracle.metrics());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_compaction_drops_covered_segments() {
+        let dir = test_dir("mod-compact");
+        let policy = DurabilityPolicy::default()
+            .with_snapshot_every(8)
+            .with_keep_snapshots(2);
+        let mut live = PimSkipList::new(cfg());
+        live.enable_durability(&dir, policy).unwrap();
+        for round in 0..6 {
+            live.execute(&ops(round * 8, 8));
+        }
+        drop(live);
+        let m = manifest::read_manifest(&dir, codec::config_fingerprint(&cfg()))
+            .unwrap()
+            .expect("manifest present");
+        assert_eq!(m.snapshots.len(), 2, "keep_snapshots honoured");
+        let oldest = *m.snapshots.last().unwrap();
+        assert!(m.segments.iter().all(|&s| s >= oldest));
+        // Dropped segments are really gone from disk.
+        let files = manifest::scan_dir(&dir).unwrap();
+        assert_eq!(files.segments, m.segments);
+        assert_eq!(files.snapshots, m.snapshots);
+
+        // Recovery lands on the newest snapshot and replays the suffix.
+        let (rec, report) = PimSkipList::recover_from_dir(cfg(), &dir, policy).unwrap();
+        assert_eq!(report.snapshot_seq, Some(m.snapshots[0]));
+        assert_eq!(report.next_seq, 48);
+        rec.validate().unwrap();
+        assert_eq!(rec.len(), 48);
+        // Logical equality with a fresh oracle run.
+        let mut oracle = PimSkipList::new(cfg());
+        for round in 0..6 {
+            oracle.execute(&ops(round * 8, 8));
+        }
+        assert_eq!(rec.collect_items(), oracle.collect_items());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn double_recovery_is_deterministic() {
+        let dir = test_dir("mod-doublerec");
+        let policy = DurabilityPolicy::default().with_snapshot_every(10);
+        let mut live = PimSkipList::new(cfg());
+        live.enable_durability(&dir, policy).unwrap();
+        for round in 0..3 {
+            live.execute(&ops(round * 12, 12));
+        }
+        drop(live);
+        let (mut a, ra) = PimSkipList::recover_from_dir(cfg(), &dir, policy).unwrap();
+        // Recover again from the directory state the first recovery left.
+        let (mut b, rb) = PimSkipList::recover_from_dir(cfg(), &dir, policy).unwrap();
+        assert_eq!(ra.next_seq, rb.next_seq);
+        assert_eq!(a.collect_items(), b.collect_items());
+        assert_eq!(a.metrics(), b.metrics());
+        let probe: Vec<Op> = (0..40).map(|k| Op::Get { key: k }).collect();
+        assert_eq!(a.execute(&probe), b.execute(&probe));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bulk_load_boundary_snapshot_restores_bit_identity() {
+        let dir = test_dir("mod-bulkload");
+        let pairs: Vec<(Key, Value)> = (0..200).map(|k| (k * 2, (k * 5) as u64)).collect();
+        let mut live = PimSkipList::new(cfg());
+        live.enable_durability(&dir, DurabilityPolicy::default())
+            .unwrap();
+        live.try_bulk_load(&pairs).unwrap();
+        let tail = ops(200, 15);
+        live.execute(&tail);
+        drop(live);
+
+        let mut oracle = PimSkipList::new(cfg());
+        oracle.try_bulk_load(&pairs).unwrap();
+        oracle.execute(&tail);
+
+        let (mut rec, report) =
+            PimSkipList::recover_from_dir(cfg(), &dir, DurabilityPolicy::default()).unwrap();
+        // The bulk load snapshotted at seq 0, so recovery re-runs the
+        // identical bulk load: full bit-identity, metrics included.
+        assert_eq!(report.snapshot_seq, Some(0));
+        assert_eq!(rec.metrics(), oracle.metrics());
+        assert_eq!(rec.collect_items(), oracle.collect_items());
+        rec.validate().unwrap();
+        let probe: Vec<Op> = (0..100).map(|k| Op::Get { key: k * 4 }).collect();
+        assert_eq!(rec.execute(&probe), oracle.execute(&probe));
+        assert_eq!(rec.metrics(), oracle.metrics());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refuses_wrong_config_and_occupied_dir() {
+        let dir = test_dir("mod-refuse");
+        let mut live = PimSkipList::new(cfg());
+        live.enable_durability(&dir, DurabilityPolicy::default())
+            .unwrap();
+        live.execute(&ops(0, 5));
+        drop(live);
+        // Different p: refused before any replay.
+        let other = Config::new(8, 1 << 10, 42);
+        assert!(matches!(
+            PimSkipList::recover_from_dir(other, &dir, DurabilityPolicy::default()),
+            Err(PimError::InvalidArgument { .. })
+        ));
+        // enable_durability on a dir with state: refused.
+        let mut fresh = PimSkipList::new(cfg());
+        assert!(matches!(
+            fresh.enable_durability(&dir, DurabilityPolicy::default()),
+            Err(PimError::InvalidArgument { .. })
+        ));
+        // Empty dir: nothing to recover.
+        let empty = test_dir("mod-refuse-empty");
+        assert!(matches!(
+            PimSkipList::recover_from_dir(cfg(), &empty, DurabilityPolicy::default()),
+            Err(PimError::InvalidArgument { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&empty).ok();
+    }
+
+    #[test]
+    fn damaged_newest_snapshot_falls_back_to_older() {
+        let dir = test_dir("mod-snapfallback");
+        let policy = DurabilityPolicy::default()
+            .with_snapshot_every(10)
+            .with_keep_snapshots(2);
+        let mut live = PimSkipList::new(cfg());
+        live.enable_durability(&dir, policy).unwrap();
+        for round in 0..3 {
+            live.execute(&ops(round * 10, 10));
+        }
+        drop(live);
+        let m = manifest::read_manifest(&dir, codec::config_fingerprint(&cfg()))
+            .unwrap()
+            .unwrap();
+        assert!(m.snapshots.len() >= 2);
+        // Flip a byte in the newest snapshot.
+        let newest = dir.join(snapshot_name(m.snapshots[0]));
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (rec, report) = PimSkipList::recover_from_dir(cfg(), &dir, policy).unwrap();
+        assert_eq!(report.snapshot_seq, Some(m.snapshots[1]));
+        rec.validate().unwrap();
+        assert_eq!(rec.len(), 30);
+        let mut oracle = PimSkipList::new(cfg());
+        for round in 0..3 {
+            oracle.execute(&ops(round * 10, 10));
+        }
+        assert_eq!(rec.collect_items(), oracle.collect_items());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manual_fsync_tracks_synced_seq() {
+        let dir = test_dir("mod-manual");
+        let policy = DurabilityPolicy::default().with_fsync(FsyncPolicy::Manual);
+        let mut live = PimSkipList::new(cfg());
+        live.enable_durability(&dir, policy).unwrap();
+        live.execute(&ops(0, 7));
+        assert_eq!(live.durable_seq(), Some(7));
+        assert_eq!(live.durable_synced_seq(), Some(0));
+        live.durable_sync().unwrap();
+        assert_eq!(live.durable_synced_seq(), Some(7));
+        // EveryOps groups commits.
+        let dir2 = test_dir("mod-everyops");
+        let mut grouped = PimSkipList::new(cfg());
+        grouped
+            .enable_durability(
+                &dir2,
+                DurabilityPolicy::default().with_fsync(FsyncPolicy::EveryOps(16)),
+            )
+            .unwrap();
+        grouped.execute(&ops(0, 7));
+        assert_eq!(grouped.durable_synced_seq(), Some(0));
+        grouped.execute(&ops(7, 9));
+        assert_eq!(grouped.durable_synced_seq(), Some(16));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+}

@@ -53,6 +53,37 @@ pub enum PimError {
         /// Debug rendering of the offending reply.
         detail: String,
     },
+    /// An operating-system IO failure in the durability layer (WAL append,
+    /// fsync, snapshot rename, manifest read). Carries enough context to
+    /// name the exact file the kernel refused.
+    Io {
+        /// The durability operation that failed (`"wal_append"`,
+        /// `"snapshot_write"`, …).
+        op: &'static str,
+        /// Path of the file or directory involved.
+        path: String,
+        /// The OS error, rendered (`std::io::Error` is not `Clone`/`Eq`,
+        /// which [`PimError`] requires).
+        detail: String,
+    },
+    /// On-disk state failed an integrity check during recovery: a frame,
+    /// snapshot, or manifest whose checksum does not match its contents.
+    /// A *tail* corruption of the WAL is handled silently (recovery
+    /// truncates to the last valid frame); this error is reserved for
+    /// corruption that loses committed history — e.g. the live snapshot is
+    /// damaged and the WAL it compacted is already deleted.
+    Corruption {
+        /// Path of the corrupt file.
+        path: String,
+        /// Byte offset of the failing record within the file.
+        offset: u64,
+        /// Checksum the record claimed.
+        expected: u32,
+        /// Checksum its bytes actually hash to.
+        found: u32,
+        /// What was being decoded (`"wal frame"`, `"snapshot"`, …).
+        detail: String,
+    },
 }
 
 /// Result alias used by the fault-tolerant driver paths.
@@ -67,6 +98,14 @@ impl PimError {
         PimError::Protocol {
             op,
             detail: format!("{detail:?}"),
+        }
+    }
+
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, err: &std::io::Error) -> Self {
+        PimError::Io {
+            op,
+            path: path.display().to_string(),
+            detail: err.to_string(),
         }
     }
 
@@ -91,6 +130,22 @@ impl fmt::Display for PimError {
             PimError::InvalidArgument { op, reason } => write!(f, "{op}: {reason}"),
             PimError::Protocol { op, detail } => {
                 write!(f, "{op}: protocol violation ({detail})")
+            }
+            PimError::Io { op, path, detail } => {
+                write!(f, "{op}: io error on {path}: {detail}")
+            }
+            PimError::Corruption {
+                path,
+                offset,
+                expected,
+                found,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "corrupt {detail} in {path} at offset {offset}: \
+                     checksum expected {expected:#010x}, found {found:#010x}"
+                )
             }
         }
     }
@@ -118,5 +173,35 @@ mod tests {
             reason: "h_low = 0".into()
         }
         .is_transient());
+    }
+
+    #[test]
+    fn io_and_corruption_carry_context() {
+        let io = PimError::io(
+            "wal_append",
+            std::path::Path::new("/d/wal-0.log"),
+            &std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(!io.is_transient(), "io failures are not retried");
+        let msg = io.to_string();
+        assert!(msg.contains("wal_append"));
+        assert!(msg.contains("/d/wal-0.log"));
+        assert!(msg.contains("denied"));
+
+        let c = PimError::Corruption {
+            path: "/d/snapshot-8.snap".into(),
+            offset: 24,
+            expected: 0xDEAD_BEEF,
+            found: 0x0BAD_F00D,
+            detail: "snapshot".into(),
+        };
+        assert!(!c.is_transient());
+        let msg = c.to_string();
+        assert!(msg.contains("/d/snapshot-8.snap"));
+        assert!(msg.contains("offset 24"));
+        assert!(msg.contains("0xdeadbeef"));
+        assert!(msg.contains("0x0badf00d"));
+        // The std::error::Error impl is uniform across variants.
+        let _: &dyn std::error::Error = &c;
     }
 }

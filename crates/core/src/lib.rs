@@ -37,6 +37,7 @@ pub mod arena;
 pub mod batch;
 pub mod config;
 pub mod dot;
+pub mod durable;
 pub mod error;
 pub mod invariants;
 mod journal;
@@ -51,6 +52,7 @@ pub mod tasks;
 
 pub use batch::UpsertOutcome;
 pub use config::{Config, Key, Value, NEG_INF, POS_INF};
+pub use durable::{DurabilityPolicy, FsyncPolicy, RecoveryReport};
 pub use error::{PimError, PimResult};
 pub use list::PimSkipList;
 pub use op::{Op, OpKind, Reply};

@@ -43,6 +43,10 @@ pub struct PimSkipList {
     /// Reusable CPU-side staging buffers (capacity recycled across
     /// batches; see [`crate::scratch`]).
     pub(crate) scratch: crate::scratch::Scratch,
+    /// Durable persistence layer (`None` unless
+    /// [`PimSkipList::enable_durability`] was called — the hot path then
+    /// pays exactly one `is_some` branch per committed run).
+    pub(crate) durable: Option<Box<crate::durable::Durability>>,
 }
 
 impl PimSkipList {
@@ -70,6 +74,7 @@ impl PimSkipList {
             journal: Journal::new(),
             last_phase_contention: Vec::new(),
             scratch: crate::scratch::Scratch::default(),
+            durable: None,
         }
     }
 

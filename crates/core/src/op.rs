@@ -233,6 +233,12 @@ impl PimSkipList {
             if self.cfg.record_op_log {
                 self.journal.record_ops(run);
             }
+            if self.durable.is_some() {
+                // WAL frame = committed run: replay splits the stream into
+                // the same runs, so frame-by-frame recovery is the original
+                // execution (see `crate::durable`).
+                self.durable_record_run(run)?;
+            }
             phases.append(&mut self.last_phase_contention);
             replies.extend(out);
             start = end;

@@ -256,7 +256,15 @@ impl PimSkipList {
                 reason: "bulk_load requires strictly ascending keys".into(),
             });
         }
-        self.retry_structural("bulk_load", pairs.len(), |s| s.bulk_load_attempt(pairs))
+        self.retry_structural("bulk_load", pairs.len(), |s| s.bulk_load_attempt(pairs))?;
+        // A bulk load is not an `Op` and cannot be WAL-replayed, so a
+        // durable structure snapshots right at the boundary; recovery then
+        // re-runs the identical bulk load, which also restores tier-1
+        // bit-identity (see `crate::durable`).
+        if self.durable.is_some() {
+            self.snapshot_now()?;
+        }
+        Ok(())
     }
 
     /// Rebuild one crashed module's shard in place: re-install its

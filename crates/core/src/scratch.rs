@@ -95,7 +95,12 @@ impl Scratch {
     lease!(take_uniq_keys, give_uniq_keys, uniq_keys, Key);
     lease!(take_uniq_pairs, give_uniq_pairs, uniq_pairs, (Key, Value));
     lease!(take_tops, give_tops, tops, u8);
-    lease!(take_tower_handles, give_tower_handles, tower_handles, Handle);
+    lease!(
+        take_tower_handles,
+        give_tower_handles,
+        tower_handles,
+        Handle
+    );
     lease!(take_tower_offsets, give_tower_offsets, tower_offsets, u32);
 }
 

@@ -1,0 +1,229 @@
+//! Process-kill crash-recovery chaos test.
+//!
+//! The real durability claim is about *processes dying*, not in-process
+//! byte surgery: a child process streams a deterministic op mix into a
+//! durable list and is SIGKILLed mid-stream at an arbitrary point (no
+//! graceful shutdown, no `Drop`). The parent then recovers the directory
+//! and proves the recovered structure equals an in-memory oracle that
+//! executed exactly the surviving prefix of the same stream:
+//!
+//! - **WAL-only mode**: bit-identical — contents, machine metrics, and
+//!   replies to a follow-up stream all match (tier 1 of the contract in
+//!   `pim_core::durable`).
+//! - **Snapshot mode** (compaction ran before the kill): logically
+//!   identical — contents, invariants, and replies match; tower heights
+//!   and metrics may differ (tier 2).
+//!
+//! The child is this same test binary re-executed with an env-var guard,
+//! running the `child_entry` "test" as its workload until killed.
+
+#![cfg(unix)]
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pim_core::{Config, DurabilityPolicy, Op, PimSkipList, RangeFunc};
+
+const CHILD_ENV: &str = "PIM_DURABLE_KILL_CHILD";
+const DIR_ENV: &str = "PIM_DURABLE_KILL_DIR";
+const MODE_ENV: &str = "PIM_DURABLE_KILL_MODE";
+
+/// Ops per `execute` call in the child (parent replays the same split).
+const BATCH: usize = 7;
+
+fn cfg() -> Config {
+    Config::new(4, 1 << 10, 7)
+}
+
+fn policy(mode: &str) -> DurabilityPolicy {
+    match mode {
+        "wal" => DurabilityPolicy::default(),
+        "snap" => DurabilityPolicy::default().with_snapshot_every(64),
+        other => panic!("unknown kill-test mode {other:?}"),
+    }
+}
+
+/// Deterministic mixed op stream, identical in parent and child
+/// (splitmix64 of the op index — no shared state, no RNG crate).
+fn op_at(i: u64) -> Op {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let key = (x % 240) as i64 - 40;
+    match (x >> 8) % 10 {
+        0..=3 => Op::Upsert {
+            key,
+            value: x >> 16,
+        },
+        4..=5 => Op::Delete { key },
+        6..=7 => Op::Get { key },
+        8 => Op::Successor { key },
+        _ => Op::Range {
+            lo: key,
+            hi: key + 17,
+            func: RangeFunc::Sum,
+        },
+    }
+}
+
+fn batch_at(start: u64) -> Vec<Op> {
+    (start..start + BATCH as u64).map(op_at).collect()
+}
+
+/// Child workload: stream ops into a durable list until SIGKILLed.
+/// Registered as a test so the re-executed binary can be pointed at it
+/// with `--exact`; without the env guard it is an instant no-op pass.
+#[test]
+fn child_entry() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    let dir = std::env::var(DIR_ENV).unwrap();
+    let mode = std::env::var(MODE_ENV).unwrap();
+    let mut list = PimSkipList::new(cfg());
+    list.enable_durability(&dir, policy(&mode)).unwrap();
+    let mut i = 0u64;
+    loop {
+        list.execute(&batch_at(i));
+        i += BATCH as u64;
+    }
+}
+
+/// Total bytes of WAL segments plus the highest completed-snapshot seq in
+/// `dir` — the parent's only window into the child's progress. (In snap
+/// mode compaction keeps the WAL short, so WAL size alone says nothing.)
+fn progress(dir: &std::path::Path) -> (u64, Option<u64>) {
+    let mut wal = 0;
+    let mut snap_seq = None;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                wal += e.metadata().map(|m| m.len()).unwrap_or(0);
+            } else if let Some(hex) = name
+                .strip_prefix("snapshot-")
+                .and_then(|n| n.strip_suffix(".snap"))
+            {
+                if let Ok(seq) = u64::from_str_radix(hex, 16) {
+                    snap_seq = snap_seq.max(Some(seq));
+                }
+            }
+        }
+    }
+    (wal, snap_seq)
+}
+
+/// Deletes the durable directory when the test finishes — the recovered
+/// list keeps appending (and snapshotting) into it until then.
+struct DirGuard(std::path::PathBuf);
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Spawn the child workload, SIGKILL it once the directory shows enough
+/// progress, and return the recovered list plus the total ops it had
+/// durably committed.
+fn kill_and_recover(mode: &str, need_snapshot_seq: Option<u64>) -> (PimSkipList, u64, DirGuard) {
+    let dir = std::env::temp_dir().join(format!("pim-durable-kill-{}-{mode}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut child = Command::new(std::env::current_exe().unwrap())
+        .args(["child_entry", "--exact", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .env(DIR_ENV, &dir)
+        .env(MODE_ENV, mode)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child workload");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (wal_bytes, snap_seq) = progress(&dir);
+        let done = match need_snapshot_seq {
+            // WAL-only mode: enough appended frames to kill mid-stream.
+            None => wal_bytes > 8192,
+            // Snapshot mode: a compacted snapshot far enough into the
+            // stream (WAL stays short under compaction).
+            Some(need) => snap_seq.is_some_and(|s| s >= need),
+        };
+        if done {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child made no progress (wal={wal_bytes}B snapshot_seq={snap_seq:?})"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    let (rec, report) =
+        PimSkipList::recover_from_dir(cfg(), &dir, policy(mode)).expect("recover after kill");
+    (rec, report.next_seq, DirGuard(dir))
+}
+
+/// Oracle: execute exactly the first `n` ops of the stream with the same
+/// batch split the child used. The surviving prefix always ends on a run
+/// boundary, so a partial final batch executes identically.
+fn oracle(n: u64) -> PimSkipList {
+    let mut list = PimSkipList::new(cfg());
+    let mut start = 0;
+    while start < n {
+        let take = (n - start).min(BATCH as u64) as usize;
+        list.execute(&batch_at(start)[..take]);
+        start += take as u64;
+    }
+    list
+}
+
+fn probe() -> Vec<Op> {
+    (-40..200)
+        .map(|key| Op::Get { key })
+        .chain((0..20).map(|k| Op::Upsert {
+            key: k * 11,
+            value: 3,
+        }))
+        .chain(std::iter::once(Op::Range {
+            lo: -40,
+            hi: 200,
+            func: RangeFunc::Sum,
+        }))
+        .collect()
+}
+
+#[test]
+fn sigkill_mid_stream_wal_recovery_is_bit_identical() {
+    let (mut rec, n, _dir) = kill_and_recover("wal", None);
+    assert!(n > 0, "child committed nothing before the kill");
+    let mut want = oracle(n);
+    assert_eq!(rec.len(), want.len());
+    assert_eq!(rec.collect_items(), want.collect_items());
+    assert_eq!(rec.metrics(), want.metrics(), "bit-identical machine state");
+    rec.validate().unwrap();
+    let p = probe();
+    assert_eq!(rec.execute(&p), want.execute(&p));
+    assert_eq!(rec.metrics(), want.metrics());
+}
+
+#[test]
+fn sigkill_mid_stream_snapshot_recovery_is_logically_identical() {
+    let (mut rec, n, _dir) = kill_and_recover("snap", Some(128));
+    assert!(n > 64, "kill should land after at least one snapshot");
+    let mut want = oracle(n);
+    assert_eq!(rec.len(), want.len());
+    assert_eq!(rec.collect_items(), want.collect_items());
+    rec.validate().unwrap();
+    // Tier 2: replies match; tower heights/metrics are allowed to differ.
+    let p = probe();
+    assert_eq!(rec.execute(&p), want.execute(&p));
+    assert_eq!(rec.collect_items(), want.collect_items());
+}

@@ -111,12 +111,7 @@ where
         return;
     }
     tags.clear();
-    tags.extend(
-        items
-            .iter()
-            .enumerate()
-            .map(|(i, it)| (key(it), i as u32)),
-    );
+    tags.extend(items.iter().enumerate().map(|(i, it)| (key(it), i as u32)));
     // Ascending (key, index): the first entry of each key run is its first
     // occurrence.
     tags.sort_unstable();
@@ -228,7 +223,10 @@ mod tests {
             dedup_by_key_into(&items, |&(k, _)| k, &mut tags, &mut got);
             let got_cost = dedup_cost(items.len(), got.len());
             assert_eq!(got, want);
-            assert_eq!((got_cost.work, got_cost.depth), (want_cost.work, want_cost.depth));
+            assert_eq!(
+                (got_cost.work, got_cost.depth),
+                (want_cost.work, want_cost.depth)
+            );
         }
     }
 

@@ -53,6 +53,7 @@
 
 pub mod balls;
 pub mod buffers;
+pub mod crc;
 pub mod export;
 pub mod fault;
 pub mod handle;
@@ -67,6 +68,7 @@ pub mod system;
 pub mod trace;
 
 pub use buffers::{BufferPool, RouteBuffer};
+pub use crc::{crc32, Crc32};
 pub use export::{chrome_trace, rounds_jsonl, ExportBundle, Json};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use handle::{Arena, Handle, ModuleId};

@@ -303,8 +303,13 @@ where
 /// concatenate, so the parallel bracket allocates only its work-unit list.
 /// The sequential path (threads ≤ 1 or weight below the threshold)
 /// allocates nothing at all.
-pub fn par_zip2_for_each_mut<T, A, B, F>(items: &mut [T], a: &mut [A], b: &mut [B], weight: usize, f: F)
-where
+pub fn par_zip2_for_each_mut<T, A, B, F>(
+    items: &mut [T],
+    a: &mut [A],
+    b: &mut [B],
+    weight: usize,
+    f: F,
+) where
     T: Send,
     A: Send,
     B: Send,
@@ -332,7 +337,12 @@ pub fn par_zip2_for_each_mut_with<T, A, B, F>(
     let n = items.len();
     let threads = cfg.threads.min(n);
     if threads <= 1 || weight < cfg.par_threshold {
-        for (i, ((t, ai), bi)) in items.iter_mut().zip(a.iter_mut()).zip(b.iter_mut()).enumerate() {
+        for (i, ((t, ai), bi)) in items
+            .iter_mut()
+            .zip(a.iter_mut())
+            .zip(b.iter_mut())
+            .enumerate()
+        {
             f(i, t, ai, bi);
         }
         return;
@@ -358,8 +368,15 @@ pub fn par_zip2_for_each_mut_with<T, A, B, F>(
     let queue = Mutex::new(units);
     fork_join(threads, |_| loop {
         let unit = queue.lock().expect("pool queue poisoned").pop();
-        let Some((base, ts, asl, bsl)) = unit else { break };
-        for (j, ((t, ai), bi)) in ts.iter_mut().zip(asl.iter_mut()).zip(bsl.iter_mut()).enumerate() {
+        let Some((base, ts, asl, bsl)) = unit else {
+            break;
+        };
+        for (j, ((t, ai), bi)) in ts
+            .iter_mut()
+            .zip(asl.iter_mut())
+            .zip(bsl.iter_mut())
+            .enumerate()
+        {
             f(base + j, t, ai, bi);
         }
     });
@@ -596,10 +613,17 @@ mod tests {
             let mut items: Vec<u64> = vec![0; 333];
             let mut a: Vec<u64> = (0..333u64).collect();
             let mut b: Vec<u64> = vec![0; 333];
-            par_zip2_for_each_mut_with(&cfg(threads), &mut items, &mut a, &mut b, 333, |i, t, ai, bi| {
-                *t = *ai * 2;
-                *bi = i as u64 + *ai;
-            });
+            par_zip2_for_each_mut_with(
+                &cfg(threads),
+                &mut items,
+                &mut a,
+                &mut b,
+                333,
+                |i, t, ai, bi| {
+                    *t = *ai * 2;
+                    *bi = i as u64 + *ai;
+                },
+            );
             assert_eq!(items, (0..333u64).map(|x| x * 2).collect::<Vec<_>>());
             assert_eq!(b, (0..333u64).map(|x| x * 2).collect::<Vec<_>>());
             assert_eq!(a, (0..333u64).collect::<Vec<_>>(), "threads = {threads}");

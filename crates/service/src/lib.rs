@@ -52,6 +52,24 @@
 use pim_core::{Op, OpKind, PimSkipList, Reply};
 use pim_runtime::Histogram;
 
+/// When a [`Completion`] is released relative to durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckPolicy {
+    /// Release as soon as the batch executes (default). Fast, but under a
+    /// durable list with a lazy fsync policy an acknowledged op may still
+    /// be lost by a crash.
+    #[default]
+    AfterExecute,
+    /// Hold completions until a WAL fsync covers their batch: an
+    /// acknowledged op survives any crash. The service drives the sync
+    /// from its tick clock (every [`ServiceConfig::sync_every`] ticks), so
+    /// the extra latency is deterministic and shows up in
+    /// [`ServiceStats::latency_ticks`]. With a non-durable list (or a
+    /// durable one on [`pim_core::FsyncPolicy::EveryFrame`]) this degrades
+    /// gracefully to same-tick release.
+    AfterFsync,
+}
+
 /// Coalescing policy of a [`PimService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -67,6 +85,12 @@ pub struct ServiceConfig {
     /// [`PimService::submit`] refuses (backpressure). Defaults to
     /// `4 × max_batch`.
     pub max_queue: usize,
+    /// Completion-release policy relative to durability.
+    pub ack: AckPolicy,
+    /// Under [`AckPolicy::AfterFsync`]: fsync the WAL every this many
+    /// ticks while acks are pending (the every-T-ticks group-commit
+    /// cadence; clamped to at least 1). Ignored otherwise.
+    pub sync_every: u64,
 }
 
 impl ServiceConfig {
@@ -78,6 +102,8 @@ impl ServiceConfig {
             max_batch,
             max_linger: 8,
             max_queue: 4 * max_batch,
+            ack: AckPolicy::AfterExecute,
+            sync_every: 1,
         }
     }
 
@@ -96,6 +122,14 @@ impl ServiceConfig {
     /// Override the queue bound (clamped to at least `max_batch`).
     pub fn with_max_queue(mut self, cap: usize) -> Self {
         self.max_queue = cap.max(self.max_batch);
+        self
+    }
+
+    /// Hold completions until a WAL fsync covers them, syncing every
+    /// `sync_every` ticks (see [`AckPolicy::AfterFsync`]).
+    pub fn with_ack_after_fsync(mut self, sync_every: u64) -> Self {
+        self.ack = AckPolicy::AfterFsync;
+        self.sync_every = sync_every.max(1);
         self
     }
 }
@@ -131,10 +165,14 @@ pub struct Completion {
     pub reply: Reply,
     /// Tick the request was submitted on.
     pub arrival: u64,
-    /// Tick the request's batch dispatched (== the completion tick; reply
-    /// routing is same-tick).
+    /// Tick the request's batch dispatched. Under [`AckPolicy::AfterExecute`]
+    /// this is also the completion tick; under [`AckPolicy::AfterFsync`]
+    /// release may come later, once a WAL fsync covers the batch.
     pub dispatched: u64,
-    /// Service-clock latency, arrival → reply, in ticks.
+    /// Service-clock latency, arrival → acknowledgement, in ticks (under
+    /// [`AckPolicy::AfterFsync`] this includes the wait for the covering
+    /// fsync — the durability premium, visible in
+    /// [`ServiceStats::latency_ticks`]).
     pub latency_ticks: u64,
     /// Machine-clock latency: rounds the machine ran between this
     /// request's arrival and its reply (includes rounds spent on batches
@@ -162,6 +200,8 @@ pub struct ServiceStats {
     pub queue_depth: Histogram,
     /// Requests per dispatched batch.
     pub batch_occupancy: Histogram,
+    /// WAL fsyncs this service triggered ([`AckPolicy::AfterFsync`] only).
+    pub fsyncs: u64,
 }
 
 /// A pending request in the FIFO queue.
@@ -190,6 +230,10 @@ pub struct PimService {
     order: Vec<usize>,
     ops: Vec<Op>,
     slots: Vec<Option<Reply>>,
+    // Completions executed but awaiting a covering WAL fsync, with the
+    // durable stream position each needs synced (AfterFsync only; FIFO, so
+    // release order is arrival order).
+    held: std::collections::VecDeque<(u64, Completion)>,
 }
 
 impl PimService {
@@ -211,6 +255,7 @@ impl PimService {
             order: Vec::new(),
             ops: Vec::new(),
             slots: Vec::new(),
+            held: std::collections::VecDeque::new(),
         }
     }
 
@@ -289,17 +334,64 @@ impl PimService {
         while self.should_dispatch() {
             out.extend(self.dispatch());
         }
+        if self.cfg.ack == AckPolicy::AfterFsync {
+            if !self.held.is_empty() && self.now.is_multiple_of(self.cfg.sync_every.max(1)) {
+                self.list
+                    .durable_sync()
+                    .unwrap_or_else(|e| panic!("wal fsync: {e}"));
+                self.stats.fsyncs += 1;
+            }
+            out.extend(self.release_ready());
+        }
         out
     }
 
     /// Dispatch everything still queued, ignoring batch-size and linger
-    /// thresholds (end-of-run drain). Does not advance the tick.
+    /// thresholds, and force a covering fsync for any held acks
+    /// (end-of-run drain). Does not advance the tick.
     pub fn flush(&mut self) -> Vec<Completion> {
         let mut out = Vec::new();
         while !self.queue.is_empty() {
             out.extend(self.dispatch());
         }
+        if !self.held.is_empty() {
+            self.list
+                .durable_sync()
+                .unwrap_or_else(|e| panic!("wal fsync: {e}"));
+            self.stats.fsyncs += 1;
+            out.extend(self.release_ready());
+        }
         out
+    }
+
+    /// Completions executed but not yet acknowledged (awaiting a covering
+    /// WAL fsync; always 0 under [`AckPolicy::AfterExecute`]).
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Release every held completion the durable layer has synced past.
+    fn release_ready(&mut self) -> Vec<Completion> {
+        let synced = self.list.durable_synced_seq().unwrap_or(u64::MAX);
+        let mut out = Vec::new();
+        while let Some(&(need, _)) = self.held.front() {
+            if need > synced {
+                break;
+            }
+            let (_, c) = self.held.pop_front().expect("front exists");
+            out.push(self.record(c));
+        }
+        out
+    }
+
+    /// Stamp a *held* completion's acknowledgement latency at its release
+    /// tick and fold it into the streaming stats.
+    fn record(&mut self, mut c: Completion) -> Completion {
+        c.latency_ticks = self.now.saturating_sub(c.arrival);
+        self.stats.completed += 1;
+        self.stats.latency_ticks.record(c.latency_ticks);
+        self.stats.latency_rounds.record(c.latency_rounds);
+        c
     }
 
     fn should_dispatch(&self) -> bool {
@@ -340,23 +432,37 @@ impl PimService {
         for (&i, reply) in self.order.iter().zip(replies) {
             self.slots[i] = Some(reply);
         }
-        let mut out = Vec::with_capacity(n);
+        let hold = self.cfg.ack == AckPolicy::AfterFsync && self.list.is_durable();
+        // Everything this batch committed is durable once the WAL reaches
+        // this stream position.
+        let need = self.list.durable_seq().unwrap_or(0);
+        let mut out = Vec::with_capacity(if hold { 0 } else { n });
         for (p, reply) in self.pend.drain(..).zip(self.slots.drain(..)) {
             let latency_ticks = self.now.saturating_sub(p.arrival);
             let latency_rounds = rounds_now.saturating_sub(p.rounds_at_arrival);
-            self.stats.completed += 1;
-            self.stats.latency_ticks.record(latency_ticks);
-            self.stats.latency_rounds.record(latency_rounds);
-            out.push(Completion {
+            let c = Completion {
                 id: p.id,
                 reply: reply.expect("every dispatched op answered"),
                 arrival: p.arrival,
                 dispatched: self.now,
                 latency_ticks,
                 latency_rounds,
-            });
+            };
+            if hold {
+                self.held.push_back((need, c));
+            } else {
+                self.stats.completed += 1;
+                self.stats.latency_ticks.record(latency_ticks);
+                self.stats.latency_rounds.record(latency_rounds);
+                out.push(c);
+            }
         }
         self.list.span_exit();
+        if hold {
+            // A list fsyncing eagerly (EveryFrame / a tripped EveryOps
+            // threshold) may already cover this batch — release same-tick.
+            out.extend(self.release_ready());
+        }
         out
     }
 }
@@ -529,6 +635,102 @@ mod tests {
             svc.list().metrics().rounds,
             "first request arrived at round 0"
         );
+    }
+
+    fn durable_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pim-service-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn ack_after_fsync_holds_until_covering_sync() {
+        use pim_core::{DurabilityPolicy, FsyncPolicy};
+        let dir = durable_dir("holds");
+        let mut list = small_list(20);
+        // The list itself never fsyncs — the service clock drives it.
+        list.enable_durability(
+            &dir,
+            DurabilityPolicy::default().with_fsync(FsyncPolicy::Manual),
+        )
+        .unwrap();
+        let cfg = ServiceConfig::new(1)
+            .with_max_linger(0)
+            .with_ack_after_fsync(4);
+        let mut svc = PimService::new(list, cfg);
+        svc.submit(Op::Upsert { key: 1, value: 1 }).unwrap();
+        // Tick 1: dispatched (executed) but unacknowledged — sync due at 4.
+        assert!(svc.tick().is_empty());
+        assert_eq!(svc.held_len(), 1);
+        assert!(svc.tick().is_empty()); // tick 2
+        assert!(svc.tick().is_empty()); // tick 3
+        let done = svc.tick(); // tick 4: fsync covers the batch
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].dispatched, 1);
+        assert_eq!(done[0].latency_ticks, 4, "durability premium visible");
+        assert_eq!(svc.stats().fsyncs, 1);
+        assert_eq!(svc.stats().latency_ticks.max(), 4);
+        assert_eq!(svc.list().durable_synced_seq(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ack_after_fsync_with_eager_wal_releases_same_tick() {
+        use pim_core::DurabilityPolicy;
+        let dir = durable_dir("eager");
+        let mut list = small_list(21);
+        // EveryFrame: the WAL is already synced when dispatch returns.
+        list.enable_durability(&dir, DurabilityPolicy::default())
+            .unwrap();
+        let cfg = ServiceConfig::new(1)
+            .with_max_linger(0)
+            .with_ack_after_fsync(8);
+        let mut svc = PimService::new(list, cfg);
+        svc.submit(Op::Upsert { key: 1, value: 1 }).unwrap();
+        let done = svc.tick();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency_ticks, 1, "no extra wait");
+        assert_eq!(svc.stats().fsyncs, 0, "service never had to sync");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ack_after_fsync_without_durability_degenerates() {
+        let cfg = ServiceConfig::new(1)
+            .with_max_linger(0)
+            .with_ack_after_fsync(16);
+        let mut svc = PimService::new(small_list(22), cfg);
+        svc.submit(Op::Get { key: 1 }).unwrap();
+        let done = svc.tick();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency_ticks, 1);
+        assert_eq!(svc.held_len(), 0);
+    }
+
+    #[test]
+    fn flush_forces_covering_sync_for_held_acks() {
+        use pim_core::{DurabilityPolicy, FsyncPolicy};
+        let dir = durable_dir("flushsync");
+        let mut list = small_list(23);
+        list.enable_durability(
+            &dir,
+            DurabilityPolicy::default().with_fsync(FsyncPolicy::Manual),
+        )
+        .unwrap();
+        let cfg = ServiceConfig::new(2)
+            .with_max_linger(0)
+            .with_ack_after_fsync(1000);
+        let mut svc = PimService::new(list, cfg);
+        for k in 0..5 {
+            svc.submit(Op::Upsert { key: k, value: 9 }).unwrap();
+        }
+        let done = svc.flush();
+        assert_eq!(done.len(), 5, "flush releases every held ack");
+        assert_eq!(svc.held_len(), 0);
+        assert_eq!(svc.stats().fsyncs, 1);
+        let list = svc.into_list();
+        assert_eq!(list.durable_synced_seq(), list.durable_seq());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -148,6 +148,21 @@ pub const STAT_LABELS: [&str; 10] = [
     "recovery_rounds",
 ];
 
+/// Warning text when the trace lost rounds to the capped ring buffer
+/// (`None` for a complete trace). A schema-valid trace can still be a
+/// *partial* record — analyses over it silently undercount — so
+/// `pim-trace validate` prints this, and treats it as a failure under
+/// `--strict`.
+pub fn completeness_warning(doc: &TraceDoc) -> Option<String> {
+    (doc.dropped_rounds > 0).then(|| {
+        format!(
+            "incomplete trace: {} round(s) evicted by the ring-buffer cap ({} recorded)",
+            doc.dropped_rounds,
+            doc.rounds.len()
+        )
+    })
+}
+
 /// Parse a JSONL round log into a [`TraceDoc`]. Errors carry the line
 /// number (1-based) and what was wrong — this is also the schema check
 /// behind `pim-trace validate`.
@@ -522,6 +537,17 @@ mod tests {
             "\n",
         )
         .to_string()
+    }
+
+    #[test]
+    fn completeness_warning_flags_dropped_rounds() {
+        let complete = parse_jsonl(&sample_jsonl()).unwrap();
+        assert_eq!(completeness_warning(&complete), None);
+        let partial = sample_jsonl().replace("\"dropped_rounds\":0", "\"dropped_rounds\":7");
+        let doc = parse_jsonl(&partial).unwrap();
+        let w = completeness_warning(&doc).expect("lossy trace must warn");
+        assert!(w.contains("7 round(s)"));
+        assert!(w.contains("2 recorded"));
     }
 
     #[test]

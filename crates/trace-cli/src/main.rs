@@ -5,16 +5,23 @@
 //! pim-trace hprofile <rounds.jsonl>    distribution of per-round h
 //! pim-trace heatmap <rounds.jsonl>     module-imbalance heatmap
 //! pim-trace all     <rounds.jsonl>     all of the above
-//! pim-trace validate <file>...         schema-check exports (JSONL or Chrome JSON)
+//! pim-trace validate [--strict] <file>...   schema-check exports (JSONL or Chrome JSON)
 //! ```
+//!
+//! `validate` also warns when a JSONL trace is *incomplete* (its header
+//! reports `dropped_rounds > 0` — rounds evicted by the capped ring
+//! buffer); with `--strict` an incomplete trace fails validation.
 //!
 //! Exit codes: 0 ok, 1 validation failure, 2 usage or IO error.
 
 use std::process::ExitCode;
 
-use pim_trace_cli::{parse_jsonl, render_heatmap, render_hprofile, render_phases, validate_chrome};
+use pim_trace_cli::{
+    completeness_warning, parse_jsonl, render_heatmap, render_hprofile, render_phases,
+    validate_chrome,
+};
 
-const USAGE: &str = "usage: pim-trace <phases|hprofile|heatmap|all|validate> <file>...";
+const USAGE: &str = "usage: pim-trace <phases|hprofile|heatmap|all|validate> [--strict] <file>...";
 
 fn load(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
@@ -52,22 +59,32 @@ fn run() -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "validate" => {
+            let strict = files.iter().any(|f| f == "--strict");
+            let files: Vec<&String> = files.iter().filter(|f| *f != "--strict").collect();
+            if files.is_empty() {
+                return Err(USAGE.into());
+            }
             let mut failed = false;
             for path in files {
                 let text = load(path)?;
                 // Chrome exports are one JSON document with traceEvents;
                 // everything else must be a valid JSONL round log.
-                let result = if text.trim_start().starts_with('{')
+                let chrome = text.trim_start().starts_with('{')
                     && text.trim_start()[1..]
                         .trim_start()
-                        .starts_with("\"traceEvents\"")
-                {
-                    validate_chrome(&text)
+                        .starts_with("\"traceEvents\"");
+                let result = if chrome {
+                    validate_chrome(&text).map(|()| None)
                 } else {
-                    parse_jsonl(&text).map(|_| ())
+                    parse_jsonl(&text).map(|doc| completeness_warning(&doc))
                 };
                 match result {
-                    Ok(()) => println!("{path}: ok"),
+                    Ok(None) => println!("{path}: ok"),
+                    Ok(Some(warning)) if strict => {
+                        eprintln!("{path}: INVALID (--strict): {warning}");
+                        failed = true;
+                    }
+                    Ok(Some(warning)) => println!("{path}: ok (warning: {warning})"),
                     Err(e) => {
                         eprintln!("{path}: INVALID: {e}");
                         failed = true;
