@@ -12,13 +12,16 @@
 //! `DIR/rounds.jsonl` (the `pim-trace` CLI's input); DIR defaults to
 //! `target/trace-export`.
 //!
-//! `service [--quick] [--out DIR]` sweeps the `pim-service` coalescing
-//! policy (max batch × max linger) over a deterministic open-loop mixed
-//! stream and prints sustained throughput (ops/round, ops/sec) and
-//! p50/p95/p99 request latency. With `--out DIR` it additionally runs one
-//! instrumented service session and writes `DIR/trace.json` /
-//! `DIR/rounds.jsonl` (byte-identical at every `PIM_THREADS`; the CI
-//! determinism job diffs them).
+//! `service [--quick] [--out DIR] [--json PATH]` sweeps the `pim-service`
+//! coalescing policy (max batch × max linger) over a deterministic
+//! open-loop mixed stream and prints sustained throughput (ops/round,
+//! ops/sec) and p50/p95/p99 request latency. With `--out DIR` it
+//! additionally runs one instrumented telemetry-enabled service session
+//! and writes `DIR/trace.json` / `DIR/rounds.jsonl` plus the telemetry
+//! artifacts `DIR/events.jsonl` / `DIR/metrics.prom` (all byte-identical
+//! at every `PIM_THREADS`; the CI determinism job diffs them). With
+//! `--json PATH` the sweep itself is written as a `pim-service-bench/1`
+//! report with a provenance header.
 //!
 //! `wallclock [--quick] [--out PATH]` sweeps every Table-1 op over
 //! PIM_THREADS ∈ {1, 2, 4, 8} and writes a `pim-wallclock/1` JSON report
@@ -26,10 +29,12 @@
 //! one measures *elapsed time*, the only observable the executor's thread
 //! count is allowed to change.
 //!
-//! `recovery [--quick]` persists one mixed op stream under several
-//! snapshot cadences and times `PimSkipList::recover_from_dir` on each
-//! resulting directory — the snapshot-interval / recovery-time trade-off.
-//! Like `wallclock`, this measures elapsed time.
+//! `recovery [--quick] [--json PATH]` persists one mixed op stream under
+//! several snapshot cadences and times `PimSkipList::recover_from_dir` on
+//! each resulting directory — the snapshot-interval / recovery-time
+//! trade-off. Like `wallclock`, this measures elapsed time. With `--json
+//! PATH` the episodes are written as a `pim-recovery-bench/1` report with
+//! a provenance header.
 //!
 //! `perf-gate CURRENT BASELINE [TOLERANCE] [--raw]` compares two reports
 //! (calibration-normalised unless `--raw`) and exits 1 when any (op,
@@ -137,7 +142,11 @@ fn main() {
         }
     };
     let run_service = || {
-        pim_bench::service::run_service(quick, seed);
+        let json = flag("--json").map(String::as_str);
+        if let Err(e) = pim_bench::service::run_service(quick, seed, json) {
+            eprintln!("service: {e}");
+            std::process::exit(1);
+        }
         if let Some(out_dir) = flag("--out") {
             let (sp, sn) = if quick { (16, 4_000) } else { (32, 16_000) };
             if let Err(e) = pim_bench::service::service_trace_export(out_dir, sp, sn, seed) {
@@ -146,7 +155,13 @@ fn main() {
             }
         }
     };
-    let run_recovery = || pim_bench::recovery::run_recovery(quick, seed);
+    let run_recovery = || {
+        let json = flag("--json").map(String::as_str);
+        if let Err(e) = pim_bench::recovery::run_recovery(quick, seed, json) {
+            eprintln!("recovery: {e}");
+            std::process::exit(1);
+        }
+    };
     let run_trace_export = || {
         let out_dir = flag("--out")
             .map(String::as_str)

@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use pim_core::{Config, DurabilityPolicy, FsyncPolicy, Op, PimSkipList, RangeFunc};
+use pim_runtime::export::{num, str as jstr, Json};
 
 /// Deterministic mixed op stream (splitmix64 of the op index).
 fn op_at(i: u64) -> Op {
@@ -55,9 +56,27 @@ fn wal_footprint(dir: &std::path::Path) -> (u64, usize) {
     (bytes, files)
 }
 
+/// One measured recovery episode.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    /// Snapshot cadence the directory was persisted under (`None`: no
+    /// snapshots — full-WAL replay).
+    pub snapshot_every: Option<u64>,
+    /// Stream position recovery started from (`None`: empty structure).
+    pub base_seq: Option<u64>,
+    /// Ops replayed from the WAL suffix.
+    pub ops_replayed: u64,
+    /// Live WAL bytes recovery had to consider.
+    pub wal_bytes: u64,
+    /// Live WAL segment files.
+    pub wal_segments: usize,
+    /// Best wall-clock recovery time over the episode's iterations.
+    pub recover_ms: f64,
+}
+
 /// Persist `total` ops under the given snapshot cadence and time recovery
-/// (best of `iters`). Returns one formatted table row.
-fn episode(total: u64, snapshot_every: Option<u64>, seed: u64, iters: usize) -> String {
+/// (best of `iters`).
+fn episode(total: u64, snapshot_every: Option<u64>, seed: u64, iters: usize) -> RecoveryPoint {
     let dir = std::env::temp_dir().join(format!(
         "pim-bench-recovery-{}-{}",
         std::process::id(),
@@ -84,7 +103,7 @@ fn episode(total: u64, snapshot_every: Option<u64>, seed: u64, iters: usize) -> 
     let final_len = list.len();
     drop(list);
 
-    let (wal_bytes, wal_files) = wal_footprint(&dir);
+    let (wal_bytes, wal_segments) = wal_footprint(&dir);
     let mut best_ms = f64::INFINITY;
     let mut report = None;
     for _ in 0..iters {
@@ -98,19 +117,36 @@ fn episode(total: u64, snapshot_every: Option<u64>, seed: u64, iters: usize) -> 
     std::fs::remove_dir_all(&dir).ok();
 
     let rep = report.unwrap();
-    let every = snapshot_every.map_or("none".into(), |e| e.to_string());
-    let base = rep.snapshot_seq.map_or("empty".into(), |s| s.to_string());
-    format!(
-        "{every:>14} {base:>12} {:>12} {:>10} {:>9} {best_ms:>11.2}",
-        rep.ops_replayed,
-        wal_bytes / 1024,
-        wal_files,
-    )
+    RecoveryPoint {
+        snapshot_every,
+        base_seq: rep.snapshot_seq,
+        ops_replayed: rep.ops_replayed,
+        wal_bytes,
+        wal_segments,
+        recover_ms: best_ms,
+    }
+}
+
+/// Serialise one episode for the `pim-recovery-bench/1` report.
+fn point_json(pt: &RecoveryPoint) -> Json {
+    Json::Obj(vec![
+        (
+            "snapshot_every".into(),
+            pt.snapshot_every.map_or(Json::Null, num),
+        ),
+        ("base_seq".into(), pt.base_seq.map_or(Json::Null, num)),
+        ("ops_replayed".into(), num(pt.ops_replayed)),
+        ("wal_bytes".into(), num(pt.wal_bytes)),
+        ("wal_segments".into(), num(pt.wal_segments as u64)),
+        ("recover_ms".into(), Json::Num(pt.recover_ms)),
+    ])
 }
 
 /// Print the recovery-time table: snapshot cadence vs WAL left to replay
-/// vs wall-clock recovery time, over one fixed op stream.
-pub fn run_recovery(quick: bool, seed: u64) {
+/// vs wall-clock recovery time, over one fixed op stream. With
+/// `json_out`, the episodes are also written as a `pim-recovery-bench/1`
+/// report (provenance header + one object per episode).
+pub fn run_recovery(quick: bool, seed: u64, json_out: Option<&str>) -> std::io::Result<()> {
     let total: u64 = if quick { 20_000 } else { 200_000 };
     let iters = if quick { 2 } else { 3 };
     let intervals = [None, Some(total / 4), Some(total / 16), Some(total / 64)];
@@ -119,9 +155,36 @@ pub fn run_recovery(quick: bool, seed: u64) {
         "{:>14} {:>12} {:>12} {:>10} {:>9} {:>11}",
         "snapshot_every", "base_seq", "ops_replayed", "wal_KiB", "segments", "recover_ms"
     );
+    let mut points = Vec::new();
     for every in intervals {
-        println!("{}", episode(total, every, seed, iters));
+        let pt = episode(total, every, seed, iters);
+        let every = pt.snapshot_every.map_or("none".into(), |e| e.to_string());
+        let base = pt.base_seq.map_or("empty".into(), |s| s.to_string());
+        println!(
+            "{every:>14} {base:>12} {:>12} {:>10} {:>9} {:>11.2}",
+            pt.ops_replayed,
+            pt.wal_bytes / 1024,
+            pt.wal_segments,
+            pt.recover_ms,
+        );
+        points.push(pt);
     }
     println!("(base_seq \"empty\": full-WAL replay, bit-identical tier; otherwise");
     println!(" newest-snapshot bulk load + suffix replay, logical-identity tier)");
+    if let Some(path) = json_out {
+        let report = Json::Obj(vec![
+            ("schema".into(), jstr("pim-recovery-bench/1")),
+            ("provenance".into(), crate::provenance::provenance_json()),
+            ("quick".into(), Json::Bool(quick)),
+            ("total_ops".into(), num(total)),
+            ("seed".into(), num(seed)),
+            (
+                "points".into(),
+                Json::Arr(points.iter().map(point_json).collect()),
+            ),
+        ]);
+        std::fs::write(path, report.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }

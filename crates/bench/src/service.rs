@@ -19,6 +19,7 @@
 use std::time::Instant;
 
 use pim_core::{Op, RangeFunc};
+use pim_runtime::export::{num, str as jstr, Json};
 use pim_service::{PimService, ServiceConfig};
 use pim_workloads::{ArrivalEvent, ArrivalGen, ArrivalOp, OpMix};
 
@@ -145,9 +146,30 @@ pub fn service_schedule(n: usize, seed: u64, rate: f64, ticks: u64) -> Vec<Arriv
         .schedule(ticks)
 }
 
+/// Serialise one sweep point for the `pim-service-bench/1` report.
+fn point_json(pt: &ServicePoint) -> Json {
+    let quants = |q: &[u64; 4]| Json::Arr(q.iter().map(|&v| num(v)).collect());
+    Json::Obj(vec![
+        ("max_batch".into(), num(pt.max_batch as u64)),
+        ("max_linger".into(), num(pt.max_linger)),
+        ("completed".into(), num(pt.completed)),
+        ("rejected".into(), num(pt.rejected)),
+        ("batches".into(), num(pt.batches)),
+        ("rounds".into(), num(pt.rounds)),
+        ("ops_per_round".into(), Json::Num(pt.ops_per_round)),
+        ("ops_per_sec".into(), Json::Num(pt.ops_per_sec)),
+        ("latency_ticks".into(), quants(&pt.latency_ticks)),
+        ("latency_rounds".into(), quants(&pt.latency_rounds)),
+        ("max_queue_depth".into(), num(pt.max_queue_depth)),
+        ("mean_occupancy".into(), Json::Num(pt.mean_occupancy)),
+    ])
+}
+
 /// SVC: run the policy sweep and print the table. `quick` shrinks sizes to
-/// CI scale.
-pub fn run_service(quick: bool, seed: u64) {
+/// CI scale. With `json_out`, the sweep is also written as a
+/// `pim-service-bench/1` report (provenance header + one object per
+/// point).
+pub fn run_service(quick: bool, seed: u64, json_out: Option<&str>) -> std::io::Result<()> {
     let (p, n, ticks) = if quick {
         (16, 4_000, 24)
     } else {
@@ -178,6 +200,7 @@ pub fn run_service(quick: bool, seed: u64) {
         "maxQ",
         "occ"
     );
+    let mut points = Vec::new();
     for &max_batch in &[small, large, 2 * large] {
         for &max_linger in &[1u64, 4, 16] {
             let pt = run_service_point(p, n, seed, &schedule, max_batch, max_linger);
@@ -202,20 +225,43 @@ pub fn run_service(quick: bool, seed: u64) {
                 pt.max_queue_depth,
                 pt.mean_occupancy,
             );
+            points.push(pt);
         }
     }
     println!("(ops/round and both latency columns are deterministic; ops/sec is the wall clock)");
+    if let Some(path) = json_out {
+        let report = Json::Obj(vec![
+            ("schema".into(), jstr("pim-service-bench/1")),
+            ("provenance".into(), crate::provenance::provenance_json()),
+            ("quick".into(), Json::Bool(quick)),
+            ("p".into(), num(u64::from(p))),
+            ("n".into(), num(n as u64)),
+            ("seed".into(), num(seed)),
+            ("ticks".into(), num(ticks)),
+            ("arrivals".into(), num(schedule.len() as u64)),
+            (
+                "points".into(),
+                Json::Arr(points.iter().map(point_json).collect()),
+            ),
+        ]);
+        std::fs::write(path, report.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
-/// SVC-TRACE: one instrumented service session — probe + round trace on,
-/// the mixed schedule through the service — exported as
-/// `DIR/trace.json` (Chrome trace-event) and `DIR/rounds.jsonl`. Every
-/// byte of both files is thread-count invariant; the CI determinism job
-/// compares them at `PIM_THREADS=1` vs `8`.
+/// SVC-TRACE: one instrumented service session — probe + round trace +
+/// telemetry on, the mixed schedule through the service — exported as
+/// `DIR/trace.json` (Chrome trace-event), `DIR/rounds.jsonl`,
+/// `DIR/events.jsonl` (request-lifecycle telemetry) and `DIR/metrics.prom`
+/// (Prometheus text exposition). Every byte of all four files is
+/// thread-count invariant; the CI determinism job compares them at
+/// `PIM_THREADS=1` vs `8`.
 pub fn service_trace_export(out_dir: &str, p: u32, n: usize, seed: u64) -> std::io::Result<()> {
     let (mut list, _keys) = build_loaded_list(p, n, seed);
     list.enable_tracing_with_cap(1 << 16);
     list.enable_probe();
+    list.enable_telemetry();
 
     let lg = u64::from(pim_runtime::ceil_log2(u64::from(p)));
     let large = (u64::from(p) * lg * lg) as usize;
@@ -235,6 +281,8 @@ pub fn service_trace_export(out_dir: &str, p: u32, n: usize, seed: u64) -> std::
 
     let mut list = svc.into_list();
     let report = list.take_probe().expect("probe was enabled");
+    let snapshot = list.telemetry_snapshot().expect("telemetry was enabled");
+    let telemetry = list.take_telemetry().expect("telemetry was enabled");
     let trace = list.take_trace();
     let bundle = pim_runtime::ExportBundle {
         p,
@@ -249,6 +297,11 @@ pub fn service_trace_export(out_dir: &str, p: u32, n: usize, seed: u64) -> std::
     std::fs::write(
         format!("{out_dir}/rounds.jsonl"),
         pim_runtime::rounds_jsonl(&bundle),
+    )?;
+    std::fs::write(format!("{out_dir}/events.jsonl"), telemetry.events_jsonl())?;
+    std::fs::write(
+        format!("{out_dir}/metrics.prom"),
+        snapshot.render_prometheus(),
     )?;
 
     println!("== Service trace: per-phase cost breakdown (P = {p}, n = {n}) ==");
@@ -270,7 +323,9 @@ pub fn service_trace_export(out_dir: &str, p: u32, n: usize, seed: u64) -> std::
             c.shared_mem_peak,
         );
     }
-    println!("wrote {out_dir}/trace.json and {out_dir}/rounds.jsonl");
+    println!(
+        "wrote {out_dir}/trace.json, {out_dir}/rounds.jsonl, {out_dir}/events.jsonl and {out_dir}/metrics.prom"
+    );
     Ok(())
 }
 

@@ -399,6 +399,7 @@ pub fn report_json(
     }
     Json::Obj(vec![
         ("schema".into(), jstr(SCHEMA)),
+        ("provenance".into(), crate::provenance::provenance_json()),
         ("quick".into(), Json::Bool(quick)),
         ("p".into(), num(u64::from(params.p))),
         ("n".into(), num(params.n as u64)),

@@ -132,6 +132,24 @@ pub struct RecoveryReport {
     pub used_manifest: bool,
 }
 
+/// Running I/O counters of the durability layer, for the telemetry
+/// registry and dashboards. All monotonic over the life of one
+/// `Durability` attachment (recovery re-attaches with fresh counters —
+/// the replayed history is the `RecoveryReport`'s story, not this one's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableStats {
+    /// WAL frames appended (one per committed coalescible run).
+    pub wal_frames: u64,
+    /// WAL payload bytes appended.
+    pub wal_bytes: u64,
+    /// fsync calls actually issued (deduplicated syncs don't count).
+    pub fsyncs: u64,
+    /// Snapshots written (automatic and manual).
+    pub snapshots: u64,
+    /// WAL segments deleted by snapshot compaction.
+    pub compacted_segments: u64,
+}
+
 /// Live durability state attached to a [`PimSkipList`].
 pub(crate) struct Durability {
     dir: PathBuf,
@@ -148,6 +166,7 @@ pub(crate) struct Durability {
     /// Live segment start seqs, ascending.
     segments: Vec<u64>,
     writer: WalWriter,
+    pub(crate) stats: DurableStats,
 }
 
 impl Durability {
@@ -181,6 +200,7 @@ impl Durability {
             snapshots: Vec::new(),
             segments: vec![0],
             writer,
+            stats: DurableStats::default(),
         };
         d.write_manifest()?;
         Ok(d)
@@ -199,7 +219,10 @@ impl Durability {
 
     /// Append one committed run and apply the fsync policy.
     fn append_run(&mut self, ops: &[Op]) -> PimResult<()> {
+        let bytes_before = self.writer.bytes;
         self.writer.append(self.seq, ops)?;
+        self.stats.wal_frames += 1;
+        self.stats.wal_bytes += self.writer.bytes - bytes_before;
         self.seq += ops.len() as u64;
         self.unsynced_ops += ops.len() as u64;
         match self.policy.fsync {
@@ -219,6 +242,7 @@ impl Durability {
     fn sync(&mut self) -> PimResult<()> {
         if self.synced_seq < self.seq {
             self.writer.sync()?;
+            self.stats.fsyncs += 1;
             self.synced_seq = self.seq;
             self.unsynced_ops = 0;
         }
@@ -258,6 +282,8 @@ impl Durability {
         for s in dropped_snaps {
             let _ = std::fs::remove_file(self.dir.join(snapshot_name(s)));
         }
+        self.stats.snapshots += 1;
+        self.stats.compacted_segments += dropped_segs.len() as u64;
         for s in dropped_segs {
             let _ = std::fs::remove_file(self.dir.join(segment_name(s)));
         }
@@ -306,6 +332,12 @@ impl PimSkipList {
     /// [`PimSkipList::durable_seq`] exactly when nothing is pending.
     pub fn durable_synced_seq(&self) -> Option<u64> {
         self.durable.as_deref().map(|d| d.synced_seq)
+    }
+
+    /// Running I/O counters of the durability layer (`None` when not
+    /// durable).
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.durable.as_deref().map(|d| d.stats)
     }
 
     /// Fsync pending WAL frames now (no-op without durability — callers
@@ -507,6 +539,7 @@ impl PimSkipList {
             snapshots: snaps,
             segments,
             writer,
+            stats: DurableStats::default(),
         };
         d.write_manifest()?;
         let report = RecoveryReport {

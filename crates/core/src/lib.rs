@@ -49,10 +49,11 @@ pub mod range;
 mod recover;
 mod scratch;
 pub mod tasks;
+mod telem;
 
 pub use batch::UpsertOutcome;
 pub use config::{Config, Key, Value, NEG_INF, POS_INF};
-pub use durable::{DurabilityPolicy, FsyncPolicy, RecoveryReport};
+pub use durable::{DurabilityPolicy, DurableStats, FsyncPolicy, RecoveryReport};
 pub use error::{PimError, PimResult};
 pub use list::PimSkipList;
 pub use op::{Op, OpKind, Reply};

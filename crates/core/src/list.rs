@@ -47,6 +47,10 @@ pub struct PimSkipList {
     /// [`PimSkipList::enable_durability`] was called — the hot path then
     /// pays exactly one `is_some` branch per committed run).
     pub(crate) durable: Option<Box<crate::durable::Durability>>,
+    /// Telemetry registry (`None` unless
+    /// [`PimSkipList::enable_telemetry`] was called — same one-branch
+    /// dark-mode contract as `durable`).
+    pub(crate) telemetry: Option<Box<crate::telem::CoreTelemetry>>,
 }
 
 impl PimSkipList {
@@ -75,6 +79,7 @@ impl PimSkipList {
             last_phase_contention: Vec::new(),
             scratch: crate::scratch::Scratch::default(),
             durable: None,
+            telemetry: None,
         }
     }
 

@@ -228,6 +228,11 @@ impl PimSkipList {
             }
             let run = &ops[start..end];
             self.last_phase_contention.clear();
+            let before = if self.telemetry.is_some() {
+                Some(self.sys.metrics())
+            } else {
+                None
+            };
             let out = self.execute_run(run)?;
             debug_assert_eq!(out.len(), run.len());
             if self.cfg.record_op_log {
@@ -238,6 +243,9 @@ impl PimSkipList {
                 // the same runs, so frame-by-frame recovery is the original
                 // execution (see `crate::durable`).
                 self.durable_record_run(run)?;
+            }
+            if let (Some(t), Some(before)) = (self.telemetry.as_deref_mut(), before) {
+                t.after_run(run[0].kind(), run.len() as u64, self.sys.metrics() - before);
             }
             phases.append(&mut self.last_phase_contention);
             replies.extend(out);

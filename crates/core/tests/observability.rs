@@ -71,6 +71,91 @@ fn observation_is_bit_identical_to_running_dark() {
 }
 
 #[test]
+fn telemetry_is_bit_identical_to_running_dark() {
+    let run = |telemetry: bool| {
+        let mut list = PimSkipList::new(Config::new(8, 1 << 10, 25));
+        if telemetry {
+            list.enable_telemetry();
+        }
+        list.enable_tracing();
+        workload(&mut list);
+        let metrics = list.metrics();
+        let items = list.collect_items();
+        let trace = list.take_trace();
+        let bundle = ExportBundle {
+            p: 8,
+            trace: &trace,
+            report: None,
+        };
+        (metrics, items, rounds_jsonl(&bundle))
+    };
+    let dark = run(false);
+    let lit = run(true);
+    assert_eq!(
+        dark, lit,
+        "telemetry on must not perturb metrics, contents, or the round trace"
+    );
+}
+
+#[test]
+fn telemetry_counters_reconcile_with_the_machine_metrics() {
+    let mut list = PimSkipList::new(Config::new(8, 1 << 10, 26));
+    // Bulk construction predates telemetry: only the unified execute path
+    // (every typed batch shims over it) publishes per-run deltas.
+    let base: Vec<(i64, u64)> = (0..400).map(|i| (i * 3, i as u64)).collect();
+    list.bulk_load(&base);
+    list.enable_telemetry();
+    let before = list.metrics();
+    let ups: Vec<(i64, u64)> = (0..80).map(|i| (i * 3 + 1, 7)).collect();
+    list.batch_upsert(&ups);
+    let gets: Vec<i64> = (0..60).map(|i| i * 5).collect();
+    list.batch_get(&gets);
+    list.batch_update(&[(3, 9), (6, 10)]);
+    let dels: Vec<i64> = (0..40).map(|i| i * 6).collect();
+    list.batch_delete(&dels);
+    list.batch_range(&[(0, 300), (100, 500)], RangeFunc::Sum);
+    list.batch_successor(&[5, 11, 250]);
+    let after = list.metrics();
+    let delta = after - before;
+    let snap = list.telemetry_snapshot().expect("telemetry was enabled");
+
+    assert_eq!(snap.counter("pim_rounds_total", &[]), Some(delta.rounds));
+    assert_eq!(snap.counter("pim_io_time_total", &[]), Some(delta.io_time));
+    assert_eq!(snap.counter("pim_time_total", &[]), Some(delta.pim_time));
+    assert_eq!(
+        snap.counter("pim_messages_total", &[]),
+        Some(delta.total_messages)
+    );
+    assert_eq!(
+        snap.counter("pim_work_total", &[]),
+        Some(delta.total_pim_work)
+    );
+    assert_eq!(
+        snap.counter("pim_cpu_work_total", &[]),
+        Some(delta.cpu_work)
+    );
+
+    // Per-op counters: the workload issues known batch sizes per family.
+    assert_eq!(snap.counter("pim_ops_total", &[("op", "get")]), Some(60));
+    assert_eq!(snap.counter("pim_ops_total", &[("op", "update")]), Some(2));
+    assert_eq!(snap.counter("pim_ops_total", &[("op", "upsert")]), Some(80));
+    assert_eq!(snap.counter("pim_ops_total", &[("op", "delete")]), Some(40));
+    assert_eq!(snap.counter("pim_ops_total", &[("op", "range")]), Some(2));
+    assert_eq!(
+        snap.counter("pim_ops_total", &[("op", "successor")]),
+        Some(3)
+    );
+
+    // The run-length histogram saw one observation per instrumented run.
+    let run_len = snap.histogram("pim_run_len", &[]).expect("run_len exists");
+    let runs = snap.counter("pim_runs_total", &[]).expect("runs exists");
+    assert_eq!(run_len.count(), runs);
+    assert!(runs >= 6, "each batch_* family is at least one run");
+    // 60 + 2 + 80 + 40 + 2 + 3 ops flowed through the instrumented runs.
+    assert_eq!(run_len.sum(), 187);
+}
+
+#[test]
 fn span_stats_sum_to_whole_run_metrics() {
     let mut list = PimSkipList::new(Config::new(8, 1 << 10, 22));
     let before = list.metrics();

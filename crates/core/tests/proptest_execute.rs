@@ -173,6 +173,43 @@ proptest! {
     }
 
     #[test]
+    fn telemetry_never_perturbs_mixed_streams(
+        seed in 0u64..1_000_000,
+        p in 1u32..9,
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut dark = PimSkipList::new(Config::new(p, 1 << 10, seed));
+        let mut lit = PimSkipList::new(Config::new(p, 1 << 10, seed));
+        lit.enable_telemetry();
+        let start = lit.metrics();
+
+        let dark_replies = dark.execute(&ops);
+        let lit_replies = lit.execute(&ops);
+
+        prop_assert_eq!(&dark_replies, &lit_replies,
+            "telemetry must not change any reply");
+        prop_assert_eq!(dark.collect_items(), lit.collect_items(),
+            "telemetry must not change the contents");
+        prop_assert_eq!(dark.metrics(), lit.metrics(),
+            "telemetry must not change the machine work");
+
+        // The registry accounted for exactly the stream it watched: per-op
+        // counters sum to the op count, per-run deltas to the metrics.
+        let delta = lit.metrics() - start;
+        let snap = lit.telemetry_snapshot().expect("telemetry was enabled");
+        let issued: u64 = ["get", "update", "upsert", "delete",
+                           "predecessor", "successor", "range"]
+            .iter()
+            .filter_map(|op| snap.counter("pim_ops_total", &[("op", op)]))
+            .sum();
+        prop_assert_eq!(issued, ops.len() as u64,
+            "per-op counters must sum to the stream length");
+        prop_assert_eq!(snap.counter("pim_rounds_total", &[]), Some(delta.rounds));
+        prop_assert_eq!(snap.counter("pim_messages_total", &[]),
+            Some(delta.total_messages));
+    }
+
+    #[test]
     fn execute_span_sums_conserve_over_mixed_streams(
         seed in 0u64..100_000,
         ops in prop::collection::vec(op_strategy(), 1..40),

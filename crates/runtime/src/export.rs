@@ -499,6 +499,21 @@ fn histogram_json(h: &crate::histogram::Histogram) -> Json {
         ("max".to_string(), num(h.max())),
         ("p50".to_string(), num(h.p50())),
         ("p95".to_string(), num(h.p95())),
+        ("p99".to_string(), num(h.p99())),
+        ("p999".to_string(), num(h.p999())),
+        (
+            "buckets".to_string(),
+            Json::Arr(
+                h.buckets()
+                    .map(|b| {
+                        Json::Obj(vec![
+                            ("le".to_string(), num(b.upper)),
+                            ("count".to_string(), num(b.count)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 

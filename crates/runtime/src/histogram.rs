@@ -129,6 +129,41 @@ impl Histogram {
     pub fn p999(&self) -> u64 {
         self.quantile(0.999)
     }
+
+    /// Iterate the non-empty buckets in increasing value order, so
+    /// exporters can dump the full distribution instead of a fixed
+    /// quantile list. Bucket 0 covers exactly the value 0; bucket `i ≥ 1`
+    /// covers `[2^(i-1), 2^i - 1]` (the top bucket's upper bound
+    /// saturates at `u64::MAX`).
+    pub fn buckets(&self) -> impl Iterator<Item = HistBucket> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| HistBucket {
+                lower: if i <= 1 { 0 } else { 1u64 << (i - 1) },
+                upper: if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                },
+                count: c,
+            })
+    }
+}
+
+/// One occupied histogram bucket: the closed value range it covers and
+/// how many observations landed in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Smallest value the bucket covers.
+    pub lower: u64,
+    /// Largest value the bucket covers (inclusive).
+    pub upper: u64,
+    /// Observations in the bucket.
+    pub count: u64,
 }
 
 /// Per-module streaming lanes: one histogram of per-round messages and one
@@ -251,6 +286,74 @@ mod tests {
         h.record(5);
         assert_eq!(h.p50(), 0);
         assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn bucket_iteration_covers_exact_boundaries() {
+        let mut h = Histogram::new();
+        // Exercise every boundary class: zero, the 1-bucket, an exact
+        // power of two (lands in the bucket it *opens*), and one below
+        // a power of two (lands in the bucket it *closes*).
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        h.record(7);
+        h.record(8);
+        let got: Vec<HistBucket> = h.buckets().collect();
+        assert_eq!(
+            got,
+            vec![
+                HistBucket {
+                    lower: 0,
+                    upper: 0,
+                    count: 1
+                },
+                HistBucket {
+                    lower: 0,
+                    upper: 1,
+                    count: 1
+                },
+                HistBucket {
+                    lower: 2,
+                    upper: 3,
+                    count: 2
+                },
+                HistBucket {
+                    lower: 4,
+                    upper: 7,
+                    count: 2
+                },
+                HistBucket {
+                    lower: 8,
+                    upper: 15,
+                    count: 1
+                },
+            ]
+        );
+        assert_eq!(got.iter().map(|b| b.count).sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn bucket_iteration_saturates_at_the_top() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        let got: Vec<HistBucket> = h.buckets().collect();
+        assert_eq!(
+            got,
+            vec![HistBucket {
+                lower: 1u64 << 63,
+                upper: u64::MAX,
+                count: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn bucket_iteration_of_empty_is_empty() {
+        assert_eq!(Histogram::new().buckets().count(), 0);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod pool;
 pub mod rng;
 pub mod span;
 pub mod system;
+pub mod telemetry;
 pub mod trace;
 
 pub use buffers::{BufferPool, RouteBuffer};
@@ -72,13 +73,14 @@ pub use crc::{crc32, Crc32};
 pub use export::{chrome_trace, rounds_jsonl, ExportBundle, Json};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use handle::{Arena, Handle, ModuleId};
-pub use histogram::{Histogram, ModuleLanes};
+pub use histogram::{HistBucket, Histogram, ModuleLanes};
 pub use metrics::{Metrics, SharedMem};
 pub use module::{ModuleCtx, PimModule};
 pub use pool::ExecConfig;
 pub use rng::Rng;
 pub use span::{ProbeReport, Span, SpanId};
 pub use system::{PimSystem, SpanGuard};
+pub use telemetry::{CounterId, GaugeId, HistId, Telemetry, TelemetryEvent, TelemetrySnapshot};
 pub use trace::{RoundTrace, Trace};
 
 /// `ceil(log2 x)` clamped to at least 1 — the convention used for batch

@@ -1,0 +1,523 @@
+//! Always-on metrics registry and request-lifecycle event log.
+//!
+//! The span/trace layer ([`crate::span`], [`crate::trace`]) answers
+//! *offline* questions — where did one instrumented run spend its cost.
+//! A server needs *continuous* observability: counters that accumulate
+//! across the whole process lifetime, gauges sampled every tick, latency
+//! histograms, and a structured log of per-request lifecycle events. This
+//! module is that layer, with the same two contracts as every other
+//! observer in the runtime:
+//!
+//! * **Deterministic in the tick/round domain.** Nothing here reads a
+//!   wall clock or iterates a hash map: metric identity is an ordered
+//!   `(name, labels)` list, events are stamped with the service tick and
+//!   machine round, and every rendered artifact
+//!   ([`TelemetrySnapshot::render_prometheus`],
+//!   [`Telemetry::events_jsonl`]) is byte-identical across
+//!   `PIM_THREADS` settings.
+//! * **Zero overhead when dark.** The registry is owned behind an
+//!   `Option` by whoever publishes into it; a structure that never
+//!   enabled telemetry pays exactly one `is_some` branch per batch.
+//!
+//! ## Registry shape
+//!
+//! Metrics are registered once — [`Telemetry::counter`],
+//! [`Telemetry::gauge`], [`Telemetry::histogram`] return stable integer
+//! handles, idempotently per `(name, labels)` — and updated through the
+//! handle at `O(1)` with no allocation. Histograms reuse the power-of-two
+//! [`Histogram`], so the Prometheus exposition's `le` boundaries are the
+//! same log2 buckets every other exporter in the workspace uses.
+//!
+//! The event log is bounded ([`Telemetry::with_max_events`]); overflow
+//! keeps the earliest events and counts the rest in `dropped_events`,
+//! which every exporter stamps (the same truncation-honesty rule as the
+//! round trace's `dropped_rounds`).
+
+use crate::export::{num, str as jstr, Json};
+use crate::histogram::Histogram;
+
+/// Handle to a registered monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (a sampled instantaneous value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// One named series: a metric name plus its ordered label set.
+#[derive(Debug, Clone)]
+struct Series<T> {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: T,
+}
+
+fn series_matches<T>(s: &Series<T>, name: &str, labels: &[(&str, &str)]) -> bool {
+    s.name == name
+        && s.labels.len() == labels.len()
+        && s.labels
+            .iter()
+            .zip(labels)
+            .all(|((k, v), (lk, lv))| k == lk && v == lv)
+}
+
+/// One structured lifecycle event, stamped in the deterministic clocks
+/// (service tick + machine round — never wall time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// Event kind (`"admit"`, `"coalesce"`, `"execute"`, `"reply"`,
+    /// `"ack"`, …).
+    pub kind: &'static str,
+    /// Service tick the event occurred on (0 outside a service).
+    pub tick: u64,
+    /// Machine round counter at the event.
+    pub round: u64,
+    /// Extra integer fields, e.g. `("id", request_id)`.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl TelemetryEvent {
+    /// Look up one extra field by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Default bound on the retained event log.
+pub const DEFAULT_MAX_EVENTS: usize = 1 << 20;
+
+/// The metrics registry + event log. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    counters: Vec<Series<u64>>,
+    gauges: Vec<Series<u64>>,
+    hists: Vec<Series<Histogram>>,
+    events: Vec<TelemetryEvent>,
+    max_events: usize,
+    dropped_events: u64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            events: Vec::new(),
+            max_events: DEFAULT_MAX_EVENTS,
+            dropped_events: 0,
+        }
+    }
+}
+
+impl Telemetry {
+    /// An empty registry with the default event cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the event-log bound (overflow is counted, not kept).
+    pub fn with_max_events(mut self, cap: usize) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    fn find_or_insert<T>(
+        all: &mut Vec<Series<T>>,
+        name: &str,
+        labels: &[(&str, &str)],
+        fresh: T,
+    ) -> usize {
+        if let Some(i) = all.iter().position(|s| series_matches(s, name, labels)) {
+            return i;
+        }
+        all.push(Series {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: fresh,
+        });
+        all.len() - 1
+    }
+
+    /// Register (or look up) the counter `name{labels}`.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
+        CounterId(Self::find_or_insert(&mut self.counters, name, labels, 0))
+    }
+
+    /// Register (or look up) the gauge `name{labels}`.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
+        GaugeId(Self::find_or_insert(&mut self.gauges, name, labels, 0))
+    }
+
+    /// Register (or look up) the histogram `name{labels}`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> HistId {
+        HistId(Self::find_or_insert(
+            &mut self.hists,
+            name,
+            labels,
+            Histogram::new(),
+        ))
+    }
+
+    /// Add `v` to a counter.
+    pub fn add(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0].value += v;
+    }
+
+    /// Publish an externally maintained monotonic total into a counter
+    /// (used by sources that keep their own running counts, e.g. the
+    /// durable layer's fsync total). Never moves the counter backwards.
+    pub fn store(&mut self, id: CounterId, total: u64) {
+        let c = &mut self.counters[id.0];
+        c.value = c.value.max(total);
+    }
+
+    /// Set a gauge to its current value.
+    pub fn set(&mut self, id: GaugeId, v: u64) {
+        self.gauges[id.0].value = v;
+    }
+
+    /// Record one observation into a histogram.
+    pub fn observe(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].value.record(v);
+    }
+
+    /// Current value of a counter (tests and dashboards).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0].value
+    }
+
+    /// The histogram behind a handle.
+    pub fn histogram_value(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0].value
+    }
+
+    /// Append one lifecycle event (dropped and counted past the cap).
+    pub fn emit(
+        &mut self,
+        kind: &'static str,
+        tick: u64,
+        round: u64,
+        fields: &[(&'static str, u64)],
+    ) {
+        if self.events.len() >= self.max_events {
+            self.dropped_events += 1;
+            return;
+        }
+        self.events.push(TelemetryEvent {
+            kind,
+            tick,
+            round,
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// The retained events, in emission order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Events lost to the cap.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Render the event log as JSONL: a `"type":"telemetry-header"` line
+    /// stamping the schema version and truncation, then one
+    /// `"type":"event"` line per retained event. Deterministic byte for
+    /// byte (only tick/round clocks, insertion-ordered fields).
+    pub fn events_jsonl(&self) -> String {
+        let header = Json::Obj(vec![
+            ("type".to_string(), jstr("telemetry-header")),
+            ("version".to_string(), num(1)),
+            ("events".to_string(), num(self.events.len() as u64)),
+            ("dropped_events".to_string(), num(self.dropped_events)),
+        ]);
+        let mut out = header.to_json();
+        out.push('\n');
+        for e in &self.events {
+            let mut fields = vec![
+                ("type".to_string(), jstr("event")),
+                ("kind".to_string(), jstr(e.kind)),
+                ("tick".to_string(), num(e.tick)),
+                ("round".to_string(), num(e.round)),
+            ];
+            fields.extend(e.fields.iter().map(|&(k, v)| (k.to_string(), num(v))));
+            out.push_str(&Json::Obj(fields).to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Freeze the registry into a render-ready snapshot (sorted by
+    /// `(name, labels)` so the exposition is independent of registration
+    /// order). The snapshot stamps the event-log truncation as its own
+    /// metric pair (`pim_telemetry_events` / `pim_telemetry_dropped_events`)
+    /// so a Prometheus scrape is as truncation-honest as the JSONL log.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut counters = self.counters.clone();
+        counters.push(Series {
+            name: "pim_telemetry_events".to_string(),
+            labels: Vec::new(),
+            value: self.events.len() as u64,
+        });
+        counters.push(Series {
+            name: "pim_telemetry_dropped_events".to_string(),
+            labels: Vec::new(),
+            value: self.dropped_events,
+        });
+        let mut gauges = self.gauges.clone();
+        let mut hists = self.hists.clone();
+        fn key<T>(s: &Series<T>) -> (String, Vec<(String, String)>) {
+            (s.name.clone(), s.labels.clone())
+        }
+        counters.sort_by_key(key);
+        gauges.sort_by_key(key);
+        hists.sort_by_key(key);
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            hists,
+        }
+    }
+}
+
+fn lookup<'a, T>(series: &'a [Series<T>], name: &str, labels: &[(&str, &str)]) -> Option<&'a T> {
+    series
+        .iter()
+        .find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+        .map(|s| &s.value)
+}
+
+/// A frozen, sorted view of the registry, ready to render.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    counters: Vec<Series<u64>>,
+    gauges: Vec<Series<u64>>,
+    hists: Vec<Series<Histogram>>,
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn write_type_once(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Value of the counter with exactly this name and label set.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        lookup(&self.counters, name, labels).copied()
+    }
+
+    /// Value of the gauge with exactly this name and label set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        lookup(&self.gauges, name, labels).copied()
+    }
+
+    /// The histogram with exactly this name and label set.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        lookup(&self.hists, name, labels)
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). File- or callback-based — no sockets: write the
+    /// returned string wherever a scraper can read it. Histograms render
+    /// as cumulative `_bucket{le=…}` series over the log2 bucket bounds,
+    /// plus `_sum` and `_count`. Deterministic byte for byte.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last = String::new();
+        for s in &self.counters {
+            write_type_once(&mut out, &mut last, &s.name, "counter");
+            out.push_str(&s.name);
+            write_labels(&mut out, &s.labels, None);
+            out.push_str(&format!(" {}\n", s.value));
+        }
+        for s in &self.gauges {
+            write_type_once(&mut out, &mut last, &s.name, "gauge");
+            out.push_str(&s.name);
+            write_labels(&mut out, &s.labels, None);
+            out.push_str(&format!(" {}\n", s.value));
+        }
+        for s in &self.hists {
+            write_type_once(&mut out, &mut last, &s.name, "histogram");
+            let mut cum = 0u64;
+            for b in s.value.buckets() {
+                cum += b.count;
+                out.push_str(&s.name);
+                out.push_str("_bucket");
+                write_labels(&mut out, &s.labels, Some(("le", &b.upper.to_string())));
+                out.push_str(&format!(" {cum}\n"));
+            }
+            out.push_str(&s.name);
+            out.push_str("_bucket");
+            write_labels(&mut out, &s.labels, Some(("le", "+Inf")));
+            out.push_str(&format!(" {}\n", s.value.count()));
+            out.push_str(&s.name);
+            out.push_str("_sum");
+            write_labels(&mut out, &s.labels, None);
+            out.push_str(&format!(" {}\n", s.value.sum()));
+            out.push_str(&s.name);
+            out.push_str("_count");
+            write_labels(&mut out, &s.labels, None);
+            out.push_str(&format!(" {}\n", s.value.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_handles_are_stable() {
+        let mut t = Telemetry::new();
+        let a = t.counter("pim_ops_total", &[("op", "get")]);
+        let b = t.counter("pim_ops_total", &[("op", "upsert")]);
+        let a2 = t.counter("pim_ops_total", &[("op", "get")]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        t.add(a, 3);
+        t.add(a2, 2);
+        t.add(b, 7);
+        assert_eq!(t.counter_value(a), 5);
+        assert_eq!(t.counter_value(b), 7);
+    }
+
+    #[test]
+    fn store_never_regresses_a_counter() {
+        let mut t = Telemetry::new();
+        let c = t.counter("pim_wal_fsyncs_total", &[]);
+        t.store(c, 9);
+        t.store(c, 4);
+        assert_eq!(t.counter_value(c), 9);
+    }
+
+    #[test]
+    fn gauges_and_histograms_update_through_handles() {
+        let mut t = Telemetry::new();
+        let g = t.gauge("pim_service_queue_depth", &[]);
+        let h = t.histogram("pim_service_latency_ticks", &[]);
+        t.set(g, 11);
+        t.set(g, 4);
+        t.observe(h, 3);
+        t.observe(h, 100);
+        assert_eq!(t.gauge_value(g), 4);
+        assert_eq!(t.histogram_value(h).count(), 2);
+        assert_eq!(t.histogram_value(h).max(), 100);
+    }
+
+    #[test]
+    fn event_log_caps_and_counts_drops() {
+        let mut t = Telemetry::new().with_max_events(2);
+        t.emit("admit", 1, 0, &[("id", 0)]);
+        t.emit("admit", 1, 0, &[("id", 1)]);
+        t.emit("admit", 2, 0, &[("id", 2)]);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped_events(), 1);
+        let log = t.events_jsonl();
+        let header: Vec<&str> = log.lines().collect();
+        assert_eq!(header.len(), 3);
+        assert!(header[0].contains("\"dropped_events\":1"));
+        assert!(header[1].contains("\"kind\":\"admit\""));
+        assert_eq!(t.events()[1].field("id"), Some(1));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_stamped() {
+        let mut t = Telemetry::new();
+        let b = t.counter("pim_zzz_total", &[]);
+        let a = t.counter("pim_aaa_total", &[("op", "get")]);
+        t.add(a, 1);
+        t.add(b, 2);
+        let h = t.histogram("pim_lat", &[]);
+        t.observe(h, 1);
+        t.observe(h, 5);
+        let text = t.snapshot().render_prometheus();
+        let aaa = text.find("pim_aaa_total{op=\"get\"} 1").unwrap();
+        let zzz = text.find("pim_zzz_total 2").unwrap();
+        assert!(aaa < zzz, "sorted by name");
+        assert!(text.contains("# TYPE pim_aaa_total counter"));
+        assert!(text.contains("pim_telemetry_dropped_events 0"));
+        assert!(text.contains("pim_lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("pim_lat_bucket{le=\"7\"} 2"));
+        assert!(text.contains("pim_lat_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("pim_lat_sum 6"));
+        assert!(text.contains("pim_lat_count 2"));
+    }
+
+    #[test]
+    fn snapshot_is_registration_order_independent() {
+        let mut x = Telemetry::new();
+        let xa = x.counter("pim_a", &[]);
+        let xb = x.counter("pim_b", &[]);
+        x.add(xa, 1);
+        x.add(xb, 2);
+        let mut y = Telemetry::new();
+        let yb = y.counter("pim_b", &[]);
+        let ya = y.counter("pim_a", &[]);
+        y.add(yb, 2);
+        y.add(ya, 1);
+        assert_eq!(
+            x.snapshot().render_prometheus(),
+            y.snapshot().render_prometheus()
+        );
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 use pim_core::{Op, OpKind, PimSkipList, Reply};
+use pim_runtime::telemetry::{CounterId, GaugeId, HistId};
 use pim_runtime::Histogram;
 
 /// When a [`Completion`] is released relative to durability.
@@ -204,6 +205,20 @@ pub struct ServiceStats {
     pub fsyncs: u64,
 }
 
+/// Pre-resolved registry handles for the service's series (all `Copy`,
+/// resolved once the fronted list's telemetry is lit — see
+/// [`PimService::sync_telemetry`]).
+#[derive(Debug, Clone, Copy)]
+struct ServiceTelem {
+    queue_depth: GaugeId,
+    rejected: CounterId,
+    fsyncs: CounterId,
+    occupancy: HistId,
+    latency_ticks: HistId,
+    latency_rounds: HistId,
+    ack_hold: HistId,
+}
+
 /// A pending request in the FIFO queue.
 #[derive(Debug, Clone)]
 struct Pending {
@@ -234,6 +249,9 @@ pub struct PimService {
     // durable stream position each needs synced (AfterFsync only; FIFO, so
     // release order is arrival order).
     held: std::collections::VecDeque<(u64, Completion)>,
+    // Registry handles, resolved lazily once the list's telemetry is lit
+    // (`None` while dark — the hot path then pays one `is_none` branch).
+    telem: Option<ServiceTelem>,
 }
 
 impl PimService {
@@ -256,7 +274,30 @@ impl PimService {
             ops: Vec::new(),
             slots: Vec::new(),
             held: std::collections::VecDeque::new(),
+            telem: None,
         }
+    }
+
+    /// Resolve the service's registry handles if the fronted list's
+    /// telemetry is lit (idempotent; no-op while dark). Called from
+    /// `submit`/`tick`, so enabling telemetry on the list at any point —
+    /// before or after construction of the service — just works.
+    fn sync_telemetry(&mut self) {
+        if self.telem.is_some() {
+            return;
+        }
+        let Some(reg) = self.list.telemetry_mut() else {
+            return;
+        };
+        self.telem = Some(ServiceTelem {
+            queue_depth: reg.gauge("pim_service_queue_depth", &[]),
+            rejected: reg.counter("pim_service_rejected_total", &[]),
+            fsyncs: reg.counter("pim_service_fsyncs_total", &[]),
+            occupancy: reg.histogram("pim_service_batch_occupancy", &[]),
+            latency_ticks: reg.histogram("pim_service_latency_ticks", &[]),
+            latency_rounds: reg.histogram("pim_service_latency_rounds", &[]),
+            ack_hold: reg.histogram("pim_service_ack_hold_ticks", &[]),
+        });
     }
 
     /// The current service tick.
@@ -302,18 +343,28 @@ impl PimService {
     /// [`Rejected::QueueFull`] when the queue is at
     /// [`ServiceConfig::max_queue`].
     pub fn submit(&mut self, op: Op) -> Result<RequestId, Rejected> {
+        self.sync_telemetry();
         if self.queue.len() >= self.cfg.max_queue {
             self.stats.rejected += 1;
+            if let (Some(th), Some(reg)) = (self.telem, self.list.telemetry_mut()) {
+                reg.add(th.rejected, 1);
+            }
             return Err(Rejected::QueueFull);
         }
         let id = self.next_id;
         self.next_id += 1;
         self.stats.submitted += 1;
+        let rounds_at_arrival = self.list.metrics().rounds;
+        if self.telem.is_some() {
+            if let Some(reg) = self.list.telemetry_mut() {
+                reg.emit("admit", self.now, rounds_at_arrival, &[("id", id)]);
+            }
+        }
         self.queue.push_back(Pending {
             id,
             op,
             arrival: self.now,
-            rounds_at_arrival: self.list.metrics().rounds,
+            rounds_at_arrival,
         });
         Ok(id)
     }
@@ -329,7 +380,11 @@ impl PimService {
     /// never panics.
     pub fn tick(&mut self) -> Vec<Completion> {
         self.now += 1;
+        self.sync_telemetry();
         self.stats.queue_depth.record(self.queue.len() as u64);
+        if let (Some(th), Some(reg)) = (self.telem, self.list.telemetry_mut()) {
+            reg.set(th.queue_depth, self.queue.len() as u64);
+        }
         let mut out = Vec::new();
         while self.should_dispatch() {
             out.extend(self.dispatch());
@@ -340,6 +395,7 @@ impl PimService {
                     .durable_sync()
                     .unwrap_or_else(|e| panic!("wal fsync: {e}"));
                 self.stats.fsyncs += 1;
+                self.note_fsync();
             }
             out.extend(self.release_ready());
         }
@@ -359,9 +415,20 @@ impl PimService {
                 .durable_sync()
                 .unwrap_or_else(|e| panic!("wal fsync: {e}"));
             self.stats.fsyncs += 1;
+            self.note_fsync();
             out.extend(self.release_ready());
         }
         out
+    }
+
+    /// Publish one service-driven fsync into the registry + event log.
+    fn note_fsync(&mut self) {
+        let synced = self.list.durable_synced_seq().unwrap_or(0);
+        let round = self.list.metrics().rounds;
+        if let (Some(th), Some(reg)) = (self.telem, self.list.telemetry_mut()) {
+            reg.add(th.fsyncs, 1);
+            reg.emit("fsync", self.now, round, &[("synced_seq", synced)]);
+        }
     }
 
     /// Completions executed but not yet acknowledged (awaiting a covering
@@ -391,6 +458,24 @@ impl PimService {
         self.stats.completed += 1;
         self.stats.latency_ticks.record(c.latency_ticks);
         self.stats.latency_rounds.record(c.latency_rounds);
+        let held_ticks = self.now.saturating_sub(c.dispatched);
+        let round = self.list.metrics().rounds;
+        if let (Some(th), Some(reg)) = (self.telem, self.list.telemetry_mut()) {
+            reg.observe(th.latency_ticks, c.latency_ticks);
+            reg.observe(th.latency_rounds, c.latency_rounds);
+            reg.observe(th.ack_hold, held_ticks);
+            reg.emit(
+                "ack",
+                self.now,
+                round,
+                &[
+                    ("id", c.id),
+                    ("held_ticks", held_ticks),
+                    ("latency_ticks", c.latency_ticks),
+                    ("latency_rounds", c.latency_rounds),
+                ],
+            );
+        }
         c
     }
 
@@ -412,6 +497,7 @@ impl PimService {
         let n = self.queue.len().min(self.cfg.max_batch);
         self.pend.clear();
         self.pend.extend(self.queue.drain(..n));
+        let batch = self.stats.batches;
         self.stats.batches += 1;
         self.stats.batch_occupancy.record(n as u64);
 
@@ -420,6 +506,24 @@ impl PimService {
         self.ops.clear();
         self.ops.extend(self.order.iter().map(|&i| self.pend[i].op));
         self.list.span_exit();
+        let rounds_before = self.list.metrics().rounds;
+        if let Some(th) = self.telem {
+            if let Some(reg) = self.list.telemetry_mut() {
+                reg.observe(th.occupancy, n as u64);
+                for (pos, &i) in self.order.iter().enumerate() {
+                    reg.emit(
+                        "coalesce",
+                        self.now,
+                        rounds_before,
+                        &[
+                            ("id", self.pend[i].id),
+                            ("batch", batch),
+                            ("pos", pos as u64),
+                        ],
+                    );
+                }
+            }
+        }
 
         self.list.span_enter("service/dispatch");
         let replies = self.list.execute(&self.ops);
@@ -427,6 +531,20 @@ impl PimService {
 
         self.list.span_enter("service/reply");
         let rounds_now = self.list.metrics().rounds;
+        if self.telem.is_some() {
+            if let Some(reg) = self.list.telemetry_mut() {
+                reg.emit(
+                    "execute",
+                    self.now,
+                    rounds_now,
+                    &[
+                        ("batch", batch),
+                        ("n", n as u64),
+                        ("rounds", rounds_now - rounds_before),
+                    ],
+                );
+            }
+        }
         self.slots.clear();
         self.slots.resize(n, None);
         for (&i, reply) in self.order.iter().zip(replies) {
@@ -436,6 +554,8 @@ impl PimService {
         // Everything this batch committed is durable once the WAL reaches
         // this stream position.
         let need = self.list.durable_seq().unwrap_or(0);
+        let th = self.telem;
+        let now = self.now;
         let mut out = Vec::with_capacity(if hold { 0 } else { n });
         for (p, reply) in self.pend.drain(..).zip(self.slots.drain(..)) {
             let latency_ticks = self.now.saturating_sub(p.arrival);
@@ -454,6 +574,22 @@ impl PimService {
                 self.stats.completed += 1;
                 self.stats.latency_ticks.record(latency_ticks);
                 self.stats.latency_rounds.record(latency_rounds);
+                if let Some(th) = th {
+                    if let Some(reg) = self.list.telemetry_mut() {
+                        reg.observe(th.latency_ticks, latency_ticks);
+                        reg.observe(th.latency_rounds, latency_rounds);
+                        reg.emit(
+                            "reply",
+                            now,
+                            rounds_now,
+                            &[
+                                ("id", c.id),
+                                ("latency_ticks", latency_ticks),
+                                ("latency_rounds", latency_rounds),
+                            ],
+                        );
+                    }
+                }
                 out.push(c);
             }
         }
@@ -731,6 +867,106 @@ mod tests {
         let list = svc.into_list();
         assert_eq!(list.durable_synced_seq(), list.durable_seq());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_traces_the_request_lifecycle() {
+        let mut list = small_list(30);
+        list.enable_telemetry();
+        let mut svc = PimService::new(list, ServiceConfig::new(2).with_max_linger(0));
+        svc.submit(Op::Upsert { key: 1, value: 10 }).unwrap();
+        svc.submit(Op::Get { key: 1 }).unwrap();
+        let done = svc.tick();
+        assert_eq!(done.len(), 2);
+        let reg = svc.list_mut().take_telemetry().unwrap();
+        let kinds: Vec<&str> = reg.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["admit", "admit", "coalesce", "coalesce", "execute", "reply", "reply"]
+        );
+        // Request 0 is traceable end to end by id.
+        let for_id0: Vec<&str> = reg
+            .events()
+            .iter()
+            .filter(|e| e.field("id") == Some(0))
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(for_id0, vec!["admit", "coalesce", "reply"]);
+        let exec = &reg.events()[4];
+        assert_eq!(exec.field("n"), Some(2));
+        assert!(exec.field("rounds").unwrap() > 0);
+        // The registry aggregates match the streaming stats.
+        let snap = reg.snapshot().render_prometheus();
+        assert!(snap.contains("pim_ops_total{op=\"get\"} 1"));
+        assert!(snap.contains("pim_ops_total{op=\"upsert\"} 1"));
+        assert!(snap.contains("pim_service_latency_ticks_count 2"));
+    }
+
+    #[test]
+    fn telemetry_ack_events_carry_the_durability_premium() {
+        use pim_core::{DurabilityPolicy, FsyncPolicy};
+        let dir = durable_dir("telem-ack");
+        let mut list = small_list(31);
+        list.enable_durability(
+            &dir,
+            DurabilityPolicy::default().with_fsync(FsyncPolicy::Manual),
+        )
+        .unwrap();
+        list.enable_telemetry();
+        let cfg = ServiceConfig::new(1)
+            .with_max_linger(0)
+            .with_ack_after_fsync(4);
+        let mut svc = PimService::new(list, cfg);
+        svc.submit(Op::Upsert { key: 1, value: 1 }).unwrap();
+        let mut done = Vec::new();
+        for _ in 0..4 {
+            done.extend(svc.tick());
+        }
+        assert_eq!(done.len(), 1);
+        let mut list = svc.into_list();
+        let snap = list.telemetry_snapshot().unwrap().render_prometheus();
+        assert!(snap.contains("pim_service_fsyncs_total 1"));
+        assert!(
+            snap.contains("pim_wal_fsyncs_total 1"),
+            "durable totals folded in"
+        );
+        assert!(snap.contains("pim_wal_frames_total 1"));
+        let reg = list.take_telemetry().unwrap();
+        let ack = reg.events().iter().find(|e| e.kind == "ack").unwrap();
+        assert_eq!(ack.field("id"), Some(0));
+        assert_eq!(
+            ack.field("held_ticks"),
+            Some(3),
+            "dispatched at 1, acked at 4"
+        );
+        assert_eq!(ack.field("latency_ticks"), Some(4));
+        assert!(reg.events().iter().any(|e| e.kind == "fsync"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_dark_service_behaves_identically() {
+        let run = |lit: bool| -> (Vec<Completion>, pim_runtime::Metrics) {
+            let mut list = small_list(32);
+            if lit {
+                list.enable_telemetry();
+            }
+            let mut svc = PimService::new(
+                list,
+                ServiceConfig::new(2).with_max_linger(1).with_max_queue(16),
+            );
+            for k in 0..10 {
+                svc.submit(Op::Upsert {
+                    key: k,
+                    value: k as u64,
+                })
+                .unwrap();
+            }
+            let mut done = svc.tick();
+            done.extend(svc.flush());
+            (done, svc.into_list().metrics())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Telemetry artifacts live in the tick/round domain, so the executor
+//! thread count must not move a single byte of them: the JSONL event log
+//! and the Prometheus snapshot rendered from the same service session are
+//! compared byte for byte across `PIM_THREADS` 1 and 8. CI enforces the
+//! same contract on the `experiments service --out` artifacts; this test
+//! enforces it in-process with forced forking (zero parallel thresholds).
+
+use std::sync::Mutex;
+
+use pim_core::{Config, Op, PimSkipList, RangeFunc};
+use pim_runtime::pool::{self, ExecConfig};
+use pim_service::{PimService, ServiceConfig};
+
+/// The pool configuration is process-global; serialise the ladder steps.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic mixed op stream (splitmix64 of the op index).
+fn op_at(i: u64) -> Op {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let key = (x % 4096) as i64;
+    match (x >> 8) % 8 {
+        0..=2 => Op::Upsert {
+            key,
+            value: x >> 16,
+        },
+        3..=4 => Op::Get { key },
+        5 => Op::Delete { key },
+        6 => Op::Successor { key },
+        _ => Op::Range {
+            lo: key,
+            hi: key + 64,
+            func: RangeFunc::Sum,
+        },
+    }
+}
+
+/// One telemetry-lit service session: open-loop arrivals (0–3 per tick),
+/// coalescing with a short linger. Returns the two serialised artifacts.
+fn artifacts(seed: u64) -> (String, String) {
+    let pairs: Vec<(i64, u64)> = (0..800).map(|i| (i * 5, i as u64)).collect();
+    let mut list = PimSkipList::new(Config::new(8, 1 << 12, seed));
+    list.bulk_load(&pairs);
+    list.enable_telemetry();
+    let cfg = ServiceConfig::for_list(&list)
+        .with_max_linger(2)
+        .with_max_queue(1 << 12);
+    let mut svc = PimService::new(list, cfg);
+
+    let mut i = 0u64;
+    for tick in 0..400u64 {
+        for _ in 0..(tick % 4) {
+            svc.submit(op_at(i)).expect("queue sized for the stream");
+            i += 1;
+        }
+        svc.tick();
+    }
+    svc.flush();
+
+    let mut list = svc.into_list();
+    let prom = list
+        .telemetry_snapshot()
+        .expect("telemetry was enabled")
+        .render_prometheus();
+    let events = list
+        .take_telemetry()
+        .expect("telemetry was enabled")
+        .events_jsonl();
+    (events, prom)
+}
+
+fn artifacts_at(threads: usize, seed: u64) -> (String, String) {
+    pool::configure(ExecConfig {
+        threads,
+        // Zero thresholds force real forking even on test-sized batches.
+        par_threshold: 0,
+        sort_threshold: 0,
+    });
+    let out = artifacts(seed);
+    pool::configure(ExecConfig::from_env());
+    out
+}
+
+#[test]
+fn telemetry_artifacts_are_byte_identical_across_thread_counts() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let (events_1, prom_1) = artifacts_at(1, 0xBEEF);
+    let (events_8, prom_8) = artifacts_at(8, 0xBEEF);
+    assert_eq!(events_1, events_8, "event log must not see the executor");
+    assert_eq!(prom_1, prom_8, "snapshot must not see the executor");
+    // Sanity: the session actually produced a full lifecycle worth of
+    // events and a populated exposition.
+    for kind in ["\"admit\"", "\"coalesce\"", "\"execute\"", "\"reply\""] {
+        assert!(events_1.contains(kind), "event log must carry {kind}");
+    }
+    assert!(prom_1.contains("pim_service_latency_ticks_bucket"));
+    assert!(prom_1.contains("pim_ops_total{op=\"get\"}"));
+}

@@ -1,0 +1,136 @@
+//! `pim-top`: a terminal live view over the telemetry event JSONL log.
+//!
+//! ```text
+//! pim-top <events.jsonl> [--rounds <rounds.jsonl>] [--fps N] [--follow] [--final]
+//! ```
+//!
+//! By default the log is *replayed*: the dashboard animates tick by tick
+//! at `--fps` frames per second (default 20), exactly as the service
+//! experienced it. `--follow` instead polls the file for growth and
+//! always renders the newest frame — point it at the events log of a
+//! running workload to watch it live. `--final` skips the animation and
+//! prints the last frame once (what `pim-trace top` does).
+//!
+//! Exit codes: 0 ok, 2 usage or IO error.
+
+use std::process::ExitCode;
+
+use pim_trace_cli::{parse_events_jsonl, parse_jsonl, render_top, EventsDoc, TraceDoc};
+
+const USAGE: &str =
+    "usage: pim-top <events.jsonl> [--rounds <rounds.jsonl>] [--fps N] [--follow] [--final]";
+
+/// Clear the screen and move the cursor home (ANSI; every terminal the
+/// workspace targets understands it).
+const CLEAR: &str = "\x1b[2J\x1b[H";
+
+struct Args {
+    events: String,
+    rounds: Option<String>,
+    fps: u64,
+    follow: bool,
+    final_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut events = None;
+    let mut rounds = None;
+    let mut fps = 20u64;
+    let mut follow = false;
+    let mut final_only = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rounds" => rounds = Some(it.next().ok_or("--rounds needs a path")?),
+            "--fps" => {
+                fps = it
+                    .next()
+                    .ok_or("--fps needs a number")?
+                    .parse()
+                    .map_err(|_| "--fps needs a number")?;
+                if fps == 0 {
+                    return Err("--fps must be at least 1".into());
+                }
+            }
+            "--follow" => follow = true,
+            "--final" => final_only = true,
+            _ if events.is_none() => events = Some(a),
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        events: events.ok_or(USAGE)?,
+        rounds,
+        fps,
+        follow,
+        final_only,
+    })
+}
+
+fn load_docs(args: &Args) -> Result<(EventsDoc, Option<TraceDoc>), String> {
+    let text =
+        std::fs::read_to_string(&args.events).map_err(|e| format!("{}: {e}", args.events))?;
+    let events = parse_events_jsonl(&text).map_err(|e| format!("{}: {e}", args.events))?;
+    let rounds = match &args.rounds {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    Ok((events, rounds))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let frame = std::time::Duration::from_millis(1000 / args.fps);
+
+    if args.follow {
+        // Live mode: poll the file and always show the newest frame. The
+        // log is append-only, so a partial last line simply fails to parse
+        // and we keep the previous frame until the writer finishes it.
+        let mut last = String::new();
+        loop {
+            if let Ok((events, rounds)) = load_docs(&args) {
+                let view = render_top(&events, rounds.as_ref(), None);
+                if view != last {
+                    print!("{CLEAR}{view}");
+                    use std::io::Write as _;
+                    std::io::stdout().flush().ok();
+                    last = view;
+                }
+            }
+            std::thread::sleep(frame);
+        }
+    }
+
+    let (events, rounds) = load_docs(&args)?;
+    if args.final_only {
+        print!("{}", render_top(&events, rounds.as_ref(), None));
+        return Ok(());
+    }
+    let last_tick = events.events.iter().map(|e| e.tick).max().unwrap_or(0);
+    for tick in 0..=last_tick {
+        print!(
+            "{CLEAR}{}",
+            render_top(&events, rounds.as_ref(), Some(tick))
+        );
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        if tick < last_tick {
+            std::thread::sleep(frame);
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

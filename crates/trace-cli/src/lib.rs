@@ -277,8 +277,11 @@ pub fn parse_jsonl(input: &str) -> Result<TraceDoc, String> {
 }
 
 /// Schema-check a Chrome trace-event export: one JSON object with a
-/// `traceEvents` array whose entries all carry `ph`, plus `otherData.p`.
-pub fn validate_chrome(input: &str) -> Result<(), String> {
+/// `traceEvents` array whose entries all carry `ph`, plus `otherData.p`
+/// and `otherData.dropped_rounds` (every exporter stamps its truncation).
+/// `Ok(Some(_))` is the incompleteness warning when rounds were dropped —
+/// same contract as [`completeness_warning`] for the JSONL log.
+pub fn validate_chrome(input: &str) -> Result<Option<String>, String> {
     let v = parse(input)?;
     let events = v
         .get("traceEvents")
@@ -296,10 +299,206 @@ pub fn validate_chrome(input: &str) -> Result<(), String> {
             return Err(format!("event #{i}: complete event without ts/dur"));
         }
     }
-    v.get("otherData")
-        .and_then(|o| o.get("p"))
+    let other = v.get("otherData").ok_or("missing otherData")?;
+    other
+        .get("p")
         .and_then(Json::as_u64)
         .ok_or("missing otherData.p")?;
+    let dropped = other
+        .get("dropped_rounds")
+        .and_then(Json::as_u64)
+        .ok_or("missing otherData.dropped_rounds (exporters must stamp truncation)")?;
+    Ok((dropped > 0)
+        .then(|| format!("incomplete trace: {dropped} round(s) evicted by the ring-buffer cap")))
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry artefacts: the lifecycle event log and the Prometheus snapshot.
+// ---------------------------------------------------------------------------
+
+/// One lifecycle event from the telemetry JSONL log.
+#[derive(Debug, Clone)]
+pub struct EventRow {
+    /// Event kind (`"admit"`, `"coalesce"`, `"execute"`, `"reply"`,
+    /// `"ack"`, `"fsync"`, …).
+    pub kind: String,
+    /// Service tick the event occurred on.
+    pub tick: u64,
+    /// Machine round counter at the event.
+    pub round: u64,
+    /// Extra integer fields (`id`, `latency_ticks`, …).
+    pub fields: Vec<(String, u64)>,
+}
+
+impl EventRow {
+    /// Look up one extra field by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+}
+
+/// A parsed telemetry event log.
+#[derive(Debug, Clone)]
+pub struct EventsDoc {
+    /// Events lost to the exporter's cap.
+    pub dropped_events: u64,
+    /// The retained events, in emission order.
+    pub events: Vec<EventRow>,
+}
+
+/// Warning text when the event log is truncated (`None` when complete) —
+/// the telemetry counterpart of [`completeness_warning`].
+pub fn events_completeness_warning(doc: &EventsDoc) -> Option<String> {
+    (doc.dropped_events > 0).then(|| {
+        format!(
+            "incomplete event log: {} event(s) dropped by the cap ({} recorded)",
+            doc.dropped_events,
+            doc.events.len()
+        )
+    })
+}
+
+/// Parse a telemetry event JSONL log (`Telemetry::events_jsonl` output):
+/// a `"type":"telemetry-header"` line, then one `"type":"event"` line per
+/// event. This is also the schema check behind `pim-trace validate`.
+pub fn parse_events_jsonl(input: &str) -> Result<EventsDoc, String> {
+    let mut lines = input.lines().enumerate().filter(|(_, l)| !l.is_empty());
+    let (_, first) = lines.next().ok_or("empty input")?;
+    let header = parse(first).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("telemetry-header") {
+        return Err("line 1: expected a \"type\":\"telemetry-header\" object".into());
+    }
+    let version = req_u64(&header, "version", "header")?;
+    if version != 1 {
+        return Err(format!("header: unsupported version {version}"));
+    }
+    let expected = req_u64(&header, "events", "header")?;
+    let dropped_events = req_u64(&header, "dropped_events", "header")?;
+    let mut events = Vec::new();
+    for (lineno, line) in lines {
+        let what = format!("line {}", lineno + 1);
+        let v = parse(line).map_err(|e| format!("{what}: {e}"))?;
+        if v.get("type").and_then(Json::as_str) != Some("event") {
+            return Err(format!("{what}: expected a \"type\":\"event\" object"));
+        }
+        let obj = match &v {
+            Json::Obj(pairs) => pairs,
+            _ => return Err(format!("{what}: not an object")),
+        };
+        let mut fields = Vec::new();
+        for (k, val) in obj {
+            if matches!(k.as_str(), "type" | "kind" | "tick" | "round") {
+                continue;
+            }
+            let n = val
+                .as_u64()
+                .ok_or_else(|| format!("{what}: non-integer field {k:?}"))?;
+            fields.push((k.clone(), n));
+        }
+        events.push(EventRow {
+            kind: req_str(&v, "kind", &what)?,
+            tick: req_u64(&v, "tick", &what)?,
+            round: req_u64(&v, "round", &what)?,
+            fields,
+        });
+    }
+    if events.len() as u64 != expected {
+        return Err(format!(
+            "header says events = {expected} but {} event lines follow",
+            events.len()
+        ));
+    }
+    Ok(EventsDoc {
+        dropped_events,
+        events,
+    })
+}
+
+/// Schema-check a Prometheus text exposition
+/// (`TelemetrySnapshot::render_prometheus` output): every sample belongs
+/// to a `# TYPE`-declared metric of a known kind, values are integers,
+/// and every histogram carries its `le="+Inf"` bucket agreeing with its
+/// `_count`.
+pub fn validate_prometheus(input: &str) -> Result<(), String> {
+    // (name, kind) in declaration order.
+    let mut declared: Vec<(String, String)> = Vec::new();
+    // Histogram bookkeeping: name -> (inf_bucket, count, last_cumulative).
+    let mut hist: Vec<(String, Option<u64>, Option<u64>, u64)> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let what = format!("line {}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| format!("{what}: TYPE without name"))?;
+            let kind = it
+                .next()
+                .ok_or_else(|| format!("{what}: TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("{what}: unknown metric kind {kind:?}"));
+            }
+            declared.push((name.to_string(), kind.to_string()));
+            if kind == "histogram" {
+                hist.push((name.to_string(), None, None, 0));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal exposition
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("{what}: sample without value"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("{what}: non-integer sample value {value:?}"))?;
+        let base = series.split('{').next().unwrap_or(series);
+        let owner = declared.iter().find(|(n, kind)| {
+            base == n
+                || (kind == "histogram"
+                    && [
+                        format!("{n}_bucket"),
+                        format!("{n}_sum"),
+                        format!("{n}_count"),
+                    ]
+                    .contains(&base.to_string()))
+        });
+        let Some((name, kind)) = owner else {
+            return Err(format!("{what}: sample {base:?} has no # TYPE declaration"));
+        };
+        if kind == "histogram" {
+            let h = hist
+                .iter_mut()
+                .find(|(n, ..)| n == name)
+                .expect("declared histogram tracked");
+            if base.ends_with("_bucket") {
+                if h.3 > value {
+                    return Err(format!("{what}: non-cumulative histogram bucket"));
+                }
+                h.3 = value;
+                if series.contains("le=\"+Inf\"") {
+                    h.1 = Some(value);
+                }
+            } else if base.ends_with("_count") {
+                h.2 = Some(value);
+            }
+        }
+    }
+    for (name, inf, count, _) in &hist {
+        let inf = inf.ok_or_else(|| format!("histogram {name:?}: missing le=\"+Inf\" bucket"))?;
+        let count = count.ok_or_else(|| format!("histogram {name:?}: missing _count sample"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {name:?}: +Inf bucket {inf} != count {count}"
+            ));
+        }
+    }
+    if declared.is_empty() {
+        return Err("no # TYPE declarations (not a Prometheus exposition)".into());
+    }
     Ok(())
 }
 
@@ -519,6 +718,148 @@ pub fn render_heatmap(doc: &TraceDoc) -> String {
     out
 }
 
+/// Exact `q`-quantile of a sorted sample (rank `ceil(q·n)`; 0 when empty).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The `pim-top` dashboard over a telemetry event log: request counts,
+/// throughput, queue-depth sparkline, exact latency quantiles, and (when
+/// a round log is supplied) per-module heat. `up_to` limits the view to
+/// events at or before that tick — the replay knob `pim-top` animates.
+pub fn render_top(doc: &EventsDoc, rounds: Option<&TraceDoc>, up_to: Option<u64>) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    const COLS: usize = 48;
+    let last_tick = doc.events.iter().map(|e| e.tick).max().unwrap_or(0);
+    let now = up_to.unwrap_or(last_tick).min(last_tick);
+    let view: Vec<&EventRow> = doc.events.iter().filter(|e| e.tick <= now).collect();
+
+    let admitted = view.iter().filter(|e| e.kind == "admit").count() as u64;
+    let dispatched = view.iter().filter(|e| e.kind == "coalesce").count() as u64;
+    let completed = view
+        .iter()
+        .filter(|e| e.kind == "reply" || e.kind == "ack")
+        .count() as u64;
+    let batches = view.iter().filter(|e| e.kind == "execute").count() as u64;
+    let batch_ops: u64 = view
+        .iter()
+        .filter(|e| e.kind == "execute")
+        .filter_map(|e| e.field("n"))
+        .sum();
+    let machine_rounds: u64 = view
+        .iter()
+        .filter(|e| e.kind == "execute")
+        .filter_map(|e| e.field("rounds"))
+        .sum();
+
+    let mut lat: Vec<u64> = view
+        .iter()
+        .filter(|e| e.kind == "reply" || e.kind == "ack")
+        .filter_map(|e| e.field("latency_ticks"))
+        .collect();
+    lat.sort_unstable();
+
+    // Queue depth at each tick = admissions so far − dispatches so far.
+    let mut depth_at = vec![0i64; now as usize + 1];
+    for e in &view {
+        let d = match e.kind.as_str() {
+            "admit" => 1,
+            "coalesce" => -1,
+            _ => continue,
+        };
+        depth_at[e.tick as usize] += d;
+    }
+    let mut depth = Vec::with_capacity(depth_at.len());
+    let mut acc = 0i64;
+    for d in depth_at {
+        acc += d;
+        depth.push(acc.max(0) as u64);
+    }
+    let peak = depth.iter().copied().max().unwrap_or(0);
+    let current = depth.last().copied().unwrap_or(0);
+    let window = &depth[depth.len().saturating_sub(COLS)..];
+    let spark: String = window
+        .iter()
+        .map(|&v| {
+            let shade = if v == 0 || peak == 0 {
+                0
+            } else {
+                1 + (v - 1) as usize * (SHADES.len() - 2) / peak as usize
+            };
+            SHADES[shade.min(SHADES.len() - 1)] as char
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pim-top — tick {now}/{last_tick}  ({} events{}{})\n",
+        view.len(),
+        if doc.dropped_events > 0 {
+            ", DROPPED "
+        } else {
+            ""
+        },
+        if doc.dropped_events > 0 {
+            doc.dropped_events.to_string()
+        } else {
+            String::new()
+        },
+    ));
+    out.push_str(&format!(
+        "requests   admitted {admitted}  dispatched {dispatched}  completed {completed}  in-flight {}\n",
+        admitted.saturating_sub(completed)
+    ));
+    let per_tick = |n: u64| -> String {
+        if now == 0 {
+            "-".into()
+        } else {
+            format!("{:.2}", n as f64 / now as f64)
+        }
+    };
+    out.push_str(&format!(
+        "throughput {} req/tick  batches {batches}  mean occupancy {}  machine rounds {machine_rounds}\n",
+        per_tick(completed),
+        if batches == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}", batch_ops as f64 / batches as f64)
+        },
+    ));
+    out.push_str(&format!(
+        "latency    p50 {}  p99 {}  p999 {}  max {} ticks  ({} samples, exact)\n",
+        exact_quantile(&lat, 0.50),
+        exact_quantile(&lat, 0.99),
+        exact_quantile(&lat, 0.999),
+        lat.last().copied().unwrap_or(0),
+        lat.len()
+    ));
+    out.push_str(&format!(
+        "queue      |{spark}|  now {current}  peak {peak}\n"
+    ));
+    if let Some(r) = rounds {
+        let mut sums = vec![0u64; r.p as usize];
+        for round in &r.rounds {
+            for (m, &v) in round.per_module.iter().enumerate().take(sums.len()) {
+                sums[m] += v;
+            }
+        }
+        let hottest = sums.iter().copied().max().unwrap_or(0).max(1);
+        out.push_str(&format!(
+            "module heat (messages over {} recorded rounds)\n",
+            r.rounds.len()
+        ));
+        for (m, &s) in sums.iter().enumerate() {
+            let bar = "#".repeat(((s * 32).div_ceil(hottest)) as usize);
+            out.push_str(&format!("  m{m:<3} {bar:<32} {s}\n"));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,9 +947,112 @@ mod tests {
 
     #[test]
     fn chrome_validation() {
-        assert!(validate_chrome(r#"{"traceEvents":[{"ph":"M"}],"otherData":{"p":4}}"#).is_ok());
+        let ok = r#"{"traceEvents":[{"ph":"M"}],"otherData":{"p":4,"dropped_rounds":0}}"#;
+        assert_eq!(validate_chrome(ok), Ok(None));
+        let lossy = r#"{"traceEvents":[{"ph":"M"}],"otherData":{"p":4,"dropped_rounds":3}}"#;
+        let warning = validate_chrome(lossy).unwrap().expect("lossy must warn");
+        assert!(warning.contains("3 round(s)"));
+        // An unstamped exporter is a schema error, not a silent pass.
+        let unstamped = r#"{"traceEvents":[{"ph":"M"}],"otherData":{"p":4}}"#;
+        assert!(validate_chrome(unstamped)
+            .unwrap_err()
+            .contains("dropped_rounds"));
         assert!(validate_chrome(r#"{"traceEvents":[{"ph":"Q"}],"otherData":{"p":4}}"#).is_err());
         assert!(validate_chrome(r#"{"traceEvents":[]}"#).is_err());
         assert!(validate_chrome("not json").is_err());
+    }
+
+    fn sample_events() -> String {
+        concat!(
+            r#"{"type":"telemetry-header","version":1,"events":6,"dropped_events":0}"#,
+            "\n",
+            r#"{"type":"event","kind":"admit","tick":1,"round":0,"id":0}"#,
+            "\n",
+            r#"{"type":"event","kind":"admit","tick":1,"round":0,"id":1}"#,
+            "\n",
+            r#"{"type":"event","kind":"coalesce","tick":2,"round":0,"id":0,"batch":0,"pos":0}"#,
+            "\n",
+            r#"{"type":"event","kind":"coalesce","tick":2,"round":0,"id":1,"batch":0,"pos":1}"#,
+            "\n",
+            r#"{"type":"event","kind":"execute","tick":2,"round":9,"batch":0,"n":2,"rounds":9}"#,
+            "\n",
+            r#"{"type":"event","kind":"reply","tick":2,"round":9,"id":0,"latency_ticks":1,"latency_rounds":9}"#,
+            "\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn parses_event_log() {
+        let doc = parse_events_jsonl(&sample_events()).unwrap();
+        assert_eq!(doc.events.len(), 6);
+        assert_eq!(doc.dropped_events, 0);
+        assert_eq!(doc.events[0].kind, "admit");
+        assert_eq!(doc.events[4].field("n"), Some(2));
+        assert_eq!(events_completeness_warning(&doc), None);
+        let lossy = sample_events().replace("\"dropped_events\":0", "\"dropped_events\":5");
+        let doc = parse_events_jsonl(&lossy).unwrap();
+        assert!(events_completeness_warning(&doc)
+            .unwrap()
+            .contains("5 event(s)"));
+    }
+
+    #[test]
+    fn rejects_bad_event_logs() {
+        assert!(parse_events_jsonl("").is_err());
+        // Count mismatch with the header.
+        let short: String = sample_events()
+            .lines()
+            .take(3)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(parse_events_jsonl(&short).is_err());
+        // Round logs are not event logs.
+        assert!(parse_events_jsonl(&sample_jsonl()).is_err());
+    }
+
+    #[test]
+    fn prometheus_validation() {
+        let good = concat!(
+            "# TYPE pim_ops_total counter\n",
+            "pim_ops_total{op=\"get\"} 3\n",
+            "pim_ops_total{op=\"upsert\"} 2\n",
+            "# TYPE pim_lat histogram\n",
+            "pim_lat_bucket{le=\"1\"} 1\n",
+            "pim_lat_bucket{le=\"+Inf\"} 2\n",
+            "pim_lat_sum 6\n",
+            "pim_lat_count 2\n",
+        );
+        assert_eq!(validate_prometheus(good), Ok(()));
+        assert!(validate_prometheus("pim_undeclared 1\n").is_err());
+        assert!(validate_prometheus("").is_err());
+        let no_inf = "# TYPE pim_lat histogram\npim_lat_bucket{le=\"1\"} 1\npim_lat_sum 1\npim_lat_count 1\n";
+        assert!(validate_prometheus(no_inf).unwrap_err().contains("+Inf"));
+        let mismatch = good.replace("pim_lat_count 2", "pim_lat_count 3");
+        assert!(validate_prometheus(&mismatch)
+            .unwrap_err()
+            .contains("!= count"));
+    }
+
+    #[test]
+    fn top_renders_the_dashboard() {
+        let doc = parse_events_jsonl(&sample_events()).unwrap();
+        let out = render_top(&doc, None, None);
+        assert!(out.contains("admitted 2"));
+        assert!(out.contains("completed 1"));
+        assert!(out.contains("in-flight 1"));
+        assert!(out.contains("batches 1"));
+        assert!(out.contains("p50 1"));
+        assert!(out.contains("machine rounds 9"));
+        // Replay knob: before the dispatch tick both requests are queued.
+        let early = render_top(&doc, None, Some(1));
+        assert!(early.contains("admitted 2"));
+        assert!(early.contains("completed 0"));
+        assert!(early.contains("now 2"), "queue depth 2 at tick 1: {early}");
+        // Module heat appears when a round log is supplied.
+        let rounds = parse_jsonl(&sample_jsonl()).unwrap();
+        let with_heat = render_top(&doc, Some(&rounds), None);
+        assert!(with_heat.contains("module heat"));
+        assert!(with_heat.contains("m1"));
     }
 }

@@ -5,23 +5,28 @@
 //! pim-trace hprofile <rounds.jsonl>    distribution of per-round h
 //! pim-trace heatmap <rounds.jsonl>     module-imbalance heatmap
 //! pim-trace all     <rounds.jsonl>     all of the above
-//! pim-trace validate [--strict] <file>...   schema-check exports (JSONL or Chrome JSON)
+//! pim-trace top     <events.jsonl> [rounds.jsonl]   telemetry dashboard (final frame)
+//! pim-trace validate [--strict] <file>...   schema-check exports
 //! ```
 //!
-//! `validate` also warns when a JSONL trace is *incomplete* (its header
-//! reports `dropped_rounds > 0` — rounds evicted by the capped ring
-//! buffer); with `--strict` an incomplete trace fails validation.
+//! `validate` auto-detects the artefact format: Chrome trace JSON, the
+//! JSONL round log, the telemetry event JSONL log, or a Prometheus text
+//! exposition. It warns when a trace or event log is *incomplete*
+//! (`dropped_rounds` / `dropped_events` > 0 — entries evicted by a cap);
+//! with `--strict` an incomplete artefact fails validation.
 //!
 //! Exit codes: 0 ok, 1 validation failure, 2 usage or IO error.
 
 use std::process::ExitCode;
 
 use pim_trace_cli::{
-    completeness_warning, parse_jsonl, render_heatmap, render_hprofile, render_phases,
-    validate_chrome,
+    completeness_warning, events_completeness_warning, parse_events_jsonl, parse_jsonl,
+    render_heatmap, render_hprofile, render_phases, render_top, validate_chrome,
+    validate_prometheus,
 };
 
-const USAGE: &str = "usage: pim-trace <phases|hprofile|heatmap|all|validate> [--strict] <file>...";
+const USAGE: &str =
+    "usage: pim-trace <phases|hprofile|heatmap|all|top|validate> [--strict] <file>...";
 
 fn load(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
@@ -58,6 +63,16 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "top" => {
+            let events =
+                parse_events_jsonl(&load(&files[0])?).map_err(|e| format!("{}: {e}", files[0]))?;
+            let rounds = match files.get(1) {
+                Some(path) => Some(parse_jsonl(&load(path)?).map_err(|e| format!("{path}: {e}"))?),
+                None => None,
+            };
+            print!("{}", render_top(&events, rounds.as_ref(), None));
+            Ok(ExitCode::SUCCESS)
+        }
         "validate" => {
             let strict = files.iter().any(|f| f == "--strict");
             let files: Vec<&String> = files.iter().filter(|f| *f != "--strict").collect();
@@ -67,14 +82,24 @@ fn run() -> Result<ExitCode, String> {
             let mut failed = false;
             for path in files {
                 let text = load(path)?;
-                // Chrome exports are one JSON document with traceEvents;
-                // everything else must be a valid JSONL round log.
-                let chrome = text.trim_start().starts_with('{')
-                    && text.trim_start()[1..]
-                        .trim_start()
-                        .starts_with("\"traceEvents\"");
+                // Format sniffing: Chrome exports are one JSON document
+                // with traceEvents; telemetry event logs open with a
+                // telemetry-header line; Prometheus expositions open with
+                // a # TYPE comment; everything else must be a valid JSONL
+                // round log.
+                let head = text.trim_start();
+                let chrome =
+                    head.starts_with('{') && head[1..].trim_start().starts_with("\"traceEvents\"");
                 let result = if chrome {
-                    validate_chrome(&text).map(|()| None)
+                    validate_chrome(&text)
+                } else if head.starts_with('#') {
+                    validate_prometheus(&text).map(|()| None)
+                } else if head
+                    .lines()
+                    .next()
+                    .is_some_and(|l| l.contains("\"telemetry-header\""))
+                {
+                    parse_events_jsonl(&text).map(|doc| events_completeness_warning(&doc))
                 } else {
                     parse_jsonl(&text).map(|doc| completeness_warning(&doc))
                 };
