@@ -5,7 +5,8 @@
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
 //!           baselines, ablation, hprofile, paths, trace-export,
-//!           service, wallclock, recovery, perf-gate, alloc-gate, all }
+//!           service, wallclock, pipeline, recovery, perf-gate,
+//!           alloc-gate, all }
 //!
 //! `trace-export [--quick] [--out DIR]` runs an instrumented session and
 //! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
@@ -36,9 +37,21 @@
 //! PATH` the episodes are written as a `pim-recovery-bench/1` report with
 //! a provenance header.
 //!
+//! `pipeline [--quick] [--out PATH]` times mixed-run episodes with the
+//! inter-batch pipelined driver on and off across PIM_THREADS ∈
+//! {1, 2, 4, 8} and writes a `pim-pipeline-bench/1` JSON report (default
+//! `target/BENCH_PR8.json`). Every configuration's replies are
+//! byte-compared against the unpipelined 1-thread reference in-process.
+//!
 //! `perf-gate CURRENT BASELINE [TOLERANCE] [--raw]` compares two reports
 //! (calibration-normalised unless `--raw`) and exits 1 when any (op,
-//! threads) point regressed beyond TOLERANCE (default 0.25).
+//! threads) point regressed beyond TOLERANCE (default 0.25). With
+//! `--require-speedup` both reports must be `pim-pipeline-bench/1`
+//! documents and the gate instead *fails* unless the pipelined engine at
+//! ≥ 2 threads beats the unpipelined 1-thread throughput on Get and
+//! Upsert; speedup evidence comes from whichever report was produced on
+//! a multi-core host (current preferred, else the recorded baseline),
+//! and the gate errors out rather than passing when neither was.
 //!
 //! `alloc-gate CURRENT BASELINE [TOLERANCE]` compares steady-state
 //! allocations per round (1-thread, deterministic; present only in
@@ -95,16 +108,45 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let run_pipeline = || {
+        let out = flag("--out")
+            .map(String::as_str)
+            .unwrap_or("target/BENCH_PR8.json");
+        if let Err(e) = pim_bench::pipeline::run_pipeline(quick, out, seed) {
+            eprintln!("pipeline: {e}");
+            std::process::exit(1);
+        }
+    };
     let run_perf_gate = || {
         // Positional args after the subcommand: CURRENT BASELINE [TOL].
         let pos: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
         let (current, baseline) = match (pos.first(), pos.get(1)) {
             (Some(c), Some(b)) => (c.as_str(), b.as_str()),
             _ => {
-                eprintln!("usage: experiments -- perf-gate CURRENT BASELINE [TOLERANCE] [--raw]");
+                eprintln!(
+                    "usage: experiments -- perf-gate CURRENT BASELINE [TOLERANCE] [--raw] \
+                     [--require-speedup]"
+                );
                 std::process::exit(2);
             }
         };
+        if args.iter().any(|a| a == "--require-speedup") {
+            match pim_bench::pipeline::speedup_gate(current, baseline) {
+                Ok(true) => println!("speedup gate: PASS"),
+                Ok(false) => {
+                    eprintln!(
+                        "speedup gate: FAIL (pipelined ≥2-thread throughput does not beat \
+                         the unpipelined 1-thread baseline)"
+                    );
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("speedup gate: ERROR: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         let tolerance: f64 = pos.get(2).and_then(|t| t.parse().ok()).unwrap_or(0.25);
         let raw = args.iter().any(|a| a == "--raw");
         match pim_bench::wallclock::perf_gate(current, baseline, tolerance, raw) {
@@ -189,6 +231,7 @@ fn main() {
         "trace-export" => run_trace_export(),
         "service" => run_service(),
         "wallclock" => run_wallclock(),
+        "pipeline" => run_pipeline(),
         "recovery" => run_recovery(),
         "perf-gate" => run_perf_gate(),
         "alloc-gate" => run_alloc_gate(),
@@ -215,7 +258,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock recovery perf-gate alloc-gate all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock pipeline recovery perf-gate alloc-gate all");
             std::process::exit(2);
         }
     }

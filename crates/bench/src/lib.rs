@@ -19,6 +19,7 @@
 pub mod allocs;
 pub mod experiments;
 pub mod measure;
+pub mod pipeline;
 pub mod provenance;
 pub mod recovery;
 pub mod service;

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use pim_primitives::accounting::{log2c, CpuCost};
 use pim_primitives::paths::Hint;
-use pim_primitives::sort::par_sort;
+use pim_primitives::sort::{par_sort, sort_cost};
 use pim_runtime::Handle;
 
 use crate::config::{Key, NEG_INF};
@@ -109,7 +109,11 @@ fn hint_and_prefix(a: &[Handle], b: &[Handle]) -> (Hint, usize, CpuCost) {
 /// A wave item: request index, its start hint, and the length of the path
 /// prefix (shared with `stitch_from`'s recorded path) to prepend when
 /// reconstructing its full lower-part path.
-struct WaveItem {
+///
+/// `pub(crate)` so [`crate::scratch::Scratch`] can pool wave-item buffers
+/// across batches; the fields stay module-private.
+#[derive(Debug)]
+pub(crate) struct WaveItem {
     idx: usize,
     hint: Hint,
     prefix_len: usize,
@@ -138,10 +142,43 @@ impl PimSkipList {
         })
     }
 
+    /// Leasing shim around [`PimSkipList::pivoted_search_core`]: the
+    /// CPU-side staging vectors (pivot indices, wave items, segment lists)
+    /// come from [`crate::scratch::Scratch`] and go back whether the core
+    /// returns `Ok` or a fault-path `Err`, so a service front-end
+    /// searching continuously allocates none of them in steady state.
     fn pivoted_search_inner(
         &mut self,
         reqs: &[SearchRequest],
         staged_words: &mut u64,
+    ) -> PimResult<SearchResults> {
+        let mut pivots = self.scratch.take_pivots();
+        let mut items = self.scratch.take_wave_items();
+        let mut segments = self.scratch.take_segments();
+        let mut next_segments = self.scratch.take_segments2();
+        let out = self.pivoted_search_core(
+            reqs,
+            staged_words,
+            &mut pivots,
+            &mut items,
+            &mut segments,
+            &mut next_segments,
+        );
+        self.scratch.give_segments2(next_segments);
+        self.scratch.give_segments(segments);
+        self.scratch.give_wave_items(items);
+        self.scratch.give_pivots(pivots);
+        out
+    }
+
+    fn pivoted_search_core(
+        &mut self,
+        reqs: &[SearchRequest],
+        staged_words: &mut u64,
+        pivots: &mut Vec<usize>,
+        items: &mut Vec<WaveItem>,
+        segments: &mut Vec<(usize, usize)>,
+        next_segments: &mut Vec<(usize, usize)>,
     ) -> PimResult<SearchResults> {
         let mut results = SearchResults::default();
         let b = reqs.len();
@@ -157,7 +194,7 @@ impl PimSkipList {
 
         // Pivot selection: every log P-th element plus the extremes.
         let step = self.cfg.log_p().max(1) as usize;
-        let mut pivots: Vec<usize> = (0..b).step_by(step).collect();
+        pivots.extend((0..b).step_by(step));
         if *pivots.last().expect("non-empty") != b - 1 {
             pivots.push(b - 1);
         }
@@ -166,12 +203,12 @@ impl PimSkipList {
         let mut paths: HashMap<u32, Vec<Handle>> = HashMap::new();
 
         // ---- Stage 1, phase 0: the extremes, from the root. ----
-        let mut items = vec![WaveItem {
+        items.push(WaveItem {
             idx: pivots[0],
             hint: Hint::Root,
             prefix_len: 0,
             stitch_from: None,
-        }];
+        });
         if m > 1 {
             items.push(WaveItem {
                 idx: pivots[m - 1],
@@ -184,17 +221,17 @@ impl PimSkipList {
         // segments (pivot divide and conquer). ----
         self.spanned("search/stage1", |s| -> PimResult<()> {
             *staged_words +=
-                s.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths)?;
+                s.run_wave(items, reqs, Some(max_top), true, &mut results, &mut paths)?;
             s.record_phase_contention();
 
-            let mut segments: Vec<(usize, usize)> =
-                if m > 1 { vec![(0, m - 1)] } else { Vec::new() };
-            let mut next_segments: Vec<(usize, usize)> = Vec::new();
+            if m > 1 {
+                segments.push((0, m - 1));
+            }
             while segments.iter().any(|&(l, r)| r - l > 1) {
                 items.clear();
                 next_segments.clear();
                 let mut hint_cost = CpuCost::ZERO;
-                for &(l, r) in &segments {
+                for &(l, r) in segments.iter() {
                     if r - l <= 1 {
                         continue;
                     }
@@ -223,9 +260,9 @@ impl PimSkipList {
                 }
                 hint_cost.charge(s.sys.metrics_mut());
                 *staged_words +=
-                    s.run_wave(&items, reqs, Some(max_top), true, &mut results, &mut paths)?;
+                    s.run_wave(items, reqs, Some(max_top), true, &mut results, &mut paths)?;
                 s.record_phase_contention();
-                std::mem::swap(&mut segments, &mut next_segments);
+                std::mem::swap(&mut *segments, &mut *next_segments);
             }
             Ok(())
         })?;
@@ -262,7 +299,7 @@ impl PimSkipList {
                 });
             }
             hint_cost.charge(s.sys.metrics_mut());
-            *staged_words += s.run_wave(&items, reqs, None, false, &mut results, &mut paths)?;
+            *staged_words += s.run_wave(items, reqs, None, false, &mut results, &mut paths)?;
             s.record_phase_contention();
             Ok(())
         })?;
@@ -290,7 +327,23 @@ impl PimSkipList {
         results: &mut SearchResults,
         paths: &mut HashMap<u32, Vec<Handle>>,
     ) -> PimResult<u64> {
-        let mut copies: Vec<(u32, u32)> = Vec::new(); // (dst op, src op)
+        let mut copies = self.scratch.take_copies();
+        let out = self.run_wave_core(items, reqs, forced_top, record, results, paths, &mut copies);
+        self.scratch.give_copies(copies);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_wave_core(
+        &mut self,
+        items: &[WaveItem],
+        reqs: &[SearchRequest],
+        forced_top: Option<u8>,
+        record: bool,
+        results: &mut SearchResults,
+        paths: &mut HashMap<u32, Vec<Handle>>,
+        copies: &mut Vec<(u32, u32)>, // (dst op, src op)
+    ) -> PimResult<u64> {
         for item in items {
             let req = reqs[item.idx];
             let top = forced_top.unwrap_or(req.top).min(self.cfg.max_level);
@@ -396,7 +449,7 @@ impl PimSkipList {
 
         // Resolve SharedLeaf copies (results and paths identical to src).
         let max_level = self.cfg.max_level;
-        for (dst, src) in copies {
+        for &(dst, src) in copies.iter() {
             let d = *results.done.get(&src).ok_or(PimError::Incomplete {
                 op: "search",
                 missing: 1,
@@ -573,9 +626,16 @@ impl PimSkipList {
     /// return per-key terminal records.
     fn point_search_unique(&mut self, keys: &[Key]) -> PimResult<HashMap<Key, DoneRec>> {
         let mut uniq = self.scratch.take_sorted_keys();
-        uniq.extend_from_slice(keys);
-        par_sort(&mut uniq).charge(self.sys.metrics_mut());
-        uniq.dedup();
+        // A pipelined-staged sort (see `crate::pipeline`) produces the same
+        // bytes (keys are `Copy + Ord`, equal elements indistinguishable);
+        // the sort cost is charged identically either way.
+        if self.staged_sorted_keys(&mut uniq) {
+            sort_cost(keys.len() as u64).charge(self.sys.metrics_mut());
+        } else {
+            uniq.extend_from_slice(keys);
+            par_sort(&mut uniq).charge(self.sys.metrics_mut());
+            uniq.dedup();
+        }
         let mut reqs = self.scratch.take_reqs();
         reqs.extend(uniq.iter().enumerate().map(|(i, &key)| SearchRequest {
             op: i as u32,

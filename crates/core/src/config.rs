@@ -46,6 +46,15 @@ pub struct Config {
     /// recovered structure provably equals a fresh one replaying the log
     /// through `execute` (see the chaos suite).
     pub record_op_log: bool,
+    /// Pipeline consecutive coalescible runs through
+    /// [`crate::list::PimSkipList::try_execute`]: while run `k` executes
+    /// its rounds on the machine, a side thread stages run `k+1`'s
+    /// CPU-side preprocessing (extraction, dedup, sort). Dark by default;
+    /// seeded from the `PIM_PIPELINE` environment variable (`1`/`true`) by
+    /// [`Config::new`]. Changes wall-clock only — replies, contents,
+    /// metrics, traces and telemetry are byte-identical either way (the
+    /// CI `pipeline-determinism` step diffs them).
+    pub pipeline: bool,
 }
 
 impl Config {
@@ -61,6 +70,7 @@ impl Config {
             track_contention: false,
             max_retries: 3,
             record_op_log: false,
+            pipeline: pipeline_from_env(),
         }
     }
 
@@ -89,6 +99,13 @@ impl Config {
         self
     }
 
+    /// Explicitly set run pipelining (see [`Config::pipeline`]),
+    /// overriding whatever `PIM_PIPELINE` seeded.
+    pub fn with_pipeline(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// `ceil(log2 P)` as used in batch-size recommendations.
     pub fn log_p(&self) -> u32 {
         ceil_log2(u64::from(self.p))
@@ -104,6 +121,16 @@ impl Config {
     pub fn batch_large(&self) -> usize {
         (self.p * self.log_p() * self.log_p()) as usize
     }
+}
+
+/// `PIM_PIPELINE=1` (or `true`) turns run pipelining on everywhere a
+/// `Config` is built with [`Config::new`]; anything else — including the
+/// variable being absent — leaves it dark.
+fn pipeline_from_env() -> bool {
+    matches!(
+        std::env::var("PIM_PIPELINE").as_deref().map(str::trim),
+        Ok("1") | Ok("true")
+    )
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod list;
 pub mod module;
 pub mod node;
 pub mod op;
+mod pipeline;
 pub mod range;
 mod recover;
 mod scratch;

@@ -220,39 +220,133 @@ impl PimSkipList {
         // stream may hold several, so phase records accumulate across the
         // runs instead of each search clobbering the last.
         let mut phases: Vec<u32> = Vec::new();
+        let result = if self.cfg.pipeline {
+            self.drive_pipelined(ops, &mut replies, &mut phases)
+        } else {
+            self.drive_sequential(ops, &mut replies, &mut phases)
+        };
+        self.last_phase_contention = phases;
+        result.map(|()| replies)
+    }
+
+    /// The unpipelined run driver: split, then commit each run in turn.
+    fn drive_sequential(
+        &mut self,
+        ops: &[Op],
+        replies: &mut Vec<Reply>,
+        phases: &mut Vec<u32>,
+    ) -> PimResult<()> {
         let mut start = 0;
         while start < ops.len() {
-            let mut end = start + 1;
-            while end < ops.len() && ops[end].coalesces_with(&ops[start]) {
-                end += 1;
-            }
-            let run = &ops[start..end];
-            self.last_phase_contention.clear();
-            let before = if self.telemetry.is_some() {
-                Some(self.sys.metrics())
-            } else {
-                None
-            };
-            let out = self.execute_run(run)?;
-            debug_assert_eq!(out.len(), run.len());
-            if self.cfg.record_op_log {
-                self.journal.record_ops(run);
-            }
-            if self.durable.is_some() {
-                // WAL frame = committed run: replay splits the stream into
-                // the same runs, so frame-by-frame recovery is the original
-                // execution (see `crate::durable`).
-                self.durable_record_run(run)?;
-            }
-            if let (Some(t), Some(before)) = (self.telemetry.as_deref_mut(), before) {
-                t.after_run(run[0].kind(), run.len() as u64, self.sys.metrics() - before);
-            }
-            phases.append(&mut self.last_phase_contention);
-            replies.extend(out);
+            let end = run_end(ops, start);
+            self.commit_run(&ops[start..end], replies, phases)?;
             start = end;
         }
-        self.last_phase_contention = phases;
-        Ok(replies)
+        Ok(())
+    }
+
+    /// The pipelined run driver (see [`crate::pipeline`]): while run `k`
+    /// executes (all of its rounds), a side thread stages run `k+1`'s
+    /// CPU-side preprocessing into the back half of the double buffer;
+    /// the buffer swaps at each run boundary. Run boundaries, commit
+    /// order, costs and error semantics (earlier runs committed, the
+    /// failing run and everything after it not) are exactly those of
+    /// [`PimSkipList::drive_sequential`].
+    fn drive_pipelined(
+        &mut self,
+        ops: &[Op],
+        replies: &mut Vec<Reply>,
+        phases: &mut Vec<u32>,
+    ) -> PimResult<()> {
+        let mut bounds = self.scratch.take_run_bounds();
+        let mut start = 0;
+        while start < ops.len() {
+            let end = run_end(ops, start);
+            bounds.push((start, end));
+            start = end;
+        }
+        // The double buffer leaves the structure for the driver's duration
+        // so the side thread's `&mut` to its back half is disjoint from
+        // `&mut self`; the front half is lent back in per run.
+        let mut stage = std::mem::take(&mut self.stage);
+        let mut failed = None;
+        for (i, &(start, end)) in bounds.iter().enumerate() {
+            let run = &ops[start..end];
+            // Install the stage prepared during the previous run (empty
+            // for the first run and after non-stageable neighbours — the
+            // batch algorithms then compute inline, the unpipelined path).
+            std::mem::swap(self.stage.front_mut(), stage.front_mut());
+            let next = bounds.get(i + 1).and_then(|&(s, e)| {
+                let next_run = &ops[s..e];
+                crate::pipeline::StagedRun::stageable(next_run[0].kind()).then_some(next_run)
+            });
+            let committed = match next {
+                Some(next_run) => {
+                    let back = stage.back_mut();
+                    let (committed, ()) = pim_runtime::pool::run_overlapped(
+                        || self.commit_run(run, replies, phases),
+                        || back.stage(next_run),
+                    );
+                    committed
+                }
+                None => self.commit_run(run, replies, phases),
+            };
+            // Harvest the (partially consumed) front so its capacities
+            // keep circulating, then rotate: the freshly staged back
+            // becomes the next run's front.
+            std::mem::swap(self.stage.front_mut(), stage.front_mut());
+            stage.front_mut().clear();
+            if let Err(e) = committed {
+                failed = Some(e);
+                break;
+            }
+            stage.swap();
+        }
+        // A stage staged for a run that never executed must not leak into
+        // a later stream.
+        stage.front_mut().clear();
+        stage.back_mut().clear();
+        self.stage = stage;
+        self.scratch.give_run_bounds(bounds);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Commit one coalescible run: execute it with its family's retry
+    /// discipline, then append to the journal op log / WAL / telemetry in
+    /// that order. Shared verbatim by both drivers — byte-identical
+    /// side effects is the pipelining contract.
+    fn commit_run(
+        &mut self,
+        run: &[Op],
+        replies: &mut Vec<Reply>,
+        phases: &mut Vec<u32>,
+    ) -> PimResult<()> {
+        self.last_phase_contention.clear();
+        let before = if self.telemetry.is_some() {
+            Some(self.sys.metrics())
+        } else {
+            None
+        };
+        let out = self.execute_run(run)?;
+        debug_assert_eq!(out.len(), run.len());
+        if self.cfg.record_op_log {
+            self.journal.record_ops(run);
+        }
+        if self.durable.is_some() {
+            // WAL frame = committed run: replay splits the stream into
+            // the same runs, so frame-by-frame recovery is the original
+            // execution (see `crate::durable`).
+            self.durable_record_run(run)?;
+        }
+        if let (Some(t), Some(before)) = (self.telemetry.as_deref_mut(), before) {
+            t.after_run(run[0].kind(), run.len() as u64, self.sys.metrics() - before);
+        }
+        phases.append(&mut self.last_phase_contention);
+        replies.extend(out);
+        Ok(())
     }
 
     /// Execute one coalescible run through its family's batch algorithm,
@@ -266,14 +360,22 @@ impl PimSkipList {
         match run[0].kind() {
             OpKind::Get => {
                 let mut keys = self.scratch.take_keys();
-                keys.extend(run.iter().map(op_key));
+                if !self.stage.front_mut().take_keys(OpKind::Get, &mut keys) {
+                    keys.extend(run.iter().map(op_key));
+                }
                 let out = self.retry_read("batch_get", keys.len(), |s| s.get_attempt(&keys));
                 self.scratch.give_keys(keys);
                 Ok(out?.into_iter().map(Reply::Value).collect())
             }
             OpKind::Update => {
                 let mut pairs = self.scratch.take_pairs();
-                pairs.extend(run.iter().map(op_pair));
+                if !self
+                    .stage
+                    .front_mut()
+                    .take_pairs(OpKind::Update, &mut pairs)
+                {
+                    pairs.extend(run.iter().map(op_pair));
+                }
                 let out =
                     self.retry_read("batch_update", pairs.len(), |s| s.update_attempt(&pairs));
                 self.scratch.give_pairs(pairs);
@@ -281,7 +383,13 @@ impl PimSkipList {
             }
             OpKind::Upsert => {
                 let mut pairs = self.scratch.take_pairs();
-                pairs.extend(run.iter().map(op_pair));
+                if !self
+                    .stage
+                    .front_mut()
+                    .take_pairs(OpKind::Upsert, &mut pairs)
+                {
+                    pairs.extend(run.iter().map(op_pair));
+                }
                 let out = self
                     .retry_structural("batch_upsert", pairs.len(), |s| s.upsert_attempt(&pairs));
                 self.scratch.give_pairs(pairs);
@@ -289,7 +397,9 @@ impl PimSkipList {
             }
             OpKind::Delete => {
                 let mut keys = self.scratch.take_keys();
-                keys.extend(run.iter().map(op_key));
+                if !self.stage.front_mut().take_keys(OpKind::Delete, &mut keys) {
+                    keys.extend(run.iter().map(op_key));
+                }
                 let out =
                     self.retry_structural("batch_delete", keys.len(), |s| s.delete_attempt(&keys));
                 self.scratch.give_keys(keys);
@@ -297,7 +407,13 @@ impl PimSkipList {
             }
             OpKind::Predecessor => {
                 let mut keys = self.scratch.take_keys();
-                keys.extend(run.iter().map(op_key));
+                if !self
+                    .stage
+                    .front_mut()
+                    .take_keys(OpKind::Predecessor, &mut keys)
+                {
+                    keys.extend(run.iter().map(op_key));
+                }
                 let out = self.retry_read("batch_predecessor", keys.len(), |s| {
                     s.predecessor_attempt(&keys)
                 });
@@ -306,7 +422,13 @@ impl PimSkipList {
             }
             OpKind::Successor => {
                 let mut keys = self.scratch.take_keys();
-                keys.extend(run.iter().map(op_key));
+                if !self
+                    .stage
+                    .front_mut()
+                    .take_keys(OpKind::Successor, &mut keys)
+                {
+                    keys.extend(run.iter().map(op_key));
+                }
                 let out = self.retry_read("batch_successor", keys.len(), |s| {
                     s.successor_attempt(&keys)
                 });
@@ -358,7 +480,16 @@ impl PimSkipList {
     }
 }
 
-fn op_key(op: &Op) -> Key {
+/// End (exclusive) of the maximal coalescible run starting at `start`.
+fn run_end(ops: &[Op], start: usize) -> usize {
+    let mut end = start + 1;
+    while end < ops.len() && ops[end].coalesces_with(&ops[start]) {
+        end += 1;
+    }
+    end
+}
+
+pub(crate) fn op_key(op: &Op) -> Key {
     match *op {
         Op::Get { key } | Op::Delete { key } | Op::Predecessor { key } | Op::Successor { key } => {
             key
@@ -367,7 +498,7 @@ fn op_key(op: &Op) -> Key {
     }
 }
 
-fn op_pair(op: &Op) -> (Key, Value) {
+pub(crate) fn op_pair(op: &Op) -> (Key, Value) {
     match *op {
         Op::Update { key, value } | Op::Upsert { key, value } => (key, value),
         _ => unreachable!("pair extraction on {op:?}"),

@@ -1,0 +1,248 @@
+//! Run pipelining: staging the next coalescible run's CPU-side
+//! preprocessing while the current run executes its rounds.
+//!
+//! [`crate::PimSkipList::try_execute`] splits a mixed op stream into
+//! maximal coalescible runs and executes them in arrival order. The batch
+//! algorithm behind each run starts with CPU-only preprocessing — extract
+//! the run's keys or pairs, semisort-dedup them, for point searches sort
+//! them — before the first `TaskSend` touches the machine. That prefix
+//! depends only on the run's ops, never on the structure's state, so while
+//! run `k` is executing its rounds the preprocessing of run `k+1` can run
+//! on a side thread ([`pim_runtime::buffers::DoubleBuffer`] +
+//! `pim_runtime::pool::run_overlapped`).
+//!
+//! Determinism: every staged result is a pure function of the run's ops
+//! (`dedup_by_key_into`, `sort_unstable` + `dedup` — both sequential, no
+//! pool, no RNG), and the consuming batch algorithm charges the *same*
+//! [`pim_primitives::CpuCost`] at the *same* span point whether the data
+//! was staged or computed inline. Replies, contents, metrics, traces and
+//! telemetry are therefore byte-identical to the unpipelined engine — the
+//! proptest suite and the CI `pipeline-determinism` byte-diff both enforce
+//! it.
+//!
+//! Consumption safety: each staged field carries a `has_*` flag and the
+//! whole stage a run-kind tag. A consumer takes a field at most once
+//! (`mem::swap` with its own empty leased buffer, so capacities keep
+//! circulating and the steady state stays allocation-free); a retry after
+//! an injected fault finds the flag cleared and recomputes inline, which
+//! is the exact unpipelined code path.
+
+use crate::config::{Key, Value};
+use crate::op::{op_key, op_pair, Op, OpKind};
+
+/// Precomputed CPU-side preprocessing for one coalescible run, produced on
+/// the staging thread and consumed by the batch algorithms via the
+/// `staged_*` hooks on [`crate::PimSkipList`].
+#[derive(Debug, Default)]
+pub(crate) struct StagedRun {
+    /// Family of the run these buffers were staged for (`None` = empty).
+    kind: Option<OpKind>,
+    has_keys: bool,
+    has_pairs: bool,
+    has_uniq_keys: bool,
+    has_uniq_pairs: bool,
+    has_sorted_keys: bool,
+    /// The run's keys in arrival order (Get/Delete/Predecessor/Successor).
+    keys: Vec<Key>,
+    /// The run's pairs in arrival order (Update/Upsert).
+    pairs: Vec<(Key, Value)>,
+    /// First-occurrence dedup survivors of `keys` (Get/Delete).
+    uniq_keys: Vec<Key>,
+    /// First-occurrence dedup survivors of `pairs` (Update/Upsert).
+    uniq_pairs: Vec<(Key, Value)>,
+    /// Sorted unique keys (Predecessor/Successor point searches).
+    sorted_keys: Vec<Key>,
+    /// Dedup tag scratch, retained across stages.
+    tags: Vec<(u64, u32)>,
+}
+
+impl StagedRun {
+    /// Clear every flag and buffer (capacities retained).
+    pub(crate) fn clear(&mut self) {
+        self.kind = None;
+        self.has_keys = false;
+        self.has_pairs = false;
+        self.has_uniq_keys = false;
+        self.has_uniq_pairs = false;
+        self.has_sorted_keys = false;
+        self.keys.clear();
+        self.pairs.clear();
+        self.uniq_keys.clear();
+        self.uniq_pairs.clear();
+        self.sorted_keys.clear();
+    }
+
+    /// Would staging `kind` precompute anything? Ranges are not staged:
+    /// their preprocessing is validation with early-error semantics that
+    /// must stay on the main thread.
+    pub(crate) fn stageable(kind: OpKind) -> bool {
+        !matches!(kind, OpKind::Range)
+    }
+
+    /// Stage `run`'s preprocessing into `self` (on the side thread). The
+    /// run must be coalescible and non-empty; `run[0]` names the family.
+    pub(crate) fn stage(&mut self, run: &[Op]) {
+        self.clear();
+        let kind = run[0].kind();
+        debug_assert!(Self::stageable(kind));
+        self.kind = Some(kind);
+        match kind {
+            OpKind::Get | OpKind::Delete => {
+                self.keys.extend(run.iter().map(op_key));
+                pim_primitives::semisort::dedup_by_key_into(
+                    &self.keys,
+                    |&k| k as u64,
+                    &mut self.tags,
+                    &mut self.uniq_keys,
+                );
+                self.has_keys = true;
+                self.has_uniq_keys = true;
+            }
+            OpKind::Update | OpKind::Upsert => {
+                self.pairs.extend(run.iter().map(op_pair));
+                pim_primitives::semisort::dedup_by_key_into(
+                    &self.pairs,
+                    |&(k, _)| k as u64,
+                    &mut self.tags,
+                    &mut self.uniq_pairs,
+                );
+                self.has_pairs = true;
+                self.has_uniq_pairs = true;
+            }
+            OpKind::Predecessor | OpKind::Successor => {
+                self.keys.extend(run.iter().map(op_key));
+                self.sorted_keys.extend_from_slice(&self.keys);
+                // Same bytes as the inline stable sort + dedup: keys are
+                // `Copy + Ord`, equal elements indistinguishable.
+                self.sorted_keys.sort_unstable();
+                self.sorted_keys.dedup();
+                self.has_keys = true;
+                self.has_sorted_keys = true;
+            }
+            OpKind::Range => unreachable!("ranges are never staged"),
+        }
+    }
+
+    fn take_field(avail: &mut bool, field: &mut Vec<Key>, dst: &mut Vec<Key>) -> bool {
+        debug_assert!(dst.is_empty(), "staged take needs an empty lease");
+        if !*avail {
+            return false;
+        }
+        *avail = false;
+        std::mem::swap(field, dst);
+        true
+    }
+
+    /// Take the staged arrival-order keys for a `kind` run, if staged.
+    pub(crate) fn take_keys(&mut self, kind: OpKind, dst: &mut Vec<Key>) -> bool {
+        self.kind == Some(kind) && Self::take_field(&mut self.has_keys, &mut self.keys, dst)
+    }
+
+    /// Take the staged dedup survivors for a `kind` key run, if staged.
+    pub(crate) fn take_uniq_keys(&mut self, kind: OpKind, dst: &mut Vec<Key>) -> bool {
+        self.kind == Some(kind)
+            && Self::take_field(&mut self.has_uniq_keys, &mut self.uniq_keys, dst)
+    }
+
+    /// Take the staged sorted unique keys (point searches), if staged.
+    pub(crate) fn take_sorted_keys(&mut self, dst: &mut Vec<Key>) -> bool {
+        matches!(self.kind, Some(OpKind::Predecessor | OpKind::Successor))
+            && Self::take_field(&mut self.has_sorted_keys, &mut self.sorted_keys, dst)
+    }
+
+    /// Take the staged arrival-order pairs for a `kind` run, if staged.
+    pub(crate) fn take_pairs(&mut self, kind: OpKind, dst: &mut Vec<(Key, Value)>) -> bool {
+        debug_assert!(dst.is_empty(), "staged take needs an empty lease");
+        if self.kind != Some(kind) || !self.has_pairs {
+            return false;
+        }
+        self.has_pairs = false;
+        std::mem::swap(&mut self.pairs, dst);
+        true
+    }
+
+    /// Take the staged dedup survivors for a `kind` pair run, if staged.
+    pub(crate) fn take_uniq_pairs(&mut self, kind: OpKind, dst: &mut Vec<(Key, Value)>) -> bool {
+        debug_assert!(dst.is_empty(), "staged take needs an empty lease");
+        if self.kind != Some(kind) || !self.has_uniq_pairs {
+            return false;
+        }
+        self.has_uniq_pairs = false;
+        std::mem::swap(&mut self.uniq_pairs, dst);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_get_run_matches_inline_preprocessing() {
+        let run = [
+            Op::Get { key: 5 },
+            Op::Get { key: 3 },
+            Op::Get { key: 5 },
+            Op::Get { key: 9 },
+        ];
+        let mut staged = StagedRun::default();
+        staged.stage(&run);
+        let mut keys = Vec::new();
+        assert!(staged.take_keys(OpKind::Get, &mut keys));
+        assert_eq!(keys, vec![5, 3, 5, 9]);
+        let mut uniq = Vec::new();
+        assert!(staged.take_uniq_keys(OpKind::Get, &mut uniq));
+        assert_eq!(uniq, vec![5, 3, 9], "first-occurrence order");
+        // Second take: consumed.
+        assert!(!staged.take_keys(OpKind::Get, &mut Vec::new()));
+        // Wrong kind: refused even when flags are set.
+        staged.stage(&run);
+        assert!(!staged.take_keys(OpKind::Delete, &mut Vec::new()));
+    }
+
+    #[test]
+    fn staged_upsert_run_dedups_first_wins() {
+        let run = [
+            Op::Upsert { key: 2, value: 20 },
+            Op::Upsert { key: 1, value: 10 },
+            Op::Upsert { key: 2, value: 21 },
+        ];
+        let mut staged = StagedRun::default();
+        staged.stage(&run);
+        let mut pairs = Vec::new();
+        assert!(staged.take_pairs(OpKind::Upsert, &mut pairs));
+        assert_eq!(pairs, vec![(2, 20), (1, 10), (2, 21)]);
+        let mut uniq = Vec::new();
+        assert!(staged.take_uniq_pairs(OpKind::Upsert, &mut uniq));
+        assert_eq!(uniq, vec![(2, 20), (1, 10)], "first value wins");
+    }
+
+    #[test]
+    fn staged_search_run_sorts_and_dedups() {
+        let run = [
+            Op::Successor { key: 7 },
+            Op::Successor { key: 1 },
+            Op::Successor { key: 7 },
+        ];
+        let mut staged = StagedRun::default();
+        staged.stage(&run);
+        let mut sorted = Vec::new();
+        assert!(staged.take_sorted_keys(&mut sorted));
+        assert_eq!(sorted, vec![1, 7]);
+        // Predecessor runs also feed `take_sorted_keys`.
+        staged.stage(&[Op::Predecessor { key: 4 }]);
+        let mut sorted = Vec::new();
+        assert!(staged.take_sorted_keys(&mut sorted));
+        assert_eq!(sorted, vec![4]);
+    }
+
+    #[test]
+    fn clear_resets_flags_and_ranges_are_unstageable() {
+        let mut staged = StagedRun::default();
+        staged.stage(&[Op::Get { key: 1 }]);
+        staged.clear();
+        assert!(!staged.take_keys(OpKind::Get, &mut Vec::new()));
+        assert!(!StagedRun::stageable(OpKind::Range));
+        assert!(StagedRun::stageable(OpKind::Get));
+    }
+}

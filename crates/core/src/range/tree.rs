@@ -117,7 +117,11 @@ impl PimSkipList {
         // ---- Step 1: split into disjoint atomic subranges (CPU sweep) ----
         let (subranges, op_spans) = self.spanned("range_tree/split", |s| {
             let mut cuts = s.scratch.take_cuts();
-            let split = split_ranges(ranges, &mut cuts);
+            let mut delta = s.scratch.take_range_delta();
+            let mut cell_to_sub = s.scratch.take_cell_to_sub();
+            let split = split_ranges(ranges, &mut cuts, &mut delta, &mut cell_to_sub);
+            s.scratch.give_cell_to_sub(cell_to_sub);
+            s.scratch.give_range_delta(delta);
             s.scratch.give_cuts(cuts);
             s.sys.metrics_mut().charge_cpu(
                 (ranges.len() as u64 * 2) * pim_runtime::ceil_log2(ranges.len() as u64) as u64,
@@ -377,11 +381,14 @@ impl PimSkipList {
 
 /// Cut overlapping ranges into disjoint atomic subranges; returns the
 /// subranges (ascending) and, per input op, the half-open span of subrange
-/// indices it covers. `cuts` is caller-provided staging (recycled across
-/// batches via [`crate::scratch::Scratch`]); any contents are discarded.
+/// indices it covers. `cuts`, `delta`, and `cell_to_sub` are
+/// caller-provided staging (recycled across batches via
+/// [`crate::scratch::Scratch`]); any contents are discarded.
 fn split_ranges(
     ranges: &[(Key, Key)],
     cuts: &mut Vec<Key>,
+    delta: &mut Vec<i64>,
+    cell_to_sub: &mut Vec<usize>,
 ) -> (Vec<Subrange>, Vec<(usize, usize)>) {
     // Cut points: every lo and every hi+1.
     cuts.clear();
@@ -394,7 +401,8 @@ fn split_ranges(
     cuts.dedup();
 
     // Coverage sweep over cut cells.
-    let mut delta = vec![0i64; cuts.len() + 1];
+    delta.clear();
+    delta.resize(cuts.len() + 1, 0i64);
     for &(lo, hi) in ranges {
         let a = cuts.partition_point(|&c| c < lo);
         let b = cuts.partition_point(|&c| c < hi.saturating_add(1));
@@ -402,7 +410,8 @@ fn split_ranges(
         delta[b] -= 1;
     }
     let mut subranges = Vec::new();
-    let mut cell_to_sub = vec![usize::MAX; cuts.len()];
+    cell_to_sub.clear();
+    cell_to_sub.resize(cuts.len(), usize::MAX);
     let mut cover = 0i64;
     for i in 0..cuts.len() {
         cover += delta[i];
@@ -471,7 +480,7 @@ mod tests {
     use super::*;
 
     fn split_ranges_t(ranges: &[(Key, Key)]) -> (Vec<Subrange>, Vec<(usize, usize)>) {
-        split_ranges(ranges, &mut Vec::new())
+        split_ranges(ranges, &mut Vec::new(), &mut Vec::new(), &mut Vec::new())
     }
 
     #[test]

@@ -78,6 +78,22 @@ pub(crate) struct Scratch {
     tower_handles: Vec<Handle>,
     /// Per-insert offsets into `tower_handles`.
     tower_offsets: Vec<u32>,
+    /// `(start, end)` run boundaries for the pipelined op driver.
+    run_bounds: Vec<(usize, usize)>,
+    /// Pivoted-search wavefront staging (see `batch::search`).
+    wave_items: Vec<crate::batch::search::WaveItem>,
+    /// Upper-level pivot indices for pivoted searches.
+    pivots: Vec<usize>,
+    /// Wavefront `(start, end)` segment lists (two generations).
+    segments: Vec<(usize, usize)>,
+    /// Second segment buffer (next wavefront generation).
+    segments2: Vec<(usize, usize)>,
+    /// `(path index, request index)` copy list for wave stitching.
+    copies: Vec<(u32, u32)>,
+    /// Range-split coverage sweep deltas.
+    range_delta: Vec<i64>,
+    /// Range-split cut-cell → subrange index map.
+    cell_to_sub: Vec<usize>,
 }
 
 impl Scratch {
@@ -102,6 +118,19 @@ impl Scratch {
         Handle
     );
     lease!(take_tower_offsets, give_tower_offsets, tower_offsets, u32);
+    lease!(take_run_bounds, give_run_bounds, run_bounds, (usize, usize));
+    lease!(
+        take_wave_items,
+        give_wave_items,
+        wave_items,
+        crate::batch::search::WaveItem
+    );
+    lease!(take_pivots, give_pivots, pivots, usize);
+    lease!(take_segments, give_segments, segments, (usize, usize));
+    lease!(take_segments2, give_segments2, segments2, (usize, usize));
+    lease!(take_copies, give_copies, copies, (u32, u32));
+    lease!(take_range_delta, give_range_delta, range_delta, i64);
+    lease!(take_cell_to_sub, give_cell_to_sub, cell_to_sub, usize);
 }
 
 #[cfg(test)]

@@ -68,7 +68,7 @@ pub mod system;
 pub mod telemetry;
 pub mod trace;
 
-pub use buffers::{BufferPool, RouteBuffer};
+pub use buffers::{BufferPool, DoubleBuffer, RouteBuffer};
 pub use crc::{crc32, Crc32};
 pub use export::{chrome_trace, rounds_jsonl, ExportBundle, Json};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};

@@ -79,6 +79,17 @@ impl<T, R> RoundOut<T, R> {
     }
 }
 
+/// State carried from the route-commit point to the execute-commit point
+/// of one round (see [`PimSystem::run_round`]). Both fault vectors are
+/// empty on the fault-free machine, so carrying the stage allocates
+/// nothing in steady state.
+struct RoundStage {
+    round: u64,
+    round_faults: Vec<(ModuleId, FaultKind)>,
+    post_faults: Vec<(ModuleId, FaultKind)>,
+    delivered_total: usize,
+}
+
 impl<M: PimModule> PimSystem<M> {
     /// Build a machine of `p` modules, constructing each from its id.
     pub fn new(p: u32, mut make: impl FnMut(ModuleId) -> M) -> Self {
@@ -235,7 +246,51 @@ impl<M: PimModule> PimSystem<M> {
 
     /// Execute one bulk-synchronous round; returns the replies that reached
     /// CPU shared memory, in deterministic (module-id, issue) order.
+    ///
+    /// A round is three phases with two commit points:
+    ///
+    /// 1. **route-commit** ([`Self::route_commit`]) — the queued inboxes
+    ///    become this round's deliveries and the pre-delivery faults
+    ///    strike. After this point the round's inputs are frozen.
+    /// 2. **execute** ([`Self::execute_modules`]) — the parallel module
+    ///    sweep. Nothing CPU-visible changes until the barrier.
+    /// 3. **execute-commit** ([`Self::execute_commit`]) — the barrier:
+    ///    outputs are merged, costs recorded, cross sends routed into the
+    ///    next round's inboxes.
+    ///
+    /// The split exists so a pipelined driver can overlap CPU-side staging
+    /// of *future* traffic with phase 2 (see
+    /// [`PimSystem::run_round_overlapped`]) without ever racing a commit
+    /// point.
     pub fn run_round(&mut self) -> Vec<M::Reply> {
+        let stage = self.route_commit();
+        self.execute_modules(stage.round, stage.delivered_total);
+        self.execute_commit(stage)
+    }
+
+    /// [`PimSystem::run_round`] with a data-disjoint `side` closure that
+    /// runs concurrently with the module execution phase (between the
+    /// route-commit and execute-commit points). `side` must not touch the
+    /// machine — it is the CPU-side staging lane of a pipelined driver —
+    /// so replies, metrics and traces are byte-identical to
+    /// [`PimSystem::run_round`] at every thread count (with one worker the
+    /// two simply run sequentially).
+    pub fn run_round_overlapped<R: Send>(
+        &mut self,
+        side: impl FnOnce() -> R + Send,
+    ) -> (Vec<M::Reply>, R) {
+        let stage = self.route_commit();
+        let (round, delivered) = (stage.round, stage.delivered_total);
+        let ((), side_out) =
+            crate::pool::run_overlapped(|| self.execute_modules(round, delivered), side);
+        (self.execute_commit(stage), side_out)
+    }
+
+    /// Phase 1 — the **route-commit point**: swap in the queued inboxes
+    /// (recycling last round's drained buffers) and apply the pre-delivery
+    /// faults (crash, stall, task drop). Post-execution fault kinds are
+    /// deferred to the execute-commit point.
+    fn route_commit(&mut self) -> RoundStage {
         let round = self.metrics.rounds;
         // Recycle, don't rebuild: this round's deliveries move into the
         // spare set (drained in place below), and last round's drained
@@ -294,16 +349,30 @@ impl<M: PimModule> PimSystem<M> {
             }
         }
 
-        // The weight hint is the number of delivered tasks: control rounds
-        // (a handful of messages) stay on the calling thread, while
-        // data-proportional rounds fan out across the pool's workers.
-        // Inboxes are drained in place (capacity retained for the next
-        // swap) and each module's persistent `RoundOut` is written in its
-        // own indexed slot, so the executor's index-ordered merge is free.
-        let delivered_total: usize = inboxes.iter().map(Vec::len).sum();
+        RoundStage {
+            round,
+            round_faults,
+            post_faults,
+            delivered_total: inboxes.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Phase 2 — the parallel module sweep. Reads only the frozen
+    /// deliveries (in `spare_inboxes` since the route-commit swap) and
+    /// writes only the per-module `RoundOut` slots; nothing CPU-visible
+    /// changes until the execute-commit barrier, which is what makes the
+    /// overlap in [`PimSystem::run_round_overlapped`] safe.
+    ///
+    /// The weight hint is the number of delivered tasks: control rounds
+    /// (a handful of messages) stay on the calling thread, while
+    /// data-proportional rounds fan out across the pool's workers.
+    /// Inboxes are drained in place (capacity retained for the next
+    /// swap) and each module's persistent `RoundOut` is written in its
+    /// own indexed slot, so the executor's index-ordered merge is free.
+    fn execute_modules(&mut self, round: u64, delivered_total: usize) {
         crate::pool::par_zip2_for_each_mut(
             &mut self.modules,
-            inboxes,
+            &mut self.spare_inboxes,
             &mut self.outs,
             delivered_total,
             |id, module, inbox, out| {
@@ -322,6 +391,18 @@ impl<M: PimModule> PimSystem<M> {
                 }
             },
         );
+    }
+
+    /// Phase 3 — the **execute-commit point** (the barrier): inflate slow
+    /// faults, merge outputs, record trace/probe/metrics, drop faulted
+    /// replies, and route cross sends into the next round's inboxes.
+    fn execute_commit(&mut self, stage: RoundStage) -> Vec<M::Reply> {
+        let RoundStage {
+            round,
+            round_faults,
+            post_faults,
+            delivered_total: _,
+        } = stage;
         let outs = &mut self.outs;
 
         // A slow module's local work is inflated before the barrier maxima
@@ -625,6 +706,55 @@ mod tests {
         let (r2, m2) = run();
         assert_eq!(r1, r2);
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn overlapped_round_is_byte_identical_and_returns_side_output() {
+        // The overlapped round must produce the same replies, metrics and
+        // trace as the plain one at every thread count, while the side
+        // closure's output comes back intact.
+        let stream = |sys: &mut PimSystem<Echo>, overlapped: bool| {
+            sys.enable_tracing();
+            for i in 0..48u64 {
+                sys.send(
+                    (i % 4) as ModuleId,
+                    EchoTask::Forward {
+                        hops: (i % 4) as u32,
+                        payload: i,
+                    },
+                );
+            }
+            let mut replies = Vec::new();
+            let mut staged = 0u64;
+            while sys.has_pending() {
+                if overlapped {
+                    let (r, s) = sys.run_round_overlapped(|| (0..100u64).sum::<u64>());
+                    assert_eq!(s, 4950);
+                    staged += 1;
+                    replies.extend(r);
+                } else {
+                    replies.extend(sys.run_round());
+                }
+            }
+            assert!(!overlapped || staged > 0);
+            (replies, sys.metrics(), sys.take_trace().rounds)
+        };
+        for threads in [1, 2, 8] {
+            let cfg = crate::pool::ExecConfig {
+                threads,
+                par_threshold: 0,
+                sort_threshold: 0,
+            };
+            crate::pool::configure(cfg);
+            let mut plain = machine();
+            let mut piped = machine();
+            let (r1, m1, t1) = stream(&mut plain, false);
+            let (r2, m2, t2) = stream(&mut piped, true);
+            assert_eq!(r1, r2, "replies diverged at {threads} threads");
+            assert_eq!(m1, m2, "metrics diverged at {threads} threads");
+            assert_eq!(t1, t2, "traces diverged at {threads} threads");
+        }
+        crate::pool::configure(crate::pool::ExecConfig::from_env());
     }
 
     #[test]
