@@ -27,6 +27,7 @@ fn bench(c: &mut Criterion) {
 
         let mut naive = setup(p, 1);
         g.bench_with_input(BenchmarkId::new("naive", p), &p, |b, _| {
+            #[allow(deprecated)] // deliberately benching the strawman
             b.iter(|| naive.batch_successor_naive(&queries));
         });
         let mut pivot = setup(p, 1);

@@ -5,8 +5,8 @@
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
 //!           baselines, ablation, hprofile, paths, trace-export,
-//!           service, wallclock, pipeline, recovery, perf-gate,
-//!           alloc-gate, all }
+//!           service, wallclock, pipeline, recovery, cluster,
+//!           perf-gate, alloc-gate, all }
 //!
 //! `trace-export [--quick] [--out DIR]` runs an instrumented session and
 //! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
@@ -36,6 +36,16 @@
 //! trade-off. Like `wallclock`, this measures elapsed time. With `--json
 //! PATH` the episodes are written as a `pim-recovery-bench/1` report with
 //! a provenance header.
+//!
+//! `cluster [--quick] [--json PATH] [--out DIR]` sweeps the sharded
+//! `pim-cluster` router over `S ∈ {1, 2, 4, 8}`, byte-comparing every
+//! configuration's wire-encoded replies against the single-machine
+//! oracle (the run FAILS on drift), and reports rounds, wall-clock
+//! throughput, and shard load spread. With `--json PATH` the sweep is a
+//! `pim-cluster-bench/1` report; with `--out DIR` telemetry-enabled
+//! sessions at S ∈ {1, 4} (or the single `PIM_SHARDS` value when set)
+//! write `metrics-sN.prom` / `events-sN.jsonl` / `replies-sN.bin` for
+//! the CI cluster-determinism byte-diff.
 //!
 //! `pipeline [--quick] [--out PATH]` times mixed-run episodes with the
 //! inter-batch pipelined driver on and off across PIM_THREADS ∈
@@ -197,6 +207,28 @@ fn main() {
             }
         }
     };
+    let run_cluster = || {
+        let json = flag("--json").map(String::as_str);
+        if let Err(e) = pim_bench::cluster::run_cluster(quick, seed, json) {
+            eprintln!("cluster: {e}");
+            std::process::exit(1);
+        }
+        if let Some(out_dir) = flag("--out") {
+            // PIM_SHARDS pins the export to one shard count (the CI
+            // byte-diff crosses it with PIM_THREADS); absent, export the
+            // within-run comparison pair.
+            let shard_counts = match pim_runtime::EnvSettings::from_env().shards {
+                Some(s) => vec![s],
+                None => vec![1u32, 4],
+            };
+            for shards in shard_counts {
+                if let Err(e) = pim_bench::cluster::cluster_export(out_dir, quick, seed, shards) {
+                    eprintln!("cluster export: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
     let run_recovery = || {
         let json = flag("--json").map(String::as_str);
         if let Err(e) = pim_bench::recovery::run_recovery(quick, seed, json) {
@@ -233,6 +265,7 @@ fn main() {
         "wallclock" => run_wallclock(),
         "pipeline" => run_pipeline(),
         "recovery" => run_recovery(),
+        "cluster" => run_cluster(),
         "perf-gate" => run_perf_gate(),
         "alloc-gate" => run_alloc_gate(),
         "all" => {
@@ -258,7 +291,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock pipeline recovery perf-gate alloc-gate all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock pipeline recovery cluster perf-gate alloc-gate all");
             std::process::exit(2);
         }
     }

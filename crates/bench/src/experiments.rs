@@ -284,6 +284,7 @@ pub fn adversarial_experiment(p: u32, seed: u64) -> (BatchCosts, BatchCosts) {
     let queries = same_successor_flood(seed ^ 7, 10_000_001, 19_999_999, batch);
 
     let mut naive_list = build(seed);
+    #[allow(deprecated)] // FIG3 measures the strawman on purpose
     let (_, naive) = measure_batch(&mut naive_list, batch, |l| {
         l.batch_successor_naive(&queries)
     });
@@ -589,6 +590,7 @@ pub fn print_hprofile(p: u32, seed: u64) {
     println!("== h-profile per round (P = {p}, batch = {batch}, same-successor adversary) ==");
     let mut naive = build(seed);
     naive.enable_tracing();
+    #[allow(deprecated)] // h-profile of the strawman is the point here
     naive.batch_successor_naive(&queries);
     let tn = naive.take_trace();
     println!(
@@ -631,6 +633,7 @@ pub fn path_split_experiment(p: u32, n: usize, seed: u64) -> (f64, f64, u64) {
         for m in 0..p {
             list.drain_contention(m);
         }
+        #[allow(deprecated)] // contention probe rides the strawman path
         list.batch_successor_naive(&[*q]);
         let (mut up, mut low) = (0u64, 0u64);
         for m in 0..p {

@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 pub mod allocs;
+pub mod cluster;
 pub mod experiments;
 pub mod measure;
 pub mod pipeline;
 pub mod provenance;
 pub mod recovery;
+pub mod report;
 pub mod service;
 pub mod wallclock;
 

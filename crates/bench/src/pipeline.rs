@@ -266,19 +266,20 @@ pub fn report_json(
             ("points".into(), Json::Arr(points_arr)),
         ]));
     }
-    Json::Obj(vec![
-        ("schema".into(), jstr(SCHEMA)),
-        ("provenance".into(), crate::provenance::provenance_json()),
-        ("quick".into(), Json::Bool(quick)),
-        ("p".into(), num(u64::from(params.p))),
-        ("n".into(), num(params.n as u64)),
-        ("chunks".into(), num(params.chunks as u64)),
-        ("reps".into(), num(params.reps as u64)),
-        ("seed".into(), num(params.seed)),
-        ("host_cpus".into(), num(host_cpus)),
-        ("calibration_mops".into(), Json::Num(calibration_mops)),
-        ("ops".into(), Json::Arr(ops_arr)),
-    ])
+    crate::report::document(
+        SCHEMA,
+        vec![
+            ("quick".into(), Json::Bool(quick)),
+            ("p".into(), num(u64::from(params.p))),
+            ("n".into(), num(params.n as u64)),
+            ("chunks".into(), num(params.chunks as u64)),
+            ("reps".into(), num(params.reps as u64)),
+            ("seed".into(), num(params.seed)),
+            ("host_cpus".into(), num(host_cpus)),
+            ("calibration_mops".into(), Json::Num(calibration_mops)),
+            ("ops".into(), Json::Arr(ops_arr)),
+        ],
+    )
 }
 
 /// Run the whole harness and write the report to `out_path`. Prints a
@@ -361,9 +362,7 @@ pub struct SpeedupRow {
 }
 
 fn doc_points(doc: &Json) -> Result<Vec<(String, bool, u64, f64)>, String> {
-    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-        return Err(format!("not a {SCHEMA} document"));
-    }
+    crate::report::expect_schema(doc, SCHEMA)?;
     let mut out = Vec::new();
     for op in doc
         .get("ops")

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use pim_core::{Config, DurabilityPolicy, FsyncPolicy, Op, PimSkipList, RangeFunc};
-use pim_runtime::export::{num, str as jstr, Json};
+use pim_runtime::export::{num, Json};
 
 /// Deterministic mixed op stream (splitmix64 of the op index).
 fn op_at(i: u64) -> Op {
@@ -172,17 +172,18 @@ pub fn run_recovery(quick: bool, seed: u64, json_out: Option<&str>) -> std::io::
     println!("(base_seq \"empty\": full-WAL replay, bit-identical tier; otherwise");
     println!(" newest-snapshot bulk load + suffix replay, logical-identity tier)");
     if let Some(path) = json_out {
-        let report = Json::Obj(vec![
-            ("schema".into(), jstr("pim-recovery-bench/1")),
-            ("provenance".into(), crate::provenance::provenance_json()),
-            ("quick".into(), Json::Bool(quick)),
-            ("total_ops".into(), num(total)),
-            ("seed".into(), num(seed)),
-            (
-                "points".into(),
-                Json::Arr(points.iter().map(point_json).collect()),
-            ),
-        ]);
+        let report = crate::report::document(
+            "pim-recovery-bench/1",
+            vec![
+                ("quick".into(), Json::Bool(quick)),
+                ("total_ops".into(), num(total)),
+                ("seed".into(), num(seed)),
+                (
+                    "points".into(),
+                    Json::Arr(points.iter().map(point_json).collect()),
+                ),
+            ],
+        );
         std::fs::write(path, report.to_json())?;
         println!("wrote {path}");
     }

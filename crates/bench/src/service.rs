@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use pim_core::{Op, RangeFunc};
-use pim_runtime::export::{num, str as jstr, Json};
+use pim_runtime::export::{num, Json};
 use pim_service::{PimService, ServiceConfig};
 use pim_workloads::{ArrivalEvent, ArrivalGen, ArrivalOp, OpMix};
 
@@ -230,20 +230,21 @@ pub fn run_service(quick: bool, seed: u64, json_out: Option<&str>) -> std::io::R
     }
     println!("(ops/round and both latency columns are deterministic; ops/sec is the wall clock)");
     if let Some(path) = json_out {
-        let report = Json::Obj(vec![
-            ("schema".into(), jstr("pim-service-bench/1")),
-            ("provenance".into(), crate::provenance::provenance_json()),
-            ("quick".into(), Json::Bool(quick)),
-            ("p".into(), num(u64::from(p))),
-            ("n".into(), num(n as u64)),
-            ("seed".into(), num(seed)),
-            ("ticks".into(), num(ticks)),
-            ("arrivals".into(), num(schedule.len() as u64)),
-            (
-                "points".into(),
-                Json::Arr(points.iter().map(point_json).collect()),
-            ),
-        ]);
+        let report = crate::report::document(
+            "pim-service-bench/1",
+            vec![
+                ("quick".into(), Json::Bool(quick)),
+                ("p".into(), num(u64::from(p))),
+                ("n".into(), num(n as u64)),
+                ("seed".into(), num(seed)),
+                ("ticks".into(), num(ticks)),
+                ("arrivals".into(), num(schedule.len() as u64)),
+                (
+                    "points".into(),
+                    Json::Arr(points.iter().map(point_json).collect()),
+                ),
+            ],
+        );
         std::fs::write(path, report.to_json())?;
         println!("wrote {path}");
     }

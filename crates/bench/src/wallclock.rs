@@ -397,22 +397,23 @@ pub fn report_json(
         }
         ops_arr.push(Json::Obj(fields));
     }
-    Json::Obj(vec![
-        ("schema".into(), jstr(SCHEMA)),
-        ("provenance".into(), crate::provenance::provenance_json()),
-        ("quick".into(), Json::Bool(quick)),
-        ("p".into(), num(u64::from(params.p))),
-        ("n".into(), num(params.n as u64)),
-        ("warmup".into(), num(params.warmup as u64)),
-        ("reps".into(), num(params.reps as u64)),
-        ("seed".into(), num(params.seed)),
-        (
-            "host_cpus".into(),
-            num(std::thread::available_parallelism().map_or(1, |c| c.get() as u64)),
-        ),
-        ("calibration_mops".into(), Json::Num(calibration_mops)),
-        ("ops".into(), Json::Arr(ops_arr)),
-    ])
+    crate::report::document(
+        SCHEMA,
+        vec![
+            ("quick".into(), Json::Bool(quick)),
+            ("p".into(), num(u64::from(params.p))),
+            ("n".into(), num(params.n as u64)),
+            ("warmup".into(), num(params.warmup as u64)),
+            ("reps".into(), num(params.reps as u64)),
+            ("seed".into(), num(params.seed)),
+            (
+                "host_cpus".into(),
+                num(std::thread::available_parallelism().map_or(1, |c| c.get() as u64)),
+            ),
+            ("calibration_mops".into(), Json::Num(calibration_mops)),
+            ("ops".into(), Json::Arr(ops_arr)),
+        ],
+    )
 }
 
 /// Run the whole harness and write the report to `out_path`. Prints a
@@ -513,9 +514,7 @@ pub struct GateRow {
 }
 
 fn normalised_points(doc: &Json, raw: bool) -> Result<Vec<(String, u64, f64)>, String> {
-    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-        return Err(format!("not a {SCHEMA} document"));
-    }
+    crate::report::expect_schema(doc, SCHEMA)?;
     let cal = doc
         .get("calibration_mops")
         .and_then(Json::as_f64)
@@ -632,9 +631,7 @@ pub fn perf_gate(
 /// rounds_per_batch)`. Ops without allocation fields (reports produced
 /// without `alloc-stats`) are skipped.
 fn report_alloc_points(doc: &Json) -> Result<Vec<(String, f64, f64)>, String> {
-    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-        return Err(format!("not a {SCHEMA} document"));
-    }
+    crate::report::expect_schema(doc, SCHEMA)?;
     let mut out = Vec::new();
     for op in doc
         .get("ops")

@@ -1,0 +1,101 @@
+//! Canonical client-visible reply encoding.
+//!
+//! A [`Reply::Entry`] carries a node [`pim_runtime::Handle`] — a
+//! machine-local name, meaningful only inside the shard that produced it.
+//! Everything else in a reply stream is shard-independent. This module
+//! defines the canonical byte encoding a cluster client sees: entry
+//! replies serialize their *key* (handles never cross the wire), so the
+//! encoded stream from a cluster of any `S` is byte-equal to the single
+//! machine's — the equivalence the `cluster` bench experiment and the CI
+//! `cluster` job byte-compare.
+//!
+//! Layout: one tag byte per reply, then little-endian fixed-width
+//! payloads. Deliberately version-tagged by the leading magic so the
+//! comparators fail loudly if the encoding ever drifts.
+
+use pim_core::{Reply, UpsertOutcome};
+
+/// Magic + version prefix of an encoded reply stream.
+pub const MAGIC: &[u8; 8] = b"pimwire1";
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a reply stream canonically (see the module docs).
+pub fn encode_replies(replies: &[Reply]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + replies.len() * 9);
+    out.extend_from_slice(MAGIC);
+    put_u64(&mut out, replies.len() as u64);
+    for r in replies {
+        match r {
+            Reply::Value(None) => out.push(0),
+            Reply::Value(Some(v)) => {
+                out.push(1);
+                put_u64(&mut out, *v);
+            }
+            Reply::Updated(hit) => {
+                out.push(2);
+                out.push(u8::from(*hit));
+            }
+            Reply::Upserted(outcome) => {
+                out.push(3);
+                out.push(match outcome {
+                    UpsertOutcome::Updated => 0,
+                    UpsertOutcome::Inserted => 1,
+                });
+            }
+            Reply::Deleted(hit) => {
+                out.push(4);
+                out.push(u8::from(*hit));
+            }
+            Reply::Entry(None) => out.push(5),
+            Reply::Entry(Some((key, _handle))) => {
+                out.push(6);
+                put_i64(&mut out, *key);
+            }
+            Reply::Range(res) => {
+                out.push(7);
+                put_u64(&mut out, res.count);
+                put_u64(&mut out, res.sum);
+                put_u64(&mut out, res.min);
+                put_u64(&mut out, res.max);
+                put_u64(&mut out, res.items.len() as u64);
+                for (k, v) in &res.items {
+                    put_i64(&mut out, *k);
+                    put_u64(&mut out, *v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::RangeResult;
+
+    #[test]
+    fn encoding_is_positional_and_total() {
+        let a = encode_replies(&[Reply::Value(None), Reply::Deleted(true)]);
+        let b = encode_replies(&[Reply::Deleted(true), Reply::Value(None)]);
+        assert_ne!(a, b, "order is part of the encoding");
+        assert!(a.starts_with(MAGIC));
+
+        let mut res = RangeResult::empty();
+        res.items.push((-3, 7));
+        res.count = 1;
+        res.sum = 7;
+        res.min = 7;
+        res.max = 7;
+        let enc = encode_replies(&[Reply::Range(res.clone())]);
+        // magic + count + tag + 4 reductions + item count + one pair.
+        assert_eq!(enc.len(), 8 + 8 + 1 + 32 + 8 + 16);
+        assert_eq!(enc, encode_replies(&[Reply::Range(res)]), "deterministic");
+    }
+}

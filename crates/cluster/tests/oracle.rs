@@ -1,0 +1,254 @@
+//! Cluster ≡ single-machine oracle, deterministically.
+//!
+//! The property proptest sweeps over in `tests/` rides on the invariants
+//! pinned here with fixed seeds: `S = 1` is byte-identical to one
+//! machine, `S > 1` is reply-identical up to machine-local entry handles
+//! (compared through the canonical wire encoding), shard crash refuses
+//! only streams that touch the dead shard, and rebuild/split/recover all
+//! land back on oracle contents.
+
+use pim_cluster::{wire, ClusterConfig, PimCluster};
+use pim_core::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// A key from a 512-slot pool spread across the whole `i64` line (so a
+/// 2/4/8-shard cluster sees real cross-shard traffic *and* point ops get
+/// hits): slot ∈ [-256, 255], stride 2^54.
+fn pool_key(r: u64) -> Key {
+    (((r % 512) as i64) - 256).wrapping_mul(1 << 54)
+}
+
+/// `n` mixed ops covering every family and every range function.
+fn random_ops(seed: u64, n: usize) -> Vec<Op> {
+    let mut s = seed;
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = pool_key(lcg(&mut s));
+        let value = lcg(&mut s);
+        ops.push(match lcg(&mut s) % 10 {
+            0..=2 => Op::Upsert { key, value },
+            3 => Op::Get { key },
+            4 => Op::Update { key, value },
+            5 => Op::Delete { key },
+            6 => Op::Successor { key },
+            7 => Op::Predecessor { key },
+            _ => {
+                let other = pool_key(lcg(&mut s));
+                let (lo, hi) = (key.min(other), key.max(other));
+                let func = match i % 7 {
+                    0 => RangeFunc::Read,
+                    1 => RangeFunc::Count,
+                    2 => RangeFunc::Sum,
+                    3 => RangeFunc::Min,
+                    4 => RangeFunc::Max,
+                    5 => RangeFunc::FetchAdd(3),
+                    _ => RangeFunc::AddInPlace(7),
+                };
+                Op::Range { lo, hi, func }
+            }
+        });
+    }
+    ops
+}
+
+fn cfg() -> Config {
+    Config::new(4, 1 << 10, 42)
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("pim-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn s1_is_byte_identical_to_the_single_machine() {
+    let ops = random_ops(0xA11CE, 600);
+    let mut oracle = PimSkipList::new(cfg());
+    let mut cluster = PimCluster::new(ClusterConfig::new(cfg(), 1));
+    let want = oracle.execute(&ops);
+    let got = cluster.execute(&ops);
+    // Full structural equality — handles included, no canonicalization.
+    assert_eq!(got, want);
+    assert_eq!(cluster.collect_items(), oracle.collect_items());
+    assert_eq!(cluster.rounds(), oracle.metrics().rounds);
+}
+
+#[test]
+fn sharded_replies_match_oracle_through_the_wire_encoding() {
+    let ops = random_ops(0xBEEF, 800);
+    let mut oracle = PimSkipList::new(cfg());
+    let want = wire::encode_replies(&oracle.execute(&ops));
+    for s in [2u32, 4, 8] {
+        let mut cluster = PimCluster::new(ClusterConfig::new(cfg(), s));
+        let got = wire::encode_replies(&cluster.execute(&ops));
+        assert_eq!(got, want, "S={s} reply stream drifted from the oracle");
+        assert_eq!(
+            cluster.collect_items(),
+            oracle.collect_items(),
+            "S={s} contents drifted"
+        );
+    }
+}
+
+#[test]
+fn inverted_range_and_h_low_errors_are_oracle_byte_equal() {
+    let mut oracle = PimSkipList::new(cfg());
+    let mut cluster = PimCluster::new(ClusterConfig::new(cfg(), 4));
+    let bad = [Op::Range {
+        lo: 10,
+        hi: -10,
+        func: RangeFunc::Count,
+    }];
+    assert_eq!(
+        cluster.try_execute(&bad).unwrap_err(),
+        oracle.try_execute(&bad).unwrap_err()
+    );
+
+    let flat = cfg().with_h_low(0);
+    let mut oracle = PimSkipList::new(flat.clone());
+    let mut cluster = PimCluster::new(ClusterConfig::new(flat, 4));
+    let mutating = [Op::Range {
+        lo: -10,
+        hi: 10,
+        func: RangeFunc::FetchAdd(1),
+    }];
+    assert_eq!(
+        cluster.try_execute(&mutating).unwrap_err(),
+        oracle.try_execute(&mutating).unwrap_err()
+    );
+}
+
+#[test]
+fn dead_shard_refuses_only_streams_that_touch_it() {
+    let dir = tmpdir("dead-shard");
+    let mut cluster = PimCluster::new(ClusterConfig::new(cfg(), 4));
+    cluster
+        .enable_durability(&dir, DurabilityPolicy::default())
+        .unwrap();
+    let ops = random_ops(0xD00D, 400);
+    cluster.execute(&ops);
+    let before = cluster.collect_items();
+
+    // Kill the shard owning key 1 (the third quarter of the i64 line).
+    let victim = cluster.lane_of(&Op::Get { key: 1 });
+    cluster.kill_shard(victim).unwrap();
+    let victim_id = cluster.stats().shards[victim].id;
+
+    // A stream that routes into the dead shard refuses with ShardDown
+    // at the failing run's boundary: the earlier run IS committed.
+    let far = i64::MIN + 10; // shard 0 territory
+    let err = cluster
+        .try_execute(&[
+            Op::Upsert {
+                key: far,
+                value: 999,
+            },
+            Op::Get { key: 1 },
+        ])
+        .unwrap_err();
+    assert_eq!(err, PimError::ShardDown { shard: victim_id });
+
+    // Streams that avoid it keep serving (and see the committed run).
+    let ok = cluster.execute(&[Op::Get { key: far }]);
+    assert_eq!(ok, vec![Reply::Value(Some(999))]);
+
+    // Rebuild from the shard's own WAL/snapshots; contents are restored
+    // (plus the upsert the surviving shards committed meanwhile).
+    let report = cluster.rebuild_shard(victim).unwrap();
+    assert!(report.ops_replayed > 0 || report.snapshot_seq.is_some());
+    let mut want = before;
+    want.insert(0, (far, 999));
+    assert_eq!(cluster.collect_items(), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn split_migrates_contents_and_mints_fresh_ids() {
+    let mut oracle = PimSkipList::new(cfg());
+    let mut cluster = PimCluster::new(ClusterConfig::new(cfg(), 2));
+    let ops = random_ops(0x5EED, 500);
+    oracle.execute(&ops);
+    cluster.execute(&ops);
+
+    let (left, right) = cluster.split_shard(1).unwrap();
+    assert_eq!((left, right), (2, 3), "children get freshly minted ids");
+    assert_eq!(cluster.shard_count(), 3);
+    assert_eq!(cluster.collect_items(), oracle.collect_items());
+    let stats = cluster.stats();
+    assert_eq!(stats.shards[1].hi + 1, stats.shards[2].lo, "contiguous cut");
+
+    // Routing still matches the oracle after the split.
+    let more = random_ops(0xF00D, 300);
+    assert_eq!(
+        wire::encode_replies(&cluster.execute(&more)),
+        wire::encode_replies(&oracle.execute(&more))
+    );
+}
+
+#[test]
+fn durable_split_then_recover_sees_the_post_split_cluster() {
+    let dir = tmpdir("split-recover");
+    let mut cluster = PimCluster::new(ClusterConfig::new(cfg(), 2));
+    cluster
+        .enable_durability(&dir, DurabilityPolicy::default())
+        .unwrap();
+    let ops = random_ops(0xCAFE, 400);
+    cluster.execute(&ops);
+    cluster.split_shard(0).unwrap();
+    let more = random_ops(0x1234, 200);
+    cluster.execute(&more);
+    let want_items = cluster.collect_items();
+    let want_shards: Vec<_> = cluster.stats().shards.iter().map(|s| s.id).collect();
+    drop(cluster);
+
+    let (mut recovered, report) = PimCluster::recover_from_dir(
+        ClusterConfig::new(cfg(), 2),
+        &dir,
+        DurabilityPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        recovered
+            .stats()
+            .shards
+            .iter()
+            .map(|s| s.id)
+            .collect::<Vec<_>>(),
+        want_shards,
+        "manifest is the authority on which shards exist"
+    );
+    assert_eq!(recovered.collect_items(), want_items);
+    assert_eq!(report.shards.len(), 3);
+    // The parent's retired directory is gone.
+    assert!(!dir.join("shard-0").exists());
+
+    // And the recovered cluster keeps serving correctly.
+    let probe = random_ops(0x777, 100);
+    let mut oracle = PimSkipList::new(cfg());
+    oracle.load(&want_items);
+    assert_eq!(
+        wire::encode_replies(&recovered.execute(&probe)),
+        wire::encode_replies(&oracle.execute(&probe))
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_merges_shard_labeled_series() {
+    let mut cluster = PimCluster::new(ClusterConfig::new(cfg(), 2));
+    cluster.enable_telemetry();
+    cluster.execute(&random_ops(0xABCD, 200));
+    let snap = cluster.telemetry_snapshot().expect("telemetry is lit");
+    let text = snap.render_prometheus();
+    assert!(
+        text.contains("shard=\"0\"") && text.contains("shard=\"1\""),
+        "every shard publishes under its own label:\n{text}"
+    );
+}

@@ -570,6 +570,7 @@ impl PimSkipList {
     /// [`PimSkipList::batch_successor`] or the [`PimSkipList::execute`]
     /// mixed-stream entry point.
     #[doc(hidden)]
+    #[deprecated(note = "FIG3 baseline only — not PIM-balanced; use batch_successor or execute")]
     pub fn batch_successor_naive(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
         let mut uniq: Vec<Key> = keys.to_vec();
         par_sort(&mut uniq).charge(self.sys.metrics_mut());

@@ -74,6 +74,28 @@ impl Config {
         }
     }
 
+    /// [`Config::new`], then apply every `PIM_*` environment override in
+    /// one place: `PIM_PIPELINE` (run pipelining) today, with thread count
+    /// and shard count read by the executor and cluster tiers from the
+    /// same parsed [`pim_runtime::EnvSettings`]. This is the supported way
+    /// to build an environment-driven config; layered configs
+    /// (`ServiceConfig`, `ClusterConfig`) wrap the result rather than
+    /// re-parsing variables themselves.
+    pub fn from_env(p: u32, expected_n: u64, seed: u64) -> Self {
+        Self::new(p, expected_n, seed).with_settings(&pim_runtime::EnvSettings::from_env())
+    }
+
+    /// Apply pre-parsed [`pim_runtime::EnvSettings`] (unit-testable
+    /// counterpart of [`Config::from_env`]; settings that do not concern
+    /// the core config — threads, shards — are ignored here and consumed
+    /// by their own tiers).
+    pub fn with_settings(mut self, settings: &pim_runtime::EnvSettings) -> Self {
+        if let Some(pipeline) = settings.pipeline {
+            self.pipeline = pipeline;
+        }
+        self
+    }
+
     /// Override the recovery retry budget (chaos testing).
     pub fn with_max_retries(mut self, max_retries: u32) -> Self {
         self.max_retries = max_retries;
@@ -125,12 +147,12 @@ impl Config {
 
 /// `PIM_PIPELINE=1` (or `true`) turns run pipelining on everywhere a
 /// `Config` is built with [`Config::new`]; anything else — including the
-/// variable being absent — leaves it dark.
+/// variable being absent — leaves it dark. Parsing itself lives in
+/// [`pim_runtime::EnvSettings`], the one `PIM_*` parser.
 fn pipeline_from_env() -> bool {
-    matches!(
-        std::env::var("PIM_PIPELINE").as_deref().map(str::trim),
-        Ok("1") | Ok("true")
-    )
+    pim_runtime::EnvSettings::from_env()
+        .pipeline
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -165,5 +187,27 @@ mod tests {
     fn h_low_must_leave_upper_levels() {
         let c = Config::new(4, 64, 1);
         let _ = c.clone().with_h_low(c.max_level);
+    }
+
+    #[test]
+    fn settings_override_pipeline_only_when_present() {
+        use pim_runtime::EnvSettings;
+        let base = Config::new(4, 64, 1).with_pipeline(false);
+        let on = base.clone().with_settings(&EnvSettings {
+            pipeline: Some(true),
+            ..EnvSettings::default()
+        });
+        assert!(on.pipeline);
+        let untouched = base.clone().with_settings(&EnvSettings::default());
+        assert!(!untouched.pipeline);
+        // Threads/shards are other tiers' business; the core config
+        // ignores them.
+        let other = base.with_settings(&EnvSettings {
+            threads: Some(8),
+            shards: Some(4),
+            pipeline: None,
+        });
+        assert!(!other.pipeline);
+        assert_eq!(other.p, 4);
     }
 }

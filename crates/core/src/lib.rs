@@ -46,6 +46,7 @@ pub mod module;
 pub mod node;
 pub mod op;
 mod pipeline;
+pub mod prelude;
 pub mod range;
 mod recover;
 mod scratch;

@@ -127,6 +127,33 @@ impl Op {
         }
     }
 
+    /// The point key the operation addresses (`None` for [`Op::Range`],
+    /// which addresses an interval — see [`Op::bounds`]).
+    pub fn key(&self) -> Option<Key> {
+        match *self {
+            Op::Get { key }
+            | Op::Update { key, .. }
+            | Op::Upsert { key, .. }
+            | Op::Delete { key }
+            | Op::Predecessor { key }
+            | Op::Successor { key } => Some(key),
+            Op::Range { .. } => None,
+        }
+    }
+
+    /// The inclusive key interval the operation addresses: `(k, k)` for
+    /// point operations, `(lo, hi)` for ranges. Routers (the cluster
+    /// tier) partition on this.
+    pub fn bounds(&self) -> (Key, Key) {
+        match *self {
+            Op::Range { lo, hi, .. } => (lo, hi),
+            _ => {
+                let k = self.key().expect("point op has a key");
+                (k, k)
+            }
+        }
+    }
+
     /// Can `self` and `other` ride in the same model-legal batch? Same
     /// family, and for ranges the same function (the model's batches apply
     /// one function to every range).
@@ -481,7 +508,10 @@ impl PimSkipList {
 }
 
 /// End (exclusive) of the maximal coalescible run starting at `start`.
-fn run_end(ops: &[Op], start: usize) -> usize {
+/// Public so layered executors (the cluster router) split a stream into
+/// *exactly* the runs this machine would — reply identity across tiers
+/// depends on the two split points never drifting apart.
+pub fn run_end(ops: &[Op], start: usize) -> usize {
     let mut end = start + 1;
     while end < ops.len() && ops[end].coalesces_with(&ops[start]) {
         end += 1;

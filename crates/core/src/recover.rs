@@ -152,6 +152,7 @@ impl PimSkipList {
     /// Fault-tolerant batched Get; see [`PimSkipList::batch_get`]. A thin
     /// shim over [`PimSkipList::try_execute`], where the retry/recovery
     /// surface of every batch family is defined once.
+    #[doc(hidden)]
     pub fn try_batch_get(&mut self, keys: &[Key]) -> PimResult<Vec<Option<Value>>> {
         let ops: Vec<Op> = keys.iter().map(|&key| Op::Get { key }).collect();
         let replies = self.try_execute(&ops)?;
@@ -166,6 +167,7 @@ impl PimSkipList {
 
     /// Fault-tolerant batched Update; see [`PimSkipList::batch_update`].
     /// Shim over [`PimSkipList::try_execute`].
+    #[doc(hidden)]
     pub fn try_batch_update(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<bool>> {
         let ops: Vec<Op> = pairs
             .iter()
@@ -184,6 +186,7 @@ impl PimSkipList {
     /// Fault-tolerant batched Successor; see
     /// [`PimSkipList::batch_successor`]. Shim over
     /// [`PimSkipList::try_execute`].
+    #[doc(hidden)]
     pub fn try_batch_successor(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
         let ops: Vec<Op> = keys.iter().map(|&key| Op::Successor { key }).collect();
         let replies = self.try_execute(&ops)?;
@@ -199,6 +202,7 @@ impl PimSkipList {
     /// Fault-tolerant batched Predecessor; see
     /// [`PimSkipList::batch_predecessor`]. Shim over
     /// [`PimSkipList::try_execute`].
+    #[doc(hidden)]
     pub fn try_batch_predecessor(&mut self, keys: &[Key]) -> PimResult<Vec<Option<(Key, Handle)>>> {
         let ops: Vec<Op> = keys.iter().map(|&key| Op::Predecessor { key }).collect();
         let replies = self.try_execute(&ops)?;
@@ -213,6 +217,7 @@ impl PimSkipList {
 
     /// Fault-tolerant batched Upsert; see [`PimSkipList::batch_upsert`].
     /// Shim over [`PimSkipList::try_execute`].
+    #[doc(hidden)]
     pub fn try_batch_upsert(&mut self, pairs: &[(Key, Value)]) -> PimResult<Vec<UpsertOutcome>> {
         let ops: Vec<Op> = pairs
             .iter()
@@ -230,6 +235,7 @@ impl PimSkipList {
 
     /// Fault-tolerant batched Delete; see [`PimSkipList::batch_delete`].
     /// Shim over [`PimSkipList::try_execute`].
+    #[doc(hidden)]
     pub fn try_batch_delete(&mut self, keys: &[Key]) -> PimResult<Vec<bool>> {
         let ops: Vec<Op> = keys.iter().map(|&key| Op::Delete { key }).collect();
         let replies = self.try_execute(&ops)?;
@@ -243,6 +249,7 @@ impl PimSkipList {
     }
 
     /// Fault-tolerant bulk construction; see [`PimSkipList::bulk_load`].
+    #[doc(hidden)]
     pub fn try_bulk_load(&mut self, pairs: &[(Key, Value)]) -> PimResult<()> {
         if !self.is_empty() {
             return Err(PimError::InvalidArgument {

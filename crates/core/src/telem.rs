@@ -61,7 +61,14 @@ fn op_index(kind: OpKind) -> usize {
 
 impl CoreTelemetry {
     pub(crate) fn new() -> Self {
-        let mut reg = Telemetry::new();
+        Self::new_labeled(&[])
+    }
+
+    /// A registry whose every series carries `base` labels (the cluster
+    /// tier stamps `shard="i"` so per-shard registries stay apart after a
+    /// [`pim_runtime::TelemetrySnapshot::merged`]).
+    pub(crate) fn new_labeled(base: &[(&str, &str)]) -> Self {
+        let mut reg = Telemetry::new().with_base_labels(base);
         let ops = OP_LABELS.map(|l| reg.counter("pim_ops_total", &[("op", l)]));
         CoreTelemetry {
             runs: reg.counter("pim_runs_total", &[]),
@@ -116,6 +123,15 @@ impl PimSkipList {
     pub fn enable_telemetry(&mut self) {
         if self.telemetry.is_none() {
             self.telemetry = Some(Box::new(CoreTelemetry::new()));
+        }
+    }
+
+    /// [`PimSkipList::enable_telemetry`], but every series this machine
+    /// publishes carries the given base labels (the cluster tier passes
+    /// `shard="i"`). Idempotent; a registry already lit keeps its labels.
+    pub fn enable_telemetry_with_labels(&mut self, base: &[(&str, &str)]) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(CoreTelemetry::new_labeled(base)));
         }
     }
 

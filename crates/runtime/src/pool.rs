@@ -82,18 +82,18 @@ impl ExecConfig {
     /// Read `PIM_THREADS` (falling back to the machine's available
     /// parallelism, then to 1). `PIM_THREADS=0` also means "all cores".
     pub fn from_env() -> Self {
-        let available = || {
+        Self::from_settings(&crate::envcfg::EnvSettings::from_env())
+    }
+
+    /// Build from pre-parsed [`crate::envcfg::EnvSettings`] (absent/zero/
+    /// garbage thread counts fall back to the machine's available
+    /// parallelism, then to 1).
+    pub fn from_settings(settings: &crate::envcfg::EnvSettings) -> Self {
+        let threads = settings.threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
-        };
-        let threads = match std::env::var("PIM_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(0) | Err(_) => available(),
-                Ok(n) => n,
-            },
-            Err(_) => available(),
-        };
+        });
         Self::with_threads(threads)
     }
 }

@@ -56,15 +56,6 @@ struct Series<T> {
     value: T,
 }
 
-fn series_matches<T>(s: &Series<T>, name: &str, labels: &[(&str, &str)]) -> bool {
-    s.name == name
-        && s.labels.len() == labels.len()
-        && s.labels
-            .iter()
-            .zip(labels)
-            .all(|((k, v), (lk, lv))| k == lk && v == lv)
-}
-
 /// One structured lifecycle event, stamped in the deterministic clocks
 /// (service tick + machine round — never wall time).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +93,11 @@ pub struct Telemetry {
     events: Vec<TelemetryEvent>,
     max_events: usize,
     dropped_events: u64,
+    /// Labels prepended to every series registered in this registry (the
+    /// cluster tier stamps `shard="i"` here so per-shard registries stay
+    /// distinguishable after a merge). Registration calls pass only their
+    /// own labels; the base is invisible to handle-based updates.
+    base_labels: Vec<(String, String)>,
 }
 
 impl Default for Telemetry {
@@ -113,6 +109,7 @@ impl Default for Telemetry {
             events: Vec::new(),
             max_events: DEFAULT_MAX_EVENTS,
             dropped_events: 0,
+            base_labels: Vec::new(),
         }
     }
 }
@@ -129,21 +126,47 @@ impl Telemetry {
         self
     }
 
+    /// Prepend `labels` to every series registered from now on (normally
+    /// set before any registration — e.g. `shard="3"` on a cluster
+    /// shard's registry, so its series keep their identity when merged
+    /// into a cluster-wide exposition).
+    pub fn with_base_labels(mut self, labels: &[(&str, &str)]) -> Self {
+        self.base_labels = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self
+    }
+
+    /// The labels every registered series carries (empty by default).
+    pub fn base_labels(&self) -> &[(String, String)] {
+        &self.base_labels
+    }
+
     fn find_or_insert<T>(
         all: &mut Vec<Series<T>>,
+        base: &[(String, String)],
         name: &str,
         labels: &[(&str, &str)],
         fresh: T,
     ) -> usize {
-        if let Some(i) = all.iter().position(|s| series_matches(s, name, labels)) {
+        let matches = |s: &Series<T>| {
+            s.name == name
+                && s.labels.len() == base.len() + labels.len()
+                && s.labels[..base.len()] == *base
+                && s.labels[base.len()..]
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        };
+        if let Some(i) = all.iter().position(matches) {
             return i;
         }
+        let mut full: Vec<(String, String)> = base.to_vec();
+        full.extend(labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())));
         all.push(Series {
             name: name.to_string(),
-            labels: labels
-                .iter()
-                .map(|&(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
+            labels: full,
             value: fresh,
         });
         all.len() - 1
@@ -151,18 +174,31 @@ impl Telemetry {
 
     /// Register (or look up) the counter `name{labels}`.
     pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
-        CounterId(Self::find_or_insert(&mut self.counters, name, labels, 0))
+        CounterId(Self::find_or_insert(
+            &mut self.counters,
+            &self.base_labels,
+            name,
+            labels,
+            0,
+        ))
     }
 
     /// Register (or look up) the gauge `name{labels}`.
     pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
-        GaugeId(Self::find_or_insert(&mut self.gauges, name, labels, 0))
+        GaugeId(Self::find_or_insert(
+            &mut self.gauges,
+            &self.base_labels,
+            name,
+            labels,
+            0,
+        ))
     }
 
     /// Register (or look up) the histogram `name{labels}`.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> HistId {
         HistId(Self::find_or_insert(
             &mut self.hists,
+            &self.base_labels,
             name,
             labels,
             Histogram::new(),
@@ -273,12 +309,12 @@ impl Telemetry {
         let mut counters = self.counters.clone();
         counters.push(Series {
             name: "pim_telemetry_events".to_string(),
-            labels: Vec::new(),
+            labels: self.base_labels.clone(),
             value: self.events.len() as u64,
         });
         counters.push(Series {
             name: "pim_telemetry_dropped_events".to_string(),
-            labels: Vec::new(),
+            labels: self.base_labels.clone(),
             value: self.dropped_events,
         });
         let mut gauges = self.gauges.clone();
@@ -360,6 +396,34 @@ fn write_type_once(out: &mut String, last: &mut String, name: &str, kind: &str) 
 }
 
 impl TelemetrySnapshot {
+    /// Merge several snapshots into one sorted view — the cluster tier's
+    /// exposition path: each shard's registry snapshots independently
+    /// (its series carry a `shard="i"` base label, so nothing collides)
+    /// and the merged snapshot renders as a single scrape target.
+    /// Identical `(name, labels)` series coming from different parts are
+    /// kept side by side, not summed; give parts distinct base labels.
+    pub fn merged(parts: impl IntoIterator<Item = TelemetrySnapshot>) -> TelemetrySnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for p in parts {
+            counters.extend(p.counters);
+            gauges.extend(p.gauges);
+            hists.extend(p.hists);
+        }
+        fn key<T>(s: &Series<T>) -> (String, Vec<(String, String)>) {
+            (s.name.clone(), s.labels.clone())
+        }
+        counters.sort_by_key(key);
+        gauges.sort_by_key(key);
+        hists.sort_by_key(key);
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
     /// Value of the counter with exactly this name and label set.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         lookup(&self.counters, name, labels).copied()
@@ -519,5 +583,53 @@ mod tests {
             x.snapshot().render_prometheus(),
             y.snapshot().render_prometheus()
         );
+    }
+
+    #[test]
+    fn base_labels_stamp_every_series() {
+        let mut t = Telemetry::new().with_base_labels(&[("shard", "3")]);
+        let c = t.counter("pim_ops_total", &[("op", "get")]);
+        let g = t.gauge("pim_depth", &[]);
+        let h = t.histogram("pim_lat", &[]);
+        t.add(c, 4);
+        t.set(g, 2);
+        t.observe(h, 1);
+        // Handle lookup is idempotent with the base applied.
+        assert_eq!(c, t.counter("pim_ops_total", &[("op", "get")]));
+        let text = t.snapshot().render_prometheus();
+        assert!(text.contains("pim_ops_total{shard=\"3\",op=\"get\"} 4"));
+        assert!(text.contains("pim_depth{shard=\"3\"} 2"));
+        assert!(text.contains("pim_lat_count{shard=\"3\"} 1"));
+        assert!(text.contains("pim_telemetry_events{shard=\"3\"}"));
+        // Snapshot lookups use the full (base + given) label set.
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.counter("pim_ops_total", &[("shard", "3"), ("op", "get")]),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn merged_snapshots_render_as_one_sorted_exposition() {
+        let mut a = Telemetry::new().with_base_labels(&[("shard", "0")]);
+        let mut b = Telemetry::new().with_base_labels(&[("shard", "1")]);
+        let ca = a.counter("pim_ops_total", &[("op", "get")]);
+        let cb = b.counter("pim_ops_total", &[("op", "get")]);
+        a.add(ca, 1);
+        b.add(cb, 2);
+        let merged = TelemetrySnapshot::merged([a.snapshot(), b.snapshot()]);
+        let text = merged.render_prometheus();
+        let s0 = text
+            .find("pim_ops_total{shard=\"0\",op=\"get\"} 1")
+            .unwrap();
+        let s1 = text
+            .find("pim_ops_total{shard=\"1\",op=\"get\"} 2")
+            .unwrap();
+        assert!(s0 < s1, "sorted by label value");
+        // One TYPE line per metric name, not per part.
+        assert_eq!(text.matches("# TYPE pim_ops_total counter").count(), 1);
+        // Merge order does not matter: byte-identical either way.
+        let swapped = TelemetrySnapshot::merged([b.snapshot(), a.snapshot()]);
+        assert_eq!(text, swapped.render_prometheus());
     }
 }

@@ -49,6 +49,10 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+
+pub use backend::Backend;
+
 use pim_core::{Op, OpKind, PimSkipList, Reply};
 use pim_runtime::telemetry::{CounterId, GaugeId, HistId};
 use pim_runtime::Histogram;
@@ -92,15 +96,23 @@ pub struct ServiceConfig {
     /// ticks while acks are pending (the every-T-ticks group-commit
     /// cadence; clamped to at least 1). Ignored otherwise.
     pub sync_every: u64,
-    /// Inter-batch round pipelining override for the fronted list
-    /// (`Some(x)` calls [`pim_core::PimSkipList::set_pipeline`]`(x)` at
-    /// construction; `None` leaves the list's own configuration — usually
-    /// seeded from `PIM_PIPELINE` — untouched). The service's dispatch
-    /// plan orders each read epoch into maximal same-kind runs precisely
-    /// so the pipelined driver can stage run *k+1* while run *k* executes;
-    /// completions, stats, metrics, and traces are byte-identical either
-    /// way (wall-clock only — see `docs/MODEL.md`).
+    /// Inter-batch round pipelining override for the fronted backend
+    /// (`Some(x)` calls [`Backend::set_pipeline`]`(x)` at construction;
+    /// `None` leaves the backend's own configuration — usually seeded
+    /// from `PIM_PIPELINE` via [`pim_core::Config::from_env`] —
+    /// untouched). The service's dispatch plan orders each read epoch
+    /// into maximal same-kind runs precisely so the pipelined driver can
+    /// stage run *k+1* while run *k* executes; completions, stats,
+    /// metrics, and traces are byte-identical either way (wall-clock
+    /// only — see `docs/MODEL.md`).
     pub pipeline: Option<bool>,
+    /// Per-lane admission bound for multi-lane backends (a cluster: one
+    /// lane per shard). A submit whose lane already holds this many
+    /// queued requests is refused with [`Rejected::LaneFull`] even when
+    /// the global queue has room — backpressure lands on the hot shard
+    /// while cold shards keep accepting. `None` (default) disables lane
+    /// accounting; single-lane backends are never lane-refused.
+    pub max_lane_queue: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -115,13 +127,29 @@ impl ServiceConfig {
             ack: AckPolicy::AfterExecute,
             sync_every: 1,
             pipeline: None,
+            max_lane_queue: None,
         }
+    }
+
+    /// The paper-recommended policy derived from a core [`pim_core::Config`]:
+    /// batches of [`pim_core::Config::batch_large`] (`P log² P`). The
+    /// service wraps the structure's own configuration rather than
+    /// duplicating its parameters; build the `Config` with
+    /// [`pim_core::Config::from_env`] to honour `PIM_*` overrides.
+    pub fn for_config(core: &pim_core::Config) -> Self {
+        ServiceConfig::new(core.batch_large())
+    }
+
+    /// [`ServiceConfig::for_config`] for an already-built backend
+    /// (batches of [`Backend::recommended_batch`]).
+    pub fn for_backend<B: Backend>(backend: &B) -> Self {
+        ServiceConfig::new(backend.recommended_batch())
     }
 
     /// The paper-recommended policy for `list`: batches of
     /// [`pim_core::Config::batch_large`] (`P log² P`).
     pub fn for_list(list: &PimSkipList) -> Self {
-        ServiceConfig::new(list.config().batch_large())
+        Self::for_config(list.config())
     }
 
     /// Override the linger bound.
@@ -145,10 +173,17 @@ impl ServiceConfig {
     }
 
     /// Force inter-batch round pipelining on (or off) for the fronted
-    /// list, overriding its `PIM_PIPELINE`-seeded default (see
+    /// backend, overriding its `PIM_PIPELINE`-seeded default (see
     /// [`ServiceConfig::pipeline`]).
     pub fn with_pipeline(mut self, pipeline: bool) -> Self {
         self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Bound each backend lane's share of the queue (see
+    /// [`ServiceConfig::max_lane_queue`]; clamped to at least 1).
+    pub fn with_max_lane_queue(mut self, cap: usize) -> Self {
+        self.max_lane_queue = Some(cap.max(1));
         self
     }
 }
@@ -163,12 +198,22 @@ pub enum Rejected {
     /// The queue is at [`ServiceConfig::max_queue`]; retry after a tick
     /// has drained a batch.
     QueueFull,
+    /// The request's backend lane (its shard) is at
+    /// [`ServiceConfig::max_lane_queue`]; other lanes may still have
+    /// room. Retry after a tick, or route load away from the hot shard.
+    LaneFull {
+        /// The saturated lane index ([`Backend::lane`] of the refused op).
+        lane: usize,
+    },
 }
 
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Rejected::QueueFull => write!(f, "service queue full (backpressure)"),
+            Rejected::LaneFull { lane } => {
+                write!(f, "service lane {lane} full (per-shard backpressure)")
+            }
         }
     }
 }
@@ -244,12 +289,16 @@ struct Pending {
     op: Op,
     arrival: u64,
     rounds_at_arrival: u64,
+    /// Backend lane the op routes to (0 unless lane accounting is on).
+    lane: usize,
 }
 
-/// The batch-coalescing request scheduler. Owns the [`PimSkipList`] it
-/// fronts; reclaim it with [`PimService::into_list`].
-pub struct PimService {
-    list: PimSkipList,
+/// The batch-coalescing request scheduler, generic over the structure it
+/// fronts — a single [`PimSkipList`] machine (the default) or any other
+/// [`Backend`] such as a `pim-cluster` of shards. Owns the backend;
+/// reclaim it with [`PimService::into_list`].
+pub struct PimService<B: Backend = PimSkipList> {
+    list: B,
     cfg: ServiceConfig,
     queue: std::collections::VecDeque<Pending>,
     now: u64,
@@ -270,11 +319,14 @@ pub struct PimService {
     // Registry handles, resolved lazily once the list's telemetry is lit
     // (`None` while dark — the hot path then pays one `is_none` branch).
     telem: Option<ServiceTelem>,
+    // Queued requests per backend lane (sized `lanes()`; all zeros and
+    // untouched unless `max_lane_queue` is set).
+    lane_depth: Vec<usize>,
 }
 
-impl PimService {
+impl<B: Backend> PimService<B> {
     /// Front `list` with the given coalescing policy.
-    pub fn new(mut list: PimSkipList, cfg: ServiceConfig) -> Self {
+    pub fn new(mut list: B, cfg: ServiceConfig) -> Self {
         if let Some(pipeline) = cfg.pipeline {
             list.set_pipeline(pipeline);
         }
@@ -283,6 +335,7 @@ impl PimService {
             cfg.max_queue >= cfg.max_batch,
             "max_queue must admit at least one full batch"
         );
+        let lane_depth = vec![0; list.lanes().max(1)];
         PimService {
             list,
             cfg,
@@ -296,6 +349,7 @@ impl PimService {
             slots: Vec::new(),
             held: std::collections::VecDeque::new(),
             telem: None,
+            lane_depth,
         }
     }
 
@@ -341,22 +395,22 @@ impl PimService {
         &self.stats
     }
 
-    /// The fronted structure (read-only; mutate only through the service
+    /// The fronted backend (read-only; mutate only through the service
     /// while requests are in flight, or ordering guarantees are void).
-    pub fn list(&self) -> &PimSkipList {
+    pub fn list(&self) -> &B {
         &self.list
     }
 
     /// Mutable access to the fronted structure — for instrumentation
     /// (`enable_probe`, `enable_tracing`, `set_fault_plan`), not for
     /// concurrent mutation.
-    pub fn list_mut(&mut self) -> &mut PimSkipList {
+    pub fn list_mut(&mut self) -> &mut B {
         &mut self.list
     }
 
     /// Tear down the service (dropping any still-queued requests) and
-    /// return the structure.
-    pub fn into_list(self) -> PimSkipList {
+    /// return the backend.
+    pub fn into_list(self) -> B {
         self.list
     }
 
@@ -372,10 +426,25 @@ impl PimService {
             }
             return Err(Rejected::QueueFull);
         }
+        let lane = match self.cfg.max_lane_queue {
+            Some(cap) => {
+                let lane = self.list.lane(&op).min(self.lane_depth.len() - 1);
+                if self.lane_depth[lane] >= cap {
+                    self.stats.rejected += 1;
+                    if let (Some(th), Some(reg)) = (self.telem, self.list.telemetry_mut()) {
+                        reg.add(th.rejected, 1);
+                    }
+                    return Err(Rejected::LaneFull { lane });
+                }
+                self.lane_depth[lane] += 1;
+                lane
+            }
+            None => 0,
+        };
         let id = self.next_id;
         self.next_id += 1;
         self.stats.submitted += 1;
-        let rounds_at_arrival = self.list.metrics().rounds;
+        let rounds_at_arrival = self.list.rounds();
         if self.telem.is_some() {
             if let Some(reg) = self.list.telemetry_mut() {
                 reg.emit("admit", self.now, rounds_at_arrival, &[("id", id)]);
@@ -386,6 +455,7 @@ impl PimService {
             op,
             arrival: self.now,
             rounds_at_arrival,
+            lane,
         });
         Ok(id)
     }
@@ -445,7 +515,7 @@ impl PimService {
     /// Publish one service-driven fsync into the registry + event log.
     fn note_fsync(&mut self) {
         let synced = self.list.durable_synced_seq().unwrap_or(0);
-        let round = self.list.metrics().rounds;
+        let round = self.list.rounds();
         if let (Some(th), Some(reg)) = (self.telem, self.list.telemetry_mut()) {
             reg.add(th.fsyncs, 1);
             reg.emit("fsync", self.now, round, &[("synced_seq", synced)]);
@@ -480,7 +550,7 @@ impl PimService {
         self.stats.latency_ticks.record(c.latency_ticks);
         self.stats.latency_rounds.record(c.latency_rounds);
         let held_ticks = self.now.saturating_sub(c.dispatched);
-        let round = self.list.metrics().rounds;
+        let round = self.list.rounds();
         if let (Some(th), Some(reg)) = (self.telem, self.list.telemetry_mut()) {
             reg.observe(th.latency_ticks, c.latency_ticks);
             reg.observe(th.latency_rounds, c.latency_rounds);
@@ -518,6 +588,11 @@ impl PimService {
         let n = self.queue.len().min(self.cfg.max_batch);
         self.pend.clear();
         self.pend.extend(self.queue.drain(..n));
+        if self.cfg.max_lane_queue.is_some() {
+            for p in &self.pend {
+                self.lane_depth[p.lane] -= 1;
+            }
+        }
         let batch = self.stats.batches;
         self.stats.batches += 1;
         self.stats.batch_occupancy.record(n as u64);
@@ -527,7 +602,7 @@ impl PimService {
         self.ops.clear();
         self.ops.extend(self.order.iter().map(|&i| self.pend[i].op));
         self.list.span_exit();
-        let rounds_before = self.list.metrics().rounds;
+        let rounds_before = self.list.rounds();
         if let Some(th) = self.telem {
             if let Some(reg) = self.list.telemetry_mut() {
                 reg.observe(th.occupancy, n as u64);
@@ -547,11 +622,11 @@ impl PimService {
         }
 
         self.list.span_enter("service/dispatch");
-        let replies = self.list.execute(&self.ops);
+        let replies = self.list.execute_ops(&self.ops);
         self.list.span_exit();
 
         self.list.span_enter("service/reply");
-        let rounds_now = self.list.metrics().rounds;
+        let rounds_now = self.list.rounds();
         if self.telem.is_some() {
             if let Some(reg) = self.list.telemetry_mut() {
                 reg.emit(
@@ -1025,6 +1100,80 @@ mod tests {
         assert_eq!(done_off, done_on, "completions identical");
         assert_eq!(metrics_off, metrics_on, "metrics identical");
         assert_eq!(events_off, events_on, "telemetry events identical");
+    }
+
+    /// A two-lane backend (keys route by parity) for exercising per-lane
+    /// backpressure without pulling the cluster crate into the dev-deps.
+    struct TwoLane(PimSkipList);
+
+    impl Backend for TwoLane {
+        fn execute_ops(&mut self, ops: &[Op]) -> Vec<Reply> {
+            self.0.execute(ops)
+        }
+        fn rounds(&self) -> u64 {
+            self.0.metrics().rounds
+        }
+        fn span_enter(&mut self, name: &'static str) {
+            self.0.span_enter(name);
+        }
+        fn span_exit(&mut self) {
+            self.0.span_exit();
+        }
+        fn set_pipeline(&mut self, pipeline: bool) {
+            self.0.set_pipeline(pipeline);
+        }
+        fn is_durable(&self) -> bool {
+            self.0.is_durable()
+        }
+        fn durable_seq(&self) -> Option<u64> {
+            self.0.durable_seq()
+        }
+        fn durable_synced_seq(&self) -> Option<u64> {
+            self.0.durable_synced_seq()
+        }
+        fn durable_sync(&mut self) -> pim_core::PimResult<()> {
+            self.0.durable_sync()
+        }
+        fn telemetry_mut(&mut self) -> Option<&mut pim_runtime::Telemetry> {
+            self.0.telemetry_mut()
+        }
+        fn recommended_batch(&self) -> usize {
+            self.0.config().batch_large()
+        }
+        fn lanes(&self) -> usize {
+            2
+        }
+        fn lane(&self, op: &Op) -> usize {
+            (op.key().unwrap_or(0).rem_euclid(2)) as usize
+        }
+    }
+
+    #[test]
+    fn lane_backpressure_refuses_only_the_hot_lane() {
+        let cfg = ServiceConfig::new(64)
+            .with_max_linger(100)
+            .with_max_queue(64)
+            .with_max_lane_queue(2);
+        let mut svc = PimService::new(TwoLane(small_list(40)), cfg);
+        // Saturate lane 0 (even keys); lane 1 must keep accepting.
+        svc.submit(Op::Get { key: 0 }).unwrap();
+        svc.submit(Op::Get { key: 2 }).unwrap();
+        assert_eq!(
+            svc.submit(Op::Get { key: 4 }),
+            Err(Rejected::LaneFull { lane: 0 })
+        );
+        svc.submit(Op::Get { key: 1 }).unwrap();
+        svc.submit(Op::Get { key: 3 }).unwrap();
+        assert_eq!(
+            svc.submit(Op::Get { key: 5 }),
+            Err(Rejected::LaneFull { lane: 1 })
+        );
+        assert_eq!(svc.stats().rejected, 2);
+        // Draining the queue frees both lanes.
+        let done = svc.flush();
+        assert_eq!(done.len(), 4);
+        assert!(svc.submit(Op::Get { key: 4 }).is_ok());
+        assert!(svc.submit(Op::Get { key: 5 }).is_ok());
     }
 
     #[test]

@@ -100,6 +100,27 @@ pub fn value_for(k: Key) -> u64 {
     (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD
 }
 
+/// `count` distinct keys spread evenly across (nearly) the whole `i64`
+/// line, jittered deterministically inside each stride — the resident
+/// set for *cluster* workloads, where a key-range router should see
+/// every shard loaded: a power-of-two shard count splits this set into
+/// near-equal parts by construction, while the jitter keeps boundary
+/// keys irregular. Sorted ascending. (`i64::MIN` stays reserved for the
+/// −∞ sentinel.)
+pub fn domain_spread_keys(seed: u64, count: usize) -> Vec<Key> {
+    assert!(count > 0);
+    let stride = (u64::MAX / count as u64).max(1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count as u64)
+        .map(|i| {
+            let jitter = rng.gen_range(0..stride);
+            let off = (i.wrapping_mul(stride)).wrapping_add(jitter);
+            // Map [0, 2^64) onto (i64::MIN, i64::MAX] monotonically.
+            (Key::MIN.wrapping_add(off as Key)).max(Key::MIN + 1)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +175,27 @@ mod tests {
     #[should_panic]
     fn reserves_sentinel_key() {
         let _ = PointGen::new(1, Key::MIN, 0);
+    }
+
+    #[test]
+    fn domain_spread_is_sorted_distinct_and_balanced() {
+        let keys = domain_spread_keys(42, 4096);
+        assert_eq!(keys.len(), 4096);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(keys.iter().all(|&k| k > Key::MIN), "sentinel reserved");
+        // Every quarter of the i64 line holds roughly a quarter of the
+        // set — the property a 4-shard router depends on.
+        let quarter = |q: i64| {
+            let lo = Key::MIN.wrapping_add(q << 62);
+            let hi = lo.wrapping_add(1 << 62);
+            keys.iter()
+                .filter(|&&k| k >= lo && (q == 3 || k < hi))
+                .count()
+        };
+        for q in 0..4 {
+            let c = quarter(q);
+            assert!((900..=1150).contains(&c), "quarter {q} holds {c}");
+        }
+        assert_eq!(keys, domain_spread_keys(42, 4096), "deterministic");
     }
 }

@@ -15,7 +15,7 @@
 //! ```
 
 use pim_baseline::RangePartitionedList;
-use pim_core::{Config, PimSkipList};
+use pim_core::prelude::*;
 use pim_workloads::{same_successor_flood, single_range_flood, PointGen};
 
 fn main() {
@@ -91,6 +91,7 @@ fn main() {
     );
 
     let m0 = sparse.metrics();
+    #[allow(deprecated)] // the showdown exists to shame the strawman
     sparse.batch_successor_naive(&flood);
     let d = sparse.metrics() - m0;
     report(

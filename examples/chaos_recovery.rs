@@ -9,7 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use pim_core::{Config, FaultKind, FaultPlan, PimSkipList};
+use pim_core::prelude::*;
+use pim_core::{FaultKind, FaultPlan};
 
 /// One run of the demo workload; returns the final contents.
 fn run(list: &mut PimSkipList) -> Vec<(i64, u64)> {

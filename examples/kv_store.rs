@@ -10,7 +10,7 @@
 //! cargo run --release -p pim-examples --bin kv_store
 //! ```
 
-use pim_core::{Config, PimSkipList, RangeFunc, UpsertOutcome};
+use pim_core::prelude::*;
 use pim_workloads::{value_for, PointGen};
 
 struct Epoch {

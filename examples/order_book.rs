@@ -16,7 +16,7 @@
 //! ```
 
 use pim_algorithms::{PimHashMap, PimQueue};
-use pim_core::{Config, PimSkipList, RangeFunc};
+use pim_core::prelude::*;
 use rand::{Rng as _, SeedableRng};
 
 const PLACE: u64 = 0;

@@ -5,7 +5,7 @@
 //! cargo run --release -p pim-examples --bin quickstart
 //! ```
 
-use pim_core::{Config, PimSkipList, RangeFunc};
+use pim_core::prelude::*;
 
 fn main() {
     // A machine with P = 16 PIM modules, sized for ~10k keys. The seed

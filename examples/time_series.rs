@@ -10,7 +10,7 @@
 //! cargo run --release -p pim-examples --bin time_series
 //! ```
 
-use pim_core::{Config, PimSkipList, RangeFunc};
+use pim_core::prelude::*;
 
 fn main() {
     let p = 32;

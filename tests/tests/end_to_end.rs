@@ -2,7 +2,7 @@
 //! same workloads, metrics behave, and results are reproducible.
 
 use pim_baseline::{FineGrainedSkipList, RangePartitionedList};
-use pim_core::{Config, PimSkipList, RangeFunc};
+use pim_core::prelude::*;
 use pim_workloads::{value_for, PointGen};
 
 #[test]
@@ -47,6 +47,7 @@ fn all_structures_agree_on_successors() {
         .into_iter()
         .map(|s| s.map(|(k, _)| k))
         .collect();
+    #[allow(deprecated)] // oracle cross-check against the strawman
     let naive: Vec<Option<i64>> = ours
         .batch_successor_naive(&queries)
         .into_iter()

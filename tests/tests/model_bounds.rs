@@ -6,7 +6,7 @@
 
 use pim_bench::experiments::{adversarial_experiment, contention_experiment, table1_rows};
 use pim_bench::{build_loaded_list, BatchCosts};
-use pim_core::RangeFunc;
+use pim_core::prelude::*;
 use pim_runtime::balls;
 
 fn lg(p: u32) -> f64 {

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use pim_core::{Config, PimSkipList, RangeFunc};
+use pim_core::prelude::*;
 
 #[test]
 fn soak_mixed_workload() {
