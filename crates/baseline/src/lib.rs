@@ -7,9 +7,10 @@
 //!   ranges, but a single-partition adversary serialises it (§2.2);
 //! * [`fine_grained`] — every node hashed individually (Ziegler et al.
 //!   [34]): skew-proof but `O(log n)` messages per search (§3.1);
-//! * the **naïve batch search** (pivot-free) lives in `pim-core` as
-//!   [`pim_core::PimSkipList::batch_successor_naive`] — correct but not
-//!   PIM-balanced, the §4.2 strawman.
+//! * the **naïve batch search** (pivot-free, the §4.2 strawman) has been
+//!   retired from `pim-core`; the FIG3 comparison now contrasts the
+//!   pivot D&C with push-pull search off vs on (`pim-bench`,
+//!   `experiments adversarial`).
 #![warn(missing_docs)]
 
 pub mod fine_grained;

@@ -1,0 +1,44 @@
+//! FIG3: pivot divide-and-conquer with push-pull off vs on (warm cache)
+//! under the same-successor adversary (§4.2). The model-metric gap is
+//! reported by `experiments adversarial`; this measures the corresponding
+//! wall-clock gap on the simulator (the warm cache resolves the flood's
+//! shared prefix on the CPU instead of burning rounds on the wire).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pim_core::{Config, PimSkipList};
+use pim_workloads::same_successor_flood;
+
+fn setup(p: u32, seed: u64, push_pull: bool) -> PimSkipList {
+    let mut list = PimSkipList::new(Config::new(p, 1 << 14, seed).with_push_pull(push_pull));
+    let pairs: Vec<(i64, u64)> = (0..64).map(|i| (i * 10_000_000, i as u64)).collect();
+    list.batch_upsert(&pairs);
+    list
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/same-successor");
+    g.sample_size(10);
+    for p in [8u32, 32] {
+        let lg = pim_runtime::ceil_log2(u64::from(p)) as usize;
+        let batch = p as usize * lg * lg;
+        let queries = same_successor_flood(5, 10_000_001, 19_999_999, batch);
+        g.throughput(Throughput::Elements(batch as u64));
+
+        let mut off = setup(p, 1, false);
+        g.bench_with_input(BenchmarkId::new("push-pull-off", p), &p, |b, _| {
+            b.iter(|| off.batch_successor(&queries));
+        });
+        let mut on = setup(p, 1, true);
+        for _ in 0..8 {
+            on.batch_successor(&queries); // warm the hot-node cache
+        }
+        g.bench_with_input(BenchmarkId::new("push-pull-on", p), &p, |b, _| {
+            b.iter(|| on.batch_successor(&queries));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,8 +5,8 @@
 //!
 //! which ∈ { table1, space, balls, contention, adversarial, range,
 //!           baselines, ablation, hprofile, paths, trace-export,
-//!           service, wallclock, pipeline, recovery, cluster,
-//!           perf-gate, alloc-gate, all }
+//!           service, wallclock, skew, skew-gate, pipeline, recovery,
+//!           cluster, perf-gate, alloc-gate, all }
 //!
 //! `trace-export [--quick] [--out DIR]` runs an instrumented session and
 //! writes `DIR/trace.json` (Chrome trace-event, Perfetto-loadable) and
@@ -46,6 +46,16 @@
 //! sessions at S ∈ {1, 4} (or the single `PIM_SHARDS` value when set)
 //! write `metrics-sN.prom` / `events-sN.jsonl` / `replies-sN.bin` for
 //! the CI cluster-determinism byte-diff.
+//!
+//! `skew [--quick] [--out PATH]` sweeps Zipf(θ) and adversarial query
+//! batches over push-pull ∈ {off, on} and writes a `pim-skew-bench/1`
+//! JSON report of model metrics (default `target/BENCH_PR10.json`);
+//! on-mode replies are byte-compared against off-mode in-process.
+//!
+//! `skew-gate CURRENT BASELINE` fails unless warm push-pull at least
+//! halves rounds/batch on every workload, skewed/adversarial on-mode
+//! costs stay within 1.25× of uniform, and the (deterministic) model
+//! metrics exactly match the committed baseline (`ci/skew-baseline.json`).
 //!
 //! `pipeline [--quick] [--out PATH]` times mixed-run episodes with the
 //! inter-batch pipelined driver on and off across PIM_THREADS ∈
@@ -116,6 +126,36 @@ fn main() {
         if let Err(e) = pim_bench::wallclock::run_wallclock(quick, out, seed) {
             eprintln!("wallclock: {e}");
             std::process::exit(1);
+        }
+    };
+    let run_skew = || {
+        let out = flag("--out")
+            .map(String::as_str)
+            .unwrap_or("target/BENCH_PR10.json");
+        if let Err(e) = pim_bench::skew::run_skew(quick, out, seed) {
+            eprintln!("skew: {e}");
+            std::process::exit(1);
+        }
+    };
+    let run_skew_gate = || {
+        let pos: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+        let (current, baseline) = match (pos.first(), pos.get(1)) {
+            (Some(c), Some(b)) => (c.as_str(), b.as_str()),
+            _ => {
+                eprintln!("usage: experiments -- skew-gate CURRENT BASELINE");
+                std::process::exit(2);
+            }
+        };
+        match pim_bench::skew::skew_gate(current, baseline) {
+            Ok(true) => println!("skew gate: PASS"),
+            Ok(false) => {
+                eprintln!("skew gate: FAIL");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("skew gate: ERROR: {e}");
+                std::process::exit(1);
+            }
         }
     };
     let run_pipeline = || {
@@ -263,6 +303,8 @@ fn main() {
         "trace-export" => run_trace_export(),
         "service" => run_service(),
         "wallclock" => run_wallclock(),
+        "skew" => run_skew(),
+        "skew-gate" => run_skew_gate(),
         "pipeline" => run_pipeline(),
         "recovery" => run_recovery(),
         "cluster" => run_cluster(),
@@ -291,7 +333,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock pipeline recovery cluster perf-gate alloc-gate all");
+            eprintln!("choose from: table1 space balls contention adversarial range baselines ablation hprofile paths trace-export service wallclock skew skew-gate pipeline recovery cluster perf-gate alloc-gate all");
             std::process::exit(2);
         }
     }

@@ -25,6 +25,7 @@ pub mod provenance;
 pub mod recovery;
 pub mod report;
 pub mod service;
+pub mod skew;
 pub mod wallclock;
 
 pub use measure::{build_loaded_list, BatchCosts};

@@ -1,0 +1,695 @@
+//! Zipf/adversarial skew sweep for push-pull batch search, and its CI gate.
+//!
+//! The push-pull tentpole claims two things: warm caches *cut the round
+//! tail* of Successor/Predecessor batches (≥ 2× fewer rounds per batch
+//! than push-pull off), and they keep the per-batch cost *flat under
+//! skew* — a Zipf-θ or adversarial batch costs no more than ~the uniform
+//! batch, because the hot descent prefixes resolve CPU-side. This module
+//! measures both claims with model metrics only (rounds, IO time, PIM
+//! time, messages, CPU work — all §2.1, all deterministic in the seed
+//! and independent of `PIM_THREADS`), so the report is byte-reproducible
+//! and the gate can compare against a committed baseline exactly.
+//!
+//! Protocol per workload: generate `reps` query batches up front, run
+//! `warm_passes` full passes over them (admission needs observed access
+//! counts; push-pull off does the identical passes so both modes see the
+//! same op stream), then measure each batch once. Off- and on-mode
+//! replies are byte-compared in-process — a report from a diverging
+//! engine is a panic, not a number.
+//!
+//! Workloads: Zipf(θ) for θ ∈ [`THETAS`] scattered over the resident key
+//! order ([`pim_workloads::zipf_scatter_batches`]), the paper's §3.3
+//! same-successor flood, and a rotating hotspot
+//! ([`pim_workloads::rotating_hotspot`]) whose hot window jumps between
+//! batches — the anti-caching adversary.
+//!
+//! [`skew_gate`] is the CI teeth: it fails unless (a) every workload's
+//! warm on-mode rounds/batch is at most half the off-mode rounds/batch,
+//! (b) every skewed/adversarial on-mode cost stays within
+//! [`FLATNESS_FACTOR`] of the uniform (θ = 0) on-mode cost, and (c) the
+//! current report's model metrics exactly match the committed baseline
+//! (`ci/skew-baseline.json`) — any drift, better or worse, must be
+//! reviewed and re-committed, never absorbed silently.
+
+use pim_core::{Config, Key, PimSkipList};
+use pim_runtime::export::{num, str as jstr, Json};
+use pim_workloads::{rotating_hotspot, same_successor_flood, zipf_scatter_batches};
+
+use crate::measure::{build_loaded_list_with, measure_batch, BatchCosts};
+
+/// Schema tag written into every report.
+pub const SCHEMA: &str = "pim-skew-bench/1";
+
+/// The θ ladder (1.0 itself is a pole of the Zipf normaliser; 0.99 is the
+/// customary stand-in, as in YCSB).
+pub const THETAS: [f64; 5] = [0.0, 0.5, 0.99, 1.2, 1.5];
+
+/// Batch search ops under measurement.
+pub const OPS: [&str; 2] = ["Successor", "Predecessor"];
+
+/// Flatness bound the gate enforces: every skewed/adversarial on-mode
+/// cost ≤ `FLATNESS_FACTOR ×` the uniform on-mode cost (+ [`FLATNESS_GRACE`]).
+pub const FLATNESS_FACTOR: f64 = 1.25;
+
+/// Additive grace on the flatness bound — warm on-mode costs are tiny
+/// (often zero rounds), where a pure ratio would amplify noise-scale
+/// integer differences into gate failures.
+pub const FLATNESS_GRACE: f64 = 2.0;
+
+/// Sizing knobs for one sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewParams {
+    /// Modules.
+    pub p: u32,
+    /// Resident keys.
+    pub n: usize,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Measured batches per workload (generated up front; the working
+    /// set the warm passes cover).
+    pub reps: usize,
+    /// Full passes over the batch set before measurement.
+    pub warm_passes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SkewParams {
+    /// CI-sized run (`--quick`).
+    pub fn quick(seed: u64) -> Self {
+        SkewParams {
+            p: 16,
+            n: 4_000,
+            batch: 256,
+            reps: 4,
+            warm_passes: 8,
+            seed,
+        }
+    }
+
+    /// Full-sized run.
+    pub fn full(seed: u64) -> Self {
+        SkewParams {
+            p: 32,
+            n: 16_000,
+            batch: 512,
+            reps: 4,
+            warm_passes: 8,
+            seed,
+        }
+    }
+}
+
+/// Aggregated model costs of one (workload, op, mode) cell over the
+/// measured batches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModeCosts {
+    /// Fewest rounds any measured batch took.
+    pub rounds_min: f64,
+    /// Mean rounds per measured batch.
+    pub rounds_mean: f64,
+    /// Most rounds any measured batch took.
+    pub rounds_max: f64,
+    /// Mean IO time (`Σ h_i`) per measured batch.
+    pub io_mean: f64,
+    /// Mean PIM time per measured batch.
+    pub pim_mean: f64,
+    /// Mean network messages per measured batch.
+    pub msgs_mean: f64,
+    /// Mean CPU work per measured batch.
+    pub cpu_mean: f64,
+    /// Hot-node cache records resident after the measured pass (0 when
+    /// push-pull is off).
+    pub cache_len: u64,
+}
+
+impl ModeCosts {
+    fn from_batches(costs: &[BatchCosts], cache_len: u64) -> Self {
+        let n = costs.len().max(1) as f64;
+        let mean =
+            |f: &dyn Fn(&BatchCosts) -> u64| costs.iter().map(|c| f(c) as f64).sum::<f64>() / n;
+        ModeCosts {
+            rounds_min: costs.iter().map(|c| c.rounds).min().unwrap_or(0) as f64,
+            rounds_mean: mean(&|c| c.rounds),
+            rounds_max: costs.iter().map(|c| c.rounds).max().unwrap_or(0) as f64,
+            io_mean: mean(&|c| c.io_time),
+            pim_mean: mean(&|c| c.pim_time),
+            msgs_mean: mean(&|c| c.total_messages),
+            cpu_mean: mean(&|c| c.cpu_work),
+            cache_len,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("rounds_min".into(), Json::Num(self.rounds_min)),
+            ("rounds_mean".into(), Json::Num(self.rounds_mean)),
+            ("rounds_max".into(), Json::Num(self.rounds_max)),
+            ("io_mean".into(), Json::Num(self.io_mean)),
+            ("pim_mean".into(), Json::Num(self.pim_mean)),
+            ("msgs_mean".into(), Json::Num(self.msgs_mean)),
+            ("cpu_mean".into(), Json::Num(self.cpu_mean)),
+            ("cache_len".into(), num(self.cache_len)),
+        ])
+    }
+}
+
+/// One report row: a workload measured at one op, both modes.
+#[derive(Debug, Clone)]
+pub struct SkewRow {
+    /// Workload label (`uniform`, `zipf-0.99`, `same-successor`,
+    /// `rotating-hotspot`).
+    pub label: String,
+    /// Zipf exponent, when the workload is a Zipf sweep point.
+    pub theta: Option<f64>,
+    /// Op name (one of [`OPS`]).
+    pub op: &'static str,
+    /// Push-pull off.
+    pub off: ModeCosts,
+    /// Push-pull on.
+    pub on: ModeCosts,
+}
+
+/// Build the workload suite: `(label, theta, batches)` triples over the
+/// resident key set. Deterministic in `params.seed`.
+fn build_workloads(params: &SkewParams, keys: &[Key]) -> Vec<(String, Option<f64>, Vec<Vec<Key>>)> {
+    let mut out = Vec::new();
+    for (i, &theta) in THETAS.iter().enumerate() {
+        let label = if theta == 0.0 {
+            "uniform".to_string()
+        } else {
+            format!("zipf-{theta:.2}")
+        };
+        let batches = zipf_scatter_batches(
+            params.seed ^ (0x51EF + i as u64),
+            keys,
+            theta,
+            params.batch,
+            params.reps,
+        );
+        out.push((label, Some(theta), batches));
+    }
+
+    // §3.3 same-successor flood: distinct keys inside the widest empty
+    // gap between resident keys, so every query shares one successor.
+    let (gap_lo, gap_hi) = keys
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .max_by_key(|&(lo, hi)| hi - lo)
+        .expect("≥ 2 resident keys");
+    assert!(
+        gap_hi - gap_lo > params.batch as i64 + 1,
+        "widest resident gap too narrow for a same-successor flood"
+    );
+    let flood: Vec<Vec<Key>> = (0..params.reps)
+        .map(|i| {
+            same_successor_flood(
+                params.seed ^ (0xF100D + i as u64),
+                gap_lo,
+                gap_hi,
+                params.batch,
+            )
+        })
+        .collect();
+    out.push(("same-successor".into(), None, flood));
+
+    out.push((
+        "rotating-hotspot".into(),
+        None,
+        rotating_hotspot(
+            params.seed ^ 0x407,
+            keys,
+            params.batch,
+            params.batch,
+            params.reps,
+            2,
+        ),
+    ));
+    out
+}
+
+/// Measure one workload in one mode: warm passes, then one measured pass
+/// per op. Returns per-op costs plus the measured-pass replies (the
+/// off/on byte-identity check).
+#[allow(clippy::type_complexity)]
+fn measure_mode(
+    params: &SkewParams,
+    batches: &[Vec<Key>],
+    push_pull: bool,
+) -> ([ModeCosts; 2], Vec<Vec<Option<(Key, pim_runtime::Handle)>>>) {
+    let cfg = Config::new(params.p, params.n as u64, params.seed).with_push_pull(push_pull);
+    let (mut list, _) = build_loaded_list_with(cfg, params.n, params.seed);
+    let mut per_op = [ModeCosts::default(); 2];
+    let mut replies = Vec::new();
+    for (oi, op) in OPS.iter().enumerate() {
+        let run = |l: &mut PimSkipList, b: &[Key]| match *op {
+            "Successor" => l.batch_successor(b),
+            _ => l.batch_predecessor(b),
+        };
+        for _ in 0..params.warm_passes {
+            for b in batches {
+                run(&mut list, b);
+            }
+        }
+        let mut costs = Vec::with_capacity(batches.len());
+        for b in batches {
+            let (r, c) = measure_batch(&mut list, b.len(), |l| run(l, b));
+            costs.push(c);
+            replies.push(r);
+        }
+        per_op[oi] = ModeCosts::from_batches(&costs, list.hot_cache_len() as u64);
+    }
+    (per_op, replies)
+}
+
+/// Run the full sweep. Panics if any workload's on-mode replies diverge
+/// from off-mode (the in-process identity check).
+pub fn run_sweep(params: &SkewParams) -> Vec<SkewRow> {
+    let cfg = Config::new(params.p, params.n as u64, params.seed);
+    let (_, keys) = build_loaded_list_with(cfg, params.n, params.seed);
+    let mut rows = Vec::new();
+    for (label, theta, batches) in build_workloads(params, &keys) {
+        let (off, off_replies) = measure_mode(params, &batches, false);
+        let (on, on_replies) = measure_mode(params, &batches, true);
+        assert_eq!(
+            off_replies, on_replies,
+            "{label}: push-pull on diverged from off"
+        );
+        for (oi, op) in OPS.iter().enumerate() {
+            rows.push(SkewRow {
+                label: label.clone(),
+                theta,
+                op,
+                off: off[oi],
+                on: on[oi],
+            });
+        }
+    }
+    rows
+}
+
+/// Assemble the `pim-skew-bench/1` report. Key order and structure are
+/// fixed; only measured values vary run to run.
+pub fn report_json(params: &SkewParams, quick: bool, rows: &[SkewRow]) -> Json {
+    let rows_arr: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("workload".into(), jstr(&r.label)),
+                ("theta".into(), r.theta.map_or(Json::Null, Json::Num)),
+                ("op".into(), jstr(r.op)),
+                ("off".into(), r.off.to_json()),
+                ("on".into(), r.on.to_json()),
+            ])
+        })
+        .collect();
+    crate::report::document(
+        SCHEMA,
+        vec![
+            ("quick".into(), Json::Bool(quick)),
+            ("p".into(), num(u64::from(params.p))),
+            ("n".into(), num(params.n as u64)),
+            ("batch".into(), num(params.batch as u64)),
+            ("reps".into(), num(params.reps as u64)),
+            ("warm_passes".into(), num(params.warm_passes as u64)),
+            ("seed".into(), num(params.seed)),
+            ("rows".into(), Json::Arr(rows_arr)),
+        ],
+    )
+}
+
+/// Run the whole harness, print the table, write the report.
+pub fn run_skew(quick: bool, out_path: &str, seed: u64) -> std::io::Result<()> {
+    let params = if quick {
+        SkewParams::quick(seed)
+    } else {
+        SkewParams::full(seed)
+    };
+    println!(
+        "== Skew sweep: θ ∈ {:?} + adversaries × push-pull ∈ {{off, on}} (P = {}, n = {}, batch = {}) ==",
+        THETAS, params.p, params.n, params.batch
+    );
+    let rows = run_sweep(&params);
+    print_rows(&rows);
+    println!("(on-mode replies byte-compared against off-mode in-process)");
+
+    let report = report_json(&params, quick, &rows);
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(out_path, report.to_json() + "\n")?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn print_rows(rows: &[SkewRow]) {
+    println!(
+        "{:<18} {:<12} {:>22} {:>22} {:>7} {:>10} {:>10}",
+        "workload",
+        "op",
+        "off rounds min/μ/max",
+        "on rounds min/μ/max",
+        "gain",
+        "off IO μ",
+        "on IO μ"
+    );
+    for r in rows {
+        let gain = if r.on.rounds_mean > 0.0 {
+            format!("{:.1}x", r.off.rounds_mean / r.on.rounds_mean)
+        } else {
+            "∞".into()
+        };
+        println!(
+            "{:<18} {:<12} {:>8.0}/{:>5.1}/{:>6.0} {:>8.0}/{:>5.1}/{:>6.0} {:>7} {:>10.0} {:>10.0}",
+            r.label,
+            r.op,
+            r.off.rounds_min,
+            r.off.rounds_mean,
+            r.off.rounds_max,
+            r.on.rounds_min,
+            r.on.rounds_mean,
+            r.on.rounds_max,
+            gain,
+            r.off.io_mean,
+            r.on.io_mean,
+        );
+    }
+}
+
+/// One parsed gate cell.
+#[derive(Debug, Clone)]
+struct GateRow {
+    label: String,
+    op: String,
+    off: Vec<(String, f64)>,
+    on: Vec<(String, f64)>,
+}
+
+fn mode_fields(j: &Json, which: &str) -> Result<Vec<(String, f64)>, String> {
+    match j {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|f| (k.clone(), f))
+                    .ok_or_else(|| format!("{which}.{k} is not a number"))
+            })
+            .collect(),
+        _ => Err(format!("{which} is not an object")),
+    }
+}
+
+fn field(fields: &[(String, f64)], key: &str) -> Result<f64, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| format!("missing field {key}"))
+}
+
+fn doc_rows(doc: &Json) -> Result<Vec<GateRow>, String> {
+    crate::report::expect_schema(doc, SCHEMA)?;
+    let mut out = Vec::new();
+    for row in doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("missing rows array")?
+    {
+        let label = row
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("row missing workload")?
+            .to_string();
+        let op = row
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("row missing op")?
+            .to_string();
+        let off = mode_fields(row.get("off").ok_or("row missing off")?, "off")?;
+        let on = mode_fields(row.get("on").ok_or("row missing on")?, "on")?;
+        out.push(GateRow { label, op, off, on });
+    }
+    Ok(out)
+}
+
+/// Judge a current report against the committed baseline. Returns the
+/// list of violations (empty = pass): the ≥ 2× round-reduction claim,
+/// the [`FLATNESS_FACTOR`] skew-flatness claim, and exact model-metric
+/// agreement with the baseline (all metrics here are deterministic —
+/// drift means the engine changed and the baseline must be re-reviewed).
+pub fn skew_gate_compare(current: &Json, baseline: &Json) -> Result<Vec<String>, String> {
+    let rows = doc_rows(current).map_err(|e| format!("current: {e}"))?;
+    let base = doc_rows(baseline).map_err(|e| format!("baseline: {e}"))?;
+    if rows.is_empty() {
+        return Err("current: empty rows array".into());
+    }
+    let mut bad = Vec::new();
+
+    for r in &rows {
+        let off = field(&r.off, "rounds_mean")?;
+        let on = field(&r.on, "rounds_mean")?;
+        if on * 2.0 > off {
+            bad.push(format!(
+                "{}/{}: warm push-pull rounds/batch {on:.1} is not ≤ half of off-mode {off:.1}",
+                r.label, r.op
+            ));
+        }
+    }
+
+    for op in OPS {
+        let uniform = rows
+            .iter()
+            .find(|r| r.label == "uniform" && r.op == op)
+            .ok_or_else(|| format!("current: missing uniform/{op} row"))?;
+        for metric in ["rounds_mean", "io_mean"] {
+            let u = field(&uniform.on, metric)?;
+            let bound = FLATNESS_FACTOR * u + FLATNESS_GRACE;
+            for r in rows.iter().filter(|r| r.op == op && r.label != "uniform") {
+                let v = field(&r.on, metric)?;
+                if v > bound {
+                    bad.push(format!(
+                        "{}/{op}: on-mode {metric} {v:.1} exceeds {FLATNESS_FACTOR}× uniform \
+                         ({u:.1}) + {FLATNESS_GRACE} grace",
+                        r.label
+                    ));
+                }
+            }
+        }
+    }
+
+    for r in &rows {
+        let Some(b) = base.iter().find(|b| b.label == r.label && b.op == r.op) else {
+            bad.push(format!("{}/{}: row absent from baseline", r.label, r.op));
+            continue;
+        };
+        for (mine, theirs, which) in [(&r.off, &b.off, "off"), (&r.on, &b.on, "on")] {
+            for (k, v) in mine {
+                match theirs.iter().find(|(bk, _)| bk == k) {
+                    Some((_, bv)) if bv == v => {}
+                    Some((_, bv)) => bad.push(format!(
+                        "{}/{}: {which}.{k} drifted from committed baseline: {v} vs {bv} \
+                         (regenerate ci/skew-baseline.json if intentional)",
+                        r.label, r.op
+                    )),
+                    None => bad.push(format!(
+                        "{}/{}: {which}.{k} absent from baseline",
+                        r.label, r.op
+                    )),
+                }
+            }
+        }
+    }
+    if base.len() != rows.len() {
+        bad.push(format!(
+            "row count drifted: current {} vs baseline {}",
+            rows.len(),
+            base.len()
+        ));
+    }
+    Ok(bad)
+}
+
+/// CLI entry for `skew-gate CURRENT BASELINE`: load both reports, judge,
+/// print verdicts, return whether the gate passed.
+pub fn skew_gate(current_path: &str, baseline_path: &str) -> Result<bool, String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        pim_runtime::export::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = load(current_path)?;
+    let baseline = load(baseline_path)?;
+    let bad = skew_gate_compare(&current, &baseline)?;
+    println!("== skew gate: {current_path} vs {baseline_path} ==");
+    if bad.is_empty() {
+        println!(
+            "round reduction ≥ 2×, skew flatness ≤ {FLATNESS_FACTOR}×, baseline exact: all rows ok"
+        );
+        return Ok(true);
+    }
+    for b in &bad {
+        eprintln!("skew gate: {b}");
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_costs(off_rounds: f64, on_rounds: f64, on_io: f64) -> (ModeCosts, ModeCosts) {
+        let off = ModeCosts {
+            rounds_min: off_rounds,
+            rounds_mean: off_rounds,
+            rounds_max: off_rounds,
+            io_mean: 4_000.0,
+            pim_mean: 300.0,
+            msgs_mean: 2_000.0,
+            cpu_mean: 9_000.0,
+            cache_len: 0,
+        };
+        let on = ModeCosts {
+            rounds_min: on_rounds,
+            rounds_mean: on_rounds,
+            rounds_max: on_rounds,
+            io_mean: on_io,
+            pim_mean: 10.0,
+            msgs_mean: on_io,
+            cpu_mean: 11_000.0,
+            cache_len: 2_000,
+        };
+        (off, on)
+    }
+
+    fn synthetic_report(adversary_on_rounds: f64, adversary_on_io: f64) -> Json {
+        let params = SkewParams::quick(1);
+        let mut rows = Vec::new();
+        let mut labels: Vec<(String, Option<f64>)> = THETAS
+            .iter()
+            .map(|&t| {
+                if t == 0.0 {
+                    ("uniform".to_string(), Some(t))
+                } else {
+                    (format!("zipf-{t:.2}"), Some(t))
+                }
+            })
+            .collect();
+        labels.push(("same-successor".into(), None));
+        labels.push(("rotating-hotspot".into(), None));
+        for (label, theta) in labels {
+            let adversarial = theta.is_none();
+            let (off, on) = if adversarial {
+                synthetic_costs(100.0, adversary_on_rounds, adversary_on_io)
+            } else {
+                synthetic_costs(100.0, 1.0, 40.0)
+            };
+            for op in OPS {
+                rows.push(SkewRow {
+                    label: label.clone(),
+                    theta,
+                    op,
+                    off,
+                    on,
+                });
+            }
+        }
+        report_json(&params, true, &rows)
+    }
+
+    #[test]
+    fn gate_passes_a_flat_report_and_its_own_baseline() {
+        let doc = synthetic_report(1.0, 40.0);
+        assert_eq!(skew_gate_compare(&doc, &doc).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn gate_fails_when_round_reduction_is_lost() {
+        // Adversarial on-mode rounds at 80 vs off 100: less than 2×.
+        let doc = synthetic_report(80.0, 40.0);
+        let bad = skew_gate_compare(&doc, &doc).unwrap();
+        assert!(
+            bad.iter().any(|b| b.contains("not ≤ half")),
+            "expected a round-reduction violation, got {bad:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_when_skew_costs_more_than_uniform() {
+        // Adversarial on-mode IO at 3× the uniform row's 40.
+        let doc = synthetic_report(1.0, 120.0);
+        let bad = skew_gate_compare(&doc, &doc).unwrap();
+        assert!(
+            bad.iter().any(|b| b.contains("exceeds")),
+            "expected a flatness violation, got {bad:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_baseline_drift() {
+        let current = synthetic_report(1.0, 40.0);
+        let baseline = synthetic_report(1.0, 41.0);
+        let bad = skew_gate_compare(&current, &baseline).unwrap();
+        assert!(
+            bad.iter()
+                .any(|b| b.contains("drifted from committed baseline")),
+            "expected a drift violation, got {bad:?}"
+        );
+    }
+
+    #[test]
+    fn gate_rejects_wrong_schema() {
+        let good = synthetic_report(1.0, 40.0);
+        let bad = Json::Obj(vec![("schema".into(), jstr("something-else"))]);
+        assert!(skew_gate_compare(&bad, &good).is_err());
+    }
+
+    #[test]
+    fn report_schema_is_deterministic() {
+        let strip = |j: &Json| -> String {
+            fn zero(j: &Json) -> Json {
+                match j {
+                    Json::Num(_) => Json::Num(0.0),
+                    Json::Arr(a) => Json::Arr(a.iter().map(zero).collect()),
+                    Json::Obj(f) => {
+                        Json::Obj(f.iter().map(|(k, v)| (k.clone(), zero(v))).collect())
+                    }
+                    other => other.clone(),
+                }
+            }
+            zero(j).to_json()
+        };
+        assert_eq!(
+            strip(&synthetic_report(1.0, 40.0)),
+            strip(&synthetic_report(80.0, 500.0))
+        );
+    }
+
+    #[test]
+    fn sweep_smoke() {
+        // Tiny end-to-end run: rows for every workload × op, the off/on
+        // reply identity holds (asserted inside), and the warm on-mode
+        // beats off on rounds for every workload.
+        let params = SkewParams {
+            p: 4,
+            n: 400,
+            batch: 32,
+            reps: 2,
+            warm_passes: 4,
+            seed: 7,
+        };
+        let rows = run_sweep(&params);
+        assert_eq!(rows.len(), (THETAS.len() + 2) * OPS.len());
+        for r in &rows {
+            assert!(
+                r.on.rounds_mean * 2.0 <= r.off.rounds_mean,
+                "{}/{}: on {} vs off {}",
+                r.label,
+                r.op,
+                r.on.rounds_mean,
+                r.off.rounds_mean
+            );
+            assert!(r.on.cache_len > 0, "{}: cache never warmed", r.label);
+        }
+    }
+}

@@ -120,9 +120,16 @@ pub struct AllocPoint {
     pub allocs_per_batch: f64,
     /// Bytes requested per batch.
     pub bytes_per_batch: f64,
-    /// Machine rounds per batch (deterministic; the denominator the CI
-    /// alloc gate uses to express allocations per round).
+    /// Machine rounds per batch, mean over the measured reps (the
+    /// denominator the CI alloc gate uses to express allocations per
+    /// round).
     pub rounds_per_batch: f64,
+    /// Fewest rounds any single measured batch took. Mutating ops (and
+    /// warm push-pull searches) legitimately vary per batch; the spread
+    /// is the signal, so the report carries all three.
+    pub rounds_per_batch_min: f64,
+    /// Most rounds any single measured batch took.
+    pub rounds_per_batch_max: f64,
 }
 
 /// Measured batches per [`AllocPoint`].
@@ -146,18 +153,22 @@ pub fn measure_allocs(params: &WallclockParams) -> Option<Vec<AllocPoint>> {
         for _ in 0..params.warmup.max(2) {
             workloads.run_once(op, &mut list);
         }
-        let rounds_before = list.metrics().rounds;
         let before = crate::allocs::snapshot();
-        for _ in 0..ALLOC_REPS {
+        let mut per_rep = [0u64; ALLOC_REPS];
+        for r in &mut per_rep {
+            let rounds_before = list.metrics().rounds;
             workloads.run_once(op, &mut list);
+            *r = list.metrics().rounds - rounds_before;
         }
         let d = crate::allocs::snapshot().since(before);
-        let rounds = list.metrics().rounds - rounds_before;
+        let total: u64 = per_rep.iter().sum();
         out.push(AllocPoint {
             op,
             allocs_per_batch: d.allocs as f64 / ALLOC_REPS as f64,
             bytes_per_batch: d.bytes as f64 / ALLOC_REPS as f64,
-            rounds_per_batch: rounds as f64 / ALLOC_REPS as f64,
+            rounds_per_batch: total as f64 / ALLOC_REPS as f64,
+            rounds_per_batch_min: per_rep.iter().copied().min().unwrap_or(0) as f64,
+            rounds_per_batch_max: per_rep.iter().copied().max().unwrap_or(0) as f64,
         });
     }
     Some(out)
@@ -394,6 +405,14 @@ pub fn report_json(
             fields.push(("allocs_per_batch".into(), Json::Num(a.allocs_per_batch)));
             fields.push(("bytes_per_batch".into(), Json::Num(a.bytes_per_batch)));
             fields.push(("rounds_per_batch".into(), Json::Num(a.rounds_per_batch)));
+            fields.push((
+                "rounds_per_batch_min".into(),
+                Json::Num(a.rounds_per_batch_min),
+            ));
+            fields.push((
+                "rounds_per_batch_max".into(),
+                Json::Num(a.rounds_per_batch_max),
+            ));
         }
         ops_arr.push(Json::Obj(fields));
     }
@@ -462,18 +481,20 @@ pub fn run_wallclock(quick: bool, out_path: &str, seed: u64) -> std::io::Result<
     println!("(calibration: {calibration_mops:.0} Mop/s scalar busy-loop; model metrics are identical at every thread count)");
 
     if let Some(pts) = &allocs {
-        println!("-- steady-state allocations (1 thread, mean of {ALLOC_REPS} batches) --");
+        println!("-- steady-state allocations (1 thread, over {ALLOC_REPS} batches) --");
         println!(
-            "{:<12} {:>15} {:>15} {:>13} {:>14}",
-            "op", "allocs/batch", "bytes/batch", "rounds/batch", "allocs/round"
+            "{:<12} {:>15} {:>15} {:>22} {:>14}",
+            "op", "allocs/batch", "bytes/batch", "rounds/batch min/μ/max", "allocs/round"
         );
         for a in pts {
             println!(
-                "{:<12} {:>15.1} {:>15.0} {:>13.1} {:>14.2}",
+                "{:<12} {:>15.1} {:>15.0} {:>8.0}/{:>5.1}/{:>6.0} {:>14.2}",
                 a.op,
                 a.allocs_per_batch,
                 a.bytes_per_batch,
+                a.rounds_per_batch_min,
                 a.rounds_per_batch,
+                a.rounds_per_batch_max,
                 a.allocs_per_batch / a.rounds_per_batch.max(1.0),
             );
         }
@@ -778,6 +799,8 @@ mod tests {
                 allocs_per_batch,
                 bytes_per_batch: allocs_per_batch * 64.0,
                 rounds_per_batch: 10.0,
+                rounds_per_batch_min: 9.0,
+                rounds_per_batch_max: 11.0,
             })
             .collect();
         report_json(&params, true, 1000.0, &timings, Some(&allocs))

@@ -30,6 +30,10 @@ impl Backend for PimCluster {
         PimCluster::set_pipeline(self, pipeline);
     }
 
+    fn set_push_pull(&mut self, on: bool) {
+        PimCluster::set_push_pull(self, on);
+    }
+
     fn is_durable(&self) -> bool {
         PimCluster::is_durable(self)
     }

@@ -121,9 +121,11 @@ mod tests {
         let cfg = cfg.with_settings(&EnvSettings {
             shards: Some(8),
             pipeline: Some(true),
+            push_pull: Some(true),
             threads: None,
         });
         assert_eq!(cfg.shards, 8);
         assert!(cfg.core.pipeline, "core overrides flow through the wrap");
+        assert!(cfg.core.push_pull, "push-pull flows through the wrap");
     }
 }

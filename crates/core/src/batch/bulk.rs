@@ -55,6 +55,8 @@ impl PimSkipList {
     }
 
     fn bulk_load_attempt_inner(&mut self, pairs: &[(Key, Value)]) -> PimResult<()> {
+        // Structural writes throughout: invalidate push-pull snapshots.
+        self.bump_write_epoch();
         // Heights + allocation + vertical wiring (shared with Upsert).
         let tops: Vec<u8> = (0..pairs.len())
             .map(|_| self.rng.skiplist_height(self.cfg.max_level - 1))

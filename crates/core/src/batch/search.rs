@@ -192,6 +192,12 @@ impl PimSkipList {
         *staged_words = 2 * b as u64;
         self.sys.shared_mem().alloc(*staged_words);
 
+        // Push-pull pre-pass: refresh the hot-node cache (one `is_some`
+        // branch when the feature is off — the dark-mode contract).
+        if self.hot.is_some() {
+            self.hot_refresh()?;
+        }
+
         // Pivot selection: every log P-th element plus the extremes.
         let step = self.cfg.log_p().max(1) as usize;
         pivots.extend((0..b).step_by(step));
@@ -328,7 +334,20 @@ impl PimSkipList {
         paths: &mut HashMap<u32, Vec<Handle>>,
     ) -> PimResult<u64> {
         let mut copies = self.scratch.take_copies();
-        let out = self.run_wave_core(items, reqs, forced_top, record, results, paths, &mut copies);
+        // The hot cache is taken off the structure for the duration of the
+        // wave (the core needs `&mut self` for sends while walking it).
+        let mut hot = self.hot.take();
+        let out = self.run_wave_core(
+            items,
+            reqs,
+            forced_top,
+            record,
+            results,
+            paths,
+            &mut copies,
+            hot.as_deref_mut(),
+        );
+        self.hot = hot;
         self.scratch.give_copies(copies);
         out
     }
@@ -343,32 +362,36 @@ impl PimSkipList {
         results: &mut SearchResults,
         paths: &mut HashMap<u32, Vec<Handle>>,
         copies: &mut Vec<(u32, u32)>, // (dst op, src op)
+        mut hot: Option<&mut crate::hotcache::HotNodeCache>,
     ) -> PimResult<u64> {
+        // With push-pull on, every search records its path (including the
+        // replicated upper part, via `record_upper`) so the replies warm
+        // the access counts (io only — rounds are unchanged).
+        let record_upper = hot.is_some();
+        let record_path = record || record_upper;
+        let mut path_words = 0u64;
+        let mut walk_work = 0u64;
+        let mut walk_depth = 0u64;
         for item in items {
             let req = reqs[item.idx];
             let top = forced_top.unwrap_or(req.top).min(self.cfg.max_level);
+            let mode = mode_for(top);
             results.hints.insert(req.op, item.hint);
-            match item.hint {
+            // `drawn` is the module a replicated start would be shipped to.
+            // The draw is burned even when the walk resolves the item, so
+            // the rng stream — and hence tower heights and contents — is
+            // identical to push-pull off.
+            let (start, drawn) = match item.hint {
                 Hint::SharedLeaf(_) => {
                     copies.push((req.op, item.stitch_from.expect("shared leaf has a source")));
                     continue;
                 }
                 Hint::Root => {
                     let target = self.random_module();
-                    let root = self.root();
                     if record {
                         paths.insert(req.op, Vec::new());
                     }
-                    self.sys.send(
-                        target,
-                        Task::Search {
-                            op: req.op,
-                            key: req.key,
-                            at: root,
-                            mode: mode_for(top),
-                            record_path: record,
-                        },
-                    );
+                    (self.root(), target)
                 }
                 Hint::Start(h) => {
                     debug_assert!(!h.is_replicated(), "recorded paths hold lower-part nodes");
@@ -383,22 +406,94 @@ impl PimSkipList {
                             .to_vec();
                         paths.insert(req.op, prefix);
                     }
-                    self.sys.send(
-                        h.module(),
-                        Task::Search {
-                            op: req.op,
-                            key: req.key,
-                            at: h,
-                            mode: mode_for(top),
-                            record_path: record,
-                        },
-                    );
+                    (h, h.module())
+                }
+            };
+            let mut at = start;
+            if let Some(hot) = hot.as_deref_mut() {
+                // Pull pre-pass: resolve the cached prefix of the descent
+                // on the CPU, mirroring the module walk step for step
+                // (snapshots are epoch-coherent, so results and recorded
+                // paths are exactly what the module would have produced).
+                // A fully resolved item sends nothing — a wave of them
+                // quiesces in zero rounds.
+                let mut steps = 0u64;
+                let mut resolved = false;
+                loop {
+                    let Some(rec) = hot.records.get(&at.to_bits()) else {
+                        // Miss: count it so the next refresh pulls this
+                        // node, then ship the residual.
+                        hot.note(at);
+                        break;
+                    };
+                    let rec = *rec;
+                    steps += 1;
+                    hot.note(at);
+                    if record && !at.is_replicated() {
+                        paths.entry(req.op).or_default().push(at);
+                        path_words += 1;
+                    }
+                    if rec.right_key < req.key {
+                        at = rec.right;
+                        continue;
+                    }
+                    if let SearchMode::PredLevels { top } = mode {
+                        if rec.level >= 1 && rec.level <= top {
+                            results.preds.insert(
+                                (req.op, rec.level),
+                                PredRec {
+                                    pred: at,
+                                    succ: rec.right,
+                                    succ_key: rec.right_key,
+                                },
+                            );
+                        }
+                    }
+                    if rec.level == 0 {
+                        results.done.insert(
+                            req.op,
+                            DoneRec {
+                                pred: at,
+                                pred_key: rec.key,
+                                succ: rec.right,
+                                succ_key: rec.right_key,
+                            },
+                        );
+                        resolved = true;
+                        break;
+                    }
+                    debug_assert!(rec.down.is_some(), "non-leaf without down pointer");
+                    at = rec.down;
+                }
+                walk_work += steps;
+                walk_depth = walk_depth.max(steps);
+                if resolved {
+                    continue;
                 }
             }
+            let target = if at.is_replicated() {
+                drawn
+            } else {
+                at.module()
+            };
+            self.sys.send(
+                target,
+                Task::Search {
+                    op: req.op,
+                    key: req.key,
+                    at,
+                    mode,
+                    record_path,
+                    record_upper,
+                },
+            );
+        }
+        if walk_work > 0 {
+            // The pull pre-pass is CPU-side: §2.1 work/depth, not PIM time.
+            CpuCost::new(walk_work, walk_depth).charge(self.sys.metrics_mut());
         }
 
         let replies = self.sys.run_to_quiescence();
-        let mut path_words = 0u64;
         let mut faulted = 0usize;
         for r in replies {
             match r {
@@ -436,8 +531,15 @@ impl PimSkipList {
                     );
                 }
                 Reply::PathNode { op, node } => {
-                    paths.entry(op).or_default().push(node);
-                    path_words += 1;
+                    if let Some(hot) = hot.as_deref_mut() {
+                        hot.note(node);
+                    }
+                    // Replicated nodes warm the cache but are never part of
+                    // a recorded path (hints must stay lower-part).
+                    if record && !node.is_replicated() {
+                        paths.entry(op).or_default().push(node);
+                        path_words += 1;
+                    }
                 }
                 Reply::Faulted { .. } => faulted += 1,
                 other => return Err(PimError::protocol("search", other)),
@@ -556,71 +658,6 @@ impl PimSkipList {
                 }
             })
             .collect())
-    }
-
-    /// The §4.2 *strawman*: batched Successor with no pivots and no hints —
-    /// every query starts at the root on a random module simultaneously.
-    ///
-    /// Correct, but **not PIM-balanced**: under the same-successor
-    /// adversary every search path converges on the same lower-part nodes
-    /// and the per-round `h` grows to the batch size (the paper's
-    /// "completely eliminating parallelism"). Kept **only** as a baseline
-    /// for the FIG3 experiment and the bench harness — it is not part of
-    /// the supported API surface (hence hidden from docs); real callers use
-    /// [`PimSkipList::batch_successor`] or the [`PimSkipList::execute`]
-    /// mixed-stream entry point.
-    #[doc(hidden)]
-    #[deprecated(note = "FIG3 baseline only — not PIM-balanced; use batch_successor or execute")]
-    pub fn batch_successor_naive(&mut self, keys: &[Key]) -> Vec<Option<(Key, Handle)>> {
-        let mut uniq: Vec<Key> = keys.to_vec();
-        par_sort(&mut uniq).charge(self.sys.metrics_mut());
-        uniq.dedup();
-        for (op, &key) in uniq.iter().enumerate() {
-            let target = self.random_module();
-            let root = self.root();
-            self.sys.send(
-                target,
-                Task::Search {
-                    op: op as u32,
-                    key,
-                    at: root,
-                    mode: SearchMode::Point,
-                    record_path: false,
-                },
-            );
-        }
-        let replies = self.sys.run_to_quiescence();
-        let mut by_key: HashMap<Key, DoneRec> = HashMap::with_capacity(uniq.len());
-        for r in replies {
-            if let Reply::SearchDone {
-                op,
-                pred,
-                pred_key,
-                succ,
-                succ_key,
-            } = r
-            {
-                by_key.insert(
-                    uniq[op as usize],
-                    DoneRec {
-                        pred,
-                        pred_key,
-                        succ,
-                        succ_key,
-                    },
-                );
-            }
-        }
-        keys.iter()
-            .map(|k| {
-                let d = &by_key[k];
-                if d.succ.is_null() {
-                    None
-                } else {
-                    Some((d.succ_key, d.succ))
-                }
-            })
-            .collect()
     }
 
     /// Sort + dedup the keys, run the pivoted search in point mode, and

@@ -358,6 +358,11 @@ impl PimSkipList {
         self.scratch.give_reqs(reqs);
         let results = results?;
 
+        // Structural writes begin here: invalidate push-pull snapshots
+        // before the first link lands, so even a faulted half-applied
+        // batch can never be searched through the cache.
+        self.bump_write_epoch();
+
         // ---- Algorithm 1: horizontal pointer construction ----
         self.spanned("link", |s| {
             s.link_horizontal(inserts, tops, towers, &results)

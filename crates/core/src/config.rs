@@ -55,6 +55,22 @@ pub struct Config {
     /// metrics, traces and telemetry are byte-identical either way (the
     /// CI `pipeline-determinism` step diffs them).
     pub pipeline: bool,
+    /// Push-pull batch search (PIM-tree, same authors): keep a bounded
+    /// CPU-side **hot-node cache** of lower-part nodes, resolve the
+    /// cached prefix of every hinted search descent locally in a
+    /// pre-pass, and ship only the residual waves to modules — a fully
+    /// cached wave sends nothing and costs **zero rounds**. Admission
+    /// and eviction are deterministic (per-batch access counts, halved
+    /// each batch; ties broken by handle bits), coherence is by
+    /// write-epoch invalidation (any Upsert/Delete/bulk-load/recovery
+    /// commit drops the cached snapshots; counts survive), and every
+    /// CPU-resolved step is charged as §2.1 CPU work. Dark by default;
+    /// seeded from `PIM_PUSH_PULL` by [`Config::new`]. **Off is
+    /// byte-identical to a build without the feature** (replies,
+    /// metrics, traces, WAL frames — the CI `skew` job diffs them); on
+    /// changes metrics/traces (fewer rounds) but never replies or
+    /// contents.
+    pub push_pull: bool,
 }
 
 impl Config {
@@ -71,6 +87,7 @@ impl Config {
             max_retries: 3,
             record_op_log: false,
             pipeline: pipeline_from_env(),
+            push_pull: push_pull_from_env(),
         }
     }
 
@@ -92,6 +109,9 @@ impl Config {
     pub fn with_settings(mut self, settings: &pim_runtime::EnvSettings) -> Self {
         if let Some(pipeline) = settings.pipeline {
             self.pipeline = pipeline;
+        }
+        if let Some(push_pull) = settings.push_pull {
+            self.push_pull = push_pull;
         }
         self
     }
@@ -128,6 +148,24 @@ impl Config {
         self
     }
 
+    /// Explicitly set push-pull batch search (see [`Config::push_pull`]),
+    /// overriding whatever `PIM_PUSH_PULL` seeded.
+    pub fn with_push_pull(mut self, push_pull: bool) -> Self {
+        self.push_pull = push_pull;
+        self
+    }
+
+    /// Hot-node cache capacity (records) used when [`Config::push_pull`]
+    /// is on: enough to hold every node — upper and lower part — that a
+    /// `P log² P` batch's search paths touch (≈ `batch · log n` before
+    /// sharing, far less after), so a repeated workload converges to
+    /// CPU-only descents instead of thrashing at the admission boundary.
+    /// Config-derived constant — no wall-clock, no feedback — so
+    /// admission stays a deterministic function of the op stream.
+    pub fn push_pull_capacity(&self) -> usize {
+        (16 * self.batch_large()).max(4096)
+    }
+
     /// `ceil(log2 P)` as used in batch-size recommendations.
     pub fn log_p(&self) -> u32 {
         ceil_log2(u64::from(self.p))
@@ -152,6 +190,16 @@ impl Config {
 fn pipeline_from_env() -> bool {
     pim_runtime::EnvSettings::from_env()
         .pipeline
+        .unwrap_or(false)
+}
+
+/// `PIM_PUSH_PULL=1` (or `true`) turns push-pull batch search on
+/// everywhere a `Config` is built with [`Config::new`]; anything else —
+/// including the variable being absent — leaves it dark. Parsing lives in
+/// [`pim_runtime::EnvSettings`], the one `PIM_*` parser.
+fn push_pull_from_env() -> bool {
+    pim_runtime::EnvSettings::from_env()
+        .push_pull
         .unwrap_or(false)
 }
 
@@ -206,8 +254,29 @@ mod tests {
             threads: Some(8),
             shards: Some(4),
             pipeline: None,
+            push_pull: None,
         });
         assert!(!other.pipeline);
         assert_eq!(other.p, 4);
+    }
+
+    #[test]
+    fn settings_override_push_pull_only_when_present() {
+        use pim_runtime::EnvSettings;
+        let base = Config::new(4, 64, 1).with_push_pull(false);
+        let on = base.clone().with_settings(&EnvSettings {
+            push_pull: Some(true),
+            ..EnvSettings::default()
+        });
+        assert!(on.push_pull);
+        let untouched = base.with_settings(&EnvSettings::default());
+        assert!(!untouched.push_pull);
+    }
+
+    #[test]
+    fn push_pull_capacity_covers_a_large_batch() {
+        let c = Config::new(16, 1 << 20, 42);
+        assert!(c.push_pull_capacity() >= 8 * c.batch_large());
+        assert!(Config::new(2, 64, 1).push_pull_capacity() >= 1024);
     }
 }

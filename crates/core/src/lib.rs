@@ -39,6 +39,7 @@ pub mod config;
 pub mod dot;
 pub mod durable;
 pub mod error;
+mod hotcache;
 pub mod invariants;
 mod journal;
 pub mod list;

@@ -56,6 +56,16 @@ pub struct PimSkipList {
     /// run consumes, the back half is filled by the side thread. Empty
     /// (and cost-free) unless [`crate::Config::pipeline`] is set.
     pub(crate) stage: pim_runtime::DoubleBuffer<crate::pipeline::StagedRun>,
+    /// Bumped at the start of every structural-mutation phase (upsert
+    /// link, delete mark, bulk load, recovery); the push-pull hot-node
+    /// cache invalidates its snapshots when it observes a new value (see
+    /// [`crate::hotcache`]). Plain bookkeeping — maintained whether or
+    /// not push-pull is on, so toggling the feature never changes it.
+    pub(crate) write_epoch: u64,
+    /// Push-pull hot-node cache (`None` unless [`Config::push_pull`] —
+    /// the search hot path then pays exactly one `is_some` branch, same
+    /// dark-mode contract as `durable`/`telemetry`).
+    pub(crate) hot: Option<Box<crate::hotcache::HotNodeCache>>,
 }
 
 impl PimSkipList {
@@ -74,6 +84,9 @@ impl PimSkipList {
             shadow.alloc(); // −∞ tower occupies slots 0..=max_level
         }
         let rng = Rng::new(cfg.seed ^ 0x5EED_5EED);
+        let hot = cfg
+            .push_pull
+            .then(|| Box::new(crate::hotcache::HotNodeCache::new(cfg.push_pull_capacity())));
         PimSkipList {
             sys,
             cfg,
@@ -86,6 +99,8 @@ impl PimSkipList {
             durable: None,
             telemetry: None,
             stage: pim_runtime::DoubleBuffer::default(),
+            write_epoch: 0,
+            hot,
         }
     }
 
@@ -104,6 +119,45 @@ impl PimSkipList {
     /// Is run pipelining currently on?
     pub fn pipeline_enabled(&self) -> bool {
         self.cfg.pipeline
+    }
+
+    /// Turn push-pull batch search on or off at runtime (see
+    /// [`crate::Config::push_pull`]). Turning it off releases the cache
+    /// and its charged shared memory; the structure is then byte-identical
+    /// in behaviour to one that never had the feature. Turning it on
+    /// starts from a cold (empty) cache.
+    pub fn set_push_pull(&mut self, on: bool) {
+        self.cfg.push_pull = on;
+        if on {
+            if self.hot.is_none() {
+                self.hot = Some(Box::new(crate::hotcache::HotNodeCache::new(
+                    self.cfg.push_pull_capacity(),
+                )));
+            }
+        } else if let Some(hot) = self.hot.take() {
+            if hot.charged_words > 0 {
+                self.sys.sample_shared_mem();
+                self.sys.shared_mem().free(hot.charged_words);
+            }
+        }
+    }
+
+    /// Is push-pull batch search currently on?
+    pub fn push_pull_enabled(&self) -> bool {
+        self.hot.is_some()
+    }
+
+    /// Resident hot-node cache records (bench/test instrumentation; 0
+    /// with push-pull off).
+    pub fn hot_cache_len(&self) -> usize {
+        self.hot.as_ref().map_or(0, |h| h.len())
+    }
+
+    /// Mark the start of a structural-mutation phase: the push-pull cache
+    /// must not trust its snapshots past this point (see
+    /// [`crate::hotcache`] for the coherence rule).
+    pub(crate) fn bump_write_epoch(&mut self) {
+        self.write_epoch = self.write_epoch.wrapping_add(1);
     }
 
     /// The [`ModuleParams`] every module of this structure was built with
@@ -356,12 +410,24 @@ impl PimSkipList {
 impl PimSkipList {
     /// Drain one module's contention counters (experiment instrumentation;
     /// returns `(handle bits, access count)` pairs recorded since the last
-    /// drain). Only populated when [`Config::track_contention`] is set.
+    /// drain). Only populated when [`Config::track_contention`] is set or
+    /// [`PimSkipList::set_module_contention_tracking`] was called.
     pub fn drain_contention(
         &mut self,
         module: pim_runtime::ModuleId,
     ) -> std::collections::HashMap<u64, u32> {
         self.sys.module_mut(module).take_contention()
+    }
+
+    /// Toggle module-side access counting without touching the driver's
+    /// per-phase draining (which stays keyed on the construction-time
+    /// [`Config::track_contention`]). With the driver drain off, counts
+    /// accumulate until [`PimSkipList::drain_contention`] — the §3.1
+    /// path-split probe reads whole search paths this way.
+    pub fn set_module_contention_tracking(&mut self, on: bool) {
+        for id in 0..self.cfg.p {
+            self.sys.module_mut(id).set_contention_tracking(on);
+        }
     }
 }
 

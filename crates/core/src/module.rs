@@ -197,6 +197,12 @@ impl SkipModule {
         std::mem::take(&mut self.contention)
     }
 
+    /// Toggle per-node access counting at runtime (probe instrumentation;
+    /// see [`crate::PimSkipList::set_module_contention_tracking`]).
+    pub fn set_contention_tracking(&mut self, on: bool) {
+        self.params.track_contention = on;
+    }
+
     // ------------------------------------------------------------------
     // Local upper-part navigation (all replicated, zero messages)
     // ------------------------------------------------------------------
@@ -354,6 +360,7 @@ impl SkipModule {
     // Search (§4.2)
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn do_search(
         &mut self,
         op: u32,
@@ -361,6 +368,7 @@ impl SkipModule {
         mut at: Handle,
         mode: SearchMode,
         record_path: bool,
+        record_upper: bool,
         ctx: &mut ModuleCtx<'_, Task, Reply>,
     ) {
         loop {
@@ -373,13 +381,14 @@ impl SkipModule {
                         at,
                         mode,
                         record_path,
+                        record_upper,
                     },
                 );
                 return;
             }
             ctx.work(1);
             self.touch(at);
-            if record_path && !at.is_replicated() {
+            if record_path && (record_upper || !at.is_replicated()) {
                 ctx.reply(Reply::PathNode { op, node: at });
             }
             let Some(n) = self.try_node(at) else {
@@ -776,7 +785,22 @@ impl PimModule for SkipModule {
                 at,
                 mode,
                 record_path,
-            } => self.do_search(op, key, at, mode, record_path, ctx),
+                record_upper,
+            } => self.do_search(op, key, at, mode, record_path, record_upper, ctx),
+            Task::PullNode { at } => {
+                ctx.work(1);
+                match self.try_node(at) {
+                    Some(n) if !n.deleted => ctx.reply(Reply::NodeRec {
+                        node: at,
+                        key: n.key,
+                        right: n.right,
+                        right_key: n.right_key,
+                        down: n.down,
+                        level: n.level,
+                    }),
+                    _ => ctx.reply(Reply::Faulted { op: NO_OP }),
+                }
+            }
             Task::AllocLower {
                 op,
                 key,

@@ -106,6 +106,20 @@ pub enum Task {
         /// Stream the visited lower-part nodes back to shared memory
         /// (pivot path recording).
         record_path: bool,
+        /// Additionally stream visited *replicated* nodes (push-pull cache
+        /// warming only — the driver counts them but never adds them to
+        /// recorded paths). Always `false` with push-pull off.
+        record_upper: bool,
+    },
+
+    /// Push-pull cache refresh (PIM-tree variant of §4.2): read one
+    /// lower-part node's search-relevant fields into the CPU-side
+    /// hot-node cache. Sent unicast to the owning module; replies with
+    /// [`Reply::NodeRec`] (or [`Reply::Faulted`] for a dangling handle —
+    /// the pull is best-effort and the driver simply skips that record).
+    PullNode {
+        /// The node to snapshot (lower part, resolvable at the receiver).
+        at: Handle,
     },
 
     // ----- §4.3: batched Upsert -----
@@ -294,6 +308,24 @@ pub enum Reply {
         op: u32,
         /// The visited node.
         node: Handle,
+    },
+    /// Snapshot of one lower-part node's search-relevant fields, answering
+    /// [`Task::PullNode`]. No op id: the handle itself identifies the
+    /// record in the driver's pull wave. Values are deliberately absent —
+    /// `Update`/`FetchAdd` never invalidate the cache.
+    NodeRec {
+        /// The snapshotted node.
+        node: Handle,
+        /// Its key.
+        key: Key,
+        /// Right neighbour at snapshot time.
+        right: Handle,
+        /// Cached right key at snapshot time.
+        right_key: Key,
+        /// Downward pointer at snapshot time.
+        down: Handle,
+        /// Node level.
+        level: u8,
     },
     /// Per-level predecessor for an insert search.
     PredAt {

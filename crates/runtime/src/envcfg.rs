@@ -27,6 +27,10 @@ pub struct EnvSettings {
     /// `PIM_SHARDS`: cluster shard count `S ≥ 1` (consumers default
     /// to 1 — a single-machine cluster).
     pub shards: Option<u32>,
+    /// `PIM_PUSH_PULL`: CPU-side hot-node cache for batch search.
+    /// `1`/`true` → on, `0`/`false` → off, anything else (including
+    /// absent) → `None` (consumers default to off).
+    pub push_pull: Option<bool>,
 }
 
 impl EnvSettings {
@@ -49,10 +53,16 @@ impl EnvSettings {
         let shards = var("PIM_SHARDS")
             .and_then(|v| v.trim().parse::<u32>().ok())
             .filter(|&n| n >= 1);
+        let push_pull = var("PIM_PUSH_PULL").and_then(|v| match v.trim() {
+            "1" | "true" => Some(true),
+            "0" | "false" => Some(false),
+            _ => None,
+        });
         EnvSettings {
             threads,
             pipeline,
             shards,
+            push_pull,
         }
     }
 }
@@ -130,11 +140,30 @@ mod tests {
     }
 
     #[test]
-    fn all_three_parse_together() {
+    fn push_pull_parses_like_pipeline() {
+        for (v, want) in [
+            ("1", Some(true)),
+            ("true", Some(true)),
+            ("0", Some(false)),
+            ("false", Some(false)),
+            ("on", None),
+            ("", None),
+        ] {
+            assert_eq!(
+                EnvSettings::from_lookup(lookup(&[("PIM_PUSH_PULL", v)])).push_pull,
+                want,
+                "PIM_PUSH_PULL={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_knobs_parse_together() {
         let s = EnvSettings::from_lookup(lookup(&[
             ("PIM_THREADS", "2"),
             ("PIM_PIPELINE", "1"),
             ("PIM_SHARDS", "8"),
+            ("PIM_PUSH_PULL", "true"),
         ]));
         assert_eq!(
             s,
@@ -142,6 +171,7 @@ mod tests {
                 threads: Some(2),
                 pipeline: Some(true),
                 shards: Some(8),
+                push_pull: Some(true),
             }
         );
     }

@@ -42,6 +42,11 @@ pub trait Backend {
     /// and metrics are byte-identical either way).
     fn set_pipeline(&mut self, pipeline: bool);
 
+    /// Override push-pull batch search (replies and contents identical
+    /// either way; see `pim_core::Config::push_pull`). Default: no-op
+    /// for backends without the feature.
+    fn set_push_pull(&mut self, _on: bool) {}
+
     /// Is a durable journal attached?
     fn is_durable(&self) -> bool;
 
@@ -100,6 +105,10 @@ impl Backend for PimSkipList {
 
     fn set_pipeline(&mut self, pipeline: bool) {
         PimSkipList::set_pipeline(self, pipeline);
+    }
+
+    fn set_push_pull(&mut self, on: bool) {
+        PimSkipList::set_push_pull(self, on);
     }
 
     fn is_durable(&self) -> bool {

@@ -55,6 +55,42 @@ pub fn contiguous_run(start: Key, count: usize) -> Vec<Key> {
     (0..count as i64).map(|i| start + i).collect()
 }
 
+/// `batches` query batches whose hot set *moves*: every `period` batches
+/// the window of `hot` consecutive resident keys jumps to a new spot in
+/// the key order (golden-ratio stride, so successive windows are far
+/// apart and the sequence never revisits a window for small counts).
+/// Within a window, keys are drawn uniformly from the window's `hot`
+/// keys. This is the anti-caching adversary: any popularity cache keyed
+/// to one hot set must hold *several disjoint working sets at once* —
+/// or re-admit under churn — to stay effective across rotations.
+pub fn rotating_hotspot(
+    seed: u64,
+    resident: &[Key],
+    hot: usize,
+    batch: usize,
+    batches: usize,
+    period: usize,
+) -> Vec<Vec<Key>> {
+    assert!(hot >= 1 && hot <= resident.len());
+    assert!(period >= 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let span = (resident.len() - hot + 1) as u64;
+    (0..batches)
+        .map(|b| {
+            let window = (b / period) as u64;
+            // Multiply-high, not mod: the high bits of `w·φ⁻¹·2⁶⁴` follow
+            // the golden-ratio low-discrepancy sequence on [0, 1), while
+            // `mod span` would collapse to an arithmetic progression with
+            // stride `φ⁻¹·2⁶⁴ mod span` — possibly tiny.
+            let frac = window.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let start = ((u128::from(frac) * u128::from(span)) >> 64) as usize;
+            (0..batch)
+                .map(|_| resident[start + rng.gen_range(0..hot)])
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +126,32 @@ mod tests {
     #[test]
     fn contiguous_run_is_consecutive() {
         assert_eq!(contiguous_run(5, 4), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn rotating_hotspot_rotates_between_periods_only() {
+        let resident: Vec<Key> = (0..1000).map(|k| k * 2).collect();
+        let batches = rotating_hotspot(3, &resident, 50, 40, 6, 2);
+        assert_eq!(batches.len(), 6);
+        let window = |b: &[Key]| {
+            let lo = *b.iter().min().unwrap();
+            let hi = *b.iter().max().unwrap();
+            assert!(hi - lo < 100, "batch spills outside one hot window");
+            lo
+        };
+        // Batches within one period share a window; the next period's
+        // window is somewhere else entirely.
+        let w: Vec<Key> = batches.iter().map(|b| window(b)).collect();
+        assert!((w[0] - w[1]).abs() < 100 && (w[2] - w[3]).abs() < 100);
+        assert!((w[0] - w[2]).abs() > 100, "window never moved");
+        assert_eq!(
+            batches,
+            rotating_hotspot(3, &resident, 50, 40, 6, 2),
+            "pure function of the seed"
+        );
+        assert!(batches
+            .iter()
+            .flatten()
+            .all(|k| resident.binary_search(k).is_ok()));
     }
 }

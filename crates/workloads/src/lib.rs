@@ -16,8 +16,10 @@ pub mod point;
 pub mod range;
 pub mod zipf;
 
-pub use adversary::{contiguous_run, duplicate_flood, same_successor_flood, single_range_flood};
+pub use adversary::{
+    contiguous_run, duplicate_flood, rotating_hotspot, same_successor_flood, single_range_flood,
+};
 pub use arrival::{ArrivalEvent, ArrivalGen, ArrivalOp, OpMix};
 pub use point::{domain_spread_keys, value_for, Key, PointGen};
 pub use range::{keys_in_range, nested_ranges, range_batch, range_covering, KeyRange};
-pub use zipf::Zipf;
+pub use zipf::{zipf_scatter_batches, Zipf};
